@@ -1,0 +1,10 @@
+// Figure 10: decomposed execution time with the HDD RAID-0 disk profile
+// (5x less bandwidth than the SSD profile — the disk-bound first PR
+// iteration becomes more pronounced).
+
+#include "decomposed_common.h"
+
+int main(int argc, char** argv) {
+  tgpp::bench::RunDecomposed(argc, argv, tgpp::kHddRaidProfile, "Fig10");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figures 12, 13, 14: overall performance on the real-graph stand-ins —
+// execution time, total disk I/O, and total network I/O for PR, SSSP,
+// WCC, TC and LCC across the system roster.
+//
+// Paper shape to reproduce:
+//  - group1 (PR/SSSP/WCC): TurboGraph++ beats the external-memory systems
+//    by large factors, beats Pregel+/GraphX, and is comparable to Gemini
+//    where Gemini survives; Gemini/Pregel+ fail beyond the smaller
+//    graphs (O markers).
+//  - group2 (TC/LCC): only TurboGraph++ handles everything; the
+//    vertex-centric systems OOM; PTE completes TC but slower.
+//  - Fig 13: TurboGraph++ has the lowest disk I/O among external-memory
+//    systems; Fig 14: lowest network I/O thanks to local gather.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace tgpp;
+  using namespace tgpp::bench;
+
+  BenchConfig bc;
+  bc.machines = static_cast<int>(FlagInt(argc, argv, "machines", 4));
+  bc.budget_bytes =
+      static_cast<uint64_t>(FlagInt(argc, argv, "budget_mb", 3)) << 20;
+  bc.root_dir = FlagStr(argc, argv, "root", "/tmp/tgpp_bench/fig12");
+
+  const std::vector<Query> queries = {Query::kPageRank, Query::kSssp,
+                                      Query::kWcc, Query::kTriangleCount,
+                                      Query::kLcc};
+
+  for (Query query : queries) {
+    // Roster per query, as in the paper (PTE is TC-only; nobody else runs
+    // LCC; Gemini/Chaos have no TC API).
+    std::vector<SystemEntry> systems;
+    for (const SystemEntry& entry : ComparisonRoster()) {
+      if (query == Query::kLcc && entry.factory != nullptr) continue;
+      if (query != Query::kTriangleCount && entry.name == "PTE") continue;
+      systems.push_back(entry);
+    }
+
+    std::vector<std::string> columns;
+    std::vector<std::vector<Measurement>> by_column;
+    for (const DatasetSpec& spec : RealGraphStandIns()) {
+      EdgeList graph = GenerateDataset(spec);
+      if (query != Query::kPageRank) {
+        DeduplicateEdges(&graph);
+        MakeUndirected(&graph);
+      }
+      columns.push_back(spec.name);
+      std::vector<Measurement> col;
+      for (const SystemEntry& entry : systems) {
+        col.push_back(
+            entry.factory == nullptr
+                ? MeasureTurboGraph(bc, graph, spec.name, query)
+                : MeasureBaseline(bc, graph, spec.name, query, entry.name,
+                                  entry.factory));
+      }
+      by_column.push_back(std::move(col));
+    }
+    std::vector<std::string> names;
+    for (const auto& s : systems) names.push_back(s.name);
+
+    const std::string qname = QueryName(query);
+    PrintMeasurementTable("Fig 12 (" + qname + "): execution time (s)",
+                          columns, names, by_column,
+                          [](const Measurement& m) { return m.Cell(); });
+    PrintMeasurementTable(
+        "Fig 13 (" + qname + "): total disk I/O (MB)", columns, names,
+        by_column, [](const Measurement& m) {
+          if (!m.status.ok()) return m.Cell();
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.2f", m.disk_bytes / 1e6);
+          return std::string(buf);
+        });
+    PrintMeasurementTable(
+        "Fig 14 (" + qname + "): total network I/O (MB)", columns, names,
+        by_column, [](const Measurement& m) {
+          if (!m.status.ok()) return m.Cell();
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.2f", m.net_bytes / 1e6);
+          return std::string(buf);
+        });
+  }
+  return 0;
+}

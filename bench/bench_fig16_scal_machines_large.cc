@@ -1,0 +1,14 @@
+// Figure 16: PR and TC varying the number of machines on the larger RMAT
+// graph (scaled from the paper's RMAT_35, which only external-memory
+// systems could hold below 25 machines — hence no in-memory roster).
+
+#include "machines_common.h"
+
+int main(int argc, char** argv) {
+  const int scale =
+      static_cast<int>(tgpp::bench::FlagInt(argc, argv, "scale", 19));
+  tgpp::bench::RunMachineSweep(argc, argv, "Fig16", scale,
+                               /*budget_mb=*/3,
+                               /*include_in_memory=*/false);
+  return 0;
+}

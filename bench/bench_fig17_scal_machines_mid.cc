@@ -1,0 +1,15 @@
+// Figure 17: PR and TC varying the number of machines on the mid-size
+// RMAT graph (scaled from the paper's RMAT_33 — the largest graph both
+// in-memory and external-memory systems can process, so the full roster
+// runs).
+
+#include "machines_common.h"
+
+int main(int argc, char** argv) {
+  const int scale =
+      static_cast<int>(tgpp::bench::FlagInt(argc, argv, "scale", 17));
+  tgpp::bench::RunMachineSweep(argc, argv, "Fig17", scale,
+                               /*budget_mb=*/3,
+                               /*include_in_memory=*/true);
+  return 0;
+}

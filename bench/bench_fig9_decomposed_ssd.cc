@@ -1,0 +1,8 @@
+// Figure 9: decomposed execution time with the PCIe-SSD disk profile.
+
+#include "decomposed_common.h"
+
+int main(int argc, char** argv) {
+  tgpp::bench::RunDecomposed(argc, argv, tgpp::kPcieSsdProfile, "Fig9");
+  return 0;
+}

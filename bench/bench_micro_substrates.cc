@@ -1,0 +1,147 @@
+// Microbenchmarks (google-benchmark) for the substrates: slotted pages,
+// buffer pool, sorted intersections, the RMAT generator, and the fabric.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "graph/csr.h"
+#include "graph/rmat.h"
+#include "net/fabric.h"
+#include "storage/buffer_pool.h"
+#include "util/rng.h"
+
+namespace tgpp {
+namespace {
+
+void BM_SlottedPageBuild(benchmark::State& state) {
+  std::vector<uint8_t> buffer(kPageSize);
+  std::vector<VertexId> dsts(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < dsts.size(); ++i) dsts[i] = i * 3;
+  for (auto _ : state) {
+    SlottedPageBuilder builder(buffer.data());
+    VertexId src = 0;
+    while (builder.AddRecord(src, dsts)) ++src;
+    benchmark::DoNotOptimize(builder.num_slots());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlottedPageBuild)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SlottedPageScan(benchmark::State& state) {
+  std::vector<uint8_t> buffer(kPageSize);
+  SlottedPageBuilder builder(buffer.data());
+  std::vector<VertexId> dsts(16);
+  for (size_t i = 0; i < dsts.size(); ++i) dsts[i] = i;
+  VertexId src = 0;
+  while (builder.AddRecord(src, dsts)) ++src;
+  SlottedPageReader reader(buffer.data());
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    const uint32_t slots = reader.num_slots();
+    for (uint32_t s = 0; s < slots; ++s) {
+      for (VertexId v : reader.DstsAt(s)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SlottedPageScan);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  const std::string dir = "/tmp/tgpp_bench/micro_pool";
+  std::filesystem::remove_all(dir);
+  DiskDevice disk(dir, kPcieSsdProfile);
+  auto file_result = PageFile::Open(&disk, "micro.pf");
+  PageFile file = std::move(file_result).value();
+  std::vector<uint8_t> page(kPageSize, 0xab);
+  for (int i = 0; i < 8; ++i) {
+    auto r = file.AppendPage(page.data());
+    benchmark::DoNotOptimize(r.ok());
+  }
+  BufferPool pool(16);
+  for (auto _ : state) {
+    auto handle = pool.Fetch(&file, 3);
+    benchmark::DoNotOptimize(handle->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissEvict(benchmark::State& state) {
+  const std::string dir = "/tmp/tgpp_bench/micro_pool_miss";
+  std::filesystem::remove_all(dir);
+  DiskDevice disk(dir, kPcieSsdProfile);
+  auto file_result = PageFile::Open(&disk, "micro.pf");
+  PageFile file = std::move(file_result).value();
+  std::vector<uint8_t> page(kPageSize, 0xcd);
+  const int kPages = 64;
+  for (int i = 0; i < kPages; ++i) {
+    auto r = file.AppendPage(page.data());
+    benchmark::DoNotOptimize(r.ok());
+  }
+  BufferPool pool(8);  // 8 frames over 64 pages: every fetch evicts
+  uint64_t next = 0;
+  for (auto _ : state) {
+    auto handle = pool.Fetch(&file, next);
+    benchmark::DoNotOptimize(handle->data());
+    next = (next + 1) % kPages;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolMissEvict);
+
+void BM_IntersectionBalanced(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<VertexId> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = i * 2;
+    b[i] = i * 3;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersectionCount(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IntersectionBalanced)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_IntersectionGalloping(benchmark::State& state) {
+  // Skewed pair: short list vs long list — the degree-ordered hot case.
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<VertexId> a(16), b(n);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = i * (n / 16);
+  for (size_t i = 0; i < n; ++i) b[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersectionCount(a, b));
+  }
+}
+BENCHMARK(BM_IntersectionGalloping)->Arg(1024)->Arg(65536);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  RmatParams params;
+  params.vertex_scale = 14;
+  params.num_edges = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    params.seed++;
+    benchmark::DoNotOptimize(GenerateRmat(params).num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RmatGenerate)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_FabricRoundtrip(benchmark::State& state) {
+  Fabric fabric(2, kInfinibandQdr);
+  std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)), 7);
+  Message msg;
+  for (auto _ : state) {
+    fabric.Send(0, 1, 0, payload);
+    const bool got = fabric.TryRecv(1, 0, &msg);
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FabricRoundtrip)->Arg(64)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace tgpp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,331 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace tgpp::bench {
+
+ClusterConfig ToClusterConfig(const BenchConfig& bc,
+                              const std::string& run_name) {
+  ClusterConfig config;
+  config.num_machines = bc.machines;
+  config.threads_per_machine = bc.threads;
+  config.numa_nodes_per_machine = bc.numa_nodes;
+  config.memory_budget_bytes = bc.budget_bytes;
+  config.buffer_pool_frames = bc.pool_frames;
+  config.disk_profile = bc.disk;
+  config.root_dir = bc.root_dir + "/" + run_name;
+  std::filesystem::remove_all(config.root_dir);
+  return config;
+}
+
+const char* QueryName(Query query) {
+  switch (query) {
+    case Query::kPageRank:
+      return "PR";
+    case Query::kSssp:
+      return "SSSP";
+    case Query::kWcc:
+      return "WCC";
+    case Query::kTriangleCount:
+      return "TC";
+    case Query::kLcc:
+      return "LCC";
+  }
+  return "?";
+}
+
+std::string Measurement::Cell() const {
+  if (status.ok()) {
+    char buf[32];
+    if (exec_seconds >= 100) {
+      std::snprintf(buf, sizeof(buf), "%.0f", exec_seconds);
+    } else if (exec_seconds >= 1) {
+      std::snprintf(buf, sizeof(buf), "%.2f", exec_seconds);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.4f", exec_seconds);
+    }
+    return buf;
+  }
+  switch (status.code()) {
+    case StatusCode::kOutOfMemory:
+      return "O";
+    case StatusCode::kTimeout:
+      return "T";
+    case StatusCode::kNotSupported:
+      return "-";
+    default:
+      return "F";
+  }
+}
+
+namespace {
+
+// Combines a counter delta into the modeled execution time.
+struct ResourceTimes {
+  double cpu = 0;
+  double disk = 0;
+  double net = 0;
+};
+
+ResourceTimes ComputeResourceTimes(Cluster* cluster,
+                                   const ClusterSnapshot& snap) {
+  // Barrier-synchronized systems are gated by their slowest machine, so
+  // CPU and disk use the bottleneck-machine view (this is how partition
+  // imbalance surfaces, §5.2.2); the network uses the aggregate-bandwidth
+  // model of §5.2.3.
+  ResourceTimes times;
+  const int threads =
+      std::max(1, cluster->config().threads_per_machine);
+  times.cpu = snap.max_machine_cpu_seconds / threads;
+  times.disk = snap.max_machine_disk_seconds;
+  times.net = snap.net_io_seconds;
+  return times;
+}
+
+double CombineTimes(const ResourceTimes& t, OverlapModel overlap) {
+  if (overlap == OverlapModel::kFullOverlap) {
+    return std::max({t.cpu, t.disk, t.net});
+  }
+  return t.cpu + t.disk + t.net;
+}
+
+void FillFromSnapshot(Measurement* m, Cluster* cluster,
+                      OverlapModel overlap, double wall) {
+  const ClusterSnapshot snap = cluster->Snapshot();
+  const ResourceTimes times = ComputeResourceTimes(cluster, snap);
+  m->cpu_seconds = times.cpu;
+  m->disk_seconds = times.disk;
+  m->net_seconds = times.net;
+  m->disk_bytes = snap.disk_bytes;
+  m->net_bytes = snap.net_bytes;
+  m->wall_seconds = wall;
+  m->exec_seconds = CombineTimes(times, overlap);
+}
+
+}  // namespace
+
+Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
+                              const std::string& graph_name, Query query,
+                              int pr_iterations, PartitionScheme scheme) {
+  Measurement m;
+  m.system = "TurboGraph++";
+  m.graph = graph_name;
+  m.query = query;
+
+  const std::string run_name = std::string("tgpp_") + graph_name + "_" +
+                               QueryName(query) + "_" +
+                               PartitionSchemeName(scheme);
+  TurboGraphSystem system(ToClusterConfig(bc, run_name));
+  Status load = system.LoadGraph(graph, scheme);
+  if (!load.ok()) {
+    m.status = load;
+    return m;
+  }
+  m.prep_seconds = system.last_partition_seconds();
+  system.cluster()->ResetCountersAndCaches();
+
+  WallTimer timer;
+  Result<QueryStats> stats = Status::OK();
+  switch (query) {
+    case Query::kPageRank: {
+      auto app = MakePageRankApp(system.partition(), pr_iterations);
+      stats = system.RunQuery(app);
+      break;
+    }
+    case Query::kSssp: {
+      // Paper: source = vertex with the most neighbors. Under BBP the
+      // highest-degree vertex gets new ID 0 on machine 0.
+      VertexId best = 0;
+      uint64_t best_degree = 0;
+      for (VertexId old_id = 0;
+           old_id < system.partition()->num_vertices; ++old_id) {
+        const uint64_t d =
+            system.partition()->out_degree[system.partition()
+                                               ->old_to_new[old_id]];
+        if (d > best_degree) {
+          best_degree = d;
+          best = old_id;
+        }
+      }
+      auto app = MakeSsspApp(system.partition(), best);
+      stats = system.RunQuery(app);
+      break;
+    }
+    case Query::kWcc: {
+      auto app = MakeWccApp(system.partition());
+      stats = system.RunQuery(app);
+      break;
+    }
+    case Query::kTriangleCount: {
+      auto app = MakeTriangleCountingApp();
+      stats = system.RunQuery(app);
+      break;
+    }
+    case Query::kLcc: {
+      auto app = MakeLccApp(system.partition());
+      stats = system.RunQuery(app);
+      break;
+    }
+  }
+  const double wall = timer.Seconds();
+  if (!stats.ok()) {
+    m.status = stats.status();
+    return m;
+  }
+  m.supersteps = stats->supersteps;
+  m.aggregate = stats->aggregate_sum;
+  m.q_used = stats->q_used;
+  FillFromSnapshot(&m, system.cluster(), OverlapModel::kFullOverlap, wall);
+  if (query == Query::kPageRank && pr_iterations > 0) {
+    // Paper reports the average per-iteration time for PR.
+    m.exec_seconds /= pr_iterations;
+    m.wall_seconds /= pr_iterations;
+  }
+  if (m.exec_seconds > bc.timeout_model_seconds) {
+    m.status = Status::Timeout("modeled time exceeds limit");
+  }
+  return m;
+}
+
+Measurement MeasureBaseline(const BenchConfig& bc, const EdgeList& graph,
+                            const std::string& graph_name, Query query,
+                            const std::string& system_name,
+                            BaselineFactory factory, int pr_iterations) {
+  Measurement m;
+  m.system = system_name;
+  m.graph = graph_name;
+  m.query = query;
+
+  const std::string run_name =
+      system_name + "_" + graph_name + "_" + QueryName(query);
+  Cluster cluster(ToClusterConfig(bc, run_name));
+  std::unique_ptr<BaselineSystem> system = factory(&cluster);
+
+  WallTimer prep_timer;
+  Status load = system->Load(graph);
+  m.prep_seconds = prep_timer.Seconds();
+  if (!load.ok()) {
+    m.status = load;
+    return m;
+  }
+  cluster.ResetCountersAndCaches();
+
+  WallTimer timer;
+  BaselineResult result;
+  switch (query) {
+    case Query::kPageRank:
+      result = system->RunPageRank(pr_iterations);
+      break;
+    case Query::kSssp: {
+      // Highest out-degree vertex, matching the paper's source choice.
+      std::vector<uint64_t> degree(graph.num_vertices, 0);
+      for (const Edge& e : graph.edges) ++degree[e.src];
+      VertexId best = 0;
+      for (VertexId v = 0; v < graph.num_vertices; ++v) {
+        if (degree[v] > degree[best]) best = v;
+      }
+      result = system->RunSssp(best);
+      break;
+    }
+    case Query::kWcc:
+      result = system->RunWcc();
+      break;
+    case Query::kTriangleCount:
+      result = system->RunTriangleCount();
+      break;
+    case Query::kLcc:
+      result.status = Status::NotSupported(system_name + " lacks LCC");
+      break;
+  }
+  const double wall = timer.Seconds();
+  if (!result.status.ok()) {
+    m.status = result.status;
+    return m;
+  }
+  m.supersteps = result.supersteps;
+  m.aggregate = result.aggregate;
+  FillFromSnapshot(&m, &cluster, system->overlap_model(), wall);
+  if (query == Query::kPageRank && pr_iterations > 0) {
+    m.exec_seconds /= pr_iterations;
+    m.wall_seconds /= pr_iterations;
+  }
+  if (m.exec_seconds > bc.timeout_model_seconds) {
+    m.status = Status::Timeout("modeled time exceeds limit");
+  }
+  return m;
+}
+
+const std::vector<SystemEntry>& ComparisonRoster() {
+  static const std::vector<SystemEntry>* kRoster =
+      new std::vector<SystemEntry>{
+          {"TurboGraph++", nullptr},
+          {"Gemini", &MakeGeminiLike},
+          {"Pregel+", &MakePregelLike},
+          {"GraphX", &MakeGraphxLike},
+          {"HybridGraph", &MakeHybridGraphLike},
+          {"Chaos", &MakeChaosLike},
+          {"PTE", &MakePte},
+      };
+  return *kRoster;
+}
+
+void PrintTable(
+    const std::string& title, const std::vector<std::string>& columns,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-14s", "system");
+  for (const auto& c : columns) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+  for (const auto& [name, cells] : rows) {
+    std::printf("%-14s", name.c_str());
+    for (const auto& cell : cells) std::printf(" %12s", cell.c_str());
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void PrintMeasurementTable(
+    const std::string& title, const std::vector<std::string>& columns,
+    const std::vector<std::string>& systems,
+    const std::vector<std::vector<Measurement>>& by_column,
+    const std::function<std::string(const Measurement&)>& cell) {
+  std::vector<std::pair<std::string, std::vector<std::string>>> rows;
+  for (size_t s = 0; s < systems.size(); ++s) {
+    std::vector<std::string> cells;
+    for (const auto& column : by_column) cells.push_back(cell(column[s]));
+    rows.emplace_back(systems[s], std::move(cells));
+  }
+  PrintTable(title, columns, rows);
+}
+
+EdgeList UndirectedCopy(const EdgeList& graph) {
+  EdgeList copy = graph;
+  MakeUndirected(&copy);
+  return copy;
+}
+
+int64_t FlagInt(int argc, char** argv, const std::string& key,
+                int64_t def) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoll(arg.substr(prefix.size()));
+    }
+  }
+  return def;
+}
+
+std::string FlagStr(int argc, char** argv, const std::string& key,
+                    const std::string& def) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return def;
+}
+
+}  // namespace tgpp::bench

@@ -1,0 +1,129 @@
+// Shared harness for the figure/table benchmarks.
+//
+// Measurement methodology follows the paper (§5.1):
+//  - query execution time excludes loading/preprocessing;
+//  - disk I/O is the aggregated bytes read+written over all machines,
+//    network I/O the aggregated bytes sent between machines;
+//  - per-resource *times* are bytes over aggregate nominal bandwidth and
+//    CPU-seconds over total worker parallelism;
+//  - buffer caches are dropped between preprocessing and measurement
+//    (the paper drops the OS page cache);
+//  - a system's execution time combines its per-resource times according
+//    to its overlap behaviour: full-overlap systems are bound by the
+//    slowest resource (max), poor-overlap systems serialize (sum). This
+//    is the model the paper itself validates in §5.2.3 (Figures 9-11).
+//  - failures are reported with the paper's markers: O (out of memory),
+//    T (timeout), F (other).
+
+#ifndef TGPP_BENCH_BENCH_UTIL_H_
+#define TGPP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/lcc.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/triangle_counting.h"
+#include "algos/wcc.h"
+#include "baselines/baseline.h"
+#include "core/system.h"
+#include "graph/datasets.h"
+#include "graph/rmat.h"
+
+namespace tgpp::bench {
+
+// Default bench cluster shape (scaled from the paper's 25 x 32 GB x 16
+// cores): p machines with a few MB each; override per bench via flags.
+struct BenchConfig {
+  int machines = 4;
+  int threads = 1;            // single-core host: 1 worker thread/machine
+  int numa_nodes = 2;
+  uint64_t budget_bytes = 3ull << 20;
+  size_t pool_frames = 16;
+  DiskProfile disk = kPcieSsdProfile;
+  double timeout_model_seconds = 1e9;  // modeled-time timeout (paper: 8h)
+  std::string root_dir = "/tmp/tgpp_bench";
+};
+
+ClusterConfig ToClusterConfig(const BenchConfig& bc,
+                              const std::string& run_name);
+
+enum class Query { kPageRank, kSssp, kWcc, kTriangleCount, kLcc };
+const char* QueryName(Query query);
+
+// One measured cell of a results table.
+struct Measurement {
+  std::string system;
+  std::string graph;
+  Query query = Query::kPageRank;
+  Status status;            // OK or the failure
+  double exec_seconds = 0;  // modeled execution time (overlap-combined)
+  double wall_seconds = 0;  // raw wall clock on this host
+  double cpu_seconds = 0;   // per-worker average CPU time
+  double disk_seconds = 0;
+  double net_seconds = 0;
+  uint64_t disk_bytes = 0;
+  uint64_t net_bytes = 0;
+  int supersteps = 0;
+  uint64_t aggregate = 0;
+  int q_used = 1;           // vertex chunks per machine (TurboGraph++)
+  double prep_seconds = 0;  // partitioning/loading time
+
+  // "12.3" / "O" / "T" / "F" like the paper's figures.
+  std::string Cell() const;
+};
+
+// Runs one query on TurboGraph++ (fresh cluster + BBP load), measuring
+// only the query (prep captured separately). PR runs `pr_iterations` and
+// reports the average per-iteration time like the paper.
+Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
+                              const std::string& graph_name, Query query,
+                              int pr_iterations = 3,
+                              PartitionScheme scheme = PartitionScheme::kBbp);
+
+// Runs one query on a named baseline.
+using BaselineFactory = std::unique_ptr<BaselineSystem> (*)(Cluster*);
+Measurement MeasureBaseline(const BenchConfig& bc, const EdgeList& graph,
+                            const std::string& graph_name, Query query,
+                            const std::string& system_name,
+                            BaselineFactory factory, int pr_iterations = 3);
+
+// The full roster used by the comparison figures.
+struct SystemEntry {
+  std::string name;
+  BaselineFactory factory;  // nullptr == TurboGraph++
+};
+const std::vector<SystemEntry>& ComparisonRoster();
+
+// Pretty printing: a header plus one row per system with one column per
+// graph/x-value.
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& columns,
+                const std::vector<std::pair<std::string,
+                                            std::vector<std::string>>>& rows);
+
+// Converts a list of measurements (same system order per column) into
+// table rows using Measurement::Cell().
+void PrintMeasurementTable(
+    const std::string& title, const std::vector<std::string>& columns,
+    const std::vector<std::string>& systems,
+    const std::vector<std::vector<Measurement>>& by_column,
+    const std::function<std::string(const Measurement&)>& cell);
+
+// Undirected, deduplicated variant for TC/LCC/WCC/SSSP (the queries that
+// assume symmetric edges).
+EdgeList UndirectedCopy(const EdgeList& graph);
+
+// Simple flag access: --key=value.
+int64_t FlagInt(int argc, char** argv, const std::string& key,
+                int64_t def);
+std::string FlagStr(int argc, char** argv, const std::string& key,
+                    const std::string& def);
+
+}  // namespace tgpp::bench
+
+#endif  // TGPP_BENCH_BENCH_UTIL_H_

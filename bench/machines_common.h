@@ -1,0 +1,119 @@
+// Shared runner for Figures 16/17: PR and TC while varying the number of
+// machines on a fixed graph (scaled from the paper's 5..25 sweep).
+
+#ifndef TGPP_BENCH_MACHINES_COMMON_H_
+#define TGPP_BENCH_MACHINES_COMMON_H_
+
+#include "bench_util.h"
+
+namespace tgpp::bench {
+
+inline void RunMachineSweep(int argc, char** argv, const char* figure,
+                            int scale, uint64_t budget_mb,
+                            bool include_in_memory) {
+  BenchConfig base;
+  base.budget_bytes = budget_mb << 20;
+  base.root_dir = std::string("/tmp/tgpp_bench/") + figure;
+
+  const std::vector<int> machine_counts = {2, 4, 6, 8};
+
+  std::printf("%s: varying machines on RMAT%d (budget %llu MB/machine)\n",
+              figure, scale, static_cast<unsigned long long>(budget_mb));
+
+  // --- PR panel ---
+  {
+    std::vector<SystemEntry> systems = {{"TurboGraph++", nullptr}};
+    if (include_in_memory) {
+      systems.push_back({"Gemini", &MakeGeminiLike});
+      systems.push_back({"Pregel+", &MakePregelLike});
+      systems.push_back({"GraphX", &MakeGraphxLike});
+    }
+    systems.push_back({"HybridGraph", &MakeHybridGraphLike});
+    systems.push_back({"Chaos", &MakeChaosLike});
+
+    const EdgeList graph = GenerateRmatX(scale, 1000 + scale);
+    std::vector<std::string> columns;
+    std::vector<std::vector<Measurement>> by_column;
+    std::vector<double> tgpp_exec;
+    for (int p : machine_counts) {
+      BenchConfig bc = base;
+      bc.machines = p;
+      columns.push_back("p=" + std::to_string(p));
+      std::vector<Measurement> col;
+      for (const SystemEntry& entry : systems) {
+        col.push_back(
+            entry.factory == nullptr
+                ? MeasureTurboGraph(bc, graph, "m" + std::to_string(p),
+                                    Query::kPageRank)
+                : MeasureBaseline(bc, graph, "m" + std::to_string(p),
+                                  Query::kPageRank, entry.name,
+                                  entry.factory));
+      }
+      if (col.front().status.ok()) {
+        tgpp_exec.push_back(col.front().exec_seconds);
+      }
+      by_column.push_back(std::move(col));
+    }
+    std::vector<std::string> names;
+    for (const auto& s : systems) names.push_back(s.name);
+    PrintMeasurementTable(std::string(figure) + " (PR): exec time (s/iter)",
+                          columns, names, by_column,
+                          [](const Measurement& m) { return m.Cell(); });
+    if (tgpp_exec.size() == machine_counts.size() && tgpp_exec.back() > 0) {
+      // Speedup slope from p=2 to p=8 (paper reports slope 0.97).
+      const double speedup = tgpp_exec.front() / tgpp_exec.back();
+      const double ideal = static_cast<double>(machine_counts.back()) /
+                           machine_counts.front();
+      std::printf("\nTurboGraph++ speedup %dx machines: %.2fx "
+                  "(slope %.2f; paper: 0.97)\n",
+                  static_cast<int>(ideal), speedup, speedup / ideal);
+    }
+  }
+
+  // --- TC panel ---
+  {
+    const std::vector<SystemEntry> systems = {{"TurboGraph++", nullptr},
+                                              {"PTE", &MakePte}};
+    EdgeList graph = GenerateRmatX(scale, 1100 + scale);
+    DeduplicateEdges(&graph);
+    MakeUndirected(&graph);
+    std::vector<std::string> columns;
+    std::vector<std::vector<Measurement>> by_column;
+    for (int p : machine_counts) {
+      BenchConfig bc = base;
+      bc.machines = p;
+      columns.push_back("p=" + std::to_string(p));
+      std::vector<Measurement> col;
+      for (const SystemEntry& entry : systems) {
+        col.push_back(
+            entry.factory == nullptr
+                ? MeasureTurboGraph(bc, graph, "tc_m" + std::to_string(p),
+                                    Query::kTriangleCount)
+                : MeasureBaseline(bc, graph, "tc_m" + std::to_string(p),
+                                  Query::kTriangleCount, entry.name,
+                                  entry.factory));
+      }
+      by_column.push_back(std::move(col));
+    }
+    std::vector<std::string> names;
+    for (const auto& s : systems) names.push_back(s.name);
+    PrintMeasurementTable(std::string(figure) + " (TC): exec time (s)",
+                          columns, names, by_column,
+                          [](const Measurement& m) { return m.Cell(); });
+
+    // The paper's efficiency point: TG++ with few machines vs PTE with
+    // many.
+    const Measurement& tgpp_small = by_column.front()[0];
+    const Measurement& pte_large = by_column.back()[1];
+    if (tgpp_small.status.ok() && pte_large.status.ok()) {
+      std::printf("\nTurboGraph++ with %d machines: %.4fs vs PTE with %d "
+                  "machines: %.4fs\n",
+                  machine_counts.front(), tgpp_small.exec_seconds,
+                  machine_counts.back(), pte_large.exec_seconds);
+    }
+  }
+}
+
+}  // namespace tgpp::bench
+
+#endif  // TGPP_BENCH_MACHINES_COMMON_H_

@@ -1,0 +1,102 @@
+// Writing a custom k-walk neighborhood query against the public API:
+// counting, for every vertex, how many distinct walk *endpoints* lie
+// exactly two hops away under a partial-order constraint — a toy
+// "friend-of-friend suggestion volume" metric.
+//
+// Shows the raw KWalkApp surface (paper Fig 6) without the prebuilt
+// algorithm wrappers: adj_scatter per level, Mark/GetParentList, updates
+// and the gather/apply pipeline.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/system.h"
+#include "graph/rmat.h"
+
+namespace {
+
+struct FoafAttr {
+  uint64_t suggestions;  // two-hop walk endpoints discovered
+};
+
+}  // namespace
+
+int main() {
+  using namespace tgpp;
+
+  EdgeList graph = GenerateRmatX(14, 123);
+  DeduplicateEdges(&graph);
+  MakeUndirected(&graph);
+
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.memory_budget_bytes = 8ull << 20;
+  config.root_dir =
+      (std::filesystem::temp_directory_path() / "tgpp_kwalk").string();
+  std::filesystem::remove_all(config.root_dir);
+  TurboGraphSystem system(config);
+  TGPP_CHECK_OK(system.LoadGraph(std::move(graph)));
+
+  KWalkApp<FoafAttr, uint64_t> app;
+  app.k = 2;                       // two-hop neighborhood query
+  app.mode = AdjMode::kFull;       // need full lists at level 2
+  app.apply_mode = ApplyMode::kUpdatedOnly;
+  app.max_supersteps = 1;
+
+  app.init = [](VertexId, FoafAttr& attr) {
+    attr.suggestions = 0;
+    return true;  // every vertex enumerates its neighborhood
+  };
+
+  // Level 1: follow each edge (u, v) with u < v, marking v for level 2.
+  app.adj_scatter[1] = [](ScatterContext<FoafAttr, uint64_t>& ctx,
+                          VertexId u, const FoafAttr&,
+                          std::span<const VertexId> adj) {
+    for (VertexId v : adj) {
+      if (ctx.CheckPartialOrder(u, v)) ctx.Mark(v);
+    }
+  };
+
+  // Level 2: every walk (u, v, w) with w not adjacent to u is a
+  // "suggestion" for u. GetParentList gives the walk prefix; GetAdjList
+  // is u's full list, still resident in the level-1 window.
+  app.adj_scatter[2] = [](ScatterContext<FoafAttr, uint64_t>& ctx,
+                          VertexId v, const FoafAttr&,
+                          std::span<const VertexId> adj) {
+    for (VertexId u : ctx.GetParentList(v)) {
+      const std::span<const VertexId> u_adj = ctx.GetAdjList(u);
+      uint64_t fresh = 0;
+      for (VertexId w : adj) {
+        if (w == u) continue;
+        // not already a direct neighbor of u?
+        const bool known =
+            std::binary_search(u_adj.begin(), u_adj.end(), w);
+        if (!known) ++fresh;
+      }
+      if (fresh > 0) ctx.Update(u, fresh);
+    }
+  };
+
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) { acc += in; };
+  app.vertex_apply = [](VertexId, FoafAttr& attr, const uint64_t* upd) {
+    attr.suggestions = upd != nullptr ? *upd : 0;
+    return false;
+  };
+
+  std::vector<FoafAttr> results;
+  auto stats = system.RunQuery(app, &results);
+  TGPP_CHECK(stats.ok()) << stats.status().ToString();
+
+  uint64_t total = 0, best_v = 0;
+  for (VertexId v = 0; v < results.size(); ++v) {
+    total += results[v].suggestions;
+    if (results[v].suggestions > results[best_v].suggestions) best_v = v;
+  }
+  std::printf("two-hop suggestion volume: %llu total; max at v%llu "
+              "(%llu suggestions); q=%d\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(best_v),
+              static_cast<unsigned long long>(results[best_v].suggestions),
+              stats->q_used);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// 4-clique counting: a three-walk neighborhood query, the appendix A.6
+// "general subgraph matching" pattern beyond triangles.
+//
+// k = 3 (the complement of a maximal independent set of K4 has three
+// vertices). Enumeration under the degree-order constraint u < v < w < x:
+//   level 1: u marks neighbors v > u;
+//   level 2: v marks, for each parent u, common neighbors w > v of
+//            (u, v) — every (u, v, w) is a triangle;
+//   level 3: w re-derives its triangles through the parent indexes
+//            (GetParentList at levels 2 and 1, GetAdjList through the
+//            ancestor windows — the A.6 relaxation) and counts
+//            x > w in N(u) ∩ N(v) ∩ N(w) with an n-way intersection.
+// Each 4-clique a<b<c<d is counted exactly once, at (u,v,w,x)=(a,b,c,d).
+//
+// Expects an undirected, deduplicated, loop-free graph.
+
+#ifndef TGPP_ALGOS_CLIQUE4_H_
+#define TGPP_ALGOS_CLIQUE4_H_
+
+#include <algorithm>
+
+#include "core/app.h"
+#include "graph/csr.h"
+
+namespace tgpp {
+
+struct Clique4Attr {
+  uint8_t unused;
+};
+
+inline KWalkApp<Clique4Attr, uint64_t> MakeFourCliqueApp() {
+  KWalkApp<Clique4Attr, uint64_t> app;
+  app.k = 3;
+  app.mode = AdjMode::kFull;
+  app.apply_mode = ApplyMode::kUpdatedOnly;
+  app.max_supersteps = 1;
+
+  app.init = [](VertexId, Clique4Attr&) { return true; };
+
+  app.adj_scatter[1] = [](ScatterContext<Clique4Attr, uint64_t>& ctx,
+                          VertexId u, const Clique4Attr&,
+                          std::span<const VertexId> adj) {
+    for (VertexId v : adj) {
+      if (ctx.CheckPartialOrder(u, v)) ctx.Mark(v);
+    }
+  };
+
+  app.adj_scatter[2] = [](ScatterContext<Clique4Attr, uint64_t>& ctx,
+                          VertexId v, const Clique4Attr&,
+                          std::span<const VertexId> adj) {
+    for (VertexId u : ctx.GetParentList(1, v)) {
+      ForEachCommonAbove(ctx.GetAdjList(u), adj, v,
+                         [&](VertexId w) { ctx.Mark(w); });
+    }
+  };
+
+  app.adj_scatter[3] = [](ScatterContext<Clique4Attr, uint64_t>& ctx,
+                          VertexId w, const Clique4Attr&,
+                          std::span<const VertexId> adj) {
+    std::vector<VertexId> uv_common;
+    for (VertexId v : ctx.GetParentList(2, w)) {
+      const std::span<const VertexId> v_adj = ctx.GetAdjList(v);
+      for (VertexId u : ctx.GetParentList(1, v)) {
+        const std::span<const VertexId> u_adj = ctx.GetAdjList(u);
+        // w was marked as a common neighbor of *some* (u', v); keep only
+        // the parents u whose triangle (u, v, w) actually closes.
+        if (!std::binary_search(u_adj.begin(), u_adj.end(), w)) continue;
+        // x > w adjacent to all of u, v, w: 3-way sorted intersection.
+        GetCommonNbrList(u_adj, v_adj, &uv_common);
+        const uint64_t cliques =
+            SortedIntersectionCountAbove(uv_common, adj, w);
+        if (cliques > 0) ctx.AggregateAdd(cliques);
+      }
+    }
+  };
+
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) { acc += in; };
+  app.vertex_apply = [](VertexId, Clique4Attr&, const uint64_t*) {
+    return false;
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_CLIQUE4_H_

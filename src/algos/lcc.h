@@ -1,0 +1,71 @@
+// Local clustering coefficient: per-vertex triangle counting (paper §5.1).
+//
+// Same two-walk enumeration as triangle counting, but each found triangle
+// (u, v, w) emits +1 updates to all three corners; the apply computes
+// lcc(x) = 2 * t(x) / (deg(x) * (deg(x) - 1)). This is the higher
+// space/time-complexity member of the group2 queries: its update volume
+// is proportional to three times the triangle count and flows through the
+// full-mode sparse local gather buffers.
+
+#ifndef TGPP_ALGOS_LCC_H_
+#define TGPP_ALGOS_LCC_H_
+
+#include "core/app.h"
+#include "graph/csr.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+struct LccAttr {
+  double lcc;
+  uint64_t degree;
+};
+
+inline KWalkApp<LccAttr, uint64_t> MakeLccApp(const PartitionedGraph* pg) {
+  KWalkApp<LccAttr, uint64_t> app;
+  app.k = 2;
+  app.mode = AdjMode::kFull;
+  app.apply_mode = ApplyMode::kUpdatedOnly;
+  app.max_supersteps = 1;
+
+  app.init = [pg](VertexId vid, LccAttr& attr) {
+    attr.lcc = 0.0;
+    attr.degree = pg->out_degree[vid];  // undirected graph: out == total
+    return true;
+  };
+
+  app.adj_scatter[1] = [](ScatterContext<LccAttr, uint64_t>& ctx, VertexId u,
+                          const LccAttr&, std::span<const VertexId> adj) {
+    for (VertexId v : adj) {
+      if (ctx.CheckPartialOrder(u, v)) ctx.Mark(v);
+    }
+  };
+
+  app.adj_scatter[2] = [](ScatterContext<LccAttr, uint64_t>& ctx, VertexId v,
+                          const LccAttr&, std::span<const VertexId> adj) {
+    for (VertexId u : ctx.GetParentList(v)) {
+      ForEachCommonAbove(ctx.GetAdjList(u), adj, v, [&](VertexId w) {
+        ctx.Update(u, 1);
+        ctx.Update(v, 1);
+        ctx.Update(w, 1);
+        ctx.AggregateAdd(1);
+      });
+    }
+  };
+
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) { acc += in; };
+  app.vertex_apply = [](VertexId, LccAttr& attr, const uint64_t* update) {
+    const uint64_t triangles = update != nullptr ? *update : 0;
+    attr.lcc = attr.degree >= 2
+                   ? 2.0 * static_cast<double>(triangles) /
+                         (static_cast<double>(attr.degree) *
+                          static_cast<double>(attr.degree - 1))
+                   : 0.0;
+    return false;
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_LCC_H_

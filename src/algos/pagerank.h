@@ -1,0 +1,57 @@
+// PageRank as a one-walk neighborhood query (paper §2.2 and Fig 18).
+//
+// Partial adjacency list mode, k = 1: the scatter contributes
+// pr/out_degree over every out-edge, the gather sums contributions, the
+// apply recomputes pr = 0.15 + 0.85 * sum. Vertices with zero out-degree
+// contribute nothing (matching the paper's example program).
+
+#ifndef TGPP_ALGOS_PAGERANK_H_
+#define TGPP_ALGOS_PAGERANK_H_
+
+#include "core/app.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+struct PageRankAttr {
+  double pr;
+  uint64_t out_degree;
+};
+
+// Update value: the summed rank contribution.
+using PageRankUpdate = double;
+
+inline KWalkApp<PageRankAttr, PageRankUpdate> MakePageRankApp(
+    const PartitionedGraph* pg, int iterations) {
+  KWalkApp<PageRankAttr, PageRankUpdate> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kAllVertices;
+  app.max_supersteps = iterations;
+
+  app.init = [pg](VertexId vid, PageRankAttr& attr) {
+    attr.pr = 1.0;
+    attr.out_degree = pg->out_degree[vid];
+    return true;  // every vertex is active every iteration
+  };
+  app.adj_scatter[1] = [](ScatterContext<PageRankAttr, PageRankUpdate>& ctx,
+                          VertexId u, const PageRankAttr& attr,
+                          std::span<const VertexId> adj) {
+    if (attr.out_degree == 0) return;
+    const double contribution = attr.pr / attr.out_degree;
+    for (VertexId v : adj) ctx.Update(v, contribution);
+  };
+  app.vertex_gather = [](PageRankUpdate& acc, const PageRankUpdate& in) {
+    acc += in;
+  };
+  app.vertex_apply = [](VertexId, PageRankAttr& attr,
+                        const PageRankUpdate* update) {
+    attr.pr = 0.15 + 0.85 * (update != nullptr ? *update : 0.0);
+    return true;
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_PAGERANK_H_

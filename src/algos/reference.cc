@@ -1,0 +1,144 @@
+#include "algos/reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "graph/csr.h"
+
+namespace tgpp {
+
+std::vector<double> ReferencePageRank(const EdgeList& graph,
+                                      int iterations) {
+  const Csr csr = Csr::Build(graph);
+  const uint64_t n = graph.num_vertices;
+  std::vector<double> pr(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId u = 0; u < n; ++u) {
+      const auto adj = csr.Neighbors(u);
+      if (adj.empty()) continue;
+      const double contribution = pr[u] / static_cast<double>(adj.size());
+      for (VertexId v : adj) next[v] += contribution;
+    }
+    for (VertexId v = 0; v < n; ++v) pr[v] = 0.15 + 0.85 * next[v];
+  }
+  return pr;
+}
+
+std::vector<uint64_t> ReferenceSssp(const EdgeList& graph, VertexId source) {
+  const Csr csr = Csr::Build(graph);
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> dist(graph.num_vertices, kInf);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : csr.Neighbors(u)) {
+      if (dist[u] + 1 < dist[v]) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> ReferenceWcc(const EdgeList& graph) {
+  const Csr csr = Csr::Build(graph);
+  const uint64_t n = graph.num_vertices;
+  constexpr uint64_t kUnset = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> label(n, kUnset);
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (label[root] != kUnset) continue;
+    label[root] = root;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId v : csr.Neighbors(u)) {
+        if (label[v] == kUnset) {
+          label[v] = root;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<uint64_t> ReferencePerVertexTriangles(const EdgeList& graph) {
+  const Csr csr = Csr::Build(graph, /*sort_neighbors=*/true);
+  const uint64_t n = graph.num_vertices;
+  std::vector<uint64_t> triangles(n, 0);
+  std::vector<VertexId> common;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : csr.Neighbors(u)) {
+      if (v <= u) continue;
+      common.clear();
+      SortedIntersection(csr.Neighbors(u), csr.Neighbors(v), &common);
+      for (VertexId w : common) {
+        if (w <= v) continue;
+        ++triangles[u];
+        ++triangles[v];
+        ++triangles[w];
+      }
+    }
+  }
+  return triangles;
+}
+
+uint64_t ReferenceTriangleCount(const EdgeList& graph) {
+  const std::vector<uint64_t> per_vertex =
+      ReferencePerVertexTriangles(graph);
+  uint64_t total = 0;
+  for (uint64_t t : per_vertex) total += t;
+  return total / 3;
+}
+
+uint64_t ReferenceFourCliqueCount(const EdgeList& graph) {
+  const Csr csr = Csr::Build(graph, /*sort_neighbors=*/true);
+  uint64_t count = 0;
+  std::vector<VertexId> common;
+  for (VertexId u = 0; u < graph.num_vertices; ++u) {
+    for (VertexId v : csr.Neighbors(u)) {
+      if (v <= u) continue;
+      common.clear();
+      SortedIntersection(csr.Neighbors(u), csr.Neighbors(v), &common);
+      // Every pair (w < x) of common neighbors above v that is itself an
+      // edge closes a 4-clique u < v < w < x.
+      for (size_t i = 0; i < common.size(); ++i) {
+        const VertexId w = common[i];
+        if (w <= v) continue;
+        for (size_t j = i + 1; j < common.size(); ++j) {
+          const VertexId x = common[j];
+          const auto w_adj = csr.Neighbors(w);
+          if (std::binary_search(w_adj.begin(), w_adj.end(), x)) ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<double> ReferenceLcc(const EdgeList& graph) {
+  const std::vector<uint64_t> triangles =
+      ReferencePerVertexTriangles(graph);
+  const Csr csr = Csr::Build(graph);
+  std::vector<double> lcc(graph.num_vertices, 0.0);
+  for (VertexId v = 0; v < graph.num_vertices; ++v) {
+    const uint64_t degree = csr.Degree(v);
+    if (degree >= 2) {
+      lcc[v] = 2.0 * static_cast<double>(triangles[v]) /
+               (static_cast<double>(degree) *
+                static_cast<double>(degree - 1));
+    }
+  }
+  return lcc;
+}
+
+}  // namespace tgpp

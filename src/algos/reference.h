@@ -1,0 +1,42 @@
+// Single-threaded in-memory reference implementations of the five queries.
+//
+// These are the ground truth that unit/property tests validate the NWSM
+// engine and every baseline system against. They operate in the ORIGINAL
+// vertex-ID space.
+
+#ifndef TGPP_ALGOS_REFERENCE_H_
+#define TGPP_ALGOS_REFERENCE_H_
+
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace tgpp {
+
+// PageRank with damping 0.85, initial rank 1.0, `iterations` synchronous
+// iterations; rank = 0.15 + 0.85 * sum(in-contributions).
+std::vector<double> ReferencePageRank(const EdgeList& graph, int iterations);
+
+// Unit-weight shortest path distances from `source`
+// (kInfiniteDistance == UINT64_MAX when unreachable).
+std::vector<uint64_t> ReferenceSssp(const EdgeList& graph, VertexId source);
+
+// Connected-component labels: label(v) = min vertex id in v's weakly
+// connected component. Expects an undirected edge list.
+std::vector<uint64_t> ReferenceWcc(const EdgeList& graph);
+
+// Triangle count of an undirected, deduplicated, loop-free graph.
+uint64_t ReferenceTriangleCount(const EdgeList& graph);
+
+// Per-vertex triangle counts (same preconditions).
+std::vector<uint64_t> ReferencePerVertexTriangles(const EdgeList& graph);
+
+// Local clustering coefficients from per-vertex triangle counts.
+std::vector<double> ReferenceLcc(const EdgeList& graph);
+
+// 4-clique count of an undirected, deduplicated, loop-free graph.
+uint64_t ReferenceFourCliqueCount(const EdgeList& graph);
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_REFERENCE_H_

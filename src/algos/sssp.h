@@ -1,0 +1,60 @@
+// Single-source shortest paths (unit edge weights) as a one-walk query.
+//
+// Frontier-driven: only vertices whose distance improved are active in the
+// next superstep; the engine's chunk-level frontier skipping means quiet
+// regions of the graph cost no page reads (paper §5.3, group1 analysis).
+
+#ifndef TGPP_ALGOS_SSSP_H_
+#define TGPP_ALGOS_SSSP_H_
+
+#include <limits>
+
+#include "core/app.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+struct SsspAttr {
+  uint64_t dist;
+};
+
+inline constexpr uint64_t kInfiniteDistance =
+    std::numeric_limits<uint64_t>::max();
+
+// `source_old_id` is in the ORIGINAL (pre-renumbering) ID space.
+inline KWalkApp<SsspAttr, uint64_t> MakeSsspApp(const PartitionedGraph* pg,
+                                                VertexId source_old_id) {
+  const VertexId source = pg->old_to_new[source_old_id];
+  KWalkApp<SsspAttr, uint64_t> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kUpdatedOnly;
+  app.max_supersteps = static_cast<int>(pg->num_vertices) + 1;
+
+  app.init = [source](VertexId vid, SsspAttr& attr) {
+    attr.dist = (vid == source) ? 0 : kInfiniteDistance;
+    return vid == source;
+  };
+  app.adj_scatter[1] = [](ScatterContext<SsspAttr, uint64_t>& ctx, VertexId,
+                          const SsspAttr& attr,
+                          std::span<const VertexId> adj) {
+    if (attr.dist == kInfiniteDistance) return;
+    const uint64_t candidate = attr.dist + 1;
+    for (VertexId v : adj) ctx.Update(v, candidate);
+  };
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) {
+    if (in < acc) acc = in;
+  };
+  app.vertex_apply = [](VertexId, SsspAttr& attr, const uint64_t* update) {
+    if (update != nullptr && *update < attr.dist) {
+      attr.dist = *update;
+      return true;
+    }
+    return false;
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_SSSP_H_

@@ -1,0 +1,60 @@
+// Triangle counting as a two-walk neighborhood query (paper §2.2, Fig 19).
+//
+// Full adjacency list mode, k = 2. Level 1 (EnumOneHopNbr) marks each
+// neighbor v of u with u < v — the degree-order partial-order constraint
+// that enumerates every triangle exactly once and keeps intersections
+// short under BBP's descending-degree renumbering. Level 2
+// (FindTriangles) intersects N(u) (still resident in the level-1 window,
+// reached through GetParentList/GetAdjList) with N(v), counting common
+// neighbors w with v < w. Expects an undirected, deduplicated graph.
+
+#ifndef TGPP_ALGOS_TRIANGLE_COUNTING_H_
+#define TGPP_ALGOS_TRIANGLE_COUNTING_H_
+
+#include "core/app.h"
+#include "graph/csr.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+struct TcAttr {
+  uint8_t unused;  // TC keeps no per-vertex state; the count is aggregated
+};
+
+inline KWalkApp<TcAttr, uint64_t> MakeTriangleCountingApp() {
+  KWalkApp<TcAttr, uint64_t> app;
+  app.k = 2;
+  app.mode = AdjMode::kFull;
+  app.apply_mode = ApplyMode::kUpdatedOnly;
+  app.max_supersteps = 1;
+
+  app.init = [](VertexId, TcAttr&) { return true; };
+
+  // Level 1: mark one-hop neighbors satisfying the partial order.
+  app.adj_scatter[1] = [](ScatterContext<TcAttr, uint64_t>& ctx, VertexId u,
+                          const TcAttr&, std::span<const VertexId> adj) {
+    for (VertexId v : adj) {
+      if (ctx.CheckPartialOrder(u, v)) ctx.Mark(v);
+    }
+  };
+
+  // Level 2: for each parent u of v, count common neighbors w with v < w.
+  app.adj_scatter[2] = [](ScatterContext<TcAttr, uint64_t>& ctx, VertexId v,
+                          const TcAttr&, std::span<const VertexId> adj) {
+    for (VertexId u : ctx.GetParentList(v)) {
+      const uint64_t triangles =
+          SortedIntersectionCountAbove(ctx.GetAdjList(u), adj, v);
+      if (triangles > 0) ctx.AggregateAdd(triangles);
+    }
+  };
+
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) { acc += in; };
+  app.vertex_apply = [](VertexId, TcAttr&, const uint64_t*) {
+    return false;
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_TRIANGLE_COUNTING_H_

@@ -1,0 +1,53 @@
+// Weakly connected components via minimum-label propagation.
+//
+// Expects the graph to contain both directions of every edge (run
+// MakeUndirected before loading), as is standard for WCC on directed
+// inputs.
+
+#ifndef TGPP_ALGOS_WCC_H_
+#define TGPP_ALGOS_WCC_H_
+
+#include "core/app.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+struct WccAttr {
+  uint64_t label;
+};
+
+inline KWalkApp<WccAttr, uint64_t> MakeWccApp(const PartitionedGraph* pg) {
+  KWalkApp<WccAttr, uint64_t> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kUpdatedOnly;
+  app.max_supersteps = static_cast<int>(pg->num_vertices) + 1;
+
+  // Labels are ORIGINAL vertex IDs so that component labels (and the
+  // propagation schedule) are independent of the partitioner's
+  // renumbering — each component converges to its minimum original ID.
+  app.init = [pg](VertexId vid, WccAttr& attr) {
+    attr.label = pg->new_to_old[vid];
+    return true;
+  };
+  app.adj_scatter[1] = [](ScatterContext<WccAttr, uint64_t>& ctx, VertexId,
+                          const WccAttr& attr,
+                          std::span<const VertexId> adj) {
+    for (VertexId v : adj) ctx.Update(v, attr.label);
+  };
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) {
+    if (in < acc) acc = in;
+  };
+  app.vertex_apply = [](VertexId, WccAttr& attr, const uint64_t* update) {
+    if (update != nullptr && *update < attr.label) {
+      attr.label = *update;
+      return true;
+    }
+    return false;
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_WCC_H_

@@ -1,0 +1,39 @@
+#include "baselines/baseline.h"
+
+#include "baselines/baseline_util.h"
+#include "core/codec.h"
+
+namespace tgpp::baseline_internal {
+
+Status AllreduceSum(Cluster* cluster, int m, std::span<uint64_t> values) {
+  Fabric* fabric = cluster->fabric();
+  std::vector<uint8_t> payload;
+  for (uint64_t v : values) AppendPod<uint64_t>(&payload, v);
+  fabric->Send(m, 0, kTagControl, std::move(payload));
+  if (m == 0) {
+    std::vector<uint64_t> totals(values.size(), 0);
+    for (int i = 0; i < cluster->num_machines(); ++i) {
+      Message msg;
+      if (!fabric->Recv(0, kTagControl, &msg)) {
+        return Status::Aborted("fabric shutdown during allreduce");
+      }
+      PodReader reader(msg.payload);
+      for (uint64_t& total : totals) total += reader.Read<uint64_t>();
+    }
+    std::vector<uint8_t> result;
+    for (uint64_t total : totals) AppendPod<uint64_t>(&result, total);
+    for (int i = 0; i < cluster->num_machines(); ++i) {
+      fabric->Send(0, i, kTagControl, result);
+    }
+  }
+  Message result;
+  if (!fabric->Recv(m, kTagControl, &result)) {
+    return Status::Aborted("fabric shutdown during allreduce");
+  }
+  PodReader reader(result.payload);
+  for (uint64_t& v : values) v = reader.Read<uint64_t>();
+  cluster->Barrier();
+  return Status::OK();
+}
+
+}  // namespace tgpp::baseline_internal

@@ -1,0 +1,121 @@
+// Baseline graph systems: faithful miniature reimplementations of the
+// paper's competitors, built on the same simulated cluster substrates
+// (fabric, disks, memory budgets) as TurboGraph++.
+//
+// What each baseline preserves from the original system is its *processing
+// model* — where the graph lives (memory vs disk), how messages flow and
+// where they are buffered, what gets charged against the per-machine
+// memory budget, and whether computation overlaps I/O:
+//
+//   Gemini-like      in-memory, chunked dense/sparse push-pull. Charges
+//                    both edge directions plus a partitioning-time blowup
+//                    (the paper observes Gemini crashing *during
+//                    partitioning* on large graphs). No TC API.
+//   Pregel+-like     in-memory vertex-centric message passing with
+//                    combiners. TC encodes neighborhoods into messages
+//                    (sum d_i^2 bytes) — the classic OOM of Fig 1(b).
+//   Chaos-like       external-memory edge streaming: re-reads the full
+//                    edge set every superstep and streams updates through
+//                    disk, with computation and I/O serialized.
+//   HybridGraph-like external-memory with block-wise message packs held
+//                    in memory (OOMs on TC like the original's
+//                    MessagePack; paper §5.4.1).
+//   GraphX-like      vertex-centric over immutable per-superstep copies
+//                    (RDD semantics): extra CPU + resident lineage charge,
+//                    spilling copies to disk under pressure.
+//   Giraph-like      out-of-core vertex-centric: partitions on disk,
+//                    messages always in memory (appendix A.5.2).
+//   PTE              triangle counting via hashed edge-bucket subproblems
+//                    (p buckets; every (i <= j <= k) triple re-reads and
+//                    re-ships buckets) — worst-case-optimal CPU, heavy
+//                    I/O, serialized phases.
+//
+// Every baseline runs its queries for real (answers are validated against
+// the references in tests); OOM outcomes come from MemoryBudget charges,
+// not hard-coded rules.
+
+#ifndef TGPP_BASELINES_BASELINE_H_
+#define TGPP_BASELINES_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "graph/edge_list.h"
+
+namespace tgpp {
+
+// How a system combines its per-resource times into an execution time —
+// the paper's own measurement model (§5.2.3: with full overlap, "the query
+// execution time is almost determined by the most bounded resource"; for
+// poor-overlap systems the resources serialize).
+enum class OverlapModel {
+  kFullOverlap,  // exec ~ max(cpu, disk, net)
+  kSerialized,   // exec ~ cpu + disk + net
+};
+
+struct BaselineResult {
+  Status status;          // OK / OutOfMemory / Timeout / NotSupported
+  int supersteps = 0;
+  double wall_seconds = 0;
+  uint64_t aggregate = 0;  // triangle count for TC
+};
+
+class BaselineSystem {
+ public:
+  explicit BaselineSystem(Cluster* cluster) : cluster_(cluster) {}
+  virtual ~BaselineSystem() = default;
+
+  virtual std::string name() const = 0;
+  virtual OverlapModel overlap_model() const = 0;
+
+  // Loads/partitions `graph` (counted as preprocessing). In-memory systems
+  // charge their resident structures here and may fail with kOutOfMemory.
+  virtual Status Load(const EdgeList& graph) = 0;
+
+  // Frees everything charged by Load.
+  virtual void Unload() = 0;
+
+  virtual BaselineResult RunPageRank(int iterations) {
+    return NotSupported("PageRank");
+  }
+  virtual BaselineResult RunSssp(VertexId source) {
+    return NotSupported("SSSP");
+  }
+  virtual BaselineResult RunWcc() { return NotSupported("WCC"); }
+  virtual BaselineResult RunTriangleCount() {
+    return NotSupported("TC");
+  }
+
+  // Final attribute vectors for validation (original ID space).
+  const std::vector<double>& pagerank() const { return pagerank_; }
+  const std::vector<uint64_t>& distances() const { return distances_; }
+  const std::vector<uint64_t>& labels() const { return labels_; }
+
+ protected:
+  BaselineResult NotSupported(const std::string& query) const {
+    BaselineResult result;
+    result.status =
+        Status::NotSupported(name() + " has no API for " + query);
+    return result;
+  }
+
+  Cluster* cluster_;
+  std::vector<double> pagerank_;
+  std::vector<uint64_t> distances_;
+  std::vector<uint64_t> labels_;
+};
+
+// Factory helpers.
+std::unique_ptr<BaselineSystem> MakeGeminiLike(Cluster* cluster);
+std::unique_ptr<BaselineSystem> MakePregelLike(Cluster* cluster);
+std::unique_ptr<BaselineSystem> MakeChaosLike(Cluster* cluster);
+std::unique_ptr<BaselineSystem> MakeHybridGraphLike(Cluster* cluster);
+std::unique_ptr<BaselineSystem> MakeGraphxLike(Cluster* cluster);
+std::unique_ptr<BaselineSystem> MakeGiraphLike(Cluster* cluster);
+std::unique_ptr<BaselineSystem> MakePte(Cluster* cluster);
+
+}  // namespace tgpp
+
+#endif  // TGPP_BASELINES_BASELINE_H_

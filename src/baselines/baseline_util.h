@@ -1,0 +1,90 @@
+// Shared helpers for the baseline systems.
+
+#ifndef TGPP_BASELINES_BASELINE_UTIL_H_
+#define TGPP_BASELINES_BASELINE_UTIL_H_
+
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "graph/types.h"
+#include "util/memory_budget.h"
+#include "util/rng.h"
+
+namespace tgpp::baseline_internal {
+
+// Hash placement used by the vertex-centric and streaming baselines.
+// Real systems hash vertex IDs into uniformly balanced partitions; a
+// plain `v % p` is NOT uniform on RMAT IDs (their bits are skew-biased),
+// so placement goes through a seeded random permutation — the balance a
+// good hash achieves, with dense per-machine local indices.
+class HashPlacement {
+ public:
+  HashPlacement() = default;
+
+  void Init(uint64_t n, int p, uint64_t seed = 0x5eed) {
+    p_ = p;
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), 0);
+    Xoshiro256 rng(seed);
+    for (uint64_t i = n; i > 1; --i) {
+      std::swap(perm_[i - 1], perm_[rng.NextBounded(i)]);
+    }
+    inverse_.resize(n);
+    for (VertexId v = 0; v < n; ++v) inverse_[perm_[v]] = v;
+  }
+
+  int Owner(VertexId v) const { return static_cast<int>(perm_[v] % p_); }
+  uint64_t LocalIndex(VertexId v) const { return perm_[v] / p_; }
+  VertexId GlobalId(uint64_t local, int m) const {
+    return inverse_[local * p_ + m];
+  }
+  uint64_t LocalCount(int m) const {
+    const uint64_t n = perm_.size();
+    return n / p_ + (static_cast<uint64_t>(m) < n % p_ ? 1 : 0);
+  }
+
+ private:
+  int p_ = 1;
+  std::vector<VertexId> perm_;
+  std::vector<VertexId> inverse_;
+};
+
+// Element-wise sum-allreduce across machines (fabric control plane).
+// Every machine must call it with the same number of values; on return,
+// `values` holds the cluster-wide sums.
+Status AllreduceSum(Cluster* cluster, int m, std::span<uint64_t> values);
+
+// Tracks memory charges and releases them on destruction.
+class ChargeTracker {
+ public:
+  explicit ChargeTracker(MemoryBudget* budget) : budget_(budget) {}
+  ~ChargeTracker() { ReleaseAll(); }
+
+  ChargeTracker(const ChargeTracker&) = delete;
+  ChargeTracker& operator=(const ChargeTracker&) = delete;
+
+  Status Charge(uint64_t bytes) {
+    Status s = budget_->TryCharge(bytes);
+    if (s.ok()) total_ += bytes;
+    return s;
+  }
+  void Release(uint64_t bytes) {
+    budget_->Release(bytes);
+    total_ -= bytes;
+  }
+  void ReleaseAll() {
+    if (total_ > 0) budget_->Release(total_);
+    total_ = 0;
+  }
+  uint64_t total() const { return total_; }
+
+ private:
+  MemoryBudget* budget_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace tgpp::baseline_internal
+
+#endif  // TGPP_BASELINES_BASELINE_UTIL_H_

@@ -1,0 +1,369 @@
+// Chaos-like baseline: scale-out external-memory edge streaming (Roy et
+// al., SOSP'15; the X-Stream model distributed over the cluster).
+//
+// Fidelity notes:
+//  - Only small vertex state is memory-resident; the edge set lives on
+//    disk and is re-streamed in its entirety every superstep (no index,
+//    no selective scheduling — the paper's "Chaos ... [has] to access
+//    almost all vertices/edges" on SSSP/WCC).
+//  - Updates are *streamed through disk*: scatter appends update records
+//    to per-target files, the shuffle reads them back and ships them, the
+//    receiver lands them on disk again, and the gather re-reads them —
+//    Chaos "relies heavily on disk and incurs excessively many I/Os for
+//    messaging" (paper §1).
+//  - Computation and I/O serialize (OverlapModel::kSerialized): the paper
+//    observes Chaos frequently blocked on I/O with low utilization.
+//  - No triangle-counting API.
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "baselines/baseline.h"
+#include "baselines/baseline_util.h"
+#include "core/codec.h"
+#include "util/timer.h"
+
+namespace tgpp {
+namespace {
+
+using baseline_internal::AllreduceSum;
+using baseline_internal::ChargeTracker;
+
+constexpr uint32_t kTagShuffle = 11;
+constexpr const char* kEdgeFile = "chaos_edges.bin";
+constexpr const char* kInboxFile = "chaos_inbox.bin";
+constexpr uint64_t kStreamEdges = 64 * 1024;  // 1 MB of Edge records
+
+class ChaosLikeSystem : public BaselineSystem {
+ public:
+  explicit ChaosLikeSystem(Cluster* cluster) : BaselineSystem(cluster) {}
+  ~ChaosLikeSystem() override { Unload(); }
+
+  std::string name() const override { return "Chaos"; }
+  OverlapModel overlap_model() const override {
+    return OverlapModel::kSerialized;
+  }
+
+  Status Load(const EdgeList& graph) override {
+    Unload();
+    num_vertices_ = graph.num_vertices;
+    const int p = cluster_->num_machines();
+    // Plain contiguous ranges of equal vertex count (no degree balancing —
+    // Chaos does not optimize placement).
+    per_machine_ = (num_vertices_ + p - 1) / p;
+    edges_per_machine_.assign(p, 0);
+
+    std::vector<std::vector<Edge>> buckets(p);
+    for (const Edge& e : graph.edges) buckets[OwnerOf(e.src)].push_back(e);
+
+    degrees_.assign(p, {});
+    charged_.assign(p, 0);
+    Status status = cluster_->RunOnAll([&](int m) -> Status {
+      Machine* machine = cluster_->machine(m);
+      const VertexRange range = Range(m);
+      std::vector<Edge>& edges = buckets[m];
+      edges_per_machine_[m] = edges.size();
+
+      // Vertex state (values + degrees) is memory-resident.
+      degrees_[m].assign(range.size(), 0);
+      for (const Edge& e : edges) ++degrees_[m][e.src - range.begin];
+      TGPP_RETURN_IF_ERROR(
+          machine->budget()->TryCharge(range.size() * 16));
+      charged_[m] = range.size() * 16;
+
+      TGPP_RETURN_IF_ERROR(machine->disk()->Truncate(kEdgeFile, 0));
+      if (!edges.empty()) {
+        TGPP_RETURN_IF_ERROR(machine->disk()->Write(
+            kEdgeFile, 0, edges.data(), edges.size() * sizeof(Edge)));
+      }
+      return Status::OK();
+    });
+    if (!status.ok()) {
+      Unload();
+      return status;
+    }
+    loaded_ = true;
+    return Status::OK();
+  }
+
+  void Unload() override {
+    for (size_t m = 0; m < charged_.size(); ++m) {
+      if (charged_[m] > 0) {
+        cluster_->machine(m)->budget()->Release(charged_[m]);
+      }
+    }
+    charged_.clear();
+    degrees_.clear();
+    loaded_ = false;
+  }
+
+  BaselineResult RunPageRank(int iterations) override {
+    std::vector<double> init(num_vertices_, 1.0);
+    return RunStreaming<double>(
+        iterations, /*converging=*/false, init,
+        [this](int m, VertexId v, double pr) {
+          const uint64_t d = degrees_[m][v - Range(m).begin];
+          return d > 0 ? pr / static_cast<double>(d) : 0.0;
+        },
+        [](double& acc, double in) { acc += in; },
+        [](double& pr, const double* in) {
+          pr = 0.15 + 0.85 * (in != nullptr ? *in : 0.0);
+          return true;
+        },
+        &pagerank_);
+  }
+
+  BaselineResult RunSssp(VertexId source) override {
+    constexpr uint64_t kInf = ~0ull;
+    std::vector<uint64_t> init(num_vertices_, kInf);
+    init[source] = 0;
+    return RunStreaming<uint64_t>(
+        static_cast<int>(num_vertices_) + 1, /*converging=*/true, init,
+        [](int, VertexId, uint64_t dist) {
+          return dist == kInf ? kInf : dist + 1;
+        },
+        [](uint64_t& acc, uint64_t in) { acc = std::min(acc, in); },
+        [](uint64_t& dist, const uint64_t* in) {
+          if (in != nullptr && *in < dist) {
+            dist = *in;
+            return true;
+          }
+          return false;
+        },
+        &distances_);
+  }
+
+  BaselineResult RunWcc() override {
+    std::vector<uint64_t> init(num_vertices_);
+    for (VertexId v = 0; v < num_vertices_; ++v) init[v] = v;
+    return RunStreaming<uint64_t>(
+        static_cast<int>(num_vertices_) + 1, /*converging=*/true, init,
+        [](int, VertexId, uint64_t label) { return label; },
+        [](uint64_t& acc, uint64_t in) { acc = std::min(acc, in); },
+        [](uint64_t& label, const uint64_t* in) {
+          if (in != nullptr && *in < label) {
+            label = *in;
+            return true;
+          }
+          return false;
+        },
+        &labels_);
+  }
+
+ private:
+  VertexRange Range(int m) const {
+    const VertexId begin =
+        std::min<VertexId>(num_vertices_, m * per_machine_);
+    const VertexId end =
+        std::min<VertexId>(num_vertices_, (m + 1) * per_machine_);
+    return VertexRange{begin, end};
+  }
+  int OwnerOf(VertexId v) const {
+    return static_cast<int>(v / per_machine_);
+  }
+
+  template <typename T, typename ScatterVal, typename CombineFn,
+            typename ApplyFn>
+  BaselineResult RunStreaming(int max_supersteps, bool converging,
+                              const std::vector<T>& init,
+                              const ScatterVal& scatter_val,
+                              const CombineFn& combine, const ApplyFn& apply,
+                              std::vector<T>* final_values) {
+    BaselineResult result;
+    if (!loaded_) {
+      result.status = Status::Internal("not loaded");
+      return result;
+    }
+    WallTimer timer;
+    const int p = cluster_->num_machines();
+    std::vector<std::vector<T>> values(p);
+    std::atomic<int> supersteps{0};
+    std::mutex mu;
+    Status failure;
+
+    Status status = cluster_->RunOnAll([&](int m) -> Status {
+      Machine* machine = cluster_->machine(m);
+      const VertexRange range = Range(m);
+      const uint64_t n_local = range.size();
+      ChargeTracker charges(machine->budget());
+      Status local_fail = charges.Charge(n_local * (2 * sizeof(T) + 2));
+      std::vector<uint8_t> active(n_local, 1);
+      std::vector<T> incoming(n_local, T{});
+      std::vector<uint8_t> has_incoming(n_local, 0);
+      if (local_fail.ok()) {
+        values[m].resize(n_local);
+        for (uint64_t v = 0; v < n_local; ++v) {
+          values[m][v] = init[range.begin + v];
+        }
+      }
+
+      std::vector<Edge> stream(kStreamEdges);
+      for (int step = 0; step < max_supersteps; ++step) {
+        // Scatter: stream the full edge file; updates go to per-target
+        // files on local disk (the Chaos messaging pattern).
+        std::vector<std::string> update_files(p);
+        for (int dst = 0; dst < p; ++dst) {
+          update_files[dst] = "chaos_upd_" + std::to_string(dst) + ".bin";
+          Status s = machine->disk()->Truncate(update_files[dst], 0);
+          if (!s.ok() && local_fail.ok()) local_fail = s;
+        }
+        if (local_fail.ok()) {
+          ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+          std::vector<std::vector<uint8_t>> write_buf(p);
+          const uint64_t total_edges = edges_per_machine_[m];
+          uint64_t pos = 0;
+          while (pos < total_edges && local_fail.ok()) {
+            const uint64_t n =
+                std::min<uint64_t>(kStreamEdges, total_edges - pos);
+            Status s =
+                machine->disk()->Read(kEdgeFile, pos * sizeof(Edge),
+                                      stream.data(), n * sizeof(Edge));
+            if (!s.ok()) {
+              local_fail = s;
+              break;
+            }
+            for (uint64_t e = 0; e < n; ++e) {
+              const Edge& edge = stream[e];
+              const uint64_t src_idx = edge.src - range.begin;
+              if (!active[src_idx]) continue;
+              const T val = scatter_val(m, edge.src, values[m][src_idx]);
+              std::vector<uint8_t>& buf = write_buf[OwnerOf(edge.dst)];
+              AppendPod<VertexId>(&buf, edge.dst);
+              AppendPod<T>(&buf, val);
+              if (buf.size() >= (1u << 20)) {
+                uint64_t off;
+                Status ws = machine->disk()->Append(
+                    update_files[OwnerOf(edge.dst)], buf.data(), buf.size(),
+                    &off);
+                if (!ws.ok()) local_fail = ws;
+                buf.clear();
+              }
+            }
+            pos += n;
+          }
+          for (int dst = 0; dst < p && local_fail.ok(); ++dst) {
+            if (write_buf[dst].empty()) continue;
+            uint64_t off;
+            Status ws = machine->disk()->Append(update_files[dst],
+                                                write_buf[dst].data(),
+                                                write_buf[dst].size(), &off);
+            if (!ws.ok()) local_fail = ws;
+          }
+        }
+
+        // Shuffle: read each update file back and ship it.
+        for (int dst = 0; dst < p; ++dst) {
+          std::vector<uint8_t> payload;
+          if (local_fail.ok()) {
+            Result<uint64_t> size =
+                machine->disk()->FileSize(update_files[dst]);
+            if (size.ok() && *size > 0) {
+              payload.resize(*size);
+              Status s = machine->disk()->Read(update_files[dst], 0,
+                                               payload.data(), *size);
+              if (!s.ok()) local_fail = s;
+            }
+          }
+          cluster_->fabric()->Send(m, dst, kTagShuffle,
+                                   std::move(payload));
+        }
+
+        // Land incoming updates on disk, then gather from disk.
+        {
+          Status s = machine->disk()->Truncate(kInboxFile, 0);
+          if (!s.ok() && local_fail.ok()) local_fail = s;
+        }
+        uint64_t inbox_bytes = 0;
+        for (int src = 0; src < p; ++src) {
+          Message msg;
+          if (!cluster_->fabric()->Recv(m, kTagShuffle, &msg)) {
+            return Status::Aborted("fabric shutdown");
+          }
+          if (!local_fail.ok() || msg.payload.empty()) continue;
+          uint64_t off;
+          Status s = machine->disk()->Append(kInboxFile, msg.payload.data(),
+                                             msg.payload.size(), &off);
+          if (!s.ok()) local_fail = s;
+          inbox_bytes += msg.payload.size();
+        }
+        uint64_t next_active = 0;
+        if (local_fail.ok()) {
+          ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
+          std::fill(has_incoming.begin(), has_incoming.end(), 0);
+          std::vector<uint8_t> data(inbox_bytes);
+          if (inbox_bytes > 0) {
+            Status s =
+                machine->disk()->Read(kInboxFile, 0, data.data(),
+                                      inbox_bytes);
+            if (!s.ok()) local_fail = s;
+          }
+          if (local_fail.ok()) {
+            PodReader reader(data);
+            while (!reader.AtEnd()) {
+              const VertexId w = reader.Read<VertexId>();
+              const T val = reader.Read<T>();
+              const uint64_t idx = w - range.begin;
+              if (has_incoming[idx]) {
+                combine(incoming[idx], val);
+              } else {
+                incoming[idx] = val;
+                has_incoming[idx] = 1;
+              }
+            }
+            for (uint64_t v = 0; v < n_local; ++v) {
+              const T* in = has_incoming[v] ? &incoming[v] : nullptr;
+              const bool act = apply(values[m][v], in);
+              active[v] = (!converging || act) ? 1 : 0;
+              if (active[v]) ++next_active;
+            }
+          }
+        }
+        uint64_t reduce[2] = {next_active, local_fail.ok() ? 0u : 1u};
+        TGPP_RETURN_IF_ERROR(AllreduceSum(cluster_, m, reduce));
+        if (m == 0) supersteps.fetch_add(1);
+        if (reduce[1] > 0) break;
+        if (converging && reduce[0] == 0) break;
+      }
+      if (!local_fail.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (failure.ok()) failure = local_fail;
+      }
+      return Status::OK();
+    });
+    if (!status.ok()) {
+      result.status = status;
+      return result;
+    }
+    if (!failure.ok()) {
+      result.status = failure;
+      return result;
+    }
+    result.supersteps = supersteps.load();
+    result.wall_seconds = timer.Seconds();
+    if (final_values != nullptr) {
+      final_values->assign(num_vertices_, T{});
+      for (int m = 0; m < p; ++m) {
+        const VertexRange range = Range(m);
+        std::copy(values[m].begin(), values[m].end(),
+                  final_values->begin() + range.begin);
+      }
+    }
+    return result;
+  }
+
+  uint64_t num_vertices_ = 0;
+  uint64_t per_machine_ = 1;
+  std::vector<uint64_t> edges_per_machine_;
+  std::vector<std::vector<uint64_t>> degrees_;
+  std::vector<uint64_t> charged_;
+  bool loaded_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<BaselineSystem> MakeChaosLike(Cluster* cluster) {
+  return std::make_unique<ChaosLikeSystem>(cluster);
+}
+
+}  // namespace tgpp

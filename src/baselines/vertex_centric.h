@@ -1,0 +1,107 @@
+// Vertex-centric message-passing baseline family: Pregel+-like,
+// GraphX-like, and out-of-core Giraph-like are instances of this engine
+// with different storage/charging options (see baseline.h for the fidelity
+// argument).
+//
+// Processing model: hash partitioning (owner(v) = v mod p, the Pregel/
+// Giraph default), superstep = compute -> message exchange -> apply, with
+// receiver-side buffering charged against the machine memory budget.
+// Triangle counting uses the neighborhood-encoding workaround the paper
+// describes (§1): each vertex ships (a suffix of) its adjacency list to
+// its neighbors, so buffered message volume grows like sum(d_i^2).
+
+#ifndef TGPP_BASELINES_VERTEX_CENTRIC_H_
+#define TGPP_BASELINES_VERTEX_CENTRIC_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/baseline_util.h"
+
+namespace tgpp {
+
+struct VertexCentricOptions {
+  std::string name = "Pregel+";
+  OverlapModel overlap = OverlapModel::kFullOverlap;
+
+  // Giraph-like/out-of-core: adjacency lives on disk and is streamed each
+  // superstep instead of being memory-resident.
+  bool adjacency_on_disk = false;
+
+  // HybridGraph-like: outgoing message blocks are batched through disk
+  // instead of held resident (the hybrid pull/push switching). Giraph
+  // keeps messages in memory even out-of-core — its OOM cause.
+  bool messages_on_disk = false;
+
+  // Multiplier on resident graph bytes charged at Load (GraphX's RDD
+  // lineage/cache overhead; 1.0 = just the graph).
+  double resident_factor = 1.0;
+
+  // Transient charge at Load time (partitioning/shuffle buffers).
+  double load_transient_factor = 1.0;
+
+  // GraphX-like: fraction of the graph copied every superstep (immutable
+  // RDD semantics). The copy is real work (memcpy) and is charged
+  // transiently; when it does not fit it is spilled through disk.
+  double per_superstep_copy = 0.0;
+
+  bool supports_tc = true;
+};
+
+class VertexCentricSystem : public BaselineSystem {
+ public:
+  VertexCentricSystem(Cluster* cluster, VertexCentricOptions options)
+      : BaselineSystem(cluster), options_(std::move(options)) {}
+  ~VertexCentricSystem() override { Unload(); }
+
+  std::string name() const override { return options_.name; }
+  OverlapModel overlap_model() const override { return options_.overlap; }
+
+  Status Load(const EdgeList& graph) override;
+  void Unload() override;
+
+  BaselineResult RunPageRank(int iterations) override;
+  BaselineResult RunSssp(VertexId source) override;
+  BaselineResult RunWcc() override;
+  BaselineResult RunTriangleCount() override;
+
+ private:
+  struct MachineGraph {
+    uint64_t num_local = 0;          // local vertices (v mod p == m)
+    std::vector<uint64_t> offsets;   // CSR offsets over local vertices
+    std::vector<VertexId> neighbors; // global IDs (memory mode)
+    uint64_t charged_bytes = 0;      // released at Unload
+    uint64_t adj_bytes = 0;          // neighbor array bytes
+  };
+
+  // Generic label-propagation superstep driver used by PR/SSSP/WCC: values
+  // are doubles (PR) or uint64s (SSSP/WCC) stored in per-machine arrays.
+  template <typename T, typename ScatterVal, typename CombineFn,
+            typename ApplyFn>
+  BaselineResult RunPropagation(int max_supersteps, bool all_active_always,
+                                const std::vector<T>& init,
+                                const ScatterVal& scatter_val,
+                                const CombineFn& combine,
+                                const ApplyFn& apply,
+                                std::vector<T>* final_values);
+
+  // Streams local adjacency either from memory or from the per-machine
+  // disk file, invoking fn(local_index, neighbors).
+  Status ForEachLocalAdjacency(
+      int m, const std::function<void(uint64_t, std::span<const VertexId>)>&
+                 fn);
+
+  // Charges the per-superstep RDD copy (GraphX); spills through disk when
+  // it does not fit in memory.
+  Status ChargeSuperstepCopy(int m);
+
+  VertexCentricOptions options_;
+  uint64_t num_vertices_ = 0;
+  baseline_internal::HashPlacement placement_;
+  std::vector<MachineGraph> machines_;
+  bool loaded_ = false;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_BASELINES_VERTEX_CENTRIC_H_

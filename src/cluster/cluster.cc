@@ -1,0 +1,94 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace tgpp {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      fabric_(config.num_machines, config.net_profile),
+      barrier_(config.num_machines) {
+  TGPP_CHECK(config.num_machines > 0);
+  machines_.reserve(config.num_machines);
+  for (int i = 0; i < config.num_machines; ++i) {
+    MachineConfig mc;
+    mc.id = i;
+    mc.num_worker_threads = config.threads_per_machine;
+    mc.num_io_threads = config.io_threads_per_machine;
+    mc.numa_nodes = config.numa_nodes_per_machine;
+    mc.memory_budget_bytes = config.memory_budget_bytes;
+    mc.buffer_pool_frames = config.buffer_pool_frames;
+    mc.disk_profile = config.disk_profile;
+    mc.storage_dir = config.root_dir + "/m" + std::to_string(i);
+    machines_.push_back(std::make_unique<Machine>(mc));
+  }
+}
+
+Status Cluster::RunOnAll(const std::function<Status(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(machines_.size());
+  std::mutex mu;
+  Status first_error;
+  for (int i = 0; i < num_machines(); ++i) {
+    threads.emplace_back([&, i] {
+      Status s = fn(i);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = s;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return first_error;
+}
+
+void Cluster::Barrier() { barrier_.arrive_and_wait(); }
+
+ClusterSnapshot Cluster::Snapshot() const {
+  ClusterSnapshot snap;
+  for (const auto& m : machines_) {
+    const double machine_cpu = m->metrics()->TotalCpuSeconds();
+    const uint64_t machine_disk =
+        m->disk()->bytes_read() + m->disk()->bytes_written();
+    snap.cpu_seconds += machine_cpu;
+    snap.enumeration_cpu_seconds +=
+        1e-9 * static_cast<double>(m->metrics()->enumeration_cpu_nanos);
+    snap.disk_bytes += machine_disk;
+    snap.max_machine_cpu_seconds =
+        std::max(snap.max_machine_cpu_seconds, machine_cpu);
+    snap.max_machine_disk_seconds = std::max(
+        snap.max_machine_disk_seconds,
+        static_cast<double>(machine_disk) /
+            config_.disk_profile.bandwidth_bytes_per_sec);
+  }
+  snap.net_bytes = fabric_.bytes_sent();
+  snap.disk_io_seconds =
+      static_cast<double>(snap.disk_bytes) / AggregateDiskBandwidth();
+  snap.net_io_seconds =
+      static_cast<double>(snap.net_bytes) / AggregateNetBandwidth();
+  return snap;
+}
+
+void Cluster::ResetCountersAndCaches() {
+  ResetCounters();
+  for (auto& m : machines_) {
+    m->buffer_pool()->DropAll();
+    m->budget()->ResetUsage();
+  }
+  fabric_.Reset();
+}
+
+void Cluster::ResetCounters() {
+  for (auto& m : machines_) {
+    m->disk()->ResetCounters();
+    m->buffer_pool()->ResetCounters();
+    m->metrics()->Reset();
+  }
+  fabric_.ResetCounters();
+}
+
+}  // namespace tgpp

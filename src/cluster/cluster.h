@@ -1,0 +1,84 @@
+// Cluster: the in-process substitute for the paper's 25-machine testbed.
+//
+// Spins up p Machine objects (each with private disk directory, buffer
+// pool, memory budget and worker pool) connected by a Fabric. `RunOnAll`
+// executes one function per machine on dedicated threads — the body of a
+// distributed program — and `Barrier()` provides the paper's GLOBALBARRIER.
+
+#ifndef TGPP_CLUSTER_CLUSTER_H_
+#define TGPP_CLUSTER_CLUSTER_H_
+
+#include <barrier>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "net/fabric.h"
+
+namespace tgpp {
+
+struct ClusterConfig {
+  int num_machines = 4;                        // p
+  int threads_per_machine = 2;
+  int io_threads_per_machine = 1;
+  int numa_nodes_per_machine = 2;              // r
+  uint64_t memory_budget_bytes = 64ull << 20;  // per machine
+  size_t buffer_pool_frames = 64;              // per machine, 64 KB each
+  DiskProfile disk_profile = kPcieSsdProfile;
+  NetProfile net_profile = kInfinibandQdr;
+  std::string root_dir = "/tmp/tgpp_cluster";
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  int num_machines() const { return config_.num_machines; }
+  Machine* machine(int i) { return machines_[i].get(); }
+  Fabric* fabric() { return &fabric_; }
+
+  // Runs fn(machine_id) concurrently on one thread per machine and joins.
+  // Returns the first non-OK status (all threads still run to completion).
+  Status RunOnAll(const std::function<Status(int)>& fn);
+
+  // Global barrier across machine threads inside RunOnAll. Every machine
+  // must call it the same number of times.
+  void Barrier();
+
+  // Aggregated cluster metrics (Figures 9/10/13/14 inputs).
+  ClusterSnapshot Snapshot() const;
+
+  // Clears all I/O counters, per-machine metrics and budget usage, and
+  // drops unpinned buffer pool frames (the paper drops the OS page cache
+  // between preprocessing and measurement).
+  void ResetCountersAndCaches();
+
+  // Clears counters only, keeping buffer pool contents warm (used to
+  // measure consecutive PageRank iterations separately, Figures 9-11).
+  void ResetCounters();
+
+  double AggregateDiskBandwidth() const {
+    return config_.disk_profile.bandwidth_bytes_per_sec *
+           config_.num_machines;
+  }
+  double AggregateNetBandwidth() const {
+    return config_.net_profile.link_bandwidth_bytes_per_sec *
+           config_.num_machines;
+  }
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  Fabric fabric_;
+  std::barrier<> barrier_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_CLUSTER_CLUSTER_H_

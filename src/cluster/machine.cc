@@ -1,0 +1,25 @@
+#include "cluster/machine.h"
+
+#include "common/logging.h"
+
+namespace tgpp {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      disk_(config.storage_dir, config.disk_profile),
+      buffer_pool_(config.buffer_pool_frames),
+      io_(config.num_io_threads),
+      workers_(config.num_worker_threads,
+               "m" + std::to_string(config.id) + ".workers"),
+      budget_(config.memory_budget_bytes) {
+  TGPP_CHECK(!config.storage_dir.empty());
+  TGPP_CHECK(config.numa_nodes >= 1);
+}
+
+uint64_t Machine::WindowMemoryBytes() const {
+  const uint64_t edge_buffer = config_.buffer_pool_frames * kPageSize;
+  if (edge_buffer >= config_.memory_budget_bytes) return 0;
+  return config_.memory_budget_bytes - edge_buffer;
+}
+
+}  // namespace tgpp

@@ -1,0 +1,70 @@
+// Machine: one simulated cluster node.
+//
+// Owns exactly the resources the paper's physical machine provides: a
+// worker thread pool (CPU cores), a disk with a bandwidth profile, a buffer
+// pool over that disk, an async I/O service (the disk channel), a memory
+// budget (RAM), and the NUMA-node count used for sub-chunk scheduling.
+
+#ifndef TGPP_CLUSTER_MACHINE_H_
+#define TGPP_CLUSTER_MACHINE_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/metrics.h"
+#include "storage/async_io.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_device.h"
+#include "util/memory_budget.h"
+#include "util/thread_pool.h"
+
+namespace tgpp {
+
+struct MachineConfig {
+  int id = 0;
+  int num_worker_threads = 2;
+  int num_io_threads = 1;
+  int numa_nodes = 2;  // r in BBP
+  uint64_t memory_budget_bytes = 64ull << 20;
+  size_t buffer_pool_frames = 64;  // edge-page buffer (paper A.3)
+  DiskProfile disk_profile = kPcieSsdProfile;
+  std::string storage_dir;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int id() const { return config_.id; }
+  const MachineConfig& config() const { return config_; }
+
+  DiskDevice* disk() { return &disk_; }
+  BufferPool* buffer_pool() { return &buffer_pool_; }
+  AsyncIoService* io() { return &io_; }
+  ThreadPool* workers() { return &workers_; }
+  MemoryBudget* budget() { return &budget_; }
+  MachineMetrics* metrics() { return &metrics_; }
+
+  int numa_nodes() const { return config_.numa_nodes; }
+
+  // Memory available to windows/buffers after the fixed edge-page buffer is
+  // subtracted (paper A.3: "when we calculate q, we subtract the edge
+  // buffer size from the total memory size").
+  uint64_t WindowMemoryBytes() const;
+
+ private:
+  MachineConfig config_;
+  DiskDevice disk_;
+  BufferPool buffer_pool_;
+  AsyncIoService io_;
+  ThreadPool workers_;
+  MemoryBudget budget_;
+  MachineMetrics metrics_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_CLUSTER_MACHINE_H_

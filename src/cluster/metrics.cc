@@ -1,0 +1,16 @@
+#include "cluster/metrics.h"
+
+#include <sstream>
+
+namespace tgpp {
+
+std::string ClusterSnapshot::ToString() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << "cpu=" << cpu_seconds << "s disk=" << disk_bytes
+     << "B (" << disk_io_seconds << "s) net=" << net_bytes << "B ("
+     << net_io_seconds << "s)";
+  return os.str();
+}
+
+}  // namespace tgpp

@@ -1,0 +1,69 @@
+// Per-machine and cluster-wide execution metrics.
+//
+// Mirrors the paper's measurement methodology (§5.1): CPU time via
+// clock_gettime on compute threads, disk/network I/O as aggregated bytes,
+// and I/O *times* modeled as bytes over aggregate nominal bandwidth.
+
+#ifndef TGPP_CLUSTER_METRICS_H_
+#define TGPP_CLUSTER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tgpp {
+
+// Counters one machine accumulates during a query. All fields are atomic
+// so compute/I-O/service threads can update them concurrently.
+class MachineMetrics {
+ public:
+  std::atomic<int64_t> scatter_cpu_nanos{0};
+  std::atomic<int64_t> gather_cpu_nanos{0};
+  std::atomic<int64_t> apply_cpu_nanos{0};
+  // CPU spent purely enumerating the k-reachable walk set (marking voi and
+  // backward traversal) — reported in §5.2.3 as ~0.7% of TC time.
+  std::atomic<int64_t> enumeration_cpu_nanos{0};
+
+  std::atomic<uint64_t> updates_generated{0};
+  std::atomic<uint64_t> updates_local_gathered{0};
+  std::atomic<uint64_t> updates_sent{0};
+  std::atomic<uint64_t> updates_spilled{0};
+
+  void Reset() {
+    scatter_cpu_nanos = 0;
+    gather_cpu_nanos = 0;
+    apply_cpu_nanos = 0;
+    enumeration_cpu_nanos = 0;
+    updates_generated = 0;
+    updates_local_gathered = 0;
+    updates_sent = 0;
+    updates_spilled = 0;
+  }
+
+  double TotalCpuSeconds() const {
+    return 1e-9 * static_cast<double>(scatter_cpu_nanos + gather_cpu_nanos +
+                                      apply_cpu_nanos);
+  }
+};
+
+// A cluster-wide snapshot used by benches and the resource sampler.
+struct ClusterSnapshot {
+  double cpu_seconds = 0;          // summed compute-thread CPU time
+  uint64_t disk_bytes = 0;         // read + written, all machines
+  uint64_t net_bytes = 0;          // fabric bytes (remote only)
+  double disk_io_seconds = 0;      // bytes / aggregate disk bandwidth
+  double net_io_seconds = 0;       // bytes / aggregate link bandwidth
+  double enumeration_cpu_seconds = 0;
+
+  // Bottleneck-machine views: barrier-synchronized systems are gated by
+  // their slowest machine, which is how partitioning imbalance shows up
+  // (paper §5.2.2).
+  double max_machine_cpu_seconds = 0;
+  double max_machine_disk_seconds = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_CLUSTER_METRICS_H_

@@ -1,0 +1,64 @@
+#include "cluster/resource_sampler.h"
+
+#include <chrono>
+
+#include "util/timer.h"
+
+namespace tgpp {
+
+ResourceSampler::ResourceSampler(Cluster* cluster, double interval_seconds)
+    : cluster_(cluster), interval_seconds_(interval_seconds) {}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::Start() {
+  if (running_.exchange(true)) return;
+  samples_.clear();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ResourceSampler::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void ResourceSampler::Loop() {
+  const int total_workers = cluster_->num_machines() *
+                            cluster_->config().threads_per_machine;
+  WallTimer wall;
+  int64_t prev_cpu = ProcessCpuTimeNanos();
+  uint64_t prev_disk = 0;
+  uint64_t prev_net = 0;
+  {
+    const ClusterSnapshot s = cluster_->Snapshot();
+    prev_disk = s.disk_bytes;
+    prev_net = s.net_bytes;
+  }
+  double prev_t = 0;
+  while (running_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_seconds_));
+    const double t = wall.Seconds();
+    const double dt = t - prev_t;
+    const int64_t cpu = ProcessCpuTimeNanos();
+    const ClusterSnapshot s = cluster_->Snapshot();
+    ResourceSample sample;
+    sample.t_seconds = t;
+    sample.cpu_utilization =
+        dt > 0 ? (1e-9 * static_cast<double>(cpu - prev_cpu)) /
+                     (dt * total_workers)
+               : 0;
+    sample.disk_mbps =
+        dt > 0 ? static_cast<double>(s.disk_bytes - prev_disk) / dt / 1e6
+               : 0;
+    sample.net_mbps =
+        dt > 0 ? static_cast<double>(s.net_bytes - prev_net) / dt / 1e6 : 0;
+    samples_.push_back(sample);
+    prev_t = t;
+    prev_cpu = cpu;
+    prev_disk = s.disk_bytes;
+    prev_net = s.net_bytes;
+  }
+}
+
+}  // namespace tgpp

@@ -1,0 +1,48 @@
+// ResourceSampler: periodic sampling of cluster resource usage.
+//
+// Reproduces the paper's dstat-based monitoring behind Figure 11 (resource
+// usage over time during PR): a background thread samples process CPU time
+// and the cluster's cumulative disk/network byte counters, producing a
+// utilization time series.
+
+#ifndef TGPP_CLUSTER_RESOURCE_SAMPLER_H_
+#define TGPP_CLUSTER_RESOURCE_SAMPLER_H_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace tgpp {
+
+struct ResourceSample {
+  double t_seconds;        // since Start()
+  double cpu_utilization;  // fraction of total worker capacity [0, 1+]
+  double disk_mbps;        // MB/s since previous sample
+  double net_mbps;         // MB/s since previous sample
+};
+
+class ResourceSampler {
+ public:
+  ResourceSampler(Cluster* cluster, double interval_seconds);
+  ~ResourceSampler();
+
+  void Start();
+  void Stop();
+
+  const std::vector<ResourceSample>& samples() const { return samples_; }
+
+ private:
+  void Loop();
+
+  Cluster* cluster_;
+  double interval_seconds_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::vector<ResourceSample> samples_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_CLUSTER_RESOURCE_SAMPLER_H_

@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tgpp {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+// Strips leading directories for compact log lines.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message) {
+  if (static_cast<int>(level) <
+      g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now).count();
+  // One fprintf call keeps concurrent lines from interleaving.
+  std::fprintf(stderr, "[%.3f %s %s:%d] %s\n", secs, LevelName(level),
+               Basename(file), line, message.c_str());
+}
+
+LogStream::~LogStream() {
+  EmitLog(level_, file_, line_, stream_.str());
+  if (level_ == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace tgpp

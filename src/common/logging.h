@@ -1,0 +1,99 @@
+// Minimal thread-safe leveled logging and check macros.
+//
+// TGPP_LOG(INFO) << "message";   -- stream-style logging
+// TGPP_CHECK(cond) << "detail";  -- aborts the process on failure
+// TGPP_CHECK_OK(status);         -- aborts if the status is not OK
+
+#ifndef TGPP_COMMON_LOGGING_H_
+#define TGPP_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace tgpp {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Messages below this level are suppressed. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Emits one line to stderr (single write; safe to call concurrently).
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream();
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Makes a streamed LogStream usable inside a ternary whose other arm is
+// (void)0: `operator&` binds looser than `<<`, tighter than `?:`.
+struct Voidify {
+  void operator&(LogStream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace tgpp
+
+#define TGPP_LOG(severity)                                          \
+  ::tgpp::internal_logging::LogStream(::tgpp::LogLevel::k##severity, \
+                                      __FILE__, __LINE__)
+
+#define TGPP_CHECK(cond)                                                    \
+  (cond) ? (void)0                                                          \
+         : ::tgpp::internal_logging::Voidify() &                            \
+               (::tgpp::internal_logging::LogStream(                        \
+                    ::tgpp::LogLevel::kFatal, __FILE__, __LINE__)           \
+                << "Check failed: " #cond " ")
+
+#define TGPP_CHECK_OK(expr)                                                 \
+  do {                                                                      \
+    ::tgpp::Status _tgpp_check_status = (expr);                             \
+    TGPP_CHECK(_tgpp_check_status.ok()) << _tgpp_check_status.ToString();   \
+  } while (0)
+
+#ifdef NDEBUG
+#define TGPP_DCHECK(cond) \
+  while (false) TGPP_CHECK(cond)
+#else
+#define TGPP_DCHECK(cond) TGPP_CHECK(cond)
+#endif
+
+#endif  // TGPP_COMMON_LOGGING_H_

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace tgpp {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace tgpp

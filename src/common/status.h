@@ -1,0 +1,142 @@
+// Status and Result<T>: exception-free error handling for TurboGraph++.
+//
+// Follows the RocksDB/Arrow idiom: every fallible operation returns a
+// `Status` (or a `Result<T>` carrying a value on success). Exceptions are
+// not used anywhere in the library.
+
+#ifndef TGPP_COMMON_STATUS_H_
+#define TGPP_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tgpp {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kOutOfMemory,
+  kCorruption,
+  kTimeout,
+  kNotSupported,
+  kAborted,
+  kInternal,
+};
+
+// Human-readable name of a status code ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A Status is cheap to copy in the OK case (no allocation) and carries an
+// explanatory message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is a Status or a value. Modeled after arrow::Result /
+// absl::StatusOr. T must be movable.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok(). Checked in debug builds.
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tgpp
+
+// Propagates a non-OK Status to the caller.
+#define TGPP_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::tgpp::Status _tgpp_status = (expr);         \
+    if (!_tgpp_status.ok()) return _tgpp_status;  \
+  } while (0)
+
+#define TGPP_CONCAT_IMPL(a, b) a##b
+#define TGPP_CONCAT(a, b) TGPP_CONCAT_IMPL(a, b)
+
+// Evaluates a Result-returning expression; on success binds the value to
+// `lhs`, otherwise returns the error Status to the caller.
+#define TGPP_ASSIGN_OR_RETURN(lhs, expr)                              \
+  TGPP_ASSIGN_OR_RETURN_IMPL(TGPP_CONCAT(_tgpp_result_, __LINE__), lhs, expr)
+
+#define TGPP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#endif  // TGPP_COMMON_STATUS_H_

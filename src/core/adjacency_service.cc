@@ -1,0 +1,167 @@
+#include "core/adjacency_service.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/codec.h"
+#include "storage/page_file.h"
+#include "storage/slotted_page.h"
+
+namespace tgpp {
+
+std::span<const VertexId> AdjBatch::NeighborsOf(VertexId vid) const {
+  auto it = std::lower_bound(vids.begin(), vids.end(), vid);
+  if (it == vids.end() || *it != vid) return {};
+  return Neighbors(static_cast<size_t>(it - vids.begin()));
+}
+
+AdjacencyService::AdjacencyService(Cluster* cluster,
+                                   const PartitionedGraph* pg,
+                                   int machine_id)
+    : cluster_(cluster), pg_(pg), machine_id_(machine_id) {}
+
+AdjacencyService::~AdjacencyService() {
+  TGPP_CHECK(!server_.joinable())
+      << "AdjacencyService destroyed while serving; call Stop()";
+}
+
+Status AdjacencyService::MaterializeLocal(std::span<const VertexId> vids,
+                                          AdjBatch* out) {
+  out->vids.assign(vids.begin(), vids.end());
+  out->offsets.assign(vids.size() + 1, 0);
+  out->dsts.clear();
+  if (vids.empty()) return Status::OK();
+
+  // Degrees are known from the partition metadata, so allocate exactly and
+  // fill via per-vertex cursors (single pass over the candidate pages).
+  for (size_t i = 0; i < vids.size(); ++i) {
+    out->offsets[i + 1] =
+        out->offsets[i] + pg_->out_degree[vids[i]];
+  }
+  out->dsts.resize(out->offsets.back());
+  std::vector<uint64_t> cursor(out->offsets.begin(),
+                               out->offsets.end() - 1);
+
+  Machine* machine = cluster_->machine(machine_id_);
+  const MachinePartition& part = pg_->machines[machine_id_];
+  TGPP_ASSIGN_OR_RETURN(
+      PageFile file,
+      PageFile::Open(machine->disk(), PartitionedGraph::kEdgeFileName));
+
+  const VertexId lo = vids.front();
+  const VertexId hi = vids.back();
+
+  // Iterate chunks in (src_chunk, dst_chunk, sub) order: destination IDs of
+  // consecutive chunks ascend, so per-source appends stay sorted.
+  for (const EdgeChunkInfo& chunk : part.chunks) {
+    if (chunk.num_pages == 0) continue;
+    if (chunk.src_range.end <= lo || chunk.src_range.begin > hi) continue;
+    for (uint64_t page_no = chunk.first_page;
+         page_no < chunk.first_page + chunk.num_pages; ++page_no) {
+      const PageIndexEntry& entry = part.page_index[page_no];
+      TGPP_DCHECK(entry.page_no == page_no);
+      if (entry.src_max < lo || entry.src_min > hi) continue;
+      TGPP_ASSIGN_OR_RETURN(PageHandle handle,
+                            machine->buffer_pool()->Fetch(&file, page_no));
+      SlottedPageReader reader(handle.data());
+      const uint32_t num_slots = reader.num_slots();
+      for (uint32_t s = 0; s < num_slots; ++s) {
+        const VertexId src = reader.SrcAt(s);
+        auto it = std::lower_bound(vids.begin(), vids.end(), src);
+        if (it == vids.end() || *it != src) continue;
+        const size_t idx = static_cast<size_t>(it - vids.begin());
+        const std::span<const VertexId> record = reader.DstsAt(s);
+        std::copy(record.begin(), record.end(),
+                  out->dsts.begin() + cursor[idx]);
+        cursor[idx] += record.size();
+      }
+    }
+  }
+  for (size_t i = 0; i < vids.size(); ++i) {
+    if (cursor[i] != out->offsets[i + 1]) {
+      return Status::Corruption(
+          "materialized degree mismatch for vertex " +
+          std::to_string(vids[i]) + ": got " +
+          std::to_string(cursor[i] - out->offsets[i]) + ", expected " +
+          std::to_string(pg_->out_degree[vids[i]]));
+    }
+  }
+  return Status::OK();
+}
+
+Status AdjacencyService::Fetch(int owner, std::span<const VertexId> vids,
+                               AdjBatch* out) {
+  if (owner == machine_id_) return MaterializeLocal(vids, out);
+
+  const uint64_t request_id = next_request_id_++;
+  std::vector<uint8_t> payload;
+  AppendPod<uint64_t>(&payload, request_id);
+  AppendPod<uint64_t>(&payload, vids.size());
+  AppendPodSpan<VertexId>(&payload, vids);
+  cluster_->fabric()->Send(machine_id_, owner, kTagAdjRequest,
+                           std::move(payload));
+
+  Message reply;
+  if (!cluster_->fabric()->Recv(machine_id_, kTagAdjResponse, &reply)) {
+    return Status::Aborted("fabric shut down while awaiting adjacency");
+  }
+  PodReader reader(reply.payload);
+  const uint64_t got_id = reader.Read<uint64_t>();
+  TGPP_CHECK(got_id == request_id)
+      << "adjacency response out of order (engine fetches serially)";
+  const uint64_t count = reader.Read<uint64_t>();
+  out->vids.resize(count);
+  out->offsets.assign(count + 1, 0);
+  out->dsts.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    out->vids[i] = reader.Read<VertexId>();
+    const uint64_t degree = reader.Read<uint64_t>();
+    out->offsets[i + 1] = out->offsets[i] + degree;
+  }
+  out->dsts.resize(out->offsets.back());
+  reader.ReadSpan(out->dsts.data(), out->dsts.size());
+  return Status::OK();
+}
+
+void AdjacencyService::Start() {
+  TGPP_CHECK(!server_.joinable());
+  server_ = std::thread([this] { ServeLoop(); });
+}
+
+void AdjacencyService::Stop() {
+  if (!server_.joinable()) return;
+  // An empty request addressed to ourselves is the stop marker.
+  cluster_->fabric()->Send(machine_id_, machine_id_, kTagAdjRequest, {});
+  server_.join();
+}
+
+void AdjacencyService::ServeLoop() {
+  Fabric* fabric = cluster_->fabric();
+  Message request;
+  AdjBatch batch;
+  while (fabric->Recv(machine_id_, kTagAdjRequest, &request)) {
+    if (request.payload.empty()) break;  // stop marker
+    PodReader reader(request.payload);
+    const uint64_t request_id = reader.Read<uint64_t>();
+    const uint64_t count = reader.Read<uint64_t>();
+    std::vector<VertexId> vids(count);
+    reader.ReadSpan(vids.data(), count);
+
+    Status status = MaterializeLocal(vids, &batch);
+    TGPP_CHECK_OK(status);
+
+    std::vector<uint8_t> payload;
+    AppendPod<uint64_t>(&payload, request_id);
+    AppendPod<uint64_t>(&payload, batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      AppendPod<VertexId>(&payload, batch.vids[i]);
+      AppendPod<uint64_t>(&payload,
+                          batch.offsets[i + 1] - batch.offsets[i]);
+    }
+    AppendPodSpan<VertexId>(&payload, std::span<const VertexId>(batch.dsts));
+    fabric->Send(machine_id_, request.src, kTagAdjResponse,
+                 std::move(payload));
+  }
+}
+
+}  // namespace tgpp

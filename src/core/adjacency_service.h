@@ -1,0 +1,82 @@
+// AdjacencyService: full adjacency-list materialization (paper A.3,
+// "Adjacency List Materialization") and the remote-read path of NWSM
+// (paper §4.1: for levels l > 1, reads "can involve network I/Os as well
+// as remote disk I/Os").
+//
+// Local materialization identifies the edge pages containing records of
+// the requested (sorted) vertices via the two-level chunk/page index,
+// issues page reads in ascending page order (sequential I/O), and merges
+// per-source partial records — which arrive in ascending destination order
+// by construction of the chunk grid, so each merged list is sorted and
+// intersection-ready without an extra sort.
+//
+// Remote fetches go through the fabric: each machine runs a serving loop
+// that answers kTagAdjRequest messages from its own disk (counted as that
+// machine's disk I/O plus network bytes both ways).
+
+#ifndef TGPP_CORE_ADJACENCY_SERVICE_H_
+#define TGPP_CORE_ADJACENCY_SERVICE_H_
+
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+// A materialized batch of full adjacency lists.
+struct AdjBatch {
+  std::vector<VertexId> vids;      // ascending
+  std::vector<uint64_t> offsets;   // vids.size() + 1 entries into dsts
+  std::vector<VertexId> dsts;
+
+  size_t size() const { return vids.size(); }
+  std::span<const VertexId> Neighbors(size_t index) const {
+    return {dsts.data() + offsets[index],
+            static_cast<size_t>(offsets[index + 1] - offsets[index])};
+  }
+  // Neighbors of `vid`, or empty if vid not in the batch.
+  std::span<const VertexId> NeighborsOf(VertexId vid) const;
+  uint64_t size_bytes() const {
+    return vids.size() * sizeof(VertexId) +
+           offsets.size() * sizeof(uint64_t) +
+           dsts.size() * sizeof(VertexId);
+  }
+};
+
+class AdjacencyService {
+ public:
+  AdjacencyService(Cluster* cluster, const PartitionedGraph* pg,
+                   int machine_id);
+  ~AdjacencyService();
+
+  // Materializes full lists for `vids` (ascending, owned by this machine)
+  // from the local disk through the buffer pool.
+  Status MaterializeLocal(std::span<const VertexId> vids, AdjBatch* out);
+
+  // Fetches full lists for `vids` (ascending, all owned by `owner`).
+  // Local owner short-circuits to MaterializeLocal; remote owners are
+  // asked over the fabric.
+  Status Fetch(int owner, std::span<const VertexId> vids, AdjBatch* out);
+
+  // Starts/stops the serving thread that answers remote requests. Stop()
+  // must only be called when no machine will issue further requests (the
+  // engine stops services after a global barrier).
+  void Start();
+  void Stop();
+
+ private:
+  void ServeLoop();
+
+  Cluster* cluster_;
+  const PartitionedGraph* pg_;
+  int machine_id_;
+  std::thread server_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_CORE_ADJACENCY_SERVICE_H_

@@ -1,0 +1,174 @@
+// The k-walk neighborhood programming API (paper §2.3, Figure 6).
+//
+// A query is described by a KWalkApp<V, U>:
+//   V — the per-vertex attribute schema (a trivially copyable struct),
+//   U — the update value schema (trivially copyable).
+//
+// Users provide:
+//   init           — ProcessVertices: initialize a vertex; return whether it
+//                    starts active (voi[1]).
+//   adj_scatter[l] — scatter function for level l (1-based). For l < k it
+//                    marks vertices of interest for level l+1 via
+//                    ScatterContext::Mark; for l == k it performs the
+//                    computation, emitting updates and/or aggregating.
+//   vertex_gather  — the update combiner (associative, commutative).
+//   vertex_apply   — recomputes the attribute from the gathered update;
+//                    returns whether the vertex is active next superstep.
+//
+// The ScatterContext exposes the system primitives of Figure 6:
+// GetParentList, GetAdjList (of a parent), common-neighbor iteration, the
+// degree-order partial-order check, update emission and marking.
+
+#ifndef TGPP_CORE_APP_H_
+#define TGPP_CORE_APP_H_
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adjacency_service.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace tgpp {
+
+inline constexpr int kMaxWalkLength = 4;
+
+// Paper §2.2: partial adjacency lists suffice when the computation unit is
+// an edge (PR, SSSP); full lists are required for intersection-based
+// subgraph queries (TC, LCC).
+enum class AdjMode {
+  kPartial,
+  kFull,
+};
+
+enum class ApplyMode {
+  kAllVertices,   // apply runs on every local vertex (e.g. PageRank)
+  kUpdatedOnly,   // apply runs only on vertices that received updates
+};
+
+template <typename V, typename U>
+class NwsmEngine;
+
+// The per-walk computation interface handed to adj_scatter (paper Fig 6).
+template <typename V, typename U>
+class ScatterContext {
+ public:
+  int level() const { return level_; }
+
+  // Emits an update to `dst` (combined en route by LGB/GGB).
+  void Update(VertexId dst, const U& value) { update_fn_(dst, value); }
+
+  // Marks `v` into voi[level+1] (only meaningful when level < k).
+  void Mark(VertexId v) { mark_fn_(v); }
+
+  // Adds to the query-global sum aggregator (e.g. the triangle count).
+  void AggregateAdd(uint64_t delta) {
+    aggregate_->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // Degree-order partial-order constraint (paper §3): new vertex IDs are
+  // assigned in descending degree order, so ID comparison is the
+  // constraint used to enumerate each subgraph instance once.
+  static bool CheckPartialOrder(VertexId u, VertexId v) { return u < v; }
+
+  using ParentIndex = std::unordered_map<VertexId, std::vector<VertexId>>;
+
+  // GetParentList(l, v) (paper Fig 6): the level-l source vertices u of
+  // ending edges (u, v) of walks that marked v at level l+1. Valid for
+  // l in [1, level-1].
+  std::span<const VertexId> GetParentList(int l, VertexId v) const {
+    if (parent_indexes_ == nullptr || l < 1 ||
+        l > static_cast<int>(parent_indexes_->size())) {
+      return {};
+    }
+    const ParentIndex* index = (*parent_indexes_)[l - 1];
+    auto it = index->find(v);
+    if (it == index->end()) return {};
+    return it->second;
+  }
+
+  // Convenience: parents at the immediately preceding level.
+  std::span<const VertexId> GetParentList(VertexId v) const {
+    return GetParentList(level_ - 1, v);
+  }
+
+  // Full adjacency list of an ancestor vertex: searched through the still
+  // resident windows of levels level-1 down to 1 (the appendix A.6
+  // relaxation — streams at level l+1 may reference any level l' <= l).
+  std::span<const VertexId> GetAdjList(VertexId u) const {
+    if (ancestor_batches_ == nullptr) return {};
+    for (auto it = ancestor_batches_->rbegin();
+         it != ancestor_batches_->rend(); ++it) {
+      const AdjBatch& batch = **it;
+      auto found = std::lower_bound(batch.vids.begin(), batch.vids.end(),
+                                    u);
+      if (found != batch.vids.end() && *found == u) {
+        return batch.Neighbors(
+            static_cast<size_t>(found - batch.vids.begin()));
+      }
+    }
+    return {};
+  }
+
+ private:
+  friend class NwsmEngine<V, U>;
+
+  int level_ = 1;
+  std::function<void(VertexId, const U&)> update_fn_;
+  std::function<void(VertexId)> mark_fn_;
+  std::atomic<uint64_t>* aggregate_ = nullptr;
+  // Stack of ancestor windows: element i is the level-(i+1) AdjBatch.
+  const std::vector<const AdjBatch*>* ancestor_batches_ = nullptr;
+  // Stack of parent indexes: element i maps level-(i+2) vertices to
+  // their level-(i+1) parents.
+  const std::vector<const ParentIndex*>* parent_indexes_ = nullptr;
+};
+
+// GetCommonNbrList (paper Fig 6): common neighbors of two full lists.
+// Lists produced by the engine are ascending, so this is a sorted
+// intersection (galloping for skewed pairs; see graph/csr.h).
+inline void GetCommonNbrList(std::span<const VertexId> a,
+                             std::span<const VertexId> b,
+                             std::vector<VertexId>* out) {
+  out->clear();
+  SortedIntersection(a, b, out);
+}
+
+template <typename V, typename U>
+struct KWalkApp {
+  using ScatterFn = std::function<void(ScatterContext<V, U>&, VertexId,
+                                       const V&, std::span<const VertexId>)>;
+
+  int k = 1;
+  AdjMode mode = AdjMode::kPartial;
+  ApplyMode apply_mode = ApplyMode::kAllVertices;
+  int max_supersteps = 1;
+
+  // Returns true if the vertex starts in voi[1] of superstep 1.
+  std::function<bool(VertexId, V&)> init;
+
+  ScatterFn adj_scatter[kMaxWalkLength + 1];  // index by level, 1-based
+
+  // Combiner: fold `incoming` into `accumulated`.
+  std::function<void(U&, const U&)> vertex_gather;
+
+  // `update` is null when the vertex received no updates this superstep.
+  // Returns true if the vertex is active in the next superstep.
+  std::function<bool(VertexId, V&, const U*)> vertex_apply;
+};
+
+// Statistics returned by a query run.
+struct QueryStats {
+  int supersteps = 0;
+  double wall_seconds = 0;
+  uint64_t aggregate_sum = 0;  // sum of ScatterContext::AggregateAdd calls
+  int q_used = 1;              // vertex chunks per machine actually used
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_CORE_APP_H_

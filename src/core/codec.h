@@ -1,0 +1,73 @@
+// Tiny POD (de)serialization helpers for fabric message payloads.
+
+#ifndef TGPP_CORE_CODEC_H_
+#define TGPP_CORE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tgpp {
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* buf, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t pos = buf->size();
+  buf->resize(pos + sizeof(T));
+  std::memcpy(buf->data() + pos, &value, sizeof(T));
+}
+
+template <typename T>
+void AppendPodSpan(std::vector<uint8_t>* buf, std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t pos = buf->size();
+  buf->resize(pos + values.size_bytes());
+  std::memcpy(buf->data() + pos, values.data(), values.size_bytes());
+}
+
+// Sequential reader over a payload.
+class PodReader {
+ public:
+  explicit PodReader(std::span<const uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    TGPP_CHECK(pos_ + sizeof(T) <= data_.size()) << "payload underrun";
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  void ReadSpan(T* out, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    TGPP_CHECK(pos_ + count * sizeof(T) <= data_.size())
+        << "payload underrun";
+    std::memcpy(out, data_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+// Fabric tag allocation for the engine's logical channels.
+enum MessageTag : uint32_t {
+  kTagUpdates = 0,      // scatter-phase update batches + done markers
+  kTagControl = 1,      // allreduce / convergence control
+  kTagAdjRequest = 2,   // full adjacency list requests
+  kTagAdjResponse = 3,  // full adjacency list responses
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_CORE_CODEC_H_

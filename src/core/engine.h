@@ -1,0 +1,1134 @@
+// NwsmEngine: execution of the nested windowed streaming model with
+// three-level parallel and overlapped processing (paper §2.2, §4,
+// Algorithms 1-4).
+//
+// One engine instance drives a query over a partitioned graph on the
+// simulated cluster. Per superstep, each machine executes:
+//
+//   scatter  — streams its vertex chunks (vertex windows) and the matching
+//              edge chunks (adjacency windows, prefetched asynchronously so
+//              disk I/O overlaps compute), invoking adj_scatter per
+//              adjacency record; updates are combined in NUMA-sub-chunk-
+//              local gather buffers (LGB; CAS-free because sub-chunks own
+//              disjoint destination ranges) and shipped to owner machines.
+//              For k > 1, marked vertices of interest (voi) are fetched —
+//              locally or over the fabric from remote disks — and the next
+//              level is processed by mark-and-backward-traversal: the
+//              parent index built from Mark() calls plays the role of the
+//              backward traversal over the in-memory level-l window.
+//   gather   — a concurrent global-gather task (Algorithm 2) accumulates
+//              incoming updates into the in-memory GGB for the first
+//              vertex chunk and spills the rest to q-1 disk partitions.
+//   apply    — after the global barrier, spilled partitions are gathered
+//              by a producer thread while the apply task consumes ready
+//              chunks (Algorithms 3-4, double buffered).
+//
+// The engine never materializes more than its windows: all sizes derive
+// from the memory model (Theorem 4.1). Callers should use
+// TurboGraphSystem (core/system.h), which re-runs BBP when the query
+// requires a finer q (Algorithm 1 lines 1-4).
+
+#ifndef TGPP_CORE_ENGINE_H_
+#define TGPP_CORE_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/adjacency_service.h"
+#include "core/app.h"
+#include "core/codec.h"
+#include "core/memory_model.h"
+#include "graph/csr.h"
+#include "partition/partitioner.h"
+#include "util/bitmap.h"
+#include "util/timer.h"
+
+namespace tgpp {
+
+inline constexpr const char* kVertexAttrFileName = "vattr.bin";
+
+// --- ScatterContext -------------------------------------------------------
+
+template <typename V, typename U>
+class NwsmEngine;
+
+namespace engine_internal {
+
+// Dense local gather buffer over one destination chunk range. Sub-chunk
+// tasks write disjoint index ranges, so no synchronization is needed
+// (the NUMA-aware CAS elimination of paper §3 / A.3).
+template <typename U>
+class DenseLgb {
+ public:
+  void Reset(VertexRange range) {
+    range_ = range;
+    values_.assign(range.size(), U{});
+    present_.assign(range.size(), 0);
+  }
+  VertexRange range() const { return range_; }
+
+  template <typename Combine>
+  void Accumulate(VertexId dst, const U& val, const Combine& combine) {
+    const uint64_t idx = dst - range_.begin;
+    if (present_[idx]) {
+      combine(values_[idx], val);
+    } else {
+      values_[idx] = val;
+      present_[idx] = 1;
+    }
+  }
+
+  // Serializes present entries as (vid, U) pairs after a 1-byte kind and a
+  // count, clearing nothing (caller Resets).
+  std::vector<uint8_t> Serialize() const {
+    std::vector<uint8_t> payload;
+    AppendPod<uint8_t>(&payload, 0);  // kind: data
+    uint64_t count = 0;
+    for (uint8_t p : present_) count += p;
+    AppendPod<uint64_t>(&payload, count);
+    for (uint64_t i = 0; i < present_.size(); ++i) {
+      if (!present_[i]) continue;
+      AppendPod<VertexId>(&payload, range_.begin + i);
+      AppendPod<U>(&payload, values_[i]);
+    }
+    return payload;
+  }
+
+  uint64_t present_count() const {
+    uint64_t count = 0;
+    for (uint8_t p : present_) count += p;
+    return count;
+  }
+
+  // Read access for the apply phase (values/flags indexed by
+  // vid - range().begin).
+  void ExposeForApply(const std::vector<U>** values,
+                      const std::vector<uint8_t>** present) const {
+    *values = &values_;
+    *present = &present_;
+  }
+
+ private:
+  VertexRange range_;
+  std::vector<U> values_;
+  std::vector<uint8_t> present_;
+};
+
+// Sparse LGB for the full adjacency-list mode: destinations span the whole
+// ID space, so a fixed-capacity map is kept per task and flushed to the
+// owner machines when it overflows (paper §4.1, full-list constraint 1).
+template <typename U>
+class SparseLgb {
+ public:
+  SparseLgb(size_t capacity, int p) : capacity_(capacity), p_(p) {}
+
+  template <typename Combine, typename Flush>
+  void Accumulate(VertexId dst, const U& val, const Combine& combine,
+                  const Flush& flush) {
+    auto [it, inserted] = map_.try_emplace(dst, val);
+    if (!inserted) combine(it->second, val);
+    if (map_.size() >= capacity_) FlushAll(flush);
+  }
+
+  // flush(owner_payloads): called with one payload vector per machine.
+  template <typename Flush>
+  void FlushAll(const Flush& flush) {
+    if (map_.empty()) return;
+    flush(map_);
+    map_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  int p_;
+  std::unordered_map<VertexId, U> map_;
+};
+
+}  // namespace engine_internal
+
+// --- Engine ----------------------------------------------------------------
+
+// Ablation knobs (all defaults are the paper's design; the ablation bench
+// turns them off one at a time).
+struct EngineOptions {
+  // In-memory local gather: combine updates per destination chunk before
+  // shipping (paper §4.1). Off = every generated update crosses the wire.
+  bool in_memory_local_gather = true;
+  // Asynchronous page read-ahead depth for adjacency windows (3-LPO's
+  // disk/CPU overlap). 1 = synchronous reads.
+  int read_ahead_pages = 4;
+};
+
+template <typename V, typename U>
+class NwsmEngine {
+ public:
+  static_assert(std::is_trivially_copyable_v<V>);
+  static_assert(std::is_trivially_copyable_v<U>);
+
+  NwsmEngine(Cluster* cluster, const PartitionedGraph* pg,
+             EngineOptions options = {})
+      : cluster_(cluster), pg_(pg), options_(options) {
+    states_.resize(cluster->num_machines());
+    for (int m = 0; m < cluster->num_machines(); ++m) {
+      states_[m] = std::make_unique<MachineState>();
+      states_[m]->active.Resize(pg->MachineRange(m).size());
+      states_[m]->next_active.Resize(pg->MachineRange(m).size());
+    }
+  }
+
+  // The memory-model check of Algorithm 1 line 1: the q this query needs
+  // on this cluster.
+  Result<int> ComputeRequiredQ(const KWalkApp<V, U>& app) const {
+    MemoryModelInput in;
+    in.k = app.k;
+    in.p = pg_->p;
+    in.num_vertices = pg_->num_vertices;
+    in.vertex_attr_bytes = sizeof(V);
+    in.page_size = kPageSize;
+    in.total_budget_bytes = cluster_->machine(0)->WindowMemoryBytes();
+    return ComputeQMin(in);
+  }
+
+  // ProcessVertices: writes initial attributes to each machine's disk and
+  // sets the initial frontier.
+  Status Initialize(const KWalkApp<V, U>& app) {
+    return cluster_->RunOnAll([&](int m) -> Status {
+      return InitializeMachine(m, app);
+    });
+  }
+
+  // Start(): runs supersteps until convergence or app.max_supersteps.
+  Result<QueryStats> Run(KWalkApp<V, U>& app) {
+    TGPP_ASSIGN_OR_RETURN(const int q_needed, ComputeRequiredQ(app));
+    if (q_needed > pg_->q) {
+      return Status::InvalidArgument(
+          "query needs q=" + std::to_string(q_needed) +
+          " but the graph is partitioned with q=" + std::to_string(pg_->q) +
+          "; repartition first (TurboGraphSystem does this automatically)");
+    }
+    WallTimer timer;
+    QueryStats stats;
+    stats.q_used = pg_->q;
+    global_aggregate_.store(0, std::memory_order_relaxed);
+    for (int step = 0; step < app.max_supersteps; ++step) {
+      global_active_.store(0, std::memory_order_relaxed);
+      Status status = cluster_->RunOnAll(
+          [&](int m) -> Status { return MachineSuperstep(m, app); });
+      TGPP_RETURN_IF_ERROR(status);
+      ++stats.supersteps;
+      if (global_active_.load(std::memory_order_relaxed) == 0) break;
+    }
+    stats.wall_seconds = timer.Seconds();
+    stats.aggregate_sum = global_aggregate_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  // Gathers all vertex attributes, indexed by NEW vertex id (tests remap
+  // through pg->new_to_old as needed).
+  Status ReadAttributes(std::vector<V>* out) {
+    out->assign(pg_->num_vertices, V{});
+    std::mutex mu;
+    return cluster_->RunOnAll([&](int m) -> Status {
+      const VertexRange range = pg_->MachineRange(m);
+      std::vector<V> chunk;
+      TGPP_RETURN_IF_ERROR(ReadAttrRange(m, range, &chunk));
+      std::lock_guard<std::mutex> lock(mu);
+      std::copy(chunk.begin(), chunk.end(), out->begin() + range.begin);
+      return Status::OK();
+    });
+  }
+
+  uint64_t aggregate_sum() const {
+    return global_aggregate_.load(std::memory_order_relaxed);
+  }
+
+  // --- Fault tolerance (paper A.3): checkpoint the vertex attribute data
+  // and the active frontier to disk; a failure is recovered by rolling
+  // back to the latest checkpoint and restarting the superstep loop.
+
+  Status Checkpoint(const std::string& tag) {
+    return cluster_->RunOnAll([&](int m) -> Status {
+      Machine* machine = cluster_->machine(m);
+      const VertexRange range = pg_->MachineRange(m);
+      std::vector<V> attrs;
+      TGPP_RETURN_IF_ERROR(ReadAttrRange(m, range, &attrs));
+      TGPP_RETURN_IF_ERROR(machine->disk()->Truncate(
+          CheckpointFile(tag), 0));
+      if (!attrs.empty()) {
+        TGPP_RETURN_IF_ERROR(machine->disk()->Write(
+            CheckpointFile(tag), 0, attrs.data(),
+            attrs.size() * sizeof(V)));
+      }
+      // Frontier bitmap.
+      std::vector<uint8_t> bits((range.size() + 7) / 8, 0);
+      states_[m]->active.ForEachSet(
+          [&](uint64_t bit) { bits[bit >> 3] |= 1 << (bit & 7); });
+      TGPP_RETURN_IF_ERROR(
+          machine->disk()->Truncate(CheckpointFrontierFile(tag), 0));
+      if (!bits.empty()) {
+        TGPP_RETURN_IF_ERROR(machine->disk()->Write(
+            CheckpointFrontierFile(tag), 0, bits.data(), bits.size()));
+      }
+      TGPP_RETURN_IF_ERROR(machine->disk()->Sync(CheckpointFile(tag)));
+      return machine->disk()->Sync(CheckpointFrontierFile(tag));
+    });
+  }
+
+  Status Restore(const std::string& tag) {
+    return cluster_->RunOnAll([&](int m) -> Status {
+      Machine* machine = cluster_->machine(m);
+      const VertexRange range = pg_->MachineRange(m);
+      if (!machine->disk()->Exists(CheckpointFile(tag))) {
+        return Status::NotFound("no checkpoint '" + tag + "' on machine " +
+                                std::to_string(m));
+      }
+      std::vector<V> attrs(range.size());
+      if (!attrs.empty()) {
+        TGPP_RETURN_IF_ERROR(machine->disk()->Read(
+            CheckpointFile(tag), 0, attrs.data(),
+            attrs.size() * sizeof(V)));
+      }
+      TGPP_RETURN_IF_ERROR(WriteAttrRange(m, range, attrs));
+      std::vector<uint8_t> bits((range.size() + 7) / 8, 0);
+      if (!bits.empty()) {
+        TGPP_RETURN_IF_ERROR(machine->disk()->Read(
+            CheckpointFrontierFile(tag), 0, bits.data(), bits.size()));
+      }
+      states_[m]->active.ClearAll();
+      for (uint64_t bit = 0; bit < range.size(); ++bit) {
+        if ((bits[bit >> 3] >> (bit & 7)) & 1) {
+          states_[m]->active.Set(bit);
+        }
+      }
+      return Status::OK();
+    });
+  }
+
+ private:
+  struct MachineState {
+    AtomicBitmap active;
+    AtomicBitmap next_active;
+    std::atomic<uint64_t> aggregate{0};
+  };
+
+  // ---- vertex attribute windows (vertex streams) ----
+
+  Status ReadAttrRange(int m, VertexRange range, std::vector<V>* out) {
+    out->resize(range.size());
+    if (range.size() == 0) return Status::OK();
+    const VertexId base = pg_->MachineRange(m).begin;
+    return cluster_->machine(m)->disk()->Read(
+        kVertexAttrFileName, (range.begin - base) * sizeof(V), out->data(),
+        out->size() * sizeof(V));
+  }
+
+  Status WriteAttrRange(int m, VertexRange range,
+                        const std::vector<V>& data) {
+    if (range.size() == 0) return Status::OK();
+    const VertexId base = pg_->MachineRange(m).begin;
+    return cluster_->machine(m)->disk()->Write(
+        kVertexAttrFileName, (range.begin - base) * sizeof(V), data.data(),
+        data.size() * sizeof(V));
+  }
+
+  Status InitializeMachine(int m, const KWalkApp<V, U>& app) {
+    MachineState& state = *states_[m];
+    state.active.ClearAll();
+    state.next_active.ClearAll();
+    state.aggregate.store(0, std::memory_order_relaxed);
+    const VertexRange range = pg_->MachineRange(m);
+    for (int c = 0; c < pg_->q; ++c) {
+      const VertexRange chunk = pg_->VertexChunkRange(m, c);
+      std::vector<V> attrs(chunk.size());
+      for (uint64_t i = 0; i < chunk.size(); ++i) {
+        const VertexId vid = chunk.begin + i;
+        attrs[i] = V{};
+        if (app.init && app.init(vid, attrs[i])) {
+          state.active.Set(vid - range.begin);
+        }
+      }
+      TGPP_RETURN_IF_ERROR(WriteAttrRange(m, chunk, attrs));
+    }
+    return Status::OK();
+  }
+
+  // ---- the superstep (Algorithm 1) ----
+
+  Status MachineSuperstep(int m, KWalkApp<V, U>& app) {
+    Machine* machine = cluster_->machine(m);
+    MachineState& state = *states_[m];
+    const int q = pg_->q;
+
+    // Pre-superstep: truncate spill partitions.
+    for (int c = 1; c < q; ++c) {
+      TGPP_RETURN_IF_ERROR(
+          machine->disk()->Truncate(SpillFileName(c), 0));
+    }
+
+    // Spawn the global gather task (Algorithm 1 lines 5-7).
+    GatherRuntime gather;
+    gather.chunk0 = pg_->VertexChunkRange(m, 0);
+    gather.ggb.Reset(gather.chunk0);
+    std::thread gather_thread(
+        [&] { GlobalGatherLoop(m, app, &gather); });
+
+    // Adjacency service answers remote full-list reads during scatter.
+    std::unique_ptr<AdjacencyService> adj_service;
+    if (app.mode == AdjMode::kFull) {
+      adj_service = std::make_unique<AdjacencyService>(cluster_, pg_, m);
+      adj_service->Start();
+    }
+
+    // Scatter phase (overlapped with the gather task). Errors are carried
+    // through the barrier/allreduce skeleton below rather than returned
+    // immediately, so a failing machine never strands its peers in a
+    // barrier or a blocking receive.
+    Status step_status;
+    {
+      ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+      if (app.mode == AdjMode::kPartial) {
+        step_status = ScatterPartial(m, app);
+      } else {
+        step_status = ScatterFull(m, app, adj_service.get());
+      }
+    }
+    // Done markers to every machine (including self) end their gathers.
+    for (int dst = 0; dst < pg_->p; ++dst) {
+      std::vector<uint8_t> marker;
+      AppendPod<uint8_t>(&marker, 1);  // kind: done
+      cluster_->fabric()->Send(m, dst, kTagUpdates, std::move(marker));
+    }
+    gather_thread.join();
+    if (step_status.ok()) step_status = gather.status;
+
+    // GLOBALBARRIER (Algorithm 1 line 22): all updates are now gathered
+    // in memory or on disk everywhere; remote adjacency reads are over.
+    cluster_->Barrier();
+    if (adj_service != nullptr) adj_service->Stop();
+
+    // Gather spilled updates overlapped with apply (Algorithms 3-4).
+    if (step_status.ok()) {
+      step_status = ApplyPhase(m, app, &gather);
+    }
+
+    // Superstep epilogue: swap frontiers, allreduce activity + aggregate.
+    const VertexRange range = pg_->MachineRange(m);
+    uint64_t local_active = state.next_active.CountSet();
+    std::swap(state.active, state.next_active);
+    state.next_active.Resize(range.size());
+
+    const uint64_t local_agg =
+        state.aggregate.exchange(0, std::memory_order_relaxed);
+    Status reduce_status = Allreduce(m, local_active, local_agg);
+    if (step_status.ok()) step_status = reduce_status;
+    return step_status;
+  }
+
+  // ---- partial adjacency list mode scatter ----
+
+  Status ScatterPartial(int m, KWalkApp<V, U>& app) {
+    Machine* machine = cluster_->machine(m);
+    MachineState& state = *states_[m];
+    const MachinePartition& part = pg_->machines[m];
+    const VertexRange my_range = part.range;
+    const int q = pg_->q;
+    const int pq = pg_->p * q;
+
+    TGPP_ASSIGN_OR_RETURN(
+        PageFile file,
+        PageFile::Open(machine->disk(), PartitionedGraph::kEdgeFileName));
+
+    // chunks are ordered (i, j, sub): index of first sub-chunk of (i, j).
+    auto chunk_at = [&](int i, int j, int sub) -> const EdgeChunkInfo& {
+      return part.chunks[(static_cast<size_t>(i) * pq + j) * pg_->r + sub];
+    };
+
+    std::vector<V> vertex_window;
+    for (int i = 0; i < q; ++i) {
+      const VertexRange vr = pg_->VertexChunkRange(m, i);
+      if (vr.size() == 0) continue;
+      // Frontier skip: no active source in this vertex window.
+      if (state.active.CountSetInRange(vr.begin - my_range.begin,
+                                       vr.end - my_range.begin) == 0) {
+        continue;
+      }
+      TGPP_RETURN_IF_ERROR(ReadAttrRange(m, vr, &vertex_window));
+
+      for (int j = 0; j < pq; ++j) {
+        uint64_t edges_in_chunk = 0;
+        for (int sub = 0; sub < pg_->r; ++sub) {
+          edges_in_chunk += chunk_at(i, j, sub).num_edges;
+        }
+        if (edges_in_chunk == 0) continue;
+
+        engine_internal::DenseLgb<U> lgb;
+        lgb.Reset(pg_->DstChunkRange(j));
+
+        // NUMA-aware sub-chunk scheduling: one task per sub-chunk; the
+        // sub-chunks' destination ranges are disjoint, so LGB updates are
+        // CAS-free.
+        std::atomic<int> remaining{pg_->r};
+        std::mutex done_mu;
+        std::condition_variable done_cv;
+        Status sub_status;
+        std::mutex status_mu;
+        for (int sub = 0; sub < pg_->r; ++sub) {
+          const EdgeChunkInfo& chunk = chunk_at(i, j, sub);
+          machine->workers()->Submit([&, chunk] {
+            Status s = ProcessPartialSubChunk(m, app, file, chunk, vr,
+                                              vertex_window, &lgb);
+            if (!s.ok()) {
+              std::lock_guard<std::mutex> lock(status_mu);
+              if (sub_status.ok()) sub_status = s;
+            }
+            if (remaining.fetch_sub(1) == 1) {
+              std::lock_guard<std::mutex> lock(done_mu);
+              done_cv.notify_all();
+            }
+          });
+        }
+        {
+          std::unique_lock<std::mutex> lock(done_mu);
+          done_cv.wait(lock, [&] { return remaining.load() == 0; });
+        }
+        TGPP_RETURN_IF_ERROR(sub_status);
+
+        // AsyncSend(LGB): ship the combined updates to the owner of
+        // destination chunk j (paper in-memory local gather).
+        const uint64_t combined =
+            options_.in_memory_local_gather ? lgb.present_count() : 0;
+        if (combined > 0) {
+          machine->metrics()->updates_sent.fetch_add(
+              combined, std::memory_order_relaxed);
+          cluster_->fabric()->Send(m, j / q, kTagUpdates, lgb.Serialize());
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ProcessPartialSubChunk(int m, KWalkApp<V, U>& app,
+                                const PageFile& file,
+                                const EdgeChunkInfo& chunk,
+                                VertexRange vw_range,
+                                const std::vector<V>& vertex_window,
+                                engine_internal::DenseLgb<U>* lgb) {
+    if (chunk.num_pages == 0) return Status::OK();
+    Machine* machine = cluster_->machine(m);
+    MachineState& state = *states_[m];
+    const VertexId active_base = pg_->MachineRange(m).begin;
+
+    ScatterContext<V, U> ctx;
+    ctx.level_ = 1;
+    ctx.aggregate_ = &state.aggregate;
+    // Ablation path: with local gather disabled, updates bypass the LGB
+    // and are shipped raw (uncombined).
+    std::vector<uint8_t> raw_updates;
+    uint64_t raw_count = 0;
+    if (options_.in_memory_local_gather) {
+      ctx.update_fn_ = [&](VertexId dst, const U& val) {
+        machine->metrics()->updates_generated.fetch_add(
+            1, std::memory_order_relaxed);
+        lgb->Accumulate(dst, val, app.vertex_gather);
+      };
+    } else {
+      ctx.update_fn_ = [&](VertexId dst, const U& val) {
+        machine->metrics()->updates_generated.fetch_add(
+            1, std::memory_order_relaxed);
+        AppendPod<VertexId>(&raw_updates, dst);
+        AppendPod<U>(&raw_updates, val);
+        ++raw_count;
+      };
+    }
+    ctx.mark_fn_ = [](VertexId) {};  // partial mode is single level
+
+    // Asynchronous read-ahead: page t+1 is in flight while page t is
+    // scanned (the disk/CPU overlap of 3-LPO).
+    const uint64_t first = chunk.first_page;
+    const uint64_t count = chunk.num_pages;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<uint64_t, PageHandle>> ready;
+
+    auto submit = [&](uint64_t page_no) {
+      machine->io()->SubmitReads(
+          machine->buffer_pool(), &file, {page_no},
+          [&](uint64_t no, PageHandle handle) {
+            std::lock_guard<std::mutex> lock(mu);
+            ready.emplace_back(no, std::move(handle));
+            cv.notify_all();
+          });
+    };
+
+    const uint64_t read_ahead =
+        static_cast<uint64_t>(std::max(1, options_.read_ahead_pages));
+    uint64_t submitted = 0;
+    for (; submitted < std::min(count, read_ahead); ++submitted) {
+      submit(first + submitted);
+    }
+    for (uint64_t processed = 0; processed < count; ++processed) {
+      std::pair<uint64_t, PageHandle> item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !ready.empty(); });
+        item = std::move(ready.front());
+        ready.pop_front();
+      }
+      if (submitted < count) {
+        submit(first + submitted);
+        ++submitted;
+      }
+      SlottedPageReader reader(item.second.data());
+      const uint32_t slots = reader.num_slots();
+      for (uint32_t s = 0; s < slots; ++s) {
+        const VertexId src = reader.SrcAt(s);
+        if (!state.active.Test(src - active_base)) continue;
+        const V& attr = vertex_window[src - vw_range.begin];
+        app.adj_scatter[1](ctx, src, attr, reader.DstsAt(s));
+      }
+    }
+    if (raw_count > 0) {
+      std::vector<uint8_t> payload;
+      AppendPod<uint8_t>(&payload, 0);  // kind: data
+      AppendPod<uint64_t>(&payload, raw_count);
+      payload.insert(payload.end(), raw_updates.begin(),
+                     raw_updates.end());
+      machine->metrics()->updates_sent.fetch_add(
+          raw_count, std::memory_order_relaxed);
+      cluster_->fabric()->Send(m, chunk.dst_chunk / pg_->q, kTagUpdates,
+                               std::move(payload));
+    }
+    return Status::OK();
+  }
+
+  // ---- full adjacency list mode scatter (k-walk enumeration) ----
+
+  Status ScatterFull(int m, KWalkApp<V, U>& app,
+                     AdjacencyService* adj_service) {
+    Machine* machine = cluster_->machine(m);
+    MachineState& state = *states_[m];
+    const VertexRange my_range = pg_->MachineRange(m);
+    const int q = pg_->q;
+
+    MemoryModelInput mm;
+    mm.k = app.k;
+    mm.p = pg_->p;
+    mm.num_vertices = pg_->num_vertices;
+    mm.vertex_attr_bytes = sizeof(V);
+    mm.page_size = kPageSize;
+    mm.total_budget_bytes = machine->WindowMemoryBytes();
+    const WindowSizes sizes = ComputeWindowSizes(mm, q);
+    const uint64_t adj_budget = sizes.adj_window_bytes;
+
+    std::vector<V> vertex_window;
+    for (int i = 0; i < q; ++i) {
+      const VertexRange vr = pg_->VertexChunkRange(m, i);
+      if (vr.size() == 0) continue;
+      if (state.active.CountSetInRange(vr.begin - my_range.begin,
+                                       vr.end - my_range.begin) == 0) {
+        continue;
+      }
+      TGPP_RETURN_IF_ERROR(ReadAttrRange(m, vr, &vertex_window));
+
+      // Batch active vertices of this window so materialized full lists
+      // stay within the adjacency window budget.
+      std::vector<VertexId> pending;
+      state.active.ForEachSet(
+          vr.begin - my_range.begin, vr.end - my_range.begin,
+          [&](uint64_t bit) { pending.push_back(my_range.begin + bit); });
+      size_t pos = 0;
+      while (pos < pending.size()) {
+        uint64_t batch_bytes = 0;
+        size_t end = pos;
+        while (end < pending.size()) {
+          const uint64_t bytes =
+              (pg_->out_degree[pending[end]] + 2) * sizeof(VertexId);
+          if (end > pos && batch_bytes + bytes > adj_budget) break;
+          batch_bytes += bytes;
+          ++end;
+        }
+        AdjBatch batch;
+        {
+          ScopedCpuAccumulator enum_cpu(
+              &machine->metrics()->enumeration_cpu_nanos);
+          TGPP_RETURN_IF_ERROR(adj_service->MaterializeLocal(
+              std::span<const VertexId>(pending.data() + pos, end - pos),
+              &batch));
+        }
+        std::vector<const AdjBatch*> batch_stack;
+        std::vector<const ParentIndex*> index_stack;
+        TGPP_RETURN_IF_ERROR(ProcessFullLevel(m, app, adj_service, 1,
+                                              batch, &batch_stack,
+                                              &index_stack, &vr,
+                                              &vertex_window, adj_budget));
+        pos = end;
+      }
+    }
+    return Status::OK();
+  }
+
+  using ParentIndex = typename ScatterContext<V, U>::ParentIndex;
+
+  // Recursively processes one materialized window at level l, building the
+  // voi/parent index for level l+1 from Mark() calls (the
+  // mark-and-backward-traversal of paper §2.2). `batch_stack` and
+  // `index_stack` hold the still-resident ancestor windows and the parent
+  // indexes of the enclosing levels (the appendix A.6 generalization).
+  Status ProcessFullLevel(int m, KWalkApp<V, U>& app,
+                          AdjacencyService* adj_service, int level,
+                          const AdjBatch& batch,
+                          std::vector<const AdjBatch*>* batch_stack,
+                          std::vector<const ParentIndex*>* index_stack,
+                          const VertexRange* vw_range,
+                          const std::vector<V>* vertex_window,
+                          uint64_t adj_budget) {
+    Machine* machine = cluster_->machine(m);
+    MachineState& state = *states_[m];
+    batch_stack->push_back(&batch);
+
+    const bool last_level = (level == app.k);
+    ParentIndex next_parent_index;
+    std::mutex mark_mu;
+
+    // Updates at the last level can target arbitrary vertices; each worker
+    // task uses its own fixed-capacity sparse LGB flushed to owners.
+    auto flush_sparse = [&](const std::unordered_map<VertexId, U>& map) {
+      std::vector<std::vector<uint8_t>> per_owner(pg_->p);
+      std::vector<uint64_t> counts(pg_->p, 0);
+      for (const auto& [vid, val] : map) {
+        const int owner = pg_->OwnerOf(vid);
+        if (per_owner[owner].empty()) {
+          AppendPod<uint8_t>(&per_owner[owner], 0);
+          AppendPod<uint64_t>(&per_owner[owner], 0);  // patched below
+        }
+        AppendPod<VertexId>(&per_owner[owner], vid);
+        AppendPod<U>(&per_owner[owner], val);
+        ++counts[owner];
+      }
+      for (int dst = 0; dst < pg_->p; ++dst) {
+        if (per_owner[dst].empty()) continue;
+        std::memcpy(per_owner[dst].data() + 1, &counts[dst],
+                    sizeof(uint64_t));
+        machine->metrics()->updates_sent.fetch_add(
+            counts[dst], std::memory_order_relaxed);
+        cluster_->fabric()->Send(m, dst, kTagUpdates,
+                                 std::move(per_owner[dst]));
+      }
+    };
+
+    auto process_range = [&](size_t lo, size_t hi) {
+      engine_internal::SparseLgb<U> lgb(/*capacity=*/4096, pg_->p);
+      ScatterContext<V, U> ctx;
+      ctx.level_ = level;
+      ctx.aggregate_ = &state.aggregate;
+      ctx.ancestor_batches_ = batch_stack;
+      ctx.parent_indexes_ = index_stack;
+      ctx.update_fn_ = [&](VertexId dst, const U& val) {
+        machine->metrics()->updates_generated.fetch_add(
+            1, std::memory_order_relaxed);
+        lgb.Accumulate(dst, val, app.vertex_gather, flush_sparse);
+      };
+      ctx.mark_fn_ = [&](VertexId v) {
+        // Record the walk's ending edge for backward traversal: the
+        // current source u becomes a parent of v at the next level.
+        // Consecutive duplicates (the same walk prefix marking v through
+        // several enumeration paths) are collapsed.
+        std::lock_guard<std::mutex> lock(mark_mu);
+        std::vector<VertexId>& parents = next_parent_index[v];
+        if (parents.empty() || parents.back() != ctx_current_) {
+          parents.push_back(ctx_current_);
+        }
+      };
+      for (size_t idx = lo; idx < hi; ++idx) {
+        const VertexId vid = batch.vids[idx];
+        ctx_current_ = vid;
+        // Attributes are available for local vertices inside the current
+        // vertex window; remote/other vertices see a default V (the
+        // supported apps only read attributes at level 1).
+        V attr{};
+        if (vertex_window != nullptr && vw_range->Contains(vid)) {
+          attr = (*vertex_window)[vid - vw_range->begin];
+        }
+        app.adj_scatter[level](ctx, vid, attr, batch.Neighbors(idx));
+      }
+      lgb.FlushAll(flush_sparse);
+    };
+
+    if (last_level && level > 1 && batch.size() > 1) {
+      // The computation level is the CPU-heavy one (set intersections);
+      // split it across the machine's worker threads.
+      const size_t n = batch.size();
+      const int tasks = std::min<int>(machine->workers()->num_threads(),
+                                      static_cast<int>(n));
+      std::atomic<int> remaining{tasks};
+      std::mutex done_mu;
+      std::condition_variable done_cv;
+      for (int t = 0; t < tasks; ++t) {
+        const size_t lo = n * t / tasks;
+        const size_t hi = n * (t + 1) / tasks;
+        machine->workers()->Submit([&, lo, hi] {
+          ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+          ProcessFullRangeOnWorker(m, app, batch, batch_stack, index_stack,
+                                   level, lo, hi, flush_sparse);
+          if (remaining.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lock(done_mu);
+            done_cv.notify_all();
+          }
+        });
+      }
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    } else {
+      process_range(0, batch.size());
+    }
+
+    if (last_level || next_parent_index.empty()) {
+      batch_stack->pop_back();
+      return Status::OK();
+    }
+
+    // Construct the level l+1 streams from voi[l+1]: sorted, grouped by
+    // owner, fetched in budget-bounded windows (remote owners answer from
+    // their disks over the fabric).
+    std::vector<VertexId> marked;
+    {
+      ScopedCpuAccumulator enum_cpu(
+          &machine->metrics()->enumeration_cpu_nanos);
+      marked.reserve(next_parent_index.size());
+      for (const auto& [vid, parents] : next_parent_index) {
+        marked.push_back(vid);
+      }
+      std::sort(marked.begin(), marked.end());
+    }
+    index_stack->push_back(&next_parent_index);
+    Status recurse_status;
+    size_t pos = 0;
+    while (pos < marked.size() && recurse_status.ok()) {
+      const int owner = pg_->OwnerOf(marked[pos]);
+      uint64_t batch_bytes = 0;
+      size_t end = pos;
+      while (end < marked.size() && pg_->OwnerOf(marked[end]) == owner) {
+        const uint64_t bytes =
+            (pg_->out_degree[marked[end]] + 2) * sizeof(VertexId);
+        if (end > pos && batch_bytes + bytes > adj_budget) break;
+        batch_bytes += bytes;
+        ++end;
+      }
+      AdjBatch next_batch;
+      recurse_status = adj_service->Fetch(
+          owner, std::span<const VertexId>(marked.data() + pos, end - pos),
+          &next_batch);
+      if (recurse_status.ok()) {
+        recurse_status = ProcessFullLevel(
+            m, app, adj_service, level + 1, next_batch, batch_stack,
+            index_stack, vw_range, vertex_window, adj_budget);
+      }
+      pos = end;
+    }
+    index_stack->pop_back();
+    batch_stack->pop_back();
+    return recurse_status;
+  }
+
+  // Worker-side body for the parallel last level (no marking, so no shared
+  // state beyond the flush path).
+  template <typename Flush>
+  void ProcessFullRangeOnWorker(
+      int m, KWalkApp<V, U>& app, const AdjBatch& batch,
+      const std::vector<const AdjBatch*>* batch_stack,
+      const std::vector<const ParentIndex*>* index_stack, int level,
+      size_t lo, size_t hi, const Flush& flush_sparse) {
+    Machine* machine = cluster_->machine(m);
+    MachineState& state = *states_[m];
+    engine_internal::SparseLgb<U> lgb(/*capacity=*/4096, pg_->p);
+    ScatterContext<V, U> ctx;
+    ctx.level_ = level;
+    ctx.aggregate_ = &state.aggregate;
+    ctx.ancestor_batches_ = batch_stack;
+    ctx.parent_indexes_ = index_stack;
+    ctx.update_fn_ = [&](VertexId dst, const U& val) {
+      machine->metrics()->updates_generated.fetch_add(
+          1, std::memory_order_relaxed);
+      lgb.Accumulate(dst, val, app.vertex_gather, flush_sparse);
+    };
+    ctx.mark_fn_ = [](VertexId) {
+      TGPP_CHECK(false) << "Mark() is not valid at the last level";
+    };
+    for (size_t idx = lo; idx < hi; ++idx) {
+      V attr{};
+      app.adj_scatter[level](ctx, batch.vids[idx], attr,
+                             batch.Neighbors(idx));
+    }
+    lgb.FlushAll(flush_sparse);
+  }
+
+  // ---- global gather task (Algorithm 2) ----
+
+  struct GatherRuntime {
+    VertexRange chunk0;
+    engine_internal::DenseLgb<U> ggb;  // in-memory global gather buffer
+    Status status;
+    // Buffered spill writers, one per chunk >= 1.
+    std::vector<std::vector<uint8_t>> spill_buffers;
+  };
+
+  std::string SpillFileName(int c) const {
+    return "spill_" + std::to_string(c) + ".bin";
+  }
+
+  static std::string CheckpointFile(const std::string& tag) {
+    return "checkpoint_" + tag + ".vattr";
+  }
+  static std::string CheckpointFrontierFile(const std::string& tag) {
+    return "checkpoint_" + tag + ".frontier";
+  }
+
+  int ChunkOfLocal(int m, VertexId vid) const {
+    const VertexRange range = pg_->MachineRange(m);
+    const uint64_t chunk =
+        (range.size() + pg_->q - 1) / std::max(1, pg_->q);
+    return chunk == 0 ? 0 : static_cast<int>((vid - range.begin) / chunk);
+  }
+
+  void GlobalGatherLoop(int m, KWalkApp<V, U>& app, GatherRuntime* grt) {
+    Machine* machine = cluster_->machine(m);
+    ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
+    grt->spill_buffers.assign(pg_->q, {});
+    constexpr size_t kSpillFlushBytes = 64 * 1024;
+
+    auto flush_spill = [&](int c) -> Status {
+      auto& buf = grt->spill_buffers[c];
+      if (buf.empty()) return Status::OK();
+      uint64_t offset;
+      TGPP_RETURN_IF_ERROR(machine->disk()->Append(
+          SpillFileName(c), buf.data(), buf.size(), &offset));
+      buf.clear();
+      return Status::OK();
+    };
+
+    int done_markers = 0;
+    Message msg;
+    while (done_markers < pg_->p &&
+           cluster_->fabric()->Recv(m, kTagUpdates, &msg)) {
+      PodReader reader(msg.payload);
+      const uint8_t kind = reader.Read<uint8_t>();
+      if (kind == 1) {
+        ++done_markers;
+        continue;
+      }
+      const uint64_t count = reader.Read<uint64_t>();
+      for (uint64_t i = 0; i < count; ++i) {
+        const VertexId vid = reader.Read<VertexId>();
+        const U val = reader.Read<U>();
+        const int c = ChunkOfLocal(m, vid);
+        if (c == 0) {
+          grt->ggb.Accumulate(vid, val, app.vertex_gather);
+          machine->metrics()->updates_local_gathered.fetch_add(
+              1, std::memory_order_relaxed);
+        } else {
+          AppendPod<VertexId>(&grt->spill_buffers[c], vid);
+          AppendPod<U>(&grt->spill_buffers[c], val);
+          machine->metrics()->updates_spilled.fetch_add(
+              1, std::memory_order_relaxed);
+          if (grt->spill_buffers[c].size() >= kSpillFlushBytes) {
+            Status s = flush_spill(c);
+            if (!s.ok()) {
+              grt->status = s;
+              return;
+            }
+          }
+        }
+      }
+    }
+    for (int c = 1; c < pg_->q; ++c) {
+      Status s = flush_spill(c);
+      if (!s.ok()) {
+        grt->status = s;
+        return;
+      }
+    }
+  }
+
+  // ---- gather-spilled + apply, overlapped (Algorithms 3-4) ----
+
+  Status ApplyPhase(int m, KWalkApp<V, U>& app, GatherRuntime* grt) {
+    Machine* machine = cluster_->machine(m);
+    MachineState& state = *states_[m];
+    const int q = pg_->q;
+    const VertexId local_base = pg_->MachineRange(m).begin;
+
+    // Producer: gathers spilled partitions into dense per-chunk GGBs while
+    // the consumer applies earlier chunks (double buffering via a slot
+    // queue of depth 2).
+    struct Slot {
+      int chunk;
+      engine_internal::DenseLgb<U> ggb;
+    };
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Slot> slots;
+    Status producer_status;
+    bool producer_done = (q <= 1);
+
+    std::thread producer;
+    if (q > 1) {
+      producer = std::thread([&] {
+        ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
+        for (int c = 1; c < q; ++c) {
+          Slot slot;
+          slot.chunk = c;
+          slot.ggb.Reset(pg_->VertexChunkRange(m, c));
+          Result<uint64_t> size =
+              machine->disk()->FileSize(SpillFileName(c));
+          if (!size.ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            producer_status = size.status();
+            producer_done = true;
+            cv.notify_all();
+            return;
+          }
+          std::vector<uint8_t> data(*size);
+          if (*size > 0) {
+            Status s = machine->disk()->Read(SpillFileName(c), 0,
+                                             data.data(), data.size());
+            if (!s.ok()) {
+              std::lock_guard<std::mutex> lock(mu);
+              producer_status = s;
+              producer_done = true;
+              cv.notify_all();
+              return;
+            }
+          }
+          PodReader reader(data);
+          while (!reader.AtEnd()) {
+            const VertexId vid = reader.Read<VertexId>();
+            const U val = reader.Read<U>();
+            slot.ggb.Accumulate(vid, val, app.vertex_gather);
+          }
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return slots.size() < 2; });
+          slots.push_back(std::move(slot));
+          cv.notify_all();
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        producer_done = true;
+        cv.notify_all();
+      });
+    }
+
+    // Consumer: Apply (Algorithm 4).
+    Status apply_status;
+    {
+      ScopedCpuAccumulator cpu(&machine->metrics()->apply_cpu_nanos);
+      std::vector<V> attrs;
+      for (int c = 0; c < q && apply_status.ok(); ++c) {
+        engine_internal::DenseLgb<U>* ggb = nullptr;
+        Slot slot;
+        if (c == 0) {
+          ggb = &grt->ggb;
+        } else {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] {
+            return !slots.empty() || (producer_done && !producer_status.ok());
+          });
+          if (!producer_status.ok()) break;
+          slot = std::move(slots.front());
+          slots.pop_front();
+          cv.notify_all();
+          TGPP_CHECK(slot.chunk == c);
+          ggb = &slot.ggb;
+        }
+        const VertexRange chunk = pg_->VertexChunkRange(m, c);
+        if (chunk.size() == 0) continue;
+        apply_status = ReadAttrRange(m, chunk, &attrs);
+        if (!apply_status.ok()) break;
+        ApplyChunk(app, chunk, ggb, local_base, &state, &attrs);
+        apply_status = WriteAttrRange(m, chunk, attrs);
+      }
+    }
+    if (producer.joinable()) producer.join();
+    TGPP_RETURN_IF_ERROR(producer_status);
+    return apply_status;
+  }
+
+  void ApplyChunk(KWalkApp<V, U>& app, VertexRange chunk,
+                  engine_internal::DenseLgb<U>* ggb, VertexId local_base,
+                  MachineState* state, std::vector<V>* attrs) {
+    // DenseLgb internals are reused as the GGB: values + present flags.
+    const std::vector<uint8_t>* present = nullptr;
+    const std::vector<U>* values = nullptr;
+    ggb->ExposeForApply(&values, &present);
+    for (uint64_t i = 0; i < chunk.size(); ++i) {
+      const bool has_update = (*present)[i] != 0;
+      if (app.apply_mode == ApplyMode::kUpdatedOnly && !has_update) {
+        continue;
+      }
+      const VertexId vid = chunk.begin + i;
+      const U* update = has_update ? &(*values)[i] : nullptr;
+      const bool active_next = app.vertex_apply(vid, (*attrs)[i], update);
+      if (active_next) state->next_active.Set(vid - local_base);
+    }
+  }
+
+  // ---- allreduce over the fabric (control plane) ----
+
+  Status Allreduce(int m, uint64_t local_active, uint64_t local_aggregate) {
+    Fabric* fabric = cluster_->fabric();
+    std::vector<uint8_t> payload;
+    AppendPod<uint64_t>(&payload, local_active);
+    AppendPod<uint64_t>(&payload, local_aggregate);
+    fabric->Send(m, 0, kTagControl, std::move(payload));
+    if (m == 0) {
+      uint64_t total_active = 0;
+      uint64_t total_aggregate = 0;
+      for (int i = 0; i < pg_->p; ++i) {
+        Message msg;
+        if (!fabric->Recv(0, kTagControl, &msg)) {
+          return Status::Aborted("fabric shutdown during allreduce");
+        }
+        PodReader reader(msg.payload);
+        total_active += reader.Read<uint64_t>();
+        total_aggregate += reader.Read<uint64_t>();
+      }
+      global_active_.store(total_active, std::memory_order_relaxed);
+      global_aggregate_.fetch_add(total_aggregate,
+                                  std::memory_order_relaxed);
+      for (int i = 1; i < pg_->p; ++i) {
+        fabric->Send(0, i, kTagControl, {});
+      }
+    } else {
+      Message ack;
+      if (!fabric->Recv(m, kTagControl, &ack)) {
+        return Status::Aborted("fabric shutdown during allreduce");
+      }
+    }
+    cluster_->Barrier();
+    return Status::OK();
+  }
+
+  Cluster* cluster_;
+  const PartitionedGraph* pg_;
+  EngineOptions options_;
+  std::vector<std::unique_ptr<MachineState>> states_;
+  std::atomic<uint64_t> global_active_{0};
+  std::atomic<uint64_t> global_aggregate_{0};
+
+  // Scratch for the serial full-mode context (one orchestrator per
+  // machine; see process_range).
+  thread_local static VertexId ctx_current_;
+};
+
+template <typename V, typename U>
+thread_local VertexId NwsmEngine<V, U>::ctx_current_ = kInvalidVertex;
+
+}  // namespace tgpp
+
+#endif  // TGPP_CORE_ENGINE_H_

@@ -1,0 +1,70 @@
+#include "core/memory_model.h"
+
+#include <algorithm>
+
+namespace tgpp {
+
+uint64_t TotalVertexAttrBytes(const MemoryModelInput& in) {
+  return in.num_vertices * in.vertex_attr_bytes;
+}
+
+uint64_t FixedLevelBytes(const MemoryModelInput& in) {
+  // alpha * |VA| = |V| / 8 (one bitmap over all vertices).
+  const uint64_t voi_bytes = (in.num_vertices + 7) / 8;
+  return static_cast<uint64_t>(in.k) * (2 * in.page_size + voi_bytes);
+}
+
+Result<int> ComputeQMin(const MemoryModelInput& in) {
+  const uint64_t fixed = FixedLevelBytes(in);
+  if (in.total_budget_bytes <= fixed) {
+    return Status::OutOfMemory(
+        "memory budget " + std::to_string(in.total_budget_bytes) +
+        " cannot cover fixed window costs " + std::to_string(fixed) +
+        " for k=" + std::to_string(in.k));
+  }
+  const uint64_t va = TotalVertexAttrBytes(in);
+  const uint64_t numer = (4ull * in.k + 1) * va;
+  const uint64_t denom = (in.total_budget_bytes - fixed) *
+                         static_cast<uint64_t>(in.p);
+  // ceil(numer / denom), at least 1.
+  const uint64_t q = std::max<uint64_t>(1, (numer + denom - 1) / denom);
+  if (q > in.num_vertices) {
+    return Status::OutOfMemory(
+        "required q=" + std::to_string(q) +
+        " exceeds vertices per machine; budget too small");
+  }
+  return static_cast<int>(q);
+}
+
+WindowSizes ComputeWindowSizes(const MemoryModelInput& in, int q) {
+  const uint64_t va = TotalVertexAttrBytes(in);
+  const uint64_t pq = static_cast<uint64_t>(in.p) * q;
+  WindowSizes sizes;
+  sizes.vertex_window_bytes = 2 * va / pq;
+  sizes.lgb_bytes = 2 * va / pq;
+  sizes.ggb_bytes = va / pq;
+  sizes.voi_bytes = (in.num_vertices + 7) / 8;
+  const uint64_t used =
+      static_cast<uint64_t>(in.k) *
+          (sizes.vertex_window_bytes + sizes.lgb_bytes + sizes.voi_bytes) +
+      sizes.ggb_bytes;
+  // Remaining budget goes to adjacency windows; the last level needs only a
+  // small share (paper §4.2), so we split the remainder across k levels but
+  // never below two pages per level.
+  const uint64_t remaining =
+      in.total_budget_bytes > used ? in.total_budget_bytes - used : 0;
+  sizes.adj_window_bytes =
+      std::max<uint64_t>(2 * in.page_size, remaining / std::max(1, in.k));
+  return sizes;
+}
+
+uint64_t MinimumRequiredBytes(const MemoryModelInput& in, int q) {
+  const uint64_t va = TotalVertexAttrBytes(in);
+  const uint64_t pq = static_cast<uint64_t>(in.p) * q;
+  const uint64_t voi_bytes = (in.num_vertices + 7) / 8;
+  return static_cast<uint64_t>(in.k) *
+             (4 * va / pq + 2 * in.page_size + voi_bytes) +
+         va / pq;
+}
+
+}  // namespace tgpp

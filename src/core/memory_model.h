@@ -1,0 +1,57 @@
+// Memory model for the NWSM engine (paper §4.2 and Theorem 4.1).
+//
+// Given a k-walk query and a memory budget, computes the minimum number of
+// vertex chunks per machine q_min such that all windows fit:
+//
+//   q_min = ceil[ (1/p) * (4k+1)|VA| / (|M|_total - k(2*PS + alpha*|VA|)) ]
+//
+// with |VA| the total vertex-attribute bytes, PS the page size, and
+// alpha*|VA| = |V|/8 the bitmap bytes of one voi set. From q the per-window
+// byte sizes of Equation 3 follow.
+
+#ifndef TGPP_CORE_MEMORY_MODEL_H_
+#define TGPP_CORE_MEMORY_MODEL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace tgpp {
+
+struct MemoryModelInput {
+  int k = 1;                      // walk length
+  int p = 1;                      // number of machines
+  uint64_t num_vertices = 0;      // |V|
+  uint64_t vertex_attr_bytes = 0; // per-vertex attribute size
+  uint64_t page_size = 64 * 1024; // PS
+  uint64_t total_budget_bytes = 0;// |M|_total per machine (after the fixed
+                                  // edge-page buffer is subtracted)
+};
+
+// Total vertex-attribute bytes |VA|.
+uint64_t TotalVertexAttrBytes(const MemoryModelInput& in);
+
+// The per-level fixed costs k*(2*PS + alpha*|VA|).
+uint64_t FixedLevelBytes(const MemoryModelInput& in);
+
+// q_min per Theorem 4.1. Fails with kOutOfMemory when even q -> infinity
+// cannot satisfy the budget (fixed costs alone exceed it).
+Result<int> ComputeQMin(const MemoryModelInput& in);
+
+// Equation 3 window sizes for a given q.
+struct WindowSizes {
+  uint64_t vertex_window_bytes;   // |vw^l|  = 2|VA|/(p q)
+  uint64_t lgb_bytes;             // |LGB^l| = 2|VA|/(p q)
+  uint64_t ggb_bytes;             // |GGB|   =  |VA|/(p q)
+  uint64_t voi_bytes;             // |voi^l| = |V|/8
+  uint64_t adj_window_bytes;      // remaining budget split across levels
+};
+
+WindowSizes ComputeWindowSizes(const MemoryModelInput& in, int q);
+
+// Total minimum requirement |M|_min of Equation 4 for a given q.
+uint64_t MinimumRequiredBytes(const MemoryModelInput& in, int q);
+
+}  // namespace tgpp
+
+#endif  // TGPP_CORE_MEMORY_MODEL_H_

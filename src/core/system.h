@@ -1,0 +1,103 @@
+// TurboGraphSystem: the user-facing entry point.
+//
+// Owns the simulated cluster and the partitioned graph, and implements the
+// adaptive step of Algorithm 1 (lines 1-4): before a query runs, q_new is
+// computed from the memory model; if the current partitioning is too
+// coarse (q_new > q), BBP is re-executed with the finer q. This is what
+// lets TurboGraph++ run any supported query under a fixed memory budget
+// instead of crashing.
+
+#ifndef TGPP_CORE_SYSTEM_H_
+#define TGPP_CORE_SYSTEM_H_
+
+#include <memory>
+#include <utility>
+
+#include "core/engine.h"
+#include "util/timer.h"
+
+namespace tgpp {
+
+class TurboGraphSystem {
+ public:
+  explicit TurboGraphSystem(const ClusterConfig& config)
+      : cluster_(std::make_unique<Cluster>(config)) {}
+
+  Cluster* cluster() { return cluster_.get(); }
+  const PartitionedGraph* partition() const { return &pg_; }
+  const EdgeList& graph() const { return graph_; }
+
+  // Partitions `graph` onto the cluster (BBP by default). `q` below 1
+  // means "start at q=1 and let queries repartition on demand".
+  Status LoadGraph(EdgeList graph,
+                   PartitionScheme scheme = PartitionScheme::kBbp,
+                   int q = 1) {
+    graph_ = std::move(graph);
+    scheme_ = scheme;
+    return Repartition(q < 1 ? 1 : q);
+  }
+
+  // Wall-clock cost of the most recent (re)partitioning — the Fig 8(a)
+  // preprocessing measurement.
+  double last_partition_seconds() const { return last_partition_seconds_; }
+
+  // Runs the query end to end: memory check (+ repartition if needed),
+  // ProcessVertices, supersteps. On success optionally returns the final
+  // attributes indexed by OLD vertex id.
+  template <typename V, typename U>
+  Result<QueryStats> RunQuery(KWalkApp<V, U>& app,
+                              std::vector<V>* attrs_by_old_id = nullptr,
+                              EngineOptions options = {}) {
+    NwsmEngine<V, U> probe(cluster_.get(), &pg_);
+    TGPP_ASSIGN_OR_RETURN(const int q_needed, probe.ComputeRequiredQ(app));
+    if (q_needed > pg_.q) {
+      TGPP_LOG(Info) << "query needs q=" << q_needed << " > current q="
+                     << pg_.q << "; re-executing BBP";
+      TGPP_RETURN_IF_ERROR(Repartition(q_needed));
+    }
+    NwsmEngine<V, U> engine(cluster_.get(), &pg_, options);
+    TGPP_RETURN_IF_ERROR(engine.Initialize(app));
+    TGPP_ASSIGN_OR_RETURN(QueryStats stats, engine.Run(app));
+    if (attrs_by_old_id != nullptr) {
+      std::vector<V> by_new_id;
+      TGPP_RETURN_IF_ERROR(engine.ReadAttributes(&by_new_id));
+      attrs_by_old_id->resize(by_new_id.size());
+      for (VertexId new_id = 0; new_id < by_new_id.size(); ++new_id) {
+        (*attrs_by_old_id)[pg_.new_to_old[new_id]] = by_new_id[new_id];
+      }
+    }
+    return stats;
+  }
+
+  // Convenience overload: run with engine options, discarding attributes.
+  template <typename V, typename U>
+  Result<QueryStats> RunQuery(KWalkApp<V, U>& app, EngineOptions options) {
+    return RunQuery<V, U>(app, nullptr, options);
+  }
+
+  Status Repartition(int q) {
+    WallTimer timer;
+    PartitionOptions options;
+    options.scheme = scheme_;
+    options.q = q;
+    TGPP_ASSIGN_OR_RETURN(pg_, PartitionGraph(cluster_.get(), graph_,
+                                              options));
+    // The edge files were rewritten; any cached pages are stale.
+    for (int m = 0; m < cluster_->num_machines(); ++m) {
+      cluster_->machine(m)->buffer_pool()->DropAll();
+    }
+    last_partition_seconds_ = timer.Seconds();
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<Cluster> cluster_;
+  EdgeList graph_;
+  PartitionScheme scheme_ = PartitionScheme::kBbp;
+  PartitionedGraph pg_;
+  double last_partition_seconds_ = 0;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_CORE_SYSTEM_H_

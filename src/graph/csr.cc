@@ -1,0 +1,132 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tgpp {
+
+Csr Csr::BuildImpl(const EdgeList& graph, bool transposed,
+                   bool sort_neighbors) {
+  struct Access {
+    static VertexId Src(const Edge& e, bool t) { return t ? e.dst : e.src; }
+    static VertexId Dst(const Edge& e, bool t) { return t ? e.src : e.dst; }
+  };
+  const uint64_t n = graph.num_vertices;
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (const Edge& e : graph.edges) {
+    ++offsets[Access::Src(e, transposed) + 1];
+  }
+  for (uint64_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> neighbors(graph.edges.size());
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : graph.edges) {
+    neighbors[cursor[Access::Src(e, transposed)]++] =
+        Access::Dst(e, transposed);
+  }
+  if (sort_neighbors) {
+    for (uint64_t v = 0; v < n; ++v) {
+      std::sort(neighbors.begin() + offsets[v],
+                neighbors.begin() + offsets[v + 1]);
+    }
+  }
+  Csr csr;
+  csr.num_vertices_ = n;
+  csr.offsets_ = std::move(offsets);
+  csr.neighbors_ = std::move(neighbors);
+  return csr;
+}
+
+Csr Csr::Build(const EdgeList& graph, bool sort_neighbors) {
+  return BuildImpl(graph, /*transposed=*/false, sort_neighbors);
+}
+
+Csr Csr::BuildTransposed(const EdgeList& graph, bool sort_neighbors) {
+  return BuildImpl(graph, /*transposed=*/true, sort_neighbors);
+}
+
+namespace {
+// Galloping search: first index in [lo, a.size()) with a[i] >= key.
+size_t GallopLowerBound(std::span<const VertexId> a, size_t lo,
+                        VertexId key) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < a.size() && a[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, a.size());
+  return static_cast<size_t>(
+      std::lower_bound(a.begin() + lo, a.begin() + hi, key) - a.begin());
+}
+
+template <typename Emit>
+void IntersectImpl(std::span<const VertexId> a, std::span<const VertexId> b,
+                   Emit emit) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return;
+  if (b.size() / (a.size() + 1) >= 8) {
+    // Very unbalanced: gallop through the long list.
+    size_t j = 0;
+    for (VertexId x : a) {
+      j = GallopLowerBound(b, j, x);
+      if (j == b.size()) break;
+      if (b[j] == x) {
+        emit(x);
+        ++j;
+      }
+    }
+    return;
+  }
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      emit(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+}  // namespace
+
+uint64_t SortedIntersectionCount(std::span<const VertexId> a,
+                                 std::span<const VertexId> b) {
+  uint64_t count = 0;
+  IntersectImpl(a, b, [&count](VertexId) { ++count; });
+  return count;
+}
+
+void SortedIntersection(std::span<const VertexId> a,
+                        std::span<const VertexId> b,
+                        std::vector<VertexId>* out) {
+  IntersectImpl(a, b, [out](VertexId v) { out->push_back(v); });
+}
+
+namespace {
+std::span<const VertexId> SuffixAbove(std::span<const VertexId> s,
+                                      VertexId min_exclusive) {
+  auto it = std::upper_bound(s.begin(), s.end(), min_exclusive);
+  return s.subspan(static_cast<size_t>(it - s.begin()));
+}
+}  // namespace
+
+uint64_t SortedIntersectionCountAbove(std::span<const VertexId> a,
+                                      std::span<const VertexId> b,
+                                      VertexId min_exclusive) {
+  return SortedIntersectionCount(SuffixAbove(a, min_exclusive),
+                                 SuffixAbove(b, min_exclusive));
+}
+
+void ForEachCommonAbove(std::span<const VertexId> a,
+                        std::span<const VertexId> b, VertexId min_exclusive,
+                        const std::function<void(VertexId)>& fn) {
+  IntersectImpl(SuffixAbove(a, min_exclusive), SuffixAbove(b, min_exclusive),
+                [&fn](VertexId v) { fn(v); });
+}
+
+}  // namespace tgpp

@@ -1,0 +1,79 @@
+// Compressed sparse row adjacency structure.
+//
+// Used by the in-memory baseline systems (Gemini-like, Pregel+-like) and by
+// the single-threaded reference implementations that tests validate
+// against. The NWSM engine itself never builds a global CSR — that is the
+// point of the windowed streaming model.
+
+#ifndef TGPP_GRAPH_CSR_H_
+#define TGPP_GRAPH_CSR_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace tgpp {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds out-neighbor CSR. If `sort_neighbors` is set, each adjacency
+  // list is sorted ascending (required for intersection-based queries).
+  static Csr Build(const EdgeList& graph, bool sort_neighbors = false);
+
+  // Builds in-neighbor CSR (neighbors(v) = sources of edges into v).
+  static Csr BuildTransposed(const EdgeList& graph,
+                             bool sort_neighbors = false);
+
+  uint64_t num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return neighbors_.size(); }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  uint64_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  uint64_t size_bytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           neighbors_.size() * sizeof(VertexId);
+  }
+
+ private:
+  static Csr BuildImpl(const EdgeList& graph, bool transposed,
+                       bool sort_neighbors);
+
+  uint64_t num_vertices_ = 0;
+  std::vector<uint64_t> offsets_;   // size num_vertices_ + 1
+  std::vector<VertexId> neighbors_;
+};
+
+// Number of elements in the intersection of two ascending-sorted lists.
+// Uses galloping when the lengths are very unbalanced — the degree-ordered
+// IDs produced by BBP make this the hot loop of TC/LCC (paper §3).
+uint64_t SortedIntersectionCount(std::span<const VertexId> a,
+                                 std::span<const VertexId> b);
+
+// Appends the intersection elements to `out`.
+void SortedIntersection(std::span<const VertexId> a,
+                        std::span<const VertexId> b,
+                        std::vector<VertexId>* out);
+
+// Intersection restricted to elements strictly greater than `min_exclusive`
+// — the degree-order partial-order filter of triangle enumeration.
+uint64_t SortedIntersectionCountAbove(std::span<const VertexId> a,
+                                      std::span<const VertexId> b,
+                                      VertexId min_exclusive);
+
+// Invokes fn(w) for every common element w > min_exclusive.
+void ForEachCommonAbove(std::span<const VertexId> a,
+                        std::span<const VertexId> b, VertexId min_exclusive,
+                        const std::function<void(VertexId)>& fn);
+
+}  // namespace tgpp
+
+#endif  // TGPP_GRAPH_CSR_H_

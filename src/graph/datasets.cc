@@ -1,0 +1,41 @@
+#include "graph/datasets.h"
+
+#include "graph/rmat.h"
+
+namespace tgpp {
+
+const std::vector<DatasetSpec>& RealGraphStandIns() {
+  // Average degrees follow Table 1: TWT ~33, YH ~4.4, CW09 ~1.5, CW12 ~10.6.
+  // Sizes ascend TWT < YH < CW09 < CW12 as in the paper.
+  static const std::vector<DatasetSpec>* kSpecs =
+      new std::vector<DatasetSpec>{
+          {"TWT-S", "Twitter (41.6M V, 1.37B E)", 12, 1ull << 17, 101},
+          {"YH-S", "YahooWeb (1.4B V, 6.18B E)", 16, 5ull << 16, 102},
+          {"CW09-S", "ClueWeb09 (4.8B V, 7.39B E)", 18, 6ull << 16, 103},
+          {"CW12-S", "ClueWeb12 (6.3B V, 66.8B E)", 18, 1ull << 20, 104},
+      };
+  return *kSpecs;
+}
+
+const DatasetSpec& HyperlinkStandIn() {
+  static const DatasetSpec* kSpec = new DatasetSpec{
+      "HL-S", "Hyperlink (3.3B V, 119B E)", 16, 1ull << 21, 105};
+  return *kSpec;
+}
+
+const DatasetSpec* FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : RealGraphStandIns()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+EdgeList GenerateDataset(const DatasetSpec& spec) {
+  RmatParams params;
+  params.vertex_scale = spec.vertex_scale;
+  params.num_edges = spec.num_edges;
+  params.seed = spec.seed;
+  return GenerateRmat(params);
+}
+
+}  // namespace tgpp

@@ -1,0 +1,45 @@
+// Named dataset stand-ins for the paper's real-world graphs.
+//
+// The paper evaluates on Twitter (TWT), YahooWeb (YH), ClueWeb09 (CW09) and
+// ClueWeb12 (CW12) — 1.4 B to 66.8 B edges. Those corpora are not available
+// here, so each named dataset is a deterministic RMAT graph whose *relative*
+// size ordering and average degree match the original (Table 1), scaled by
+// ~2^13. That preserves what the evaluation actually depends on: which
+// graphs fit in the (correspondingly scaled) memory budget, the ordering of
+// graph sizes, and degree skew.
+
+#ifndef TGPP_GRAPH_DATASETS_H_
+#define TGPP_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace tgpp {
+
+struct DatasetSpec {
+  std::string name;        // e.g. "TWT-S"
+  std::string paper_name;  // e.g. "Twitter (41.6M V, 1.37B E)"
+  int vertex_scale;        // |V| = 2^vertex_scale
+  uint64_t num_edges;
+  uint64_t seed;
+};
+
+// TWT-S, YH-S, CW09-S, CW12-S in ascending size order.
+const std::vector<DatasetSpec>& RealGraphStandIns();
+
+// Finds a spec by name (e.g. "YH-S"); nullptr if unknown.
+const DatasetSpec* FindDataset(const std::string& name);
+
+// HL-S: stand-in for the appendix's hyperlink graph (3.3B V, 119B E) —
+// larger than every graph in RealGraphStandIns(), used by the
+// larger-memory experiments (Fig 20).
+const DatasetSpec& HyperlinkStandIn();
+
+// Generates the dataset (deterministic).
+EdgeList GenerateDataset(const DatasetSpec& spec);
+
+}  // namespace tgpp
+
+#endif  // TGPP_GRAPH_DATASETS_H_

@@ -1,0 +1,47 @@
+#include "graph/degree.h"
+
+#include <algorithm>
+
+namespace tgpp {
+
+std::vector<uint64_t> ComputeOutDegrees(const EdgeList& graph) {
+  std::vector<uint64_t> degrees(graph.num_vertices, 0);
+  for (const Edge& e : graph.edges) ++degrees[e.src];
+  return degrees;
+}
+
+std::vector<uint64_t> ComputeInDegrees(const EdgeList& graph) {
+  std::vector<uint64_t> degrees(graph.num_vertices, 0);
+  for (const Edge& e : graph.edges) ++degrees[e.dst];
+  return degrees;
+}
+
+std::vector<uint64_t> ComputeTotalDegrees(const EdgeList& graph) {
+  std::vector<uint64_t> degrees(graph.num_vertices, 0);
+  for (const Edge& e : graph.edges) {
+    ++degrees[e.src];
+    ++degrees[e.dst];
+  }
+  return degrees;
+}
+
+DegreeStats ComputeDegreeStats(const EdgeList& graph) {
+  DegreeStats stats;
+  if (graph.num_vertices == 0) return stats;
+  std::vector<uint64_t> degrees = ComputeOutDegrees(graph);
+  std::vector<uint64_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint64_t>());
+  stats.max_degree = sorted.front();
+  stats.mean_degree =
+      static_cast<double>(graph.num_edges()) / graph.num_vertices;
+  const size_t top = std::max<size_t>(1, sorted.size() / 100);
+  uint64_t top_edges = 0;
+  for (size_t i = 0; i < top; ++i) top_edges += sorted[i];
+  stats.top1pct_edge_share =
+      graph.num_edges() == 0
+          ? 0
+          : static_cast<double>(top_edges) / graph.num_edges();
+  return stats;
+}
+
+}  // namespace tgpp

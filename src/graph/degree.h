@@ -1,0 +1,29 @@
+// Degree computations over edge lists.
+
+#ifndef TGPP_GRAPH_DEGREE_H_
+#define TGPP_GRAPH_DEGREE_H_
+
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace tgpp {
+
+std::vector<uint64_t> ComputeOutDegrees(const EdgeList& graph);
+std::vector<uint64_t> ComputeInDegrees(const EdgeList& graph);
+// out-degree + in-degree per vertex.
+std::vector<uint64_t> ComputeTotalDegrees(const EdgeList& graph);
+
+struct DegreeStats {
+  uint64_t max_degree = 0;
+  double mean_degree = 0;
+  // Fraction of edges incident (as source) to the top 1% highest-degree
+  // vertices — a skew indicator.
+  double top1pct_edge_share = 0;
+};
+
+DegreeStats ComputeDegreeStats(const EdgeList& graph);
+
+}  // namespace tgpp
+
+#endif  // TGPP_GRAPH_DEGREE_H_

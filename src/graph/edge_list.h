@@ -1,0 +1,42 @@
+// EdgeList: an in-memory edge list with binary (de)serialization and the
+// usual cleanup helpers. This is the interchange format between the
+// generator, the partitioners, and the reference implementations.
+
+#ifndef TGPP_GRAPH_EDGE_LIST_H_
+#define TGPP_GRAPH_EDGE_LIST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace tgpp {
+
+struct EdgeList {
+  uint64_t num_vertices = 0;
+  std::vector<Edge> edges;
+
+  uint64_t num_edges() const { return edges.size(); }
+  uint64_t size_bytes() const {
+    return edges.size() * sizeof(Edge) + sizeof(uint64_t);
+  }
+};
+
+// Removes u->u edges in place.
+void RemoveSelfLoops(EdgeList* graph);
+
+// Sorts and removes duplicate edges in place.
+void DeduplicateEdges(EdgeList* graph);
+
+// Adds the reverse of every edge and deduplicates; used to express
+// undirected graphs as paired directed edges (paper §2).
+void MakeUndirected(EdgeList* graph);
+
+// Binary round-trip: [num_vertices:u64][num_edges:u64][edges...].
+Status SaveEdgeList(const EdgeList& graph, const std::string& path);
+Result<EdgeList> LoadEdgeList(const std::string& path);
+
+}  // namespace tgpp
+
+#endif  // TGPP_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,60 @@
+#include "graph/rmat.h"
+
+#include "common/logging.h"
+#include "util/rng.h"
+
+namespace tgpp {
+
+EdgeList GenerateRmat(const RmatParams& params) {
+  TGPP_CHECK(params.vertex_scale >= 1 && params.vertex_scale < 63);
+  const double a = params.a, b = params.b, c = params.c;
+  TGPP_CHECK(a + b + c < 1.0) << "RMAT quadrant probabilities must sum < 1";
+
+  EdgeList graph;
+  graph.num_vertices = 1ull << params.vertex_scale;
+  graph.edges.reserve(params.num_edges);
+
+  Xoshiro256 rng(params.seed);
+  for (uint64_t i = 0; i < params.num_edges; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (int level = params.vertex_scale - 1; level >= 0; --level) {
+      // Perturb quadrant probabilities slightly per level (standard RMAT
+      // noise keeps the degree distribution smooth).
+      const double noise = 0.9 + 0.2 * rng.NextDouble();
+      const double an = a * noise;
+      const double bn = b * noise;
+      const double cn = c * noise;
+      const double norm = an + bn + cn + (1.0 - a - b - c);
+      const double r = rng.NextDouble() * norm;
+      if (r < an) {
+        // top-left quadrant: no bits set
+      } else if (r < an + bn) {
+        dst |= 1ull << level;
+      } else if (r < an + bn + cn) {
+        src |= 1ull << level;
+      } else {
+        src |= 1ull << level;
+        dst |= 1ull << level;
+      }
+    }
+    if (params.remove_self_loops && src == dst) {
+      --i;  // resample
+      continue;
+    }
+    graph.edges.push_back(Edge{src, dst});
+  }
+  if (params.deduplicate) DeduplicateEdges(&graph);
+  return graph;
+}
+
+EdgeList GenerateRmatX(int x, uint64_t seed) {
+  TGPP_CHECK(x >= 5) << "RMAT_X needs X >= 5";
+  RmatParams params;
+  params.vertex_scale = x - 4;
+  params.num_edges = 1ull << x;
+  params.seed = seed;
+  return GenerateRmat(params);
+}
+
+}  // namespace tgpp

@@ -1,0 +1,38 @@
+// RMAT synthetic graph generator (Chakrabarti, Zhan, Faloutsos; SDM 2004).
+//
+// Replaces the paper's TrillionG generator (§5.1) at laptop scale; the same
+// recursive-quadrant model with the standard skewed parameters yields the
+// power-law degree distributions that drive the paper's partitioning and
+// memory-pressure effects. Deterministic for a given seed.
+//
+// The paper denotes by RMAT_X the graph with 2^(X-4) vertices and 2^X
+// edges (edge factor 16); GenerateRmatX follows that convention.
+
+#ifndef TGPP_GRAPH_RMAT_H_
+#define TGPP_GRAPH_RMAT_H_
+
+#include "graph/edge_list.h"
+
+namespace tgpp {
+
+struct RmatParams {
+  int vertex_scale = 16;       // |V| = 2^vertex_scale
+  uint64_t num_edges = 1 << 20;
+  // Standard RMAT/Graph500 skew.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  uint64_t seed = 42;
+  bool remove_self_loops = true;
+  bool deduplicate = false;   // the paper's graphs are multigraph-free but
+                              // dedup at scale is done by the partitioner
+};
+
+EdgeList GenerateRmat(const RmatParams& params);
+
+// RMAT_X per the paper: 2^(X-4) vertices, 2^X edges.
+EdgeList GenerateRmatX(int x, uint64_t seed = 42);
+
+}  // namespace tgpp
+
+#endif  // TGPP_GRAPH_RMAT_H_

@@ -1,0 +1,44 @@
+// Basic graph types shared across the library.
+//
+// Vertex IDs are 64-bit, matching the paper's evaluation setup (§5.1:
+// "we modify HybridGraph, Pregel+, and Gemini so that they use the 64-bit
+// vertex id representation").
+
+#ifndef TGPP_GRAPH_TYPES_H_
+#define TGPP_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace tgpp {
+
+using VertexId = uint64_t;
+
+inline constexpr VertexId kInvalidVertex = ~0ull;
+
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  bool operator==(const Edge& o) const {
+    return src == o.src && dst == o.dst;
+  }
+  bool operator<(const Edge& o) const {
+    return src != o.src ? src < o.src : dst < o.dst;
+  }
+};
+
+// A half-open range of vertex IDs [begin, end).
+struct VertexRange {
+  VertexId begin = 0;
+  VertexId end = 0;
+
+  uint64_t size() const { return end - begin; }
+  bool Contains(VertexId v) const { return v >= begin && v < end; }
+  bool operator==(const VertexRange& o) const {
+    return begin == o.begin && end == o.end;
+  }
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_GRAPH_TYPES_H_

@@ -1,0 +1,83 @@
+#include "net/fabric.h"
+
+#include "common/logging.h"
+
+namespace tgpp {
+
+Fabric::Fabric(int num_machines, NetProfile profile)
+    : num_machines_(num_machines), profile_(profile) {
+  TGPP_CHECK(num_machines > 0);
+  mailboxes_.reserve(num_machines);
+  for (int i = 0; i < num_machines; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+std::deque<Message>& Fabric::QueueFor(Mailbox& box, uint32_t tag) {
+  if (box.queues.size() <= tag) box.queues.resize(tag + 1);
+  return box.queues[tag];
+}
+
+void Fabric::Send(int src, int dst, uint32_t tag,
+                  std::vector<uint8_t> payload) {
+  TGPP_DCHECK(dst >= 0 && dst < num_machines_);
+  if (src != dst) {
+    bytes_sent_.fetch_add(payload.size() + kHeaderBytes,
+                          std::memory_order_relaxed);
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Mailbox& box = *mailboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    QueueFor(box, tag).push_back(Message{src, tag, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+bool Fabric::Recv(int dst, uint32_t tag, Message* out) {
+  Mailbox& box = *mailboxes_[dst];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    std::deque<Message>& q = QueueFor(box, tag);
+    if (!q.empty()) {
+      *out = std::move(q.front());
+      q.pop_front();
+      return true;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return false;
+    box.cv.wait(lock);
+  }
+}
+
+bool Fabric::TryRecv(int dst, uint32_t tag, Message* out) {
+  Mailbox& box = *mailboxes_[dst];
+  std::lock_guard<std::mutex> lock(box.mu);
+  std::deque<Message>& q = QueueFor(box, tag);
+  if (q.empty()) return false;
+  *out = std::move(q.front());
+  q.pop_front();
+  return true;
+}
+
+void Fabric::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+void Fabric::Reset() {
+  shutdown_.store(false, std::memory_order_release);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->queues.clear();
+  }
+}
+
+void Fabric::ResetCounters() {
+  bytes_sent_.store(0, std::memory_order_relaxed);
+  messages_sent_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tgpp

@@ -1,0 +1,108 @@
+// Fabric: the simulated interconnect between machines.
+//
+// Replaces the paper's MPI + TCP/IP layer (§A.3 "Reliable communication
+// layer"). Messages are routed through per-(machine, tag) in-memory queues;
+// every byte crossing a machine boundary is counted, and the fabric carries
+// a nominal per-link bandwidth (InfiniBand QDR in the paper) so that network
+// I/O *time* can be modeled as bytes / aggregate bandwidth, exactly the
+// computation behind Figures 9, 10 and 14.
+//
+// Delivery is reliable and FIFO per (src, dst, tag) — the guarantees the
+// paper gets from MPI.
+
+#ifndef TGPP_NET_FABRIC_H_
+#define TGPP_NET_FABRIC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tgpp {
+
+struct NetProfile {
+  const char* name;
+  double link_bandwidth_bytes_per_sec;
+};
+
+// Paper §5.1: InfiniBand QDR 4x (~4 GB/s effective per link).
+inline constexpr NetProfile kInfinibandQdr{"IB-QDR4x", 4.0e9};
+inline constexpr NetProfile kTenGbe{"10GbE", 1.25e9};
+
+struct Message {
+  int src = -1;
+  uint32_t tag = 0;
+  std::vector<uint8_t> payload;
+};
+
+class Fabric {
+ public:
+  Fabric(int num_machines, NetProfile profile);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int num_machines() const { return num_machines_; }
+  const NetProfile& profile() const { return profile_; }
+
+  // Enqueues a message for `dst`. Loopback (src == dst) is delivered but
+  // not counted as network traffic.
+  void Send(int src, int dst, uint32_t tag, std::vector<uint8_t> payload);
+
+  // Blocking receive of the next message with `tag` addressed to `dst`.
+  // Returns false if Shutdown() was called and no matching message remains.
+  bool Recv(int dst, uint32_t tag, Message* out);
+
+  // Non-blocking variant.
+  bool TryRecv(int dst, uint32_t tag, Message* out);
+
+  // Wakes all blocked receivers; subsequent Recv calls drain remaining
+  // messages and then return false. Reset() re-arms the fabric.
+  void Shutdown();
+  void Reset();
+
+  uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters();
+
+  // bytes / (num_machines * link bandwidth) — the paper's network I/O time
+  // model over the aggregate cluster bandwidth.
+  double ModeledIoSeconds() const {
+    return static_cast<double>(bytes_sent()) /
+           (profile_.link_bandwidth_bytes_per_sec * num_machines_);
+  }
+
+  // Fixed per-message framing overhead added to the byte counter.
+  static constexpr uint64_t kHeaderBytes = 16;
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // One queue per tag value (tags are small dense integers).
+    std::vector<std::deque<Message>> queues;
+  };
+
+  std::deque<Message>& QueueFor(Mailbox& box, uint32_t tag);
+
+  int num_machines_;
+  NetProfile profile_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> shutdown_{false};
+
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> messages_sent_{0};
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_NET_FABRIC_H_

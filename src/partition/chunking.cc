@@ -1,0 +1,177 @@
+#include "partition/chunking.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/page_file.h"
+#include "storage/slotted_page.h"
+
+namespace tgpp::partition_internal {
+
+namespace {
+
+// Chunk index of `v` within `range` split into `parts` ceil-sized pieces
+// (must match PartitionedGraph::VertexChunkRange arithmetic).
+int ChunkIndexOf(VertexId v, const VertexRange& range, int parts) {
+  const uint64_t chunk = (range.size() + parts - 1) / parts;
+  return chunk == 0 ? 0 : static_cast<int>((v - range.begin) / chunk);
+}
+
+// Writes one sub-chunk's edges (sorted by (src, dst)) as slotted pages.
+// Appends page-index entries and returns the page count.
+Status WriteSubChunk(PageFile* file, std::span<const Edge> edges,
+                     std::vector<PageIndexEntry>* page_index,
+                     uint64_t* num_pages_out) {
+  uint64_t num_pages = 0;
+  if (edges.empty()) {
+    *num_pages_out = 0;
+    return Status::OK();
+  }
+  std::vector<uint8_t> buffer(kPageSize);
+  SlottedPageBuilder builder(buffer.data());
+  VertexId page_src_min = kInvalidVertex;
+  VertexId page_src_max = 0;
+  std::vector<VertexId> dsts;
+
+  auto flush_page = [&]() -> Status {
+    if (builder.empty()) return Status::OK();
+    TGPP_ASSIGN_OR_RETURN(uint64_t page_no, file->AppendPage(buffer.data()));
+    page_index->push_back(PageIndexEntry{page_no, page_src_min,
+                                         page_src_max});
+    ++num_pages;
+    builder.Reset();
+    page_src_min = kInvalidVertex;
+    page_src_max = 0;
+    return Status::OK();
+  };
+
+  auto emit_record = [&](VertexId src,
+                         std::span<const VertexId> list) -> Status {
+    // Split records that exceed a fresh page's capacity.
+    size_t pos = 0;
+    while (pos < list.size()) {
+      size_t take = std::min(list.size() - pos, builder.RemainingCapacity());
+      if (take == 0 || !builder.AddRecord(src, list.subspan(pos, take))) {
+        TGPP_RETURN_IF_ERROR(flush_page());
+        take = std::min(list.size() - pos, builder.RemainingCapacity());
+        TGPP_CHECK(take > 0) << "empty page cannot hold any record";
+        TGPP_CHECK(builder.AddRecord(src, list.subspan(pos, take)));
+      }
+      page_src_min = std::min(page_src_min, src);
+      page_src_max = std::max(page_src_max, src);
+      pos += take;
+    }
+    return Status::OK();
+  };
+
+  size_t i = 0;
+  while (i < edges.size()) {
+    const VertexId src = edges[i].src;
+    dsts.clear();
+    while (i < edges.size() && edges[i].src == src) {
+      dsts.push_back(edges[i].dst);
+      ++i;
+    }
+    TGPP_RETURN_IF_ERROR(emit_record(src, dsts));
+  }
+  TGPP_RETURN_IF_ERROR(flush_page());
+  *num_pages_out = num_pages;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteMachineChunks(Machine* machine, const PartitionedGraph& pg,
+                          std::vector<Edge> edges, MachinePartition* out) {
+  out->num_edges = edges.size();
+  out->chunks.clear();
+  out->page_index.clear();
+
+  const int p = pg.p;
+  const int q = pg.q;
+  const int r = pg.r;
+  const VertexRange my_range = out->range;
+
+  // Group key per edge: (src_chunk i, global dst chunk j). The grid is
+  // small (q * p * q), so bucket sort by key then sort each group by dst.
+  auto key_of = [&](const Edge& e) -> uint64_t {
+    const int i = ChunkIndexOf(e.src, my_range, q);
+    const int owner = pg.OwnerOf(e.dst);
+    const int j = owner * q + ChunkIndexOf(e.dst, pg.MachineRange(owner), q);
+    return static_cast<uint64_t>(i) * (p * q) + j;
+  };
+  std::sort(edges.begin(), edges.end(), [&](const Edge& a, const Edge& b) {
+    const uint64_t ka = key_of(a);
+    const uint64_t kb = key_of(b);
+    if (ka != kb) return ka < kb;
+    if (a.dst != b.dst) return a.dst < b.dst;  // dst-sorted for sub split
+    return a.src < b.src;
+  });
+
+  // Fresh edge file (repartitioning overwrites the previous layout).
+  TGPP_ASSIGN_OR_RETURN(
+      PageFile file,
+      PageFile::Open(machine->disk(), PartitionedGraph::kEdgeFileName));
+  TGPP_RETURN_IF_ERROR(file.Clear());
+
+  std::vector<Edge> sub_edges;
+  size_t pos = 0;
+  for (int i = 0; i < q; ++i) {
+    for (int j = 0; j < p * q; ++j) {
+      const uint64_t key = static_cast<uint64_t>(i) * (p * q) + j;
+      size_t end = pos;
+      while (end < edges.size() && key_of(edges[end]) == key) ++end;
+      const std::span<const Edge> group(edges.data() + pos, end - pos);
+      pos = end;
+
+      // Split the (dst-sorted) group into r sub-chunks of near-equal edge
+      // counts, cutting only at dst boundaries (paper Fig 7 (d): balanced
+      // via degree information; equal-edge cuts achieve the same balance).
+      const VertexRange dst_chunk = pg.DstChunkRange(j);
+      size_t sub_begin = 0;
+      for (int sub = 0; sub < r; ++sub) {
+        size_t sub_end;
+        if (sub == r - 1 || group.empty()) {
+          sub_end = group.size();
+        } else {
+          sub_end = std::min(group.size(), (group.size() * (sub + 1)) / r);
+          // Advance to the next dst boundary so sub-chunks own disjoint
+          // dst ranges (required for CAS-free NUMA-local gather).
+          while (sub_end > sub_begin && sub_end < group.size() &&
+                 group[sub_end].dst == group[sub_end - 1].dst) {
+            ++sub_end;
+          }
+        }
+        if (sub_end < sub_begin) sub_end = sub_begin;
+
+        EdgeChunkInfo info;
+        info.src_chunk = i;
+        info.dst_chunk = j;
+        info.sub_chunk = sub;
+        info.src_range = pg.VertexChunkRange(machine->id(), i);
+        info.dst_range =
+            VertexRange{sub_begin < sub_end ? group[sub_begin].dst
+                                            : dst_chunk.begin,
+                        sub_begin < sub_end ? group[sub_end - 1].dst + 1
+                                            : dst_chunk.begin};
+        info.num_edges = sub_end - sub_begin;
+        info.first_page = file.num_pages();
+
+        // Sort the sub-chunk by (src, dst) so records group by source.
+        sub_edges.assign(group.begin() + sub_begin,
+                         group.begin() + sub_end);
+        std::sort(sub_edges.begin(), sub_edges.end());
+        TGPP_RETURN_IF_ERROR(WriteSubChunk(&file, sub_edges,
+                                           &out->page_index,
+                                           &info.num_pages));
+        out->chunks.push_back(info);
+        sub_begin = sub_end;
+      }
+    }
+  }
+  TGPP_CHECK(pos == edges.size())
+      << "chunking dropped edges: " << pos << " of " << edges.size();
+  return Status::OK();
+}
+
+}  // namespace tgpp::partition_internal

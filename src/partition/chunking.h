@@ -1,0 +1,24 @@
+// Chunk writer: persists one machine's edges as the q x (p*q) x r grid of
+// edge chunks in slotted pages (paper Fig 7 (c)/(d) and Appendix A.3),
+// building the two-level page index along the way.
+
+#ifndef TGPP_PARTITION_CHUNKING_H_
+#define TGPP_PARTITION_CHUNKING_H_
+
+#include <vector>
+
+#include "cluster/machine.h"
+#include "partition/partitioner.h"
+
+namespace tgpp::partition_internal {
+
+// Sorts `edges` (already renumbered, src owned by `machine`) into the chunk
+// grid and writes them to the machine's edge page file. Fills
+// out->num_edges, out->chunks and out->page_index (out->range must already
+// be set).
+Status WriteMachineChunks(Machine* machine, const PartitionedGraph& pg,
+                          std::vector<Edge> edges, MachinePartition* out);
+
+}  // namespace tgpp::partition_internal
+
+#endif  // TGPP_PARTITION_CHUNKING_H_

@@ -1,0 +1,40 @@
+#include "storage/async_io.h"
+
+namespace tgpp {
+
+Status AsyncIoService::Ticket::Wait() {
+  if (state_ == nullptr) return Status::OK();
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->remaining == 0; });
+  return state_->first_error;
+}
+
+AsyncIoService::Ticket AsyncIoService::SubmitReads(
+    BufferPool* buffer_pool, const PageFile* file,
+    std::vector<uint64_t> pages, std::function<void(uint64_t, PageHandle)> cb) {
+  Ticket ticket;
+  ticket.state_ = std::make_shared<Ticket::State>();
+  ticket.state_->remaining = pages.size();
+  if (pages.empty()) return ticket;
+
+  auto state = ticket.state_;
+  auto shared_cb =
+      std::make_shared<std::function<void(uint64_t, PageHandle)>>(
+          std::move(cb));
+  for (uint64_t page_no : pages) {
+    pool_.Submit([buffer_pool, file, page_no, state, shared_cb] {
+      Result<PageHandle> handle = buffer_pool->Fetch(file, page_no);
+      if (handle.ok()) {
+        (*shared_cb)(page_no, std::move(handle).value());
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!handle.ok() && state->first_error.ok()) {
+        state->first_error = handle.status();
+      }
+      if (--state->remaining == 0) state->cv.notify_all();
+    });
+  }
+  return ticket;
+}
+
+}  // namespace tgpp

@@ -1,0 +1,66 @@
+// AsyncIoService: background page reads for 3-LPO overlap (paper §4.1).
+//
+// The engine issues AsyncRead batches for the next adjacency-list window
+// while compute threads drain the current one; completion callbacks run on
+// the I/O threads and typically enqueue pinned pages into a bounded queue
+// consumed by the scatter workers.
+
+#ifndef TGPP_STORAGE_ASYNC_IO_H_
+#define TGPP_STORAGE_ASYNC_IO_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "util/thread_pool.h"
+
+namespace tgpp {
+
+class AsyncIoService {
+ public:
+  explicit AsyncIoService(int num_io_threads)
+      : pool_(num_io_threads, "io") {}
+
+  // Tracks completion of one batch of reads.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    // Blocks until all reads in the batch have completed, returning the
+    // first error encountered (if any).
+    Status Wait();
+
+    bool valid() const { return state_ != nullptr; }
+
+   private:
+    friend class AsyncIoService;
+    struct State {
+      std::mutex mu;
+      std::condition_variable cv;
+      size_t remaining = 0;
+      Status first_error;
+    };
+    std::shared_ptr<State> state_;
+  };
+
+  // Reads `pages` of `file` through `buffer_pool`, calling
+  // cb(page_no, handle) on an I/O thread as each page becomes available.
+  // The callback owns the pinned handle.
+  Ticket SubmitReads(BufferPool* buffer_pool, const PageFile* file,
+                     std::vector<uint64_t> pages,
+                     std::function<void(uint64_t, PageHandle)> cb);
+
+  ThreadPool* pool() { return &pool_; }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_STORAGE_ASYNC_IO_H_

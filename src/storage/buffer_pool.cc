@@ -1,0 +1,119 @@
+#include "storage/buffer_pool.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace tgpp {
+
+void PageHandle::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Unpin(frame_);
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+BufferPool::BufferPool(size_t num_frames) {
+  TGPP_CHECK(num_frames > 0);
+  frames_.resize(num_frames);
+  for (auto& f : frames_) {
+    f.data = std::make_unique<uint8_t[]>(kPageSize);
+  }
+}
+
+int BufferPool::FindVictimLocked() {
+  // Two full sweeps: the first clears ref bits, the second must find a
+  // frame unless everything is pinned.
+  for (size_t step = 0; step < frames_.size() * 2; ++step) {
+    Frame& f = frames_[clock_hand_];
+    const size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f.pin_count > 0) continue;
+    if (f.ref) {
+      f.ref = false;
+      continue;
+    }
+    return static_cast<int>(idx);
+  }
+  return -1;
+}
+
+Result<PageHandle> BufferPool::Fetch(const PageFile* file, uint64_t page_no) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const PageKey key{file->device(), file->file_id(), page_no};
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.ref = true;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return PageHandle(this, it->second, f.data.get());
+  }
+
+  // Miss: claim a victim frame (waiting for an unpin if necessary).
+  int victim = FindVictimLocked();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (victim < 0) {
+    if (unpin_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::Timeout(
+          "buffer pool exhausted: all frames pinned (pool of " +
+          std::to_string(frames_.size()) + " frames)");
+    }
+    victim = FindVictimLocked();
+  }
+  Frame& f = frames_[victim];
+  if (f.valid) {
+    table_.erase(f.key);
+    f.valid = false;
+  }
+  // Read under the pool latch: this serializes the device like a single
+  // I/O queue, which is the behaviour we model on this host.
+  TGPP_RETURN_IF_ERROR(file->ReadPage(page_no, f.data.get()));
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  f.key = key;
+  f.pin_count = 1;
+  f.ref = true;
+  f.valid = true;
+  table_.emplace(key, static_cast<uint32_t>(victim));
+  return PageHandle(this, static_cast<uint32_t>(victim), f.data.get());
+}
+
+void BufferPool::Unpin(uint32_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame];
+  TGPP_DCHECK(f.pin_count > 0);
+  if (--f.pin_count == 0) unpin_cv_.notify_all();
+}
+
+std::vector<uint64_t> BufferPool::ResidentSubset(
+    const PageFile* file, std::span<const uint64_t> pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> resident;
+  for (uint64_t p : pages) {
+    if (table_.count(PageKey{file->device(), file->file_id(), p}) > 0) {
+      resident.push_back(p);
+    }
+  }
+  return resident;
+}
+
+void BufferPool::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.valid && f.pin_count == 0) {
+      table_.erase(f.key);
+      f.valid = false;
+      f.ref = false;
+    }
+  }
+}
+
+void BufferPool::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tgpp

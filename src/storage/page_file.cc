@@ -1,0 +1,47 @@
+#include "storage/page_file.h"
+
+#include "common/logging.h"
+
+namespace tgpp {
+
+Result<PageFile> PageFile::Open(DiskDevice* device, std::string name) {
+  TGPP_ASSIGN_OR_RETURN(uint64_t size, device->FileSize(name));
+  if (size % kPageSize != 0) {
+    return Status::Corruption("page file " + name +
+                              " size is not a multiple of the page size");
+  }
+  const uint32_t file_id = device->StableFileId(name);
+  return PageFile(device, std::move(name), size / kPageSize, file_id);
+}
+
+Result<uint64_t> PageFile::AppendPage(const uint8_t* page) {
+  const uint64_t page_no = num_pages_;
+  TGPP_RETURN_IF_ERROR(
+      device_->Write(name_, page_no * kPageSize, page, kPageSize));
+  ++num_pages_;
+  return page_no;
+}
+
+Status PageFile::ReadPage(uint64_t page_no, uint8_t* out) const {
+  if (page_no >= num_pages_) {
+    return Status::InvalidArgument("page " + std::to_string(page_no) +
+                                   " out of range in " + name_);
+  }
+  return device_->Read(name_, page_no * kPageSize, out, kPageSize);
+}
+
+Status PageFile::WritePage(uint64_t page_no, const uint8_t* page) {
+  if (page_no >= num_pages_) {
+    return Status::InvalidArgument("page " + std::to_string(page_no) +
+                                   " out of range in " + name_);
+  }
+  return device_->Write(name_, page_no * kPageSize, page, kPageSize);
+}
+
+Status PageFile::Clear() {
+  TGPP_RETURN_IF_ERROR(device_->Truncate(name_, 0));
+  num_pages_ = 0;
+  return Status::OK();
+}
+
+}  // namespace tgpp

@@ -1,0 +1,62 @@
+// PageFile: a named, append-only sequence of fixed-size pages on a
+// DiskDevice. Edge chunks are stored as page files; the buffer pool reads
+// through this interface.
+
+#ifndef TGPP_STORAGE_PAGE_FILE_H_
+#define TGPP_STORAGE_PAGE_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/disk_device.h"
+#include "storage/slotted_page.h"
+
+namespace tgpp {
+
+class PageFile {
+ public:
+  // Opens (or creates) `name` on `device`. Page count is derived from the
+  // current file size.
+  static Result<PageFile> Open(DiskDevice* device, std::string name);
+
+  PageFile(PageFile&&) = default;
+  PageFile& operator=(PageFile&&) = default;
+
+  const std::string& name() const { return name_; }
+  DiskDevice* device() const { return device_; }
+  uint64_t num_pages() const { return num_pages_; }
+  // Stable across re-opens of the same file — the buffer pool caches by
+  // (device, file_id, page_no), so pages stay warm across supersteps.
+  uint32_t file_id() const { return file_id_; }
+
+  // Appends one kPageSize page; returns its page number.
+  Result<uint64_t> AppendPage(const uint8_t* page);
+
+  // Reads page `page_no` into `out` (kPageSize bytes).
+  Status ReadPage(uint64_t page_no, uint8_t* out) const;
+
+  // Rewrites an existing page in place (used by checkpointing).
+  Status WritePage(uint64_t page_no, const uint8_t* page);
+
+  // Discards all pages.
+  Status Clear();
+
+ private:
+  PageFile(DiskDevice* device, std::string name, uint64_t num_pages,
+           uint32_t file_id)
+      : device_(device),
+        name_(std::move(name)),
+        num_pages_(num_pages),
+        file_id_(file_id) {}
+
+  DiskDevice* device_;
+  std::string name_;
+  uint64_t num_pages_;
+  uint32_t file_id_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_STORAGE_PAGE_FILE_H_

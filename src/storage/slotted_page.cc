@@ -1,0 +1,65 @@
+#include "storage/slotted_page.h"
+
+namespace tgpp {
+
+SlottedPageBuilder::SlottedPageBuilder(uint8_t* buffer) : buffer_(buffer) {
+  Reset();
+}
+
+void SlottedPageBuilder::Reset() {
+  std::memset(buffer_, 0, kPageSize);
+  header()->num_slots = 0;
+  header()->free_offset = sizeof(PageHeader);
+}
+
+size_t SlottedPageBuilder::RemainingCapacity() const {
+  const size_t slots_bytes =
+      (static_cast<size_t>(header()->num_slots) + 1) * sizeof(PageSlot);
+  const size_t used = header()->free_offset + slots_bytes;
+  if (used >= kPageSize) return 0;
+  return (kPageSize - used) / sizeof(uint64_t);
+}
+
+bool SlottedPageBuilder::AddRecord(uint64_t src,
+                                   std::span<const uint64_t> dsts) {
+  const size_t record_bytes = dsts.size() * sizeof(uint64_t);
+  const size_t slots_bytes =
+      (static_cast<size_t>(header()->num_slots) + 1) * sizeof(PageSlot);
+  if (header()->free_offset + record_bytes + slots_bytes > kPageSize) {
+    return false;
+  }
+  const uint32_t offset = header()->free_offset;
+  std::memcpy(buffer_ + offset, dsts.data(), record_bytes);
+  PageSlot* slot = reinterpret_cast<PageSlot*>(
+      buffer_ + kPageSize -
+      (static_cast<size_t>(header()->num_slots) + 1) * sizeof(PageSlot));
+  slot->src = src;
+  slot->offset = offset;
+  slot->count = static_cast<uint32_t>(dsts.size());
+  header()->free_offset = offset + static_cast<uint32_t>(record_bytes);
+  ++header()->num_slots;
+  return true;
+}
+
+uint32_t SlottedPageBuilder::num_slots() const { return header()->num_slots; }
+
+Status SlottedPageReader::Validate() const {
+  const PageHeader* h = reinterpret_cast<const PageHeader*>(buffer_);
+  if (h->free_offset > kPageSize ||
+      static_cast<size_t>(h->num_slots) * sizeof(PageSlot) >
+          kPageSize - sizeof(PageHeader)) {
+    return Status::Corruption("slotted page header out of bounds");
+  }
+  for (uint32_t i = 0; i < h->num_slots; ++i) {
+    const PageSlot* slot = SlotAt(i);
+    const uint64_t end = static_cast<uint64_t>(slot->offset) +
+                         static_cast<uint64_t>(slot->count) * sizeof(uint64_t);
+    if (slot->offset < sizeof(PageHeader) || end > h->free_offset) {
+      return Status::Corruption("slot " + std::to_string(i) +
+                                " record out of bounds");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tgpp

@@ -1,0 +1,100 @@
+// Slotted pages storing adjacency-list records (paper Appendix A.3).
+//
+// Each 64 KB page holds forward-growing *records* and backward-growing
+// *slots*. A record is the (possibly partial) adjacency list of one source
+// vertex: a contiguous array of destination vertex IDs. A slot is the pair
+// (source vertex ID, record offset/length). Long adjacency lists span
+// multiple records — the partial list mode consumes them as-is; the full
+// list mode merges them by source ID (see AdjacencyService).
+//
+// Page layout:
+//   [PageHeader][record 0][record 1]...      ...[slot 1][slot 0]
+//                 ^ free space grows toward the middle ^
+
+#ifndef TGPP_STORAGE_SLOTTED_PAGE_H_
+#define TGPP_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/status.h"
+
+namespace tgpp {
+
+inline constexpr size_t kPageSize = 64 * 1024;  // paper default: 64 KB
+
+struct PageHeader {
+  uint32_t num_slots;
+  uint32_t free_offset;  // byte offset of the first free record byte
+};
+
+struct PageSlot {
+  uint64_t src;       // source vertex ID of this record
+  uint32_t offset;    // byte offset of the record within the page
+  uint32_t count;     // number of uint64 destination IDs in the record
+};
+
+static_assert(sizeof(PageHeader) == 8);
+static_assert(sizeof(PageSlot) == 16);
+
+// Builds a slotted page in a caller-provided kPageSize buffer.
+class SlottedPageBuilder {
+ public:
+  explicit SlottedPageBuilder(uint8_t* buffer);
+
+  // Resets the buffer to an empty page.
+  void Reset();
+
+  // Number of destination IDs that still fit in a fresh record.
+  size_t RemainingCapacity() const;
+
+  // Appends a record (src, dsts). Returns false if it does not fit —
+  // the caller should flush and retry, possibly with a split record.
+  bool AddRecord(uint64_t src, std::span<const uint64_t> dsts);
+
+  uint32_t num_slots() const;
+  bool empty() const { return num_slots() == 0; }
+
+ private:
+  uint8_t* buffer_;
+  PageHeader* header() { return reinterpret_cast<PageHeader*>(buffer_); }
+  const PageHeader* header() const {
+    return reinterpret_cast<const PageHeader*>(buffer_);
+  }
+};
+
+// Read-only view over a slotted page buffer.
+class SlottedPageReader {
+ public:
+  explicit SlottedPageReader(const uint8_t* buffer) : buffer_(buffer) {}
+
+  uint32_t num_slots() const {
+    return reinterpret_cast<const PageHeader*>(buffer_)->num_slots;
+  }
+
+  // Slot i's source vertex.
+  uint64_t SrcAt(uint32_t i) const { return SlotAt(i)->src; }
+
+  // Slot i's destination IDs.
+  std::span<const uint64_t> DstsAt(uint32_t i) const {
+    const PageSlot* slot = SlotAt(i);
+    return {reinterpret_cast<const uint64_t*>(buffer_ + slot->offset),
+            slot->count};
+  }
+
+  // Sanity-checks offsets and counts against page bounds.
+  Status Validate() const;
+
+ private:
+  const PageSlot* SlotAt(uint32_t i) const {
+    // Slot 0 occupies the last sizeof(PageSlot) bytes of the page.
+    return reinterpret_cast<const PageSlot*>(
+        buffer_ + kPageSize - (static_cast<size_t>(i) + 1) * sizeof(PageSlot));
+  }
+  const uint8_t* buffer_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,71 @@
+#include "util/bitmap.h"
+
+#include <bit>
+
+namespace tgpp {
+
+void AtomicBitmap::Resize(uint64_t num_bits) {
+  num_bits_ = num_bits;
+  words_ = std::vector<std::atomic<uint64_t>>((num_bits + 63) / 64);
+  // vector<atomic> value-initializes to zero.
+}
+
+void AtomicBitmap::ClearAll() {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+void AtomicBitmap::SetAll() {
+  for (auto& w : words_) w.store(~0ull, std::memory_order_relaxed);
+  // Mask off bits beyond num_bits_ in the last word.
+  if (num_bits_ % 64 != 0 && !words_.empty()) {
+    const uint64_t mask = (1ull << (num_bits_ % 64)) - 1;
+    words_.back().store(mask, std::memory_order_relaxed);
+  }
+}
+
+uint64_t AtomicBitmap::CountSet() const {
+  uint64_t n = 0;
+  for (const auto& w : words_) {
+    n += std::popcount(w.load(std::memory_order_relaxed));
+  }
+  return n;
+}
+
+bool AtomicBitmap::AnySet() const {
+  for (const auto& w : words_) {
+    if (w.load(std::memory_order_relaxed) != 0) return true;
+  }
+  return false;
+}
+
+void AtomicBitmap::ForEachSet(uint64_t lo, uint64_t hi,
+                              const std::function<void(uint64_t)>& fn) const {
+  if (lo >= hi || words_.empty()) return;
+  if (hi > num_bits_) hi = num_bits_;
+  uint64_t word_idx = lo >> 6;
+  const uint64_t last_word = (hi - 1) >> 6;
+  for (; word_idx <= last_word; ++word_idx) {
+    uint64_t w = words_[word_idx].load(std::memory_order_relaxed);
+    if (w == 0) continue;
+    // Mask bits below lo in the first word and at/above hi in the last.
+    if (word_idx == (lo >> 6) && (lo & 63) != 0) {
+      w &= ~0ull << (lo & 63);
+    }
+    if (word_idx == last_word && (hi & 63) != 0) {
+      w &= (1ull << (hi & 63)) - 1;
+    }
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      fn((word_idx << 6) + static_cast<uint64_t>(bit));
+      w &= w - 1;
+    }
+  }
+}
+
+uint64_t AtomicBitmap::CountSetInRange(uint64_t lo, uint64_t hi) const {
+  uint64_t n = 0;
+  ForEachSet(lo, hi, [&n](uint64_t) { ++n; });
+  return n;
+}
+
+}  // namespace tgpp

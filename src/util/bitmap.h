@@ -1,0 +1,82 @@
+// Concurrent fixed-size bitmap.
+//
+// Used for vertices-of-interest (voi) sets in the NWSM engine and for
+// active-vertex frontiers. Set/Test are thread-safe; sizing operations
+// are not.
+
+#ifndef TGPP_UTIL_BITMAP_H_
+#define TGPP_UTIL_BITMAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tgpp {
+
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+  explicit AtomicBitmap(uint64_t num_bits) { Resize(num_bits); }
+
+  // Movable via explicit rebuild only: atomics are not movable, so we keep
+  // the bitmap in a unique vector and disallow copies.
+  AtomicBitmap(const AtomicBitmap&) = delete;
+  AtomicBitmap& operator=(const AtomicBitmap&) = delete;
+  AtomicBitmap(AtomicBitmap&&) = default;
+  AtomicBitmap& operator=(AtomicBitmap&&) = default;
+
+  // Discards contents. Not thread-safe.
+  void Resize(uint64_t num_bits);
+
+  uint64_t size_bits() const { return num_bits_; }
+  // Memory footprint of the word array, used for budget accounting.
+  uint64_t size_bytes() const { return words_.size() * sizeof(uint64_t); }
+
+  void Set(uint64_t bit) {
+    words_[bit >> 6].fetch_or(1ull << (bit & 63), std::memory_order_relaxed);
+  }
+
+  // Returns true if the bit was previously clear (i.e., we set it first).
+  bool TestAndSet(uint64_t bit) {
+    const uint64_t mask = 1ull << (bit & 63);
+    const uint64_t prev =
+        words_[bit >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  void Clear(uint64_t bit) {
+    words_[bit >> 6].fetch_and(~(1ull << (bit & 63)),
+                               std::memory_order_relaxed);
+  }
+
+  bool Test(uint64_t bit) const {
+    return (words_[bit >> 6].load(std::memory_order_relaxed) >>
+            (bit & 63)) & 1;
+  }
+
+  // Sets bits [0, size) to zero / one. Not thread-safe.
+  void ClearAll();
+  void SetAll();
+
+  uint64_t CountSet() const;
+  bool AnySet() const;
+
+  // Invokes fn(bit) for every set bit in [lo, hi), ascending.
+  void ForEachSet(uint64_t lo, uint64_t hi,
+                  const std::function<void(uint64_t)>& fn) const;
+  void ForEachSet(const std::function<void(uint64_t)>& fn) const {
+    ForEachSet(0, num_bits_, fn);
+  }
+
+  // Number of set bits within [lo, hi).
+  uint64_t CountSetInRange(uint64_t lo, uint64_t hi) const;
+
+ private:
+  uint64_t num_bits_ = 0;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_UTIL_BITMAP_H_

@@ -1,0 +1,44 @@
+// Simple power-of-two bucketed histogram for distribution statistics
+// (degree distributions, message sizes, window fill levels).
+
+#ifndef TGPP_UTIL_HISTOGRAM_H_
+#define TGPP_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tgpp {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Approximate quantile (q in [0,1]) from bucket boundaries.
+  uint64_t ApproxQuantile(double q) const;
+
+  // Multi-line human-readable rendering of non-empty buckets.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 65;  // bucket i holds values in [2^(i-1), 2^i)
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_UTIL_HISTOGRAM_H_

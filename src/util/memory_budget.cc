@@ -1,0 +1,39 @@
+#include "util/memory_budget.h"
+
+#include <sstream>
+
+namespace tgpp {
+
+Status MemoryBudget::TryCharge(uint64_t bytes) {
+  uint64_t current = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t next = current + bytes;
+    if (next > total_) {
+      std::ostringstream os;
+      os << "memory budget exceeded: requested " << bytes << " bytes, used "
+         << current << " of " << total_;
+      return Status::OutOfMemory(os.str());
+    }
+    if (used_.compare_exchange_weak(current, next,
+                                    std::memory_order_relaxed)) {
+      // Track high-water mark (racy max is fine for reporting).
+      uint64_t peak = peak_.load(std::memory_order_relaxed);
+      while (next > peak &&
+             !peak_.compare_exchange_weak(peak, next,
+                                          std::memory_order_relaxed)) {
+      }
+      return Status::OK();
+    }
+  }
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryBudget::ResetUsage() {
+  used_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tgpp

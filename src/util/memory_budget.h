@@ -1,0 +1,77 @@
+// Per-machine memory budget tracker.
+//
+// This is the scalability linchpin of the reproduction: TurboGraph++ sizes
+// its windows *from* the budget (Theorem 4.1) and therefore never exceeds
+// it, while the baseline systems *charge* their in-memory state against the
+// budget and fail with kOutOfMemory exactly where the paper's competitors
+// crashed (Figures 1, 12, 15, 20, 21).
+
+#ifndef TGPP_UTIL_MEMORY_BUDGET_H_
+#define TGPP_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace tgpp {
+
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t total_bytes) : total_(total_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  uint64_t total_bytes() const { return total_; }
+  uint64_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  uint64_t available_bytes() const {
+    const uint64_t u = used_bytes();
+    return u >= total_ ? 0 : total_ - u;
+  }
+  uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  // Attempts to reserve `bytes`; fails with kOutOfMemory when the budget
+  // would be exceeded (the reservation is not applied in that case).
+  Status TryCharge(uint64_t bytes);
+
+  // Releases a previous charge.
+  void Release(uint64_t bytes);
+
+  // Resets usage to zero (between queries/benchmark runs).
+  void ResetUsage();
+
+ private:
+  const uint64_t total_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+// RAII charge that releases on destruction. Check ok() after construction.
+class ScopedCharge {
+ public:
+  ScopedCharge(MemoryBudget* budget, uint64_t bytes)
+      : budget_(budget), bytes_(bytes), status_(budget->TryCharge(bytes)) {}
+  ~ScopedCharge() {
+    if (status_.ok()) budget_->Release(bytes_);
+  }
+
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  MemoryBudget* budget_;
+  uint64_t bytes_;
+  Status status_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_UTIL_MEMORY_BUDGET_H_

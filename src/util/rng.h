@@ -1,0 +1,67 @@
+// Deterministic, seedable pseudo-random generators (SplitMix64 and
+// xoshiro256**). Used by the RMAT generator and tests; keeping RNG
+// in-house guarantees reproducible datasets across platforms.
+
+#ifndef TGPP_UTIL_RNG_H_
+#define TGPP_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace tgpp {
+
+// SplitMix64: tiny, fast, good for seeding and hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Stateless 64-bit mix, usable as a hash.
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(s);
+}
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound) via Lemire's method.
+  uint64_t NextBounded(uint64_t bound) {
+    // 128-bit multiply keeps bias negligible without a rejection loop for
+    // our use cases (bound << 2^64).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_UTIL_RNG_H_

@@ -1,0 +1,66 @@
+// Fixed-size worker thread pool with task submission and a blocking
+// parallel-for helper.
+//
+// Each simulated machine owns one ThreadPool (its "cores"); substrates such
+// as the async disk I/O service own small private pools as well.
+
+#ifndef TGPP_UTIL_THREAD_POOL_H_
+#define TGPP_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tgpp {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Total CPU-seconds consumed by worker threads while running tasks
+  // (CLOCK_THREAD_CPUTIME_ID, as the paper measures CPU time).
+  double TotalTaskCpuSeconds() const;
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  std::string name_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  int64_t pending_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+
+  std::atomic<int64_t> task_cpu_nanos_{0};
+};
+
+// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+// Work is split into contiguous chunks of at least `grain` items.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace tgpp
+
+#endif  // TGPP_UTIL_THREAD_POOL_H_

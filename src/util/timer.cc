@@ -1,0 +1,19 @@
+#include "util/timer.h"
+
+#include <time.h>
+
+namespace tgpp {
+
+int64_t ThreadCpuTimeNanos() {
+  struct timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+int64_t ProcessCpuTimeNanos() {
+  struct timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+}  // namespace tgpp

@@ -1,0 +1,69 @@
+// Wall-clock and thread-CPU timers.
+//
+// The paper (§5.1) measures CPU time via clock_gettime; WallTimer is used
+// for end-to-end query times and CpuTimer for per-thread compute time.
+
+#ifndef TGPP_UTIL_TIMER_H_
+#define TGPP_UTIL_TIMER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tgpp {
+
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+  void Restart() { start_ = Clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Thread CPU time (CLOCK_THREAD_CPUTIME_ID) in nanoseconds.
+int64_t ThreadCpuTimeNanos();
+
+// Process CPU time (CLOCK_PROCESS_CPUTIME_ID) in nanoseconds.
+int64_t ProcessCpuTimeNanos();
+
+// Accumulates elapsed wall-clock nanoseconds into an atomic counter for the
+// lifetime of the scope. Safe for concurrent scopes on one counter.
+class ScopedWallAccumulator {
+ public:
+  explicit ScopedWallAccumulator(std::atomic<int64_t>* sink)
+      : sink_(sink) {}
+  ~ScopedWallAccumulator() {
+    sink_->fetch_add(static_cast<int64_t>(timer_.Seconds() * 1e9),
+                     std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t>* sink_;
+  WallTimer timer_;
+};
+
+// Same, but accumulates thread CPU time.
+class ScopedCpuAccumulator {
+ public:
+  explicit ScopedCpuAccumulator(std::atomic<int64_t>* sink)
+      : sink_(sink), start_(ThreadCpuTimeNanos()) {}
+  ~ScopedCpuAccumulator() {
+    sink_->fetch_add(ThreadCpuTimeNanos() - start_,
+                     std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t>* sink_;
+  int64_t start_;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_UTIL_TIMER_H_

@@ -1,0 +1,74 @@
+// POD payload codec used by all fabric message formats.
+
+#include <gtest/gtest.h>
+
+#include "core/codec.h"
+#include "graph/types.h"
+
+namespace tgpp {
+namespace {
+
+TEST(Codec, PodRoundtrip) {
+  std::vector<uint8_t> buf;
+  AppendPod<uint8_t>(&buf, 7);
+  AppendPod<uint64_t>(&buf, 0xDEADBEEFCAFEull);
+  AppendPod<double>(&buf, 2.5);
+  EXPECT_EQ(buf.size(), 1 + 8 + 8u);
+
+  PodReader reader(buf);
+  EXPECT_EQ(reader.Read<uint8_t>(), 7);
+  EXPECT_EQ(reader.Read<uint64_t>(), 0xDEADBEEFCAFEull);
+  EXPECT_DOUBLE_EQ(reader.Read<double>(), 2.5);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Codec, SpanRoundtrip) {
+  const std::vector<VertexId> ids = {1, 5, 42, 1ull << 40};
+  std::vector<uint8_t> buf;
+  AppendPod<uint64_t>(&buf, ids.size());
+  AppendPodSpan<VertexId>(&buf, ids);
+
+  PodReader reader(buf);
+  const uint64_t count = reader.Read<uint64_t>();
+  std::vector<VertexId> out(count);
+  reader.ReadSpan(out.data(), count);
+  EXPECT_EQ(out, ids);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Codec, MixedStructPayload) {
+  struct Record {
+    VertexId vid;
+    double value;
+  };
+  std::vector<uint8_t> buf;
+  AppendPod<Record>(&buf, Record{9, -1.25});
+  PodReader reader(buf);
+  const Record r = reader.Read<Record>();
+  EXPECT_EQ(r.vid, 9u);
+  EXPECT_DOUBLE_EQ(r.value, -1.25);
+}
+
+TEST(Codec, UnderrunIsFatal) {
+  std::vector<uint8_t> buf;
+  AppendPod<uint8_t>(&buf, 1);
+  PodReader reader(buf);
+  EXPECT_DEATH(reader.Read<uint64_t>(), "underrun");
+}
+
+TEST(Codec, InterleavedAppendsKeepOffsets) {
+  std::vector<uint8_t> buf;
+  for (uint64_t i = 0; i < 100; ++i) {
+    AppendPod<VertexId>(&buf, i);
+    AppendPod<uint32_t>(&buf, static_cast<uint32_t>(i * 2));
+  }
+  PodReader reader(buf);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(reader.Read<VertexId>(), i);
+    EXPECT_EQ(reader.Read<uint32_t>(), i * 2);
+  }
+}
+
+}  // namespace
+}  // namespace tgpp

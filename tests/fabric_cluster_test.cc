@@ -1,0 +1,178 @@
+// Fabric (simulated interconnect) and Cluster runtime behaviour.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "net/fabric.h"
+
+namespace tgpp {
+namespace {
+
+// --- Fabric ---
+
+TEST(Fabric, DeliversFifoPerTag) {
+  Fabric fabric(2, kInfinibandQdr);
+  fabric.Send(0, 1, /*tag=*/0, {1});
+  fabric.Send(0, 1, /*tag=*/0, {2});
+  fabric.Send(0, 1, /*tag=*/1, {9});
+  Message msg;
+  ASSERT_TRUE(fabric.Recv(1, 0, &msg));
+  EXPECT_EQ(msg.payload[0], 1);
+  EXPECT_EQ(msg.src, 0);
+  ASSERT_TRUE(fabric.Recv(1, 0, &msg));
+  EXPECT_EQ(msg.payload[0], 2);
+  ASSERT_TRUE(fabric.Recv(1, 1, &msg));
+  EXPECT_EQ(msg.payload[0], 9);
+}
+
+TEST(Fabric, TryRecvDoesNotBlock) {
+  Fabric fabric(2, kInfinibandQdr);
+  Message msg;
+  EXPECT_FALSE(fabric.TryRecv(0, 0, &msg));
+  fabric.Send(1, 0, 0, {7});
+  EXPECT_TRUE(fabric.TryRecv(0, 0, &msg));
+  EXPECT_EQ(msg.payload[0], 7);
+}
+
+TEST(Fabric, CountsRemoteBytesOnly) {
+  Fabric fabric(3, kInfinibandQdr);
+  fabric.Send(0, 0, 0, std::vector<uint8_t>(100));  // loopback: free
+  EXPECT_EQ(fabric.bytes_sent(), 0u);
+  fabric.Send(0, 1, 0, std::vector<uint8_t>(100));
+  EXPECT_EQ(fabric.bytes_sent(), 100 + Fabric::kHeaderBytes);
+  EXPECT_EQ(fabric.messages_sent(), 1u);
+  EXPECT_GT(fabric.ModeledIoSeconds(), 0.0);
+}
+
+TEST(Fabric, BlockingRecvWakesOnSend) {
+  Fabric fabric(2, kInfinibandQdr);
+  Message msg;
+  std::thread sender([&fabric] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fabric.Send(0, 1, 0, {42});
+  });
+  ASSERT_TRUE(fabric.Recv(1, 0, &msg));
+  EXPECT_EQ(msg.payload[0], 42);
+  sender.join();
+}
+
+TEST(Fabric, ShutdownDrainsThenFails) {
+  Fabric fabric(2, kInfinibandQdr);
+  fabric.Send(0, 1, 0, {5});
+  fabric.Shutdown();
+  Message msg;
+  EXPECT_TRUE(fabric.Recv(1, 0, &msg));   // drains the queued message
+  EXPECT_FALSE(fabric.Recv(1, 0, &msg));  // then reports shutdown
+  fabric.Reset();
+  fabric.Send(0, 1, 0, {6});
+  EXPECT_TRUE(fabric.Recv(1, 0, &msg));
+}
+
+TEST(Fabric, ConcurrentSendersAllDeliver) {
+  Fabric fabric(4, kInfinibandQdr);
+  std::vector<std::thread> senders;
+  for (int s = 0; s < 3; ++s) {
+    senders.emplace_back([&fabric, s] {
+      for (int i = 0; i < 50; ++i) {
+        fabric.Send(s, 3, 0, {static_cast<uint8_t>(s)});
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  int received = 0;
+  Message msg;
+  while (fabric.TryRecv(3, 0, &msg)) ++received;
+  EXPECT_EQ(received, 150);
+}
+
+// --- Cluster ---
+
+ClusterConfig TestCluster(const std::string& name, int p = 3) {
+  ClusterConfig config;
+  config.num_machines = p;
+  config.threads_per_machine = 2;
+  config.root_dir =
+      (std::filesystem::temp_directory_path() / "tgpp_cluster" / name)
+          .string();
+  std::filesystem::remove_all(config.root_dir);
+  return config;
+}
+
+TEST(Cluster, RunOnAllRunsEveryMachine) {
+  Cluster cluster(TestCluster("runall"));
+  std::atomic<int> mask{0};
+  ASSERT_TRUE(cluster
+                  .RunOnAll([&](int m) -> Status {
+                    mask.fetch_or(1 << m);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(mask.load(), 0b111);
+}
+
+TEST(Cluster, RunOnAllPropagatesFirstError) {
+  Cluster cluster(TestCluster("runall_err"));
+  Status s = cluster.RunOnAll([&](int m) -> Status {
+    return m == 1 ? Status::Aborted("machine 1 died") : Status::OK();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+}
+
+TEST(Cluster, BarrierSynchronizes) {
+  Cluster cluster(TestCluster("barrier"));
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  ASSERT_TRUE(cluster
+                  .RunOnAll([&](int) -> Status {
+                    phase1.fetch_add(1);
+                    cluster.Barrier();
+                    if (phase1.load() != 3) violated.store(true);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Cluster, SnapshotAggregatesDiskBytes) {
+  Cluster cluster(TestCluster("snapshot"));
+  ASSERT_TRUE(cluster
+                  .RunOnAll([&](int m) -> Status {
+                    char buf[256] = {0};
+                    return cluster.machine(m)->disk()->Write("x", 0, buf,
+                                                             256);
+                  })
+                  .ok());
+  const ClusterSnapshot snap = cluster.Snapshot();
+  EXPECT_EQ(snap.disk_bytes, 3 * 256u);
+  EXPECT_GT(snap.max_machine_disk_seconds, 0.0);
+  cluster.ResetCounters();
+  EXPECT_EQ(cluster.Snapshot().disk_bytes, 0u);
+}
+
+TEST(Cluster, MachinesHaveIsolatedStorageAndBudgets) {
+  Cluster cluster(TestCluster("isolated"));
+  ASSERT_TRUE(cluster.machine(0)
+                  ->disk()
+                  ->Write("only0", 0, "a", 1)
+                  .ok());
+  EXPECT_TRUE(cluster.machine(0)->disk()->Exists("only0"));
+  EXPECT_FALSE(cluster.machine(1)->disk()->Exists("only0"));
+
+  ASSERT_TRUE(cluster.machine(0)->budget()->TryCharge(1000).ok());
+  EXPECT_EQ(cluster.machine(1)->budget()->used_bytes(), 0u);
+}
+
+TEST(Cluster, WindowMemorySubtractsEdgeBuffer) {
+  ClusterConfig config = TestCluster("window");
+  config.memory_budget_bytes = 10ull << 20;
+  config.buffer_pool_frames = 32;  // 2 MB of 64 KB frames
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.machine(0)->WindowMemoryBytes(),
+            (10ull << 20) - (32ull * kPageSize));
+}
+
+}  // namespace
+}  // namespace tgpp

@@ -1,0 +1,124 @@
+// Theorem 4.1 memory model: exact values, monotonicity, failure modes.
+
+#include <gtest/gtest.h>
+
+#include "core/memory_model.h"
+#include "storage/slotted_page.h"
+
+namespace tgpp {
+namespace {
+
+MemoryModelInput BaseInput() {
+  MemoryModelInput in;
+  in.k = 1;
+  in.p = 4;
+  in.num_vertices = 1 << 16;
+  in.vertex_attr_bytes = 16;
+  in.page_size = kPageSize;
+  in.total_budget_bytes = 8ull << 20;
+  return in;
+}
+
+TEST(MemoryModel, MatchesHandComputedFormula) {
+  MemoryModelInput in = BaseInput();
+  // |VA| = 2^16 * 16 = 1 MiB; voi = |V|/8 = 8 KiB;
+  // fixed = k*(2*64KiB + 8KiB) = 136 KiB;
+  // q_min = ceil( (4k+1)*|VA| / (p * (M - fixed)) )
+  //       = ceil( 5 MiB / (4 * (8 MiB - 136 KiB)) ) = 1.
+  auto q = ComputeQMin(in);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 1);
+
+  in.total_budget_bytes = 400 << 10;  // 400 KiB
+  // denom = 4 * (400 - 136) KiB = 1056 KiB; numer = 5120 KiB -> q = 5.
+  q = ComputeQMin(in);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 5);
+}
+
+TEST(MemoryModel, QMinIsMonotonicInK) {
+  MemoryModelInput in = BaseInput();
+  in.total_budget_bytes = 1 << 20;
+  int prev = 0;
+  for (int k = 1; k <= 3; ++k) {
+    in.k = k;
+    auto q = ComputeQMin(in);
+    ASSERT_TRUE(q.ok());
+    EXPECT_GE(*q, prev);
+    prev = *q;
+  }
+}
+
+TEST(MemoryModel, QMinShrinksWithBudget) {
+  MemoryModelInput in = BaseInput();
+  in.k = 2;
+  int prev = 1 << 30;
+  for (uint64_t mb : {1, 2, 4, 8, 32}) {
+    in.total_budget_bytes = mb << 20;
+    auto q = ComputeQMin(in);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(*q, prev);
+    prev = *q;
+  }
+  EXPECT_EQ(prev, 1);  // ample memory -> single chunk
+}
+
+TEST(MemoryModel, QMinShrinksWithMachines) {
+  MemoryModelInput in = BaseInput();
+  in.total_budget_bytes = 512 << 10;
+  in.p = 2;
+  auto q2 = ComputeQMin(in);
+  in.p = 8;
+  auto q8 = ComputeQMin(in);
+  ASSERT_TRUE(q2.ok());
+  ASSERT_TRUE(q8.ok());
+  EXPECT_GE(*q2, *q8);
+}
+
+TEST(MemoryModel, HopelessBudgetIsOutOfMemory) {
+  MemoryModelInput in = BaseInput();
+  in.total_budget_bytes = 100 << 10;  // below the fixed window costs
+  auto q = ComputeQMin(in);
+  EXPECT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsOutOfMemory());
+}
+
+TEST(MemoryModel, MinimumRequirementFitsWithinBudgetAtQMin) {
+  // The defining property: M_min(q_min) <= budget < M_min(q_min - 1)
+  // (when q_min > 1).
+  MemoryModelInput in = BaseInput();
+  in.k = 2;
+  for (uint64_t budget_kb : {500, 800, 1500, 4000}) {
+    in.total_budget_bytes = budget_kb << 10;
+    auto q = ComputeQMin(in);
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(MinimumRequiredBytes(in, *q), in.total_budget_bytes)
+        << "budget " << budget_kb << "KB q=" << *q;
+    if (*q > 1) {
+      EXPECT_GT(MinimumRequiredBytes(in, *q - 1), in.total_budget_bytes);
+    }
+  }
+}
+
+TEST(MemoryModel, WindowSizesFollowEquation3) {
+  MemoryModelInput in = BaseInput();
+  const WindowSizes sizes = ComputeWindowSizes(in, /*q=*/2);
+  const uint64_t va = TotalVertexAttrBytes(in);
+  EXPECT_EQ(sizes.vertex_window_bytes, 2 * va / (4 * 2));
+  EXPECT_EQ(sizes.lgb_bytes, 2 * va / (4 * 2));
+  EXPECT_EQ(sizes.ggb_bytes, va / (4 * 2));
+  EXPECT_EQ(sizes.voi_bytes, in.num_vertices / 8);
+  EXPECT_GE(sizes.adj_window_bytes, 2 * in.page_size);
+}
+
+TEST(MemoryModel, AdjWindowGetsTheRemainder) {
+  MemoryModelInput in = BaseInput();
+  in.total_budget_bytes = 64ull << 20;
+  const WindowSizes sizes = ComputeWindowSizes(in, 1);
+  // With a large budget nearly everything should go to the adjacency
+  // windows.
+  EXPECT_GT(sizes.adj_window_bytes, (32ull << 20));
+}
+
+}  // namespace
+}  // namespace tgpp

@@ -1,0 +1,293 @@
+// Partitioning invariants, parameterized over scheme x machines x q.
+//
+// The properties every scheme must satisfy:
+//  - renumbering is a bijection, machine ranges are consecutive and
+//    disjoint, and every edge lands in exactly one chunk whose src/dst
+//    ranges contain it;
+//  - reading all chunk pages back reproduces the edge multiset exactly;
+//  - sub-chunks of one (i, j) chunk own disjoint destination ranges (the
+//    CAS-free NUMA property);
+//  - the two-level page index brackets every record's source.
+// BBP must additionally balance edges well and order IDs by degree.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "cluster/cluster.h"
+#include "graph/degree.h"
+#include "graph/rmat.h"
+#include "partition/partitioner.h"
+#include "storage/page_file.h"
+#include "storage/slotted_page.h"
+
+namespace tgpp {
+namespace {
+
+struct Case {
+  PartitionScheme scheme;
+  int machines;
+  int q;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = PartitionSchemeName(info.param.scheme);
+  for (char& c : s) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s + "_p" + std::to_string(info.param.machines) + "_q" +
+         std::to_string(info.param.q);
+}
+
+class PartitionProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    const Case& c = GetParam();
+    ClusterConfig config;
+    config.num_machines = c.machines;
+    config.numa_nodes_per_machine = 2;
+    config.root_dir = (std::filesystem::temp_directory_path() /
+                       "tgpp_partition" / CaseName({GetParam(), 0}))
+                          .string();
+    std::filesystem::remove_all(config.root_dir);
+    cluster_ = std::make_unique<Cluster>(config);
+    graph_ = GenerateRmatX(13, 77);
+    PartitionOptions options;
+    options.scheme = c.scheme;
+    options.q = c.q;
+    auto pg = PartitionGraph(cluster_.get(), graph_, options);
+    ASSERT_TRUE(pg.ok()) << pg.status().ToString();
+    pg_ = std::move(pg).value();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  EdgeList graph_;
+  PartitionedGraph pg_;
+};
+
+TEST_P(PartitionProperty, RenumberingIsABijection) {
+  std::vector<bool> seen(pg_.num_vertices, false);
+  for (VertexId old_id = 0; old_id < pg_.num_vertices; ++old_id) {
+    const VertexId new_id = pg_.old_to_new[old_id];
+    ASSERT_LT(new_id, pg_.num_vertices);
+    EXPECT_FALSE(seen[new_id]);
+    seen[new_id] = true;
+    EXPECT_EQ(pg_.new_to_old[new_id], old_id);
+  }
+}
+
+TEST_P(PartitionProperty, MachineRangesAreConsecutive) {
+  VertexId cursor = 0;
+  for (int m = 0; m < pg_.p; ++m) {
+    EXPECT_EQ(pg_.MachineRange(m).begin, cursor);
+    cursor = pg_.MachineRange(m).end;
+    for (VertexId v = pg_.MachineRange(m).begin;
+         v < pg_.MachineRange(m).end; ++v) {
+      EXPECT_EQ(pg_.OwnerOf(v), m);
+    }
+  }
+  EXPECT_EQ(cursor, pg_.num_vertices);
+}
+
+TEST_P(PartitionProperty, VertexChunksTileEachMachine) {
+  for (int m = 0; m < pg_.p; ++m) {
+    VertexId cursor = pg_.MachineRange(m).begin;
+    for (int c = 0; c < pg_.q; ++c) {
+      const VertexRange chunk = pg_.VertexChunkRange(m, c);
+      EXPECT_EQ(chunk.begin, cursor);
+      cursor = chunk.end;
+    }
+    EXPECT_EQ(cursor, pg_.MachineRange(m).end);
+  }
+}
+
+TEST_P(PartitionProperty, EveryEdgeStoredExactlyOnceInItsChunk) {
+  // Rebuild the expected multiset in the renumbered space.
+  std::map<Edge, int> expected;
+  for (const Edge& e : graph_.edges) {
+    ++expected[Edge{pg_.old_to_new[e.src], pg_.old_to_new[e.dst]}];
+  }
+
+  std::map<Edge, int> found;
+  uint64_t total = 0;
+  for (int m = 0; m < pg_.p; ++m) {
+    auto file = PageFile::Open(cluster_->machine(m)->disk(),
+                               PartitionedGraph::kEdgeFileName);
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> buffer(kPageSize);
+    for (const EdgeChunkInfo& chunk : pg_.machines[m].chunks) {
+      for (uint64_t page = chunk.first_page;
+           page < chunk.first_page + chunk.num_pages; ++page) {
+        ASSERT_TRUE(file->ReadPage(page, buffer.data()).ok());
+        SlottedPageReader reader(buffer.data());
+        ASSERT_TRUE(reader.Validate().ok());
+        for (uint32_t s = 0; s < reader.num_slots(); ++s) {
+          const VertexId src = reader.SrcAt(s);
+          EXPECT_TRUE(chunk.src_range.Contains(src));
+          for (VertexId dst : reader.DstsAt(s)) {
+            EXPECT_TRUE(chunk.dst_range.Contains(dst))
+                << "dst " << dst << " outside sub-chunk range";
+            ++found[Edge{src, dst}];
+            ++total;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(total, graph_.num_edges());
+  EXPECT_EQ(found, expected);
+}
+
+TEST_P(PartitionProperty, SubChunksHaveDisjointDstRanges) {
+  for (int m = 0; m < pg_.p; ++m) {
+    const auto& chunks = pg_.machines[m].chunks;
+    // chunks are ordered (i, j, sub); within one (i, j), non-empty
+    // sub-chunk dst ranges must not overlap.
+    for (size_t a = 0; a + 1 < chunks.size(); ++a) {
+      const EdgeChunkInfo& x = chunks[a];
+      const EdgeChunkInfo& y = chunks[a + 1];
+      if (x.src_chunk != y.src_chunk || x.dst_chunk != y.dst_chunk) {
+        continue;
+      }
+      if (x.num_edges == 0 || y.num_edges == 0) continue;
+      EXPECT_LE(x.dst_range.end, y.dst_range.begin)
+          << "machine " << m << " chunk (" << x.src_chunk << ","
+          << x.dst_chunk << ") subs overlap";
+    }
+  }
+}
+
+TEST_P(PartitionProperty, PageIndexBracketsRecords) {
+  for (int m = 0; m < pg_.p; ++m) {
+    auto file = PageFile::Open(cluster_->machine(m)->disk(),
+                               PartitionedGraph::kEdgeFileName);
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> buffer(kPageSize);
+    for (const PageIndexEntry& entry : pg_.machines[m].page_index) {
+      ASSERT_TRUE(file->ReadPage(entry.page_no, buffer.data()).ok());
+      SlottedPageReader reader(buffer.data());
+      for (uint32_t s = 0; s < reader.num_slots(); ++s) {
+        EXPECT_GE(reader.SrcAt(s), entry.src_min);
+        EXPECT_LE(reader.SrcAt(s), entry.src_max);
+      }
+    }
+  }
+}
+
+TEST_P(PartitionProperty, DegreesIndexedByNewId) {
+  const auto old_degrees = ComputeOutDegrees(graph_);
+  for (VertexId old_id = 0; old_id < pg_.num_vertices; ++old_id) {
+    EXPECT_EQ(pg_.out_degree[pg_.old_to_new[old_id]], old_degrees[old_id]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PartitionProperty,
+    ::testing::Values(Case{PartitionScheme::kBbp, 2, 1},
+                      Case{PartitionScheme::kBbp, 4, 1},
+                      Case{PartitionScheme::kBbp, 4, 3},
+                      Case{PartitionScheme::kBbp, 3, 2},
+                      Case{PartitionScheme::kRandom, 4, 2},
+                      Case{PartitionScheme::kHashPregel, 4, 2},
+                      Case{PartitionScheme::kHashGraphx, 3, 1}),
+    CaseName);
+
+// --- BBP-specific guarantees ---
+
+class BbpSpecific : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_machines = 4;
+    config.root_dir =
+        (std::filesystem::temp_directory_path() / "tgpp_bbp").string();
+    std::filesystem::remove_all(config.root_dir);
+    cluster_ = std::make_unique<Cluster>(config);
+    graph_ = GenerateRmatX(14, 99);
+    PartitionOptions options;
+    options.scheme = PartitionScheme::kBbp;
+    options.q = 2;
+    auto pg = PartitionGraph(cluster_.get(), graph_, options);
+    ASSERT_TRUE(pg.ok());
+    pg_ = std::move(pg).value();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  EdgeList graph_;
+  PartitionedGraph pg_;
+};
+
+TEST_F(BbpSpecific, BalancesEdgesWithinTolerance) {
+  // Round-robin degree dealing keeps max/mean close to 1 even on a
+  // heavily skewed graph.
+  EXPECT_LT(pg_.EdgeBalanceRatio(), 1.15);
+}
+
+TEST_F(BbpSpecific, BalancesVertexCounts) {
+  uint64_t min_v = ~0ull, max_v = 0;
+  for (int m = 0; m < pg_.p; ++m) {
+    min_v = std::min(min_v, pg_.MachineRange(m).size());
+    max_v = std::max(max_v, pg_.MachineRange(m).size());
+  }
+  EXPECT_LE(max_v - min_v, 1u);
+}
+
+TEST_F(BbpSpecific, IdsAscendByDegreeWithinMachine) {
+  for (int m = 0; m < pg_.p; ++m) {
+    const VertexRange range = pg_.MachineRange(m);
+    for (VertexId v = range.begin; v + 1 < range.end; ++v) {
+      EXPECT_LE(pg_.out_degree[v], pg_.out_degree[v + 1])
+          << "machine " << m << " id " << v;
+    }
+  }
+}
+
+TEST_F(BbpSpecific, NearOptimalBalanceOnExtremeSkew) {
+  // Strongly skewed graph with a monster hub. Any vertex-disjoint
+  // partitioning is lower-bounded by max(|E|/p, d_max); BBP must land
+  // within 15% of that bound.
+  RmatParams params;
+  params.vertex_scale = 10;
+  params.num_edges = 1 << 14;
+  params.a = 0.7;
+  params.b = 0.15;
+  params.c = 0.1;
+  params.seed = 5;
+  const EdgeList skewed = GenerateRmat(params);
+  const DegreeStats stats = ComputeDegreeStats(skewed);
+
+  ClusterConfig config;
+  config.num_machines = 4;
+  config.root_dir =
+      (std::filesystem::temp_directory_path() / "tgpp_bbp_skew").string();
+  std::filesystem::remove_all(config.root_dir);
+  Cluster cluster(config);
+
+  PartitionOptions bbp_opts;
+  bbp_opts.scheme = PartitionScheme::kBbp;
+  auto bbp = PartitionGraph(&cluster, skewed, bbp_opts);
+  ASSERT_TRUE(bbp.ok());
+
+  const double mean =
+      static_cast<double>(skewed.num_edges()) / config.num_machines;
+  const double optimal_ratio =
+      std::max(1.0, static_cast<double>(stats.max_degree) / mean);
+  EXPECT_LE(bbp->EdgeBalanceRatio(), optimal_ratio * 1.15)
+      << "d_max=" << stats.max_degree;
+}
+
+TEST(PartitionErrors, RejectsNonPositiveQ) {
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.root_dir =
+      (std::filesystem::temp_directory_path() / "tgpp_badq").string();
+  std::filesystem::remove_all(config.root_dir);
+  Cluster cluster(config);
+  PartitionOptions options;
+  options.q = 0;
+  EXPECT_FALSE(PartitionGraph(&cluster, GenerateRmatX(8, 1), options).ok());
+}
+
+}  // namespace
+}  // namespace tgpp

@@ -1,0 +1,103 @@
+// Status / Result / logging macro behaviour.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace tgpp {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(Status, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::Internal("x").IsOutOfMemory());
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Status FailsAtDepth(int depth) {
+  if (depth == 0) return Status::Aborted("bottom");
+  TGPP_RETURN_IF_ERROR(FailsAtDepth(depth - 1));
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsAtDepth(5).code(), StatusCode::kAborted);
+  EXPECT_TRUE(FailsAtDepth(0).message() == "bottom");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> Chain(int x) {
+  TGPP_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  ASSERT_TRUE(Chain(10).ok());
+  EXPECT_EQ(*Chain(10), 21);
+  EXPECT_FALSE(Chain(0).ok());
+}
+
+TEST(Result, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Logging, LevelsAreAdjustable) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  TGPP_LOG(Info) << "suppressed";  // must not crash
+  SetLogLevel(before);
+}
+
+TEST(Logging, CheckPassesOnTrue) {
+  TGPP_CHECK(1 + 1 == 2) << "never shown";
+  TGPP_CHECK_OK(Status::OK());
+}
+
+TEST(Logging, CheckAbortsOnFalse) {
+  EXPECT_DEATH(TGPP_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(TGPP_CHECK_OK(Status::Internal("bad")), "Internal");
+}
+
+}  // namespace
+}  // namespace tgpp

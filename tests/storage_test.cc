@@ -1,0 +1,339 @@
+// Storage engine: disk device, slotted pages, page files, buffer pool,
+// async I/O.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "storage/async_io.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_device.h"
+#include "storage/page_file.h"
+#include "storage/slotted_page.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace tgpp {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tgpp_storage" / name)
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// --- DiskDevice ---
+
+TEST(DiskDevice, WriteReadRoundtrip) {
+  DiskDevice disk(TestDir("rw"), kPcieSsdProfile);
+  const std::string data = "hello turbo graph";
+  ASSERT_TRUE(disk.Write("f.bin", 10, data.data(), data.size()).ok());
+  std::string out(data.size(), '\0');
+  ASSERT_TRUE(disk.Read("f.bin", 10, out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(DiskDevice, CountsBytes) {
+  DiskDevice disk(TestDir("count"), kPcieSsdProfile);
+  char buf[100] = {0};
+  ASSERT_TRUE(disk.Write("f.bin", 0, buf, 100).ok());
+  ASSERT_TRUE(disk.Read("f.bin", 0, buf, 40).ok());
+  EXPECT_EQ(disk.bytes_written(), 100u);
+  EXPECT_EQ(disk.bytes_read(), 40u);
+  EXPECT_GT(disk.ModeledIoSeconds(), 0.0);
+  disk.ResetCounters();
+  EXPECT_EQ(disk.bytes_written(), 0u);
+}
+
+TEST(DiskDevice, AppendReportsOffsets) {
+  DiskDevice disk(TestDir("append"), kPcieSsdProfile);
+  uint64_t off = 99;
+  ASSERT_TRUE(disk.Append("log.bin", "aaaa", 4, &off).ok());
+  EXPECT_EQ(off, 0u);
+  ASSERT_TRUE(disk.Append("log.bin", "bb", 2, &off).ok());
+  EXPECT_EQ(off, 4u);
+  auto size = disk.FileSize("log.bin");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 6u);
+}
+
+TEST(DiskDevice, TruncateAndRemove) {
+  DiskDevice disk(TestDir("trunc"), kPcieSsdProfile);
+  char buf[64] = {1};
+  ASSERT_TRUE(disk.Write("f.bin", 0, buf, 64).ok());
+  ASSERT_TRUE(disk.Truncate("f.bin", 16).ok());
+  EXPECT_EQ(*disk.FileSize("f.bin"), 16u);
+  EXPECT_TRUE(disk.Exists("f.bin"));
+  ASSERT_TRUE(disk.Remove("f.bin").ok());
+  ASSERT_TRUE(disk.Remove("f.bin").ok());  // idempotent
+}
+
+TEST(DiskDevice, ShortReadIsError) {
+  DiskDevice disk(TestDir("short"), kPcieSsdProfile);
+  char buf[8] = {0};
+  ASSERT_TRUE(disk.Write("f.bin", 0, buf, 8).ok());
+  char big[64];
+  EXPECT_TRUE(disk.Read("f.bin", 0, big, 64).IsIOError());
+}
+
+TEST(DiskDevice, StableFileIdsSurviveAndDiffer) {
+  DiskDevice disk(TestDir("ids"), kPcieSsdProfile);
+  const uint32_t a1 = disk.StableFileId("a.bin");
+  const uint32_t b = disk.StableFileId("b.bin");
+  const uint32_t a2 = disk.StableFileId("a.bin");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+// --- SlottedPage ---
+
+TEST(SlottedPage, BuildAndReadBack) {
+  std::vector<uint8_t> buffer(kPageSize);
+  SlottedPageBuilder builder(buffer.data());
+  const std::vector<VertexId> list1 = {5, 9, 13};
+  const std::vector<VertexId> list2 = {2};
+  ASSERT_TRUE(builder.AddRecord(100, list1));
+  ASSERT_TRUE(builder.AddRecord(200, list2));
+
+  SlottedPageReader reader(buffer.data());
+  ASSERT_EQ(reader.num_slots(), 2u);
+  EXPECT_EQ(reader.SrcAt(0), 100u);
+  EXPECT_EQ(std::vector<VertexId>(reader.DstsAt(0).begin(),
+                                  reader.DstsAt(0).end()),
+            list1);
+  EXPECT_EQ(reader.SrcAt(1), 200u);
+  EXPECT_EQ(reader.DstsAt(1).size(), 1u);
+  EXPECT_TRUE(reader.Validate().ok());
+}
+
+TEST(SlottedPage, RejectsWhenFull) {
+  std::vector<uint8_t> buffer(kPageSize);
+  SlottedPageBuilder builder(buffer.data());
+  std::vector<VertexId> list(100, 7);
+  uint32_t added = 0;
+  while (builder.AddRecord(added, list)) ++added;
+  EXPECT_GT(added, 0u);
+  // Everything that was accepted must still be readable.
+  SlottedPageReader reader(buffer.data());
+  EXPECT_EQ(reader.num_slots(), added);
+  EXPECT_TRUE(reader.Validate().ok());
+}
+
+TEST(SlottedPage, RemainingCapacityIsHonest) {
+  std::vector<uint8_t> buffer(kPageSize);
+  SlottedPageBuilder builder(buffer.data());
+  const size_t cap = builder.RemainingCapacity();
+  EXPECT_GT(cap, 8000u);  // ~64KB / 8B minus headers
+  std::vector<VertexId> list(cap, 1);
+  EXPECT_TRUE(builder.AddRecord(1, list));
+  EXPECT_FALSE(builder.AddRecord(2, std::vector<VertexId>(
+                                        builder.RemainingCapacity() + 1, 2)));
+}
+
+TEST(SlottedPage, EmptyRecordAllowed) {
+  std::vector<uint8_t> buffer(kPageSize);
+  SlottedPageBuilder builder(buffer.data());
+  EXPECT_TRUE(builder.AddRecord(42, {}));
+  SlottedPageReader reader(buffer.data());
+  EXPECT_EQ(reader.num_slots(), 1u);
+  EXPECT_TRUE(reader.DstsAt(0).empty());
+}
+
+TEST(SlottedPage, ValidateCatchesCorruption) {
+  std::vector<uint8_t> buffer(kPageSize);
+  SlottedPageBuilder builder(buffer.data());
+  ASSERT_TRUE(builder.AddRecord(1, std::vector<VertexId>{1, 2, 3}));
+  // Smash the slot count.
+  reinterpret_cast<PageHeader*>(buffer.data())->num_slots = 60000;
+  SlottedPageReader reader(buffer.data());
+  EXPECT_FALSE(reader.Validate().ok());
+}
+
+// --- PageFile ---
+
+TEST(PageFile, AppendReadClear) {
+  DiskDevice disk(TestDir("pagefile"), kPcieSsdProfile);
+  auto file = PageFile::Open(&disk, "edges.pf");
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> page(kPageSize, 0x11);
+  auto p0 = file->AppendPage(page.data());
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 0u);
+  page.assign(kPageSize, 0x22);
+  ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  EXPECT_EQ(file->num_pages(), 2u);
+
+  std::vector<uint8_t> out(kPageSize);
+  ASSERT_TRUE(file->ReadPage(0, out.data()).ok());
+  EXPECT_EQ(out[100], 0x11);
+  ASSERT_TRUE(file->ReadPage(1, out.data()).ok());
+  EXPECT_EQ(out[100], 0x22);
+  EXPECT_FALSE(file->ReadPage(2, out.data()).ok());
+
+  ASSERT_TRUE(file->Clear().ok());
+  EXPECT_EQ(file->num_pages(), 0u);
+}
+
+TEST(PageFile, ReopenSeesExistingPages) {
+  DiskDevice disk(TestDir("reopen"), kPcieSsdProfile);
+  std::vector<uint8_t> page(kPageSize, 0x33);
+  {
+    auto file = PageFile::Open(&disk, "x.pf");
+    ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  }
+  auto file = PageFile::Open(&disk, "x.pf");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->num_pages(), 1u);
+}
+
+// --- BufferPool ---
+
+TEST(BufferPool, HitsAndMisses) {
+  DiskDevice disk(TestDir("pool"), kPcieSsdProfile);
+  auto file = PageFile::Open(&disk, "p.pf");
+  std::vector<uint8_t> page(kPageSize);
+  for (int i = 0; i < 4; ++i) {
+    page[0] = static_cast<uint8_t>(i);
+    ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  }
+  BufferPool pool(8);
+  {
+    auto h = pool.Fetch(&*file, 2);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->data()[0], 2);
+  }
+  auto h2 = pool.Fetch(&*file, 2);
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPool, CacheSurvivesReopeningTheFile) {
+  DiskDevice disk(TestDir("pool_reopen"), kPcieSsdProfile);
+  std::vector<uint8_t> page(kPageSize, 0x7);
+  {
+    auto file = PageFile::Open(&disk, "p.pf");
+    ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  }
+  BufferPool pool(4);
+  {
+    auto file = PageFile::Open(&disk, "p.pf");
+    ASSERT_TRUE(pool.Fetch(&*file, 0).ok());
+  }
+  auto file2 = PageFile::Open(&disk, "p.pf");  // a different handle object
+  ASSERT_TRUE(pool.Fetch(&*file2, 0).ok());
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPool, EvictsUnpinnedUnderPressure) {
+  DiskDevice disk(TestDir("pool_evict"), kPcieSsdProfile);
+  auto file = PageFile::Open(&disk, "p.pf");
+  std::vector<uint8_t> page(kPageSize);
+  const int kPages = 10;
+  for (int i = 0; i < kPages; ++i) {
+    page[0] = static_cast<uint8_t>(i);
+    ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  }
+  BufferPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < kPages; ++i) {
+      auto h = pool.Fetch(&*file, i);
+      ASSERT_TRUE(h.ok());
+      EXPECT_EQ(h->data()[0], i);  // data always correct despite eviction
+    }
+  }
+  EXPECT_GT(pool.misses(), static_cast<uint64_t>(kPages));
+}
+
+TEST(BufferPool, PinnedPagesAreNotEvicted) {
+  DiskDevice disk(TestDir("pool_pin"), kPcieSsdProfile);
+  auto file = PageFile::Open(&disk, "p.pf");
+  std::vector<uint8_t> page(kPageSize);
+  for (int i = 0; i < 6; ++i) {
+    page[0] = static_cast<uint8_t>(i);
+    ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  }
+  BufferPool pool(4);
+  auto pinned = pool.Fetch(&*file, 0);
+  ASSERT_TRUE(pinned.ok());
+  const uint8_t* data_before = pinned->data();
+  // Cycle everything else through the remaining 3 frames.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 1; i < 6; ++i) {
+      ASSERT_TRUE(pool.Fetch(&*file, i).ok());
+    }
+  }
+  EXPECT_EQ(pinned->data(), data_before);
+  EXPECT_EQ(pinned->data()[0], 0);
+}
+
+TEST(BufferPool, ResidentSubsetAndDropAll) {
+  DiskDevice disk(TestDir("pool_resident"), kPcieSsdProfile);
+  auto file = PageFile::Open(&disk, "p.pf");
+  std::vector<uint8_t> page(kPageSize);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  }
+  BufferPool pool(8);
+  ASSERT_TRUE(pool.Fetch(&*file, 1).ok());
+  ASSERT_TRUE(pool.Fetch(&*file, 3).ok());
+  const std::vector<uint64_t> all = {0, 1, 2, 3, 4};
+  EXPECT_EQ(pool.ResidentSubset(&*file, all),
+            (std::vector<uint64_t>{1, 3}));
+  pool.DropAll();
+  EXPECT_TRUE(pool.ResidentSubset(&*file, all).empty());
+}
+
+// --- AsyncIoService ---
+
+TEST(AsyncIo, DeliversAllPages) {
+  DiskDevice disk(TestDir("async"), kPcieSsdProfile);
+  auto file = PageFile::Open(&disk, "p.pf");
+  std::vector<uint8_t> page(kPageSize);
+  for (int i = 0; i < 12; ++i) {
+    page[0] = static_cast<uint8_t>(i);
+    ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  }
+  BufferPool pool(16);
+  AsyncIoService io(2);
+  std::mutex mu;
+  std::set<uint64_t> seen;
+  std::vector<uint64_t> pages = {0, 3, 5, 7, 11};
+  auto ticket = io.SubmitReads(&pool, &*file, pages,
+                               [&](uint64_t no, PageHandle handle) {
+                                 std::lock_guard<std::mutex> lock(mu);
+                                 EXPECT_EQ(handle.data()[0], no);
+                                 seen.insert(no);
+                               });
+  ASSERT_TRUE(ticket.Wait().ok());
+  EXPECT_EQ(seen, std::set<uint64_t>(pages.begin(), pages.end()));
+}
+
+TEST(AsyncIo, ReportsErrors) {
+  DiskDevice disk(TestDir("async_err"), kPcieSsdProfile);
+  auto file = PageFile::Open(&disk, "p.pf");
+  std::vector<uint8_t> page(kPageSize);
+  ASSERT_TRUE(file->AppendPage(page.data()).ok());
+  BufferPool pool(4);
+  AsyncIoService io(1);
+  auto ticket = io.SubmitReads(&pool, &*file, {0, 99},
+                               [](uint64_t, PageHandle) {});
+  EXPECT_FALSE(ticket.Wait().ok());
+}
+
+TEST(AsyncIo, EmptyBatchCompletesImmediately) {
+  DiskDevice disk(TestDir("async_empty"), kPcieSsdProfile);
+  auto file = PageFile::Open(&disk, "p.pf");
+  BufferPool pool(4);
+  AsyncIoService io(1);
+  auto ticket =
+      io.SubmitReads(&pool, &*file, {}, [](uint64_t, PageHandle) {});
+  EXPECT_TRUE(ticket.Wait().ok());
+}
+
+}  // namespace
+}  // namespace tgpp

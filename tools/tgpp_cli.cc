@@ -1,0 +1,251 @@
+// tgpp: command-line driver for the TurboGraph++ library.
+//
+//   tgpp generate  --scale=18 --seed=42 --out=graph.bin [--undirected]
+//   tgpp stats     --graph=graph.bin
+//   tgpp partition --graph=graph.bin [--machines=4] [--q=1]
+//                  [--scheme=bbp|random|hash]
+//   tgpp run       --graph=graph.bin --query=pr|sssp|wcc|tc|lcc|clique4
+//                  [--machines=4] [--budget-mb=32] [--iterations=10]
+//                  [--source=0] [--workdir=/tmp/tgpp_cli]
+//
+// Exit code 0 on success; failures print the Status and exit 1.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "algos/clique4.h"
+#include "algos/lcc.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/triangle_counting.h"
+#include "algos/wcc.h"
+#include "core/system.h"
+#include "graph/degree.h"
+#include "graph/rmat.h"
+
+namespace tgpp::cli {
+namespace {
+
+std::string FlagStr(int argc, char** argv, const std::string& key,
+                    const std::string& def) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return def;
+}
+
+int64_t FlagInt(int argc, char** argv, const std::string& key,
+                int64_t def) {
+  const std::string v = FlagStr(argc, argv, key, "");
+  return v.empty() ? def : std::stoll(v);
+}
+
+bool FlagBool(int argc, char** argv, const std::string& key) {
+  const std::string flag = "--" + key;
+  for (int i = 2; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tgpp <generate|stats|partition|run> [--flags]\n"
+               "see the header of tools/tgpp_cli.cc for details\n");
+  return 2;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  const std::string out = FlagStr(argc, argv, "out", "graph.bin");
+  RmatParams params;
+  const int scale = static_cast<int>(FlagInt(argc, argv, "scale", 18));
+  params.vertex_scale = scale - 4;
+  params.num_edges = 1ull << scale;
+  params.seed = static_cast<uint64_t>(FlagInt(argc, argv, "seed", 42));
+  EdgeList graph = GenerateRmat(params);
+  if (FlagBool(argc, argv, "undirected")) {
+    DeduplicateEdges(&graph);
+    MakeUndirected(&graph);
+  }
+  Status s = SaveEdgeList(graph, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s: %llu vertices, %llu edges\n", out.c_str(),
+              static_cast<unsigned long long>(graph.num_vertices),
+              static_cast<unsigned long long>(graph.num_edges()));
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  auto graph = LoadEdgeList(FlagStr(argc, argv, "graph", "graph.bin"));
+  if (!graph.ok()) return Fail(graph.status());
+  const DegreeStats stats = ComputeDegreeStats(*graph);
+  std::printf("vertices:        %llu\n",
+              static_cast<unsigned long long>(graph->num_vertices));
+  std::printf("edges:           %llu\n",
+              static_cast<unsigned long long>(graph->num_edges()));
+  std::printf("bytes:           %llu\n",
+              static_cast<unsigned long long>(graph->size_bytes()));
+  std::printf("mean out-degree: %.2f\n", stats.mean_degree);
+  std::printf("max out-degree:  %llu\n",
+              static_cast<unsigned long long>(stats.max_degree));
+  std::printf("top-1%% share:    %.1f%%\n",
+              stats.top1pct_edge_share * 100);
+  return 0;
+}
+
+ClusterConfig MakeClusterConfig(int argc, char** argv) {
+  ClusterConfig config;
+  config.num_machines =
+      static_cast<int>(FlagInt(argc, argv, "machines", 4));
+  config.memory_budget_bytes =
+      static_cast<uint64_t>(FlagInt(argc, argv, "budget-mb", 32)) << 20;
+  config.root_dir = FlagStr(argc, argv, "workdir", "/tmp/tgpp_cli");
+  std::filesystem::remove_all(config.root_dir);
+  return config;
+}
+
+int CmdPartition(int argc, char** argv) {
+  auto graph = LoadEdgeList(FlagStr(argc, argv, "graph", "graph.bin"));
+  if (!graph.ok()) return Fail(graph.status());
+
+  PartitionScheme scheme = PartitionScheme::kBbp;
+  const std::string scheme_name = FlagStr(argc, argv, "scheme", "bbp");
+  if (scheme_name == "random") scheme = PartitionScheme::kRandom;
+  if (scheme_name == "hash") scheme = PartitionScheme::kHashPregel;
+
+  TurboGraphSystem system(MakeClusterConfig(argc, argv));
+  Status s = system.LoadGraph(std::move(*graph), scheme,
+                              static_cast<int>(FlagInt(argc, argv, "q", 1)));
+  if (!s.ok()) return Fail(s);
+
+  const PartitionedGraph* pg = system.partition();
+  std::printf("scheme=%s p=%d q=%d r=%d  partitioned in %.3fs\n",
+              PartitionSchemeName(pg->scheme), pg->p, pg->q, pg->r,
+              system.last_partition_seconds());
+  std::printf("edge balance (max/mean): %.3f\n", pg->EdgeBalanceRatio());
+  for (int m = 0; m < pg->p; ++m) {
+    uint64_t pages = 0;
+    for (const EdgeChunkInfo& c : pg->machines[m].chunks) {
+      pages += c.num_pages;
+    }
+    std::printf("  machine %d: vertices [%llu, %llu), %llu edges, "
+                "%llu pages\n",
+                m,
+                static_cast<unsigned long long>(pg->MachineRange(m).begin),
+                static_cast<unsigned long long>(pg->MachineRange(m).end),
+                static_cast<unsigned long long>(pg->machines[m].num_edges),
+                static_cast<unsigned long long>(pages));
+  }
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  auto graph = LoadEdgeList(FlagStr(argc, argv, "graph", "graph.bin"));
+  if (!graph.ok()) return Fail(graph.status());
+  const std::string query = FlagStr(argc, argv, "query", "pr");
+
+  TurboGraphSystem system(MakeClusterConfig(argc, argv));
+  Status s = system.LoadGraph(std::move(*graph));
+  if (!s.ok()) return Fail(s);
+  std::printf("partitioned in %.3fs (q=%d)\n",
+              system.last_partition_seconds(), system.partition()->q);
+  system.cluster()->ResetCountersAndCaches();
+
+  Result<QueryStats> stats = Status::InvalidArgument("unknown query: " +
+                                                     query);
+  if (query == "pr") {
+    auto app = MakePageRankApp(
+        system.partition(),
+        static_cast<int>(FlagInt(argc, argv, "iterations", 10)));
+    std::vector<PageRankAttr> ranks;
+    stats = system.RunQuery(app, &ranks);
+    if (stats.ok()) {
+      VertexId best = 0;
+      for (VertexId v = 0; v < ranks.size(); ++v) {
+        if (ranks[v].pr > ranks[best].pr) best = v;
+      }
+      std::printf("top vertex: v%llu (pr=%.4f)\n",
+                  static_cast<unsigned long long>(best), ranks[best].pr);
+    }
+  } else if (query == "sssp") {
+    auto app = MakeSsspApp(
+        system.partition(),
+        static_cast<VertexId>(FlagInt(argc, argv, "source", 0)));
+    std::vector<SsspAttr> dists;
+    stats = system.RunQuery(app, &dists);
+    if (stats.ok()) {
+      uint64_t reachable = 0;
+      for (const SsspAttr& d : dists) {
+        if (d.dist != kInfiniteDistance) ++reachable;
+      }
+      std::printf("reachable vertices: %llu\n",
+                  static_cast<unsigned long long>(reachable));
+    }
+  } else if (query == "wcc") {
+    auto app = MakeWccApp(system.partition());
+    std::vector<WccAttr> labels;
+    stats = system.RunQuery(app, &labels);
+    if (stats.ok()) {
+      std::set<uint64_t> components;
+      for (const WccAttr& l : labels) components.insert(l.label);
+      std::printf("components: %zu\n", components.size());
+    }
+  } else if (query == "tc") {
+    auto app = MakeTriangleCountingApp();
+    stats = system.RunQuery(app);
+    if (stats.ok()) {
+      std::printf("triangles: %llu\n",
+                  static_cast<unsigned long long>(stats->aggregate_sum));
+    }
+  } else if (query == "lcc") {
+    auto app = MakeLccApp(system.partition());
+    std::vector<LccAttr> attrs;
+    stats = system.RunQuery(app, &attrs);
+    if (stats.ok()) {
+      double sum = 0;
+      for (const LccAttr& a : attrs) sum += a.lcc;
+      std::printf("mean lcc: %.4f\n",
+                  attrs.empty() ? 0.0 : sum / attrs.size());
+    }
+  } else if (query == "clique4") {
+    auto app = MakeFourCliqueApp();
+    stats = system.RunQuery(app);
+    if (stats.ok()) {
+      std::printf("4-cliques: %llu\n",
+                  static_cast<unsigned long long>(stats->aggregate_sum));
+    }
+  }
+  if (!stats.ok()) return Fail(stats.status());
+
+  const ClusterSnapshot snap = system.cluster()->Snapshot();
+  std::printf("%s: %d supersteps, %.3fs wall (q=%d)\n", query.c_str(),
+              stats->supersteps, stats->wall_seconds, stats->q_used);
+  std::printf("I/O: disk %.2f MB, network %.2f MB\n",
+              snap.disk_bytes / 1e6, snap.net_bytes / 1e6);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tgpp::cli
+
+int main(int argc, char** argv) {
+  using namespace tgpp::cli;
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "partition") return CmdPartition(argc, argv);
+  if (cmd == "run") return CmdRun(argc, argv);
+  return Usage();
+}
