@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_3lpo.dir/bench_ablation_3lpo.cc.o"
+  "CMakeFiles/bench_ablation_3lpo.dir/bench_ablation_3lpo.cc.o.d"
+  "bench_ablation_3lpo"
+  "bench_ablation_3lpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_3lpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qmin.dir/bench_ablation_qmin.cc.o"
+  "CMakeFiles/bench_ablation_qmin.dir/bench_ablation_qmin.cc.o.d"
+  "bench_ablation_qmin"
+  "bench_ablation_qmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

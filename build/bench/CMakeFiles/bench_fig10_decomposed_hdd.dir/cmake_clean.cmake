@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_decomposed_hdd.dir/bench_fig10_decomposed_hdd.cc.o"
+  "CMakeFiles/bench_fig10_decomposed_hdd.dir/bench_fig10_decomposed_hdd.cc.o.d"
+  "bench_fig10_decomposed_hdd"
+  "bench_fig10_decomposed_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_decomposed_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

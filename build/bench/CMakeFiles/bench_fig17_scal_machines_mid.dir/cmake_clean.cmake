@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_scal_machines_mid.dir/bench_fig17_scal_machines_mid.cc.o"
+  "CMakeFiles/bench_fig17_scal_machines_mid.dir/bench_fig17_scal_machines_mid.cc.o.d"
+  "bench_fig17_scal_machines_mid"
+  "bench_fig17_scal_machines_mid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_scal_machines_mid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

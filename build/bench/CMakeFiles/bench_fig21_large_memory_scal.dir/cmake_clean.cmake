@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_large_memory_scal.dir/bench_fig21_large_memory_scal.cc.o"
+  "CMakeFiles/bench_fig21_large_memory_scal.dir/bench_fig21_large_memory_scal.cc.o.d"
+  "bench_fig21_large_memory_scal"
+  "bench_fig21_large_memory_scal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_large_memory_scal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_giraph.dir/bench_fig22_giraph.cc.o"
+  "CMakeFiles/bench_fig22_giraph.dir/bench_fig22_giraph.cc.o.d"
+  "bench_fig22_giraph"
+  "bench_fig22_giraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_giraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

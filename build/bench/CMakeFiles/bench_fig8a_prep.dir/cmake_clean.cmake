@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_prep.dir/bench_fig8a_prep.cc.o"
+  "CMakeFiles/bench_fig8a_prep.dir/bench_fig8a_prep.cc.o.d"
+  "bench_fig8a_prep"
+  "bench_fig8a_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

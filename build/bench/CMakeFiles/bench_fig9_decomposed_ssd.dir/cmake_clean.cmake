@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_decomposed_ssd.dir/bench_fig9_decomposed_ssd.cc.o"
+  "CMakeFiles/bench_fig9_decomposed_ssd.dir/bench_fig9_decomposed_ssd.cc.o.d"
+  "bench_fig9_decomposed_ssd"
+  "bench_fig9_decomposed_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_decomposed_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

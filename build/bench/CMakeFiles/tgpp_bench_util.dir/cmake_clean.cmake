@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/tgpp_bench_util.dir/bench_util.cc.o.d"
+  "libtgpp_bench_util.a"
+  "libtgpp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtgpp_bench_util.a"
+)

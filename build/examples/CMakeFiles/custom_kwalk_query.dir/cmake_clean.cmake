@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kwalk_query.dir/custom_kwalk_query.cpp.o"
+  "CMakeFiles/custom_kwalk_query.dir/custom_kwalk_query.cpp.o.d"
+  "custom_kwalk_query"
+  "custom_kwalk_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kwalk_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_reachability.dir/road_reachability.cpp.o"
+  "CMakeFiles/road_reachability.dir/road_reachability.cpp.o.d"
+  "road_reachability"
+  "road_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_triangles.dir/social_triangles.cpp.o"
+  "CMakeFiles/social_triangles.dir/social_triangles.cpp.o.d"
+  "social_triangles"
+  "social_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_algos.dir/algos/reference.cc.o"
+  "CMakeFiles/tgpp_algos.dir/algos/reference.cc.o.d"
+  "libtgpp_algos.a"
+  "libtgpp_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_baselines.dir/baselines/baseline.cc.o"
+  "CMakeFiles/tgpp_baselines.dir/baselines/baseline.cc.o.d"
+  "CMakeFiles/tgpp_baselines.dir/baselines/chaos_like.cc.o"
+  "CMakeFiles/tgpp_baselines.dir/baselines/chaos_like.cc.o.d"
+  "CMakeFiles/tgpp_baselines.dir/baselines/gemini_like.cc.o"
+  "CMakeFiles/tgpp_baselines.dir/baselines/gemini_like.cc.o.d"
+  "CMakeFiles/tgpp_baselines.dir/baselines/pte.cc.o"
+  "CMakeFiles/tgpp_baselines.dir/baselines/pte.cc.o.d"
+  "CMakeFiles/tgpp_baselines.dir/baselines/vertex_centric.cc.o"
+  "CMakeFiles/tgpp_baselines.dir/baselines/vertex_centric.cc.o.d"
+  "libtgpp_baselines.a"
+  "libtgpp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/tgpp_cluster.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/tgpp_cluster.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/machine.cc" "src/CMakeFiles/tgpp_cluster.dir/cluster/machine.cc.o" "gcc" "src/CMakeFiles/tgpp_cluster.dir/cluster/machine.cc.o.d"
+  "/root/repo/src/cluster/metrics.cc" "src/CMakeFiles/tgpp_cluster.dir/cluster/metrics.cc.o" "gcc" "src/CMakeFiles/tgpp_cluster.dir/cluster/metrics.cc.o.d"
+  "/root/repo/src/cluster/resource_sampler.cc" "src/CMakeFiles/tgpp_cluster.dir/cluster/resource_sampler.cc.o" "gcc" "src/CMakeFiles/tgpp_cluster.dir/cluster/resource_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tgpp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tgpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tgpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tgpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/tgpp_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/tgpp_cluster.dir/cluster/machine.cc.o"
+  "CMakeFiles/tgpp_cluster.dir/cluster/machine.cc.o.d"
+  "CMakeFiles/tgpp_cluster.dir/cluster/metrics.cc.o"
+  "CMakeFiles/tgpp_cluster.dir/cluster/metrics.cc.o.d"
+  "CMakeFiles/tgpp_cluster.dir/cluster/resource_sampler.cc.o"
+  "CMakeFiles/tgpp_cluster.dir/cluster/resource_sampler.cc.o.d"
+  "libtgpp_cluster.a"
+  "libtgpp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

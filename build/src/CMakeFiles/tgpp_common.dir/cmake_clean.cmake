@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_common.dir/common/logging.cc.o"
+  "CMakeFiles/tgpp_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/tgpp_common.dir/common/status.cc.o"
+  "CMakeFiles/tgpp_common.dir/common/status.cc.o.d"
+  "libtgpp_common.a"
+  "libtgpp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

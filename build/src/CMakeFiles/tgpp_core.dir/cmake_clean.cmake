@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_core.dir/core/adjacency_service.cc.o"
+  "CMakeFiles/tgpp_core.dir/core/adjacency_service.cc.o.d"
+  "CMakeFiles/tgpp_core.dir/core/memory_model.cc.o"
+  "CMakeFiles/tgpp_core.dir/core/memory_model.cc.o.d"
+  "libtgpp_core.a"
+  "libtgpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

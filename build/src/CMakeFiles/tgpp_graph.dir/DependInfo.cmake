@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/CMakeFiles/tgpp_graph.dir/graph/csr.cc.o" "gcc" "src/CMakeFiles/tgpp_graph.dir/graph/csr.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/tgpp_graph.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/tgpp_graph.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/degree.cc" "src/CMakeFiles/tgpp_graph.dir/graph/degree.cc.o" "gcc" "src/CMakeFiles/tgpp_graph.dir/graph/degree.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/CMakeFiles/tgpp_graph.dir/graph/edge_list.cc.o" "gcc" "src/CMakeFiles/tgpp_graph.dir/graph/edge_list.cc.o.d"
+  "/root/repo/src/graph/rmat.cc" "src/CMakeFiles/tgpp_graph.dir/graph/rmat.cc.o" "gcc" "src/CMakeFiles/tgpp_graph.dir/graph/rmat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tgpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tgpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

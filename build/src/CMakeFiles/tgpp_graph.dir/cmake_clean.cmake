@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_graph.dir/graph/csr.cc.o"
+  "CMakeFiles/tgpp_graph.dir/graph/csr.cc.o.d"
+  "CMakeFiles/tgpp_graph.dir/graph/datasets.cc.o"
+  "CMakeFiles/tgpp_graph.dir/graph/datasets.cc.o.d"
+  "CMakeFiles/tgpp_graph.dir/graph/degree.cc.o"
+  "CMakeFiles/tgpp_graph.dir/graph/degree.cc.o.d"
+  "CMakeFiles/tgpp_graph.dir/graph/edge_list.cc.o"
+  "CMakeFiles/tgpp_graph.dir/graph/edge_list.cc.o.d"
+  "CMakeFiles/tgpp_graph.dir/graph/rmat.cc.o"
+  "CMakeFiles/tgpp_graph.dir/graph/rmat.cc.o.d"
+  "libtgpp_graph.a"
+  "libtgpp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_net.dir/net/fabric.cc.o"
+  "CMakeFiles/tgpp_net.dir/net/fabric.cc.o.d"
+  "libtgpp_net.a"
+  "libtgpp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

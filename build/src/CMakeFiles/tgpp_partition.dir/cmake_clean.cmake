@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_partition.dir/partition/chunking.cc.o"
+  "CMakeFiles/tgpp_partition.dir/partition/chunking.cc.o.d"
+  "CMakeFiles/tgpp_partition.dir/partition/partitioner.cc.o"
+  "CMakeFiles/tgpp_partition.dir/partition/partitioner.cc.o.d"
+  "libtgpp_partition.a"
+  "libtgpp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/async_io.cc" "src/CMakeFiles/tgpp_storage.dir/storage/async_io.cc.o" "gcc" "src/CMakeFiles/tgpp_storage.dir/storage/async_io.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/tgpp_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/tgpp_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_device.cc" "src/CMakeFiles/tgpp_storage.dir/storage/disk_device.cc.o" "gcc" "src/CMakeFiles/tgpp_storage.dir/storage/disk_device.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/tgpp_storage.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/tgpp_storage.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/tgpp_storage.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/tgpp_storage.dir/storage/slotted_page.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tgpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tgpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

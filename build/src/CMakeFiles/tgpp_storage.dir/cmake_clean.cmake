@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_storage.dir/storage/async_io.cc.o"
+  "CMakeFiles/tgpp_storage.dir/storage/async_io.cc.o.d"
+  "CMakeFiles/tgpp_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/tgpp_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/tgpp_storage.dir/storage/disk_device.cc.o"
+  "CMakeFiles/tgpp_storage.dir/storage/disk_device.cc.o.d"
+  "CMakeFiles/tgpp_storage.dir/storage/page_file.cc.o"
+  "CMakeFiles/tgpp_storage.dir/storage/page_file.cc.o.d"
+  "CMakeFiles/tgpp_storage.dir/storage/slotted_page.cc.o"
+  "CMakeFiles/tgpp_storage.dir/storage/slotted_page.cc.o.d"
+  "libtgpp_storage.a"
+  "libtgpp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitmap.cc" "src/CMakeFiles/tgpp_util.dir/util/bitmap.cc.o" "gcc" "src/CMakeFiles/tgpp_util.dir/util/bitmap.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/tgpp_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/tgpp_util.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/memory_budget.cc" "src/CMakeFiles/tgpp_util.dir/util/memory_budget.cc.o" "gcc" "src/CMakeFiles/tgpp_util.dir/util/memory_budget.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/tgpp_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/tgpp_util.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/tgpp_util.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/tgpp_util.dir/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tgpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

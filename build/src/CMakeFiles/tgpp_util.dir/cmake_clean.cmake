@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_util.dir/util/bitmap.cc.o"
+  "CMakeFiles/tgpp_util.dir/util/bitmap.cc.o.d"
+  "CMakeFiles/tgpp_util.dir/util/histogram.cc.o"
+  "CMakeFiles/tgpp_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/tgpp_util.dir/util/memory_budget.cc.o"
+  "CMakeFiles/tgpp_util.dir/util/memory_budget.cc.o.d"
+  "CMakeFiles/tgpp_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/tgpp_util.dir/util/thread_pool.cc.o.d"
+  "CMakeFiles/tgpp_util.dir/util/timer.cc.o"
+  "CMakeFiles/tgpp_util.dir/util/timer.cc.o.d"
+  "libtgpp_util.a"
+  "libtgpp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjacency_service_test.dir/adjacency_service_test.cc.o"
+  "CMakeFiles/adjacency_service_test.dir/adjacency_service_test.cc.o.d"
+  "adjacency_service_test"
+  "adjacency_service_test.pdb"
+  "adjacency_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjacency_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

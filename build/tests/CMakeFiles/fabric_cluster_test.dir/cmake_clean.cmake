@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_cluster_test.dir/fabric_cluster_test.cc.o"
+  "CMakeFiles/fabric_cluster_test.dir/fabric_cluster_test.cc.o.d"
+  "fabric_cluster_test"
+  "fabric_cluster_test.pdb"
+  "fabric_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/status_logging_test.dir/status_logging_test.cc.o"
+  "CMakeFiles/status_logging_test.dir/status_logging_test.cc.o.d"
+  "status_logging_test"
+  "status_logging_test.pdb"
+  "status_logging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/status_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgpp_cli.dir/tgpp_cli.cc.o"
+  "CMakeFiles/tgpp_cli.dir/tgpp_cli.cc.o.d"
+  "tgpp"
+  "tgpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgpp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
