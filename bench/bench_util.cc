@@ -1,12 +1,44 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
+
+#include "util/trace.h"
 
 namespace tgpp::bench {
 
+namespace {
+
+// Opt-in execution tracing for bench runs: TGPP_TRACE=/path/to/trace.json
+// enables the tracer for every measurement in the process and writes one
+// combined Chrome-trace JSON at exit (see docs/TRACING.md).
+void MaybeEnableTracingFromEnv() {
+  static const bool enabled = [] {
+    const char* path = std::getenv("TGPP_TRACE");
+    if (path == nullptr || path[0] == '\0') return false;
+    trace::SetEnabled(true);
+    std::atexit([] {
+      const char* out = std::getenv("TGPP_TRACE");
+      if (out == nullptr) return;
+      Status s = trace::WriteChromeTrace(out);
+      if (!s.ok()) {
+        std::fprintf(stderr, "TGPP_TRACE export failed: %s\n",
+                     s.ToString().c_str());
+      }
+    });
+    return true;
+  }();
+  (void)enabled;
+}
+
+}  // namespace
+
 ClusterConfig ToClusterConfig(const BenchConfig& bc,
                               const std::string& run_name) {
+  // Every bench builds its cluster(s) through here, so this is the one
+  // hook that covers benches that bypass MeasureTurboGraph/MeasureBaseline.
+  MaybeEnableTracingFromEnv();
   ClusterConfig config;
   config.num_machines = bc.machines;
   config.threads_per_machine = bc.threads;
@@ -112,6 +144,7 @@ Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
   m.system = "TurboGraph++";
   m.graph = graph_name;
   m.query = query;
+  MaybeEnableTracingFromEnv();
 
   const std::string run_name = std::string("tgpp_") + graph_name + "_" +
                                QueryName(query) + "_" +
@@ -196,6 +229,7 @@ Measurement MeasureBaseline(const BenchConfig& bc, const EdgeList& graph,
   m.system = system_name;
   m.graph = graph_name;
   m.query = query;
+  MaybeEnableTracingFromEnv();
 
   const std::string run_name =
       system_name + "_" + graph_name + "_" + QueryName(query);

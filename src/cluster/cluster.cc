@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "util/trace.h"
 
 namespace tgpp {
 
@@ -35,6 +36,8 @@ Status Cluster::RunOnAll(const std::function<Status(int)>& fn) {
   Status first_error;
   for (int i = 0; i < num_machines(); ++i) {
     threads.emplace_back([&, i] {
+      trace::SetCurrentMachine(i);
+      trace::SetCurrentThreadName("m" + std::to_string(i) + ".main");
       Status s = fn(i);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(mu);
@@ -46,7 +49,10 @@ Status Cluster::RunOnAll(const std::function<Status(int)>& fn) {
   return first_error;
 }
 
-void Cluster::Barrier() { barrier_.arrive_and_wait(); }
+void Cluster::Barrier() {
+  trace::TraceSpan span("barrier.wait", "cluster");
+  barrier_.arrive_and_wait();
+}
 
 ClusterSnapshot Cluster::Snapshot() const {
   ClusterSnapshot snap;

@@ -1,9 +1,21 @@
-// Cluster: the in-process substitute for the paper's 25-machine testbed.
+// Cluster: the in-process substitute for the paper's 25-machine testbed
+// (§5.1: 25 machines, 32 GB RAM, PCIe SSD or HDD, InfiniBand QDR).
 //
 // Spins up p Machine objects (each with private disk directory, buffer
-// pool, memory budget and worker pool) connected by a Fabric. `RunOnAll`
-// executes one function per machine on dedicated threads — the body of a
-// distributed program — and `Barrier()` provides the paper's GLOBALBARRIER.
+// pool, memory budget and worker pool — the per-machine resources that
+// §4's memory model budgets against) connected by a Fabric, the stand-in
+// for the paper's MPI/TCP transport (A.3). `RunOnAll` executes one
+// function per machine on dedicated threads — the body of a distributed
+// program, analogous to one MPI rank per machine — and `Barrier()`
+// provides the GLOBALBARRIER of Algorithm 1 line 22 that separates the
+// scatter/gather phase from apply. `Snapshot()` aggregates the
+// per-resource byte/time counters that the paper's decomposed-time
+// analysis (§5.2.3, Figures 9-11) is computed from.
+//
+// RunOnAll tags each machine thread for the execution tracer
+// (util/trace.h), so a captured trace shows one track group per
+// simulated machine; Barrier() records its wait time as a
+// `barrier.wait` span — the visible cost of load imbalance (§5.2.2).
 
 #ifndef TGPP_CLUSTER_CLUSTER_H_
 #define TGPP_CLUSTER_CLUSTER_H_

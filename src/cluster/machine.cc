@@ -8,9 +8,9 @@ Machine::Machine(const MachineConfig& config)
     : config_(config),
       disk_(config.storage_dir, config.disk_profile),
       buffer_pool_(config.buffer_pool_frames),
-      io_(config.num_io_threads),
+      io_(config.num_io_threads, config.id),
       workers_(config.num_worker_threads,
-               "m" + std::to_string(config.id) + ".workers"),
+               "m" + std::to_string(config.id) + ".workers", config.id),
       budget_(config.memory_budget_bytes) {
   TGPP_CHECK(!config.storage_dir.empty());
   TGPP_CHECK(config.numa_nodes >= 1);

@@ -27,6 +27,11 @@
 // from the memory model (Theorem 4.1). Callers should use
 // TurboGraphSystem (core/system.h), which re-runs BBP when the query
 // requires a finer q (Algorithm 1 lines 1-4).
+//
+// Every phase above is instrumented for the execution tracer
+// (util/trace.h): `superstep`, `scatter`/`scatter.window`, `gather`,
+// `apply`/`gather.spilled` and `allreduce` spans, one track per machine.
+// docs/TRACING.md explains how to capture and read a timeline.
 
 #ifndef TGPP_CORE_ENGINE_H_
 #define TGPP_CORE_ENGINE_H_
@@ -50,6 +55,7 @@
 #include "partition/partitioner.h"
 #include "util/bitmap.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace tgpp {
 
@@ -219,6 +225,7 @@ class NwsmEngine {
     stats.q_used = pg_->q;
     global_aggregate_.store(0, std::memory_order_relaxed);
     for (int step = 0; step < app.max_supersteps; ++step) {
+      current_step_.store(step, std::memory_order_relaxed);
       global_active_.store(0, std::memory_order_relaxed);
       Status status = cluster_->RunOnAll(
           [&](int m) -> Status { return MachineSuperstep(m, app); });
@@ -366,6 +373,9 @@ class NwsmEngine {
     Machine* machine = cluster_->machine(m);
     MachineState& state = *states_[m];
     const int q = pg_->q;
+    trace::TraceSpan superstep_span("superstep", "engine");
+    superstep_span.AddArg(
+        "step", current_step_.load(std::memory_order_relaxed));
 
     // Pre-superstep: truncate spill partitions.
     for (int c = 1; c < q; ++c) {
@@ -377,8 +387,13 @@ class NwsmEngine {
     GatherRuntime gather;
     gather.chunk0 = pg_->VertexChunkRange(m, 0);
     gather.ggb.Reset(gather.chunk0);
-    std::thread gather_thread(
-        [&] { GlobalGatherLoop(m, app, &gather); });
+    std::thread gather_thread([&] {
+      if (trace::Enabled()) {
+        trace::SetCurrentMachine(m);
+        trace::SetCurrentThreadName("m" + std::to_string(m) + ".gather");
+      }
+      GlobalGatherLoop(m, app, &gather);
+    });
 
     // Adjacency service answers remote full-list reads during scatter.
     std::unique_ptr<AdjacencyService> adj_service;
@@ -393,6 +408,7 @@ class NwsmEngine {
     // barrier or a blocking receive.
     Status step_status;
     {
+      trace::TraceSpan scatter_span("scatter", "engine");
       ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
       if (app.mode == AdjMode::kPartial) {
         step_status = ScatterPartial(m, app);
@@ -460,6 +476,8 @@ class NwsmEngine {
                                        vr.end - my_range.begin) == 0) {
         continue;
       }
+      trace::TraceSpan window_span("scatter.window", "engine");
+      window_span.AddArg("window", static_cast<uint64_t>(i));
       TGPP_RETURN_IF_ERROR(ReadAttrRange(m, vr, &vertex_window));
 
       for (int j = 0; j < pq; ++j) {
@@ -636,6 +654,8 @@ class NwsmEngine {
                                        vr.end - my_range.begin) == 0) {
         continue;
       }
+      trace::TraceSpan window_span("scatter.window", "engine");
+      window_span.AddArg("window", static_cast<uint64_t>(i));
       TGPP_RETURN_IF_ERROR(ReadAttrRange(m, vr, &vertex_window));
 
       // Batch active vertices of this window so materialized full lists
@@ -900,6 +920,7 @@ class NwsmEngine {
 
   void GlobalGatherLoop(int m, KWalkApp<V, U>& app, GatherRuntime* grt) {
     Machine* machine = cluster_->machine(m);
+    trace::TraceSpan gather_span("gather", "engine");
     ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
     grt->spill_buffers.assign(pg_->q, {});
     constexpr size_t kSpillFlushBytes = 64 * 1024;
@@ -981,6 +1002,12 @@ class NwsmEngine {
     std::thread producer;
     if (q > 1) {
       producer = std::thread([&] {
+        if (trace::Enabled()) {
+          trace::SetCurrentMachine(m);
+          trace::SetCurrentThreadName("m" + std::to_string(m) +
+                                      ".spill_gather");
+        }
+        trace::TraceSpan spill_span("gather.spilled", "engine");
         ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
         for (int c = 1; c < q; ++c) {
           Slot slot;
@@ -1027,6 +1054,7 @@ class NwsmEngine {
     // Consumer: Apply (Algorithm 4).
     Status apply_status;
     {
+      trace::TraceSpan apply_span("apply", "engine");
       ScopedCpuAccumulator cpu(&machine->metrics()->apply_cpu_nanos);
       std::vector<V> attrs;
       for (int c = 0; c < q && apply_status.ok(); ++c) {
@@ -1081,6 +1109,7 @@ class NwsmEngine {
   // ---- allreduce over the fabric (control plane) ----
 
   Status Allreduce(int m, uint64_t local_active, uint64_t local_aggregate) {
+    trace::TraceSpan span("allreduce", "net");
     Fabric* fabric = cluster_->fabric();
     std::vector<uint8_t> payload;
     AppendPod<uint64_t>(&payload, local_active);
@@ -1120,6 +1149,7 @@ class NwsmEngine {
   std::vector<std::unique_ptr<MachineState>> states_;
   std::atomic<uint64_t> global_active_{0};
   std::atomic<uint64_t> global_aggregate_{0};
+  std::atomic<int> current_step_{0};  // superstep number, for trace args
 
   // Scratch for the serial full-mode context (one orchestrator per
   // machine; see process_range).

@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include "common/logging.h"
+#include "util/trace.h"
 
 namespace tgpp {
 
@@ -25,6 +26,9 @@ void Fabric::Send(int src, int dst, uint32_t tag,
     bytes_sent_.fetch_add(payload.size() + kHeaderBytes,
                           std::memory_order_relaxed);
     messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    trace::Instant("fabric.send", "net", "bytes",
+                   payload.size() + kHeaderBytes, "dst",
+                   static_cast<uint64_t>(dst));
   }
   Mailbox& box = *mailboxes_[dst];
   {
@@ -37,14 +41,26 @@ void Fabric::Send(int src, int dst, uint32_t tag,
 bool Fabric::Recv(int dst, uint32_t tag, Message* out) {
   Mailbox& box = *mailboxes_[dst];
   std::unique_lock<std::mutex> lock(box.mu);
+  // A span is only recorded when the receiver actually blocked, so idle
+  // gather/allreduce waits show up as "fabric.recv_wait" in traces.
+  int64_t wait_start = -1;
   for (;;) {
     std::deque<Message>& q = QueueFor(box, tag);
     if (!q.empty()) {
       *out = std::move(q.front());
       q.pop_front();
+      if (wait_start >= 0) {
+        trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
+      }
+      if (out->src != dst) {
+        trace::Instant("fabric.recv", "net", "bytes",
+                       out->payload.size() + kHeaderBytes, "src",
+                       static_cast<uint64_t>(out->src));
+      }
       return true;
     }
     if (shutdown_.load(std::memory_order_acquire)) return false;
+    if (wait_start < 0 && trace::Enabled()) wait_start = trace::NowNanos();
     box.cv.wait(lock);
   }
 }

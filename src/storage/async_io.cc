@@ -1,5 +1,7 @@
 #include "storage/async_io.h"
 
+#include "util/trace.h"
+
 namespace tgpp {
 
 Status AsyncIoService::Ticket::Wait() {
@@ -23,6 +25,8 @@ AsyncIoService::Ticket AsyncIoService::SubmitReads(
           std::move(cb));
   for (uint64_t page_no : pages) {
     pool_.Submit([buffer_pool, file, page_no, state, shared_cb] {
+      trace::TraceSpan span("io.read_page", "io");
+      span.AddArg("page", page_no);
       Result<PageHandle> handle = buffer_pool->Fetch(file, page_no);
       if (handle.ok()) {
         (*shared_cb)(page_no, std::move(handle).value());

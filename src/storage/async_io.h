@@ -23,8 +23,13 @@ namespace tgpp {
 
 class AsyncIoService {
  public:
-  explicit AsyncIoService(int num_io_threads)
-      : pool_(num_io_threads, "io") {}
+  // `trace_machine` tags I/O-thread trace events with the owning simulated
+  // machine (util/trace.h); -1 leaves them untagged.
+  explicit AsyncIoService(int num_io_threads, int trace_machine = -1)
+      : pool_(num_io_threads,
+              trace_machine >= 0 ? "m" + std::to_string(trace_machine) + ".io"
+                                 : "io",
+              trace_machine) {}
 
   // Tracks completion of one batch of reads.
   class Ticket {

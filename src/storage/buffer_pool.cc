@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "util/trace.h"
 
 namespace tgpp {
 
@@ -53,18 +54,26 @@ Result<PageHandle> BufferPool::Fetch(const PageFile* file, uint64_t page_no) {
 
   // Miss: claim a victim frame (waiting for an unpin if necessary).
   int victim = FindVictimLocked();
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  while (victim < 0) {
-    if (unpin_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return Status::Timeout(
-          "buffer pool exhausted: all frames pinned (pool of " +
-          std::to_string(frames_.size()) + " frames)");
+  if (victim < 0) {
+    // All frames pinned: this stall is exactly the window-budget pressure
+    // the memory model is meant to avoid, so make it visible in traces.
+    const int64_t stall_start = trace::NowNanos();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (victim < 0) {
+      if (unpin_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return Status::Timeout(
+            "buffer pool exhausted: all frames pinned (pool of " +
+            std::to_string(frames_.size()) + " frames)");
+      }
+      victim = FindVictimLocked();
     }
-    victim = FindVictimLocked();
+    trace::Complete("bufferpool.pin_stall", "storage", stall_start, "page",
+                    page_no);
   }
   Frame& f = frames_[victim];
   if (f.valid) {
+    trace::Instant("bufferpool.evict", "storage", "page", f.key.page_no);
     table_.erase(f.key);
     f.valid = false;
   }

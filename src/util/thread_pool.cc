@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace tgpp {
 
 namespace {
@@ -14,8 +16,8 @@ int64_t ThreadCpuNanos() {
 }
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads, std::string name)
-    : name_(std::move(name)) {
+ThreadPool::ThreadPool(int num_threads, std::string name, int trace_machine)
+    : name_(std::move(name)), trace_machine_(trace_machine) {
   TGPP_CHECK(num_threads > 0) << "pool " << name_;
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
@@ -53,7 +55,8 @@ double ThreadPool::TotalTaskCpuSeconds() const {
 }
 
 void ThreadPool::WorkerLoop(int worker_id) {
-  (void)worker_id;
+  trace::SetCurrentMachine(trace_machine_);
+  trace::SetCurrentThreadName(name_ + "/" + std::to_string(worker_id));
   for (;;) {
     std::function<void()> task;
     {

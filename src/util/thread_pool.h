@@ -22,7 +22,10 @@ namespace tgpp {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads, std::string name = "pool");
+  // `trace_machine` >= 0 tags all events recorded on worker threads with
+  // that simulated machine id (see util/trace.h); -1 leaves them untagged.
+  explicit ThreadPool(int num_threads, std::string name = "pool",
+                      int trace_machine = -1);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -44,6 +47,7 @@ class ThreadPool {
   void WorkerLoop(int worker_id);
 
   std::string name_;
+  int trace_machine_;
   std::vector<std::thread> threads_;
 
   std::mutex mu_;

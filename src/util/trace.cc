@@ -1,0 +1,185 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace tgpp::trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// Per-ring capacity. Machine/orchestrator threads record well under this
+// per query; page-granular I/O threads may wrap on large runs, losing
+// their *oldest* events (counted in Stats().dropped).
+constexpr size_t kRingCapacity = 1 << 14;
+
+// Single-writer event ring. `count` is the total ever written; the ring
+// holds the last min(count, kRingCapacity) events. Readers (Snapshot) run
+// at quiescence, so the release/acquire pair on `count` is only there to
+// order the event stores for late readers.
+struct ThreadRing {
+  std::vector<TraceEvent> ring{std::vector<TraceEvent>(kRingCapacity)};
+  std::atomic<uint64_t> count{0};
+  int tid = 0;
+  std::string name;  // last-set track name (registry-lock protected)
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;  // all ever registered
+  std::vector<std::shared_ptr<ThreadRing>> free_list;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// Thread-slot handle: acquires a ring from the free list (or registers a
+// new one) on first use and parks it back on thread exit, so short-lived
+// gather/producer threads don't grow the registry without bound.
+struct TlsSlot {
+  std::shared_ptr<ThreadRing> ring;
+  int machine = -1;
+  std::string pending_name;  // applied when the ring is acquired
+
+  ~TlsSlot() {
+    if (ring == nullptr) return;
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.free_list.push_back(std::move(ring));
+  }
+};
+
+thread_local TlsSlot tls_slot;
+
+ThreadRing* GetThreadRing() {
+  if (tls_slot.ring == nullptr) {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    if (!registry.free_list.empty()) {
+      tls_slot.ring = std::move(registry.free_list.back());
+      registry.free_list.pop_back();
+    } else {
+      tls_slot.ring = std::make_shared<ThreadRing>();
+      tls_slot.ring->tid = static_cast<int>(registry.rings.size());
+      registry.rings.push_back(tls_slot.ring);
+    }
+    if (!tls_slot.pending_name.empty()) {
+      tls_slot.ring->name = tls_slot.pending_name;
+    }
+  }
+  return tls_slot.ring.get();
+}
+
+}  // namespace
+
+namespace internal {
+
+void Record(const char* name, const char* cat, int64_t ts_nanos,
+            int64_t dur_nanos, const char* arg_name0, uint64_t arg_value0,
+            const char* arg_name1, uint64_t arg_value1) {
+  ThreadRing* ring = GetThreadRing();
+  const uint64_t n = ring->count.load(std::memory_order_relaxed);
+  TraceEvent& ev = ring->ring[n % kRingCapacity];
+  ev.name = name;
+  ev.cat = cat;
+  ev.arg_name0 = arg_name0;
+  ev.arg_name1 = arg_name1;
+  ev.arg_value0 = arg_value0;
+  ev.arg_value1 = arg_value1;
+  ev.ts_nanos = ts_nanos;
+  ev.dur_nanos = dur_nanos;
+  ev.machine = tls_slot.machine;
+  ev.tid = ring->tid;
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& ring : registry.rings) {
+    ring->count.store(0, std::memory_order_relaxed);
+  }
+}
+
+void SetCurrentMachine(int machine_id) { tls_slot.machine = machine_id; }
+
+int CurrentMachine() { return tls_slot.machine; }
+
+void SetCurrentThreadName(const std::string& name) {
+  tls_slot.pending_name = name;
+  if (tls_slot.ring != nullptr) {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    tls_slot.ring->name = name;
+  }
+}
+
+int64_t NowNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+TraceStats Stats() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  TraceStats stats;
+  stats.threads = static_cast<int>(registry.rings.size());
+  for (const auto& ring : registry.rings) {
+    const uint64_t n = ring->count.load(std::memory_order_acquire);
+    stats.recorded += n;
+    if (n > kRingCapacity) stats.dropped += n - kRingCapacity;
+  }
+  return stats;
+}
+
+std::vector<TraceEvent> Snapshot() {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    rings = registry.rings;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    const uint64_t n = ring->count.load(std::memory_order_acquire);
+    const uint64_t kept = std::min<uint64_t>(n, kRingCapacity);
+    for (uint64_t i = n - kept; i < n; ++i) {
+      events.push_back(ring->ring[i % kRingCapacity]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_nanos != b.ts_nanos) return a.ts_nanos < b.ts_nanos;
+              // Enclosing span first, so viewers nest them correctly.
+              return a.dur_nanos > b.dur_nanos;
+            });
+  return events;
+}
+
+std::vector<std::pair<int, std::string>> ThreadNames() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::pair<int, std::string>> names;
+  for (const auto& ring : registry.rings) {
+    if (!ring->name.empty()) names.emplace_back(ring->tid, ring->name);
+  }
+  return names;
+}
+
+}  // namespace tgpp::trace

@@ -1,0 +1,184 @@
+// Low-overhead execution tracer with Chrome-trace / Perfetto export.
+//
+// The paper's evaluation (§5.2.3, Figures 9-11) explains performance by
+// decomposing runtime into CPU / disk / network components; MachineMetrics
+// reproduces those *aggregates*. This tracer captures the *timeline*: when
+// the 3-LPO phases (scatter / global gather / apply) overlap with async
+// page prefetch, fabric traffic and barrier waits — the property the
+// nested windowed streaming model exists to create. Every event is tagged
+// with its simulated machine, so the export renders one track per machine,
+// per thread in chrome://tracing or https://ui.perfetto.dev.
+//
+// Design constraints (this is on the engine's hot paths):
+//  - Disabled cost is one relaxed atomic load per site: `Enabled()` is
+//    checked before any allocation, clock read or buffer access.
+//  - The record path takes no locks: each thread owns a fixed-capacity
+//    ring of TraceEvent records (single writer); a process-wide registry
+//    only locks on first-record-per-thread registration. When a thread
+//    exits its ring is parked on a free list and reused by later threads
+//    (the engine spawns short-lived gather/producer threads per superstep).
+//  - Event names, categories and argument keys must be string literals
+//    (or otherwise outlive the tracer) — only pointers are stored.
+//  - Rings overwrite their oldest events when full; `Stats().dropped`
+//    reports the loss. Export/Snapshot are meant to run at quiescence
+//    (no threads recording), e.g. after a query completes.
+//
+// Usage:
+//   trace::SetEnabled(true);
+//   { trace::TraceSpan span("scatter", "engine");
+//     span.AddArg("window", i); ... }            // 'X' complete event
+//   trace::Instant("fabric.send", "net", "bytes", n);  // 'i' instant
+//   TGPP_RETURN_IF_ERROR(trace::WriteChromeTrace("trace.json"));
+//
+// See docs/TRACING.md for capturing and reading traces.
+
+#ifndef TGPP_UTIL_TRACE_H_
+#define TGPP_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tgpp::trace {
+
+// One recorded event. `dur_nanos < 0` marks an instant event; otherwise
+// the record is a complete span [ts_nanos, ts_nanos + dur_nanos].
+struct TraceEvent {
+  const char* name = nullptr;  // string literal
+  const char* cat = nullptr;   // string literal
+  const char* arg_name0 = nullptr;
+  const char* arg_name1 = nullptr;
+  uint64_t arg_value0 = 0;
+  uint64_t arg_value1 = 0;
+  int64_t ts_nanos = 0;   // monotonic, relative to the trace epoch
+  int64_t dur_nanos = -1;
+  int32_t machine = -1;   // simulated machine id; -1 = unattributed
+  int32_t tid = 0;        // dense process-wide thread-slot index
+
+  bool is_span() const { return dur_nanos >= 0; }
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+// Out-of-line slow path: fetches (or registers) the calling thread's ring
+// and appends. Only called when tracing is enabled.
+void Record(const char* name, const char* cat, int64_t ts_nanos,
+            int64_t dur_nanos, const char* arg_name0, uint64_t arg_value0,
+            const char* arg_name1, uint64_t arg_value1);
+}  // namespace internal
+
+// Global on/off switch. Toggling does not clear recorded events.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+// Drops all recorded events and resets counters (rings stay allocated).
+void Reset();
+
+// Tags subsequent events on this thread with a simulated machine id.
+// Cluster::RunOnAll and the per-machine thread pools set this; code that
+// spawns raw std::threads on behalf of a machine must set it itself.
+void SetCurrentMachine(int machine_id);
+int CurrentMachine();
+
+// Names this thread's track in the export (e.g. "m0.workers/1").
+void SetCurrentThreadName(const std::string& name);
+
+// Nanoseconds since the process-wide trace epoch (monotonic clock).
+int64_t NowNanos();
+
+// Records an instant event ('i' in the Chrome trace format).
+inline void Instant(const char* name, const char* cat,
+                    const char* arg_name0 = nullptr, uint64_t arg_value0 = 0,
+                    const char* arg_name1 = nullptr,
+                    uint64_t arg_value1 = 0) {
+  if (!Enabled()) return;
+  internal::Record(name, cat, NowNanos(), -1, arg_name0, arg_value0,
+                   arg_name1, arg_value1);
+}
+
+// Records a complete span ('X') whose begin time was sampled by the caller
+// (for spans that only exist conditionally, e.g. a blocking-receive wait).
+inline void Complete(const char* name, const char* cat, int64_t start_nanos,
+                     const char* arg_name0 = nullptr,
+                     uint64_t arg_value0 = 0,
+                     const char* arg_name1 = nullptr,
+                     uint64_t arg_value1 = 0) {
+  if (!Enabled()) return;
+  internal::Record(name, cat, start_nanos, NowNanos() - start_nanos,
+                   arg_name0, arg_value0, arg_name1, arg_value1);
+}
+
+// RAII scope producing one complete span from construction to destruction.
+// If tracing is disabled at construction the span is inert (and stays
+// inert even if tracing is enabled mid-scope).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat) {
+    if (!Enabled()) return;
+    name_ = name;
+    cat_ = cat;
+    start_ = NowNanos();
+  }
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    internal::Record(name_, cat_, start_, NowNanos() - start_, arg_name0_,
+                     arg_value0_, arg_name1_, arg_value1_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches up to two numeric arguments (later calls overwrite slot 1).
+  void AddArg(const char* key, uint64_t value) {
+    if (name_ == nullptr) return;
+    if (arg_name0_ == nullptr) {
+      arg_name0_ = key;
+      arg_value0_ = value;
+    } else {
+      arg_name1_ = key;
+      arg_value1_ = value;
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* arg_name0_ = nullptr;
+  const char* arg_name1_ = nullptr;
+  uint64_t arg_value0_ = 0;
+  uint64_t arg_value1_ = 0;
+  int64_t start_ = 0;
+};
+
+struct TraceStats {
+  uint64_t recorded = 0;  // total events ever recorded (monotonic)
+  uint64_t dropped = 0;   // overwritten by ring wrap-around
+  int threads = 0;        // thread slots ever registered
+};
+TraceStats Stats();
+
+// Merged copy of every thread ring, sorted by timestamp. Call only at
+// quiescence (no concurrent recorders).
+std::vector<TraceEvent> Snapshot();
+
+// Per-thread-slot track names for the export ({tid, name}).
+std::vector<std::pair<int, std::string>> ThreadNames();
+
+// --- trace_export.cc -------------------------------------------------------
+
+// Serializes the current snapshot as Chrome trace-event JSON (loadable in
+// chrome://tracing and Perfetto). One process per simulated machine, one
+// track per thread slot; timestamps in microseconds.
+std::string ToChromeTraceJson();
+
+// Writes ToChromeTraceJson() to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+}  // namespace tgpp::trace
+
+#endif  // TGPP_UTIL_TRACE_H_

@@ -1,0 +1,168 @@
+// Chrome trace-event JSON export (the "JSON Array Format" accepted by
+// chrome://tracing and https://ui.perfetto.dev).
+//
+// Mapping: one simulated machine = one "process" (pid), one thread slot =
+// one "thread" (tid), complete spans = 'X' events with ts/dur in
+// microseconds, instants = 'i'. Metadata ('M') events name the machine
+// tracks so the viewer shows "machine 0", "machine 1", ... in order.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "util/trace.h"
+
+namespace tgpp::trace {
+
+namespace {
+
+// Unattributed events (machine id -1, e.g. test threads or the driver)
+// render under their own pseudo-process after the machine tracks.
+constexpr int kHostPid = 9999;
+
+int PidOf(const TraceEvent& ev) {
+  return ev.machine >= 0 ? ev.machine : kHostPid;
+}
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendMicros(std::string* out, int64_t nanos) {
+  // Microseconds with nanosecond precision, e.g. 1234.567.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(nanos / 1000),
+                static_cast<long long>(nanos % 1000));
+  out->append(buf);
+}
+
+void AppendArgs(std::string* out, const TraceEvent& ev) {
+  if (ev.arg_name0 == nullptr && ev.arg_name1 == nullptr) return;
+  out->append(",\"args\":{");
+  bool first = true;
+  for (const auto& [key, value] :
+       {std::pair{ev.arg_name0, ev.arg_value0},
+        std::pair{ev.arg_name1, ev.arg_value1}}) {
+    if (key == nullptr) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    AppendEscaped(out, key);
+    out->append("\":");
+    out->append(std::to_string(value));
+  }
+  out->push_back('}');
+}
+
+void AppendMetadata(std::string* out, const char* what, int pid, int tid,
+                    bool with_tid, const std::string& name,
+                    int sort_index) {
+  out->append("{\"ph\":\"M\",\"name\":\"");
+  out->append(what);
+  out->append("\",\"pid\":");
+  out->append(std::to_string(pid));
+  if (with_tid) {
+    out->append(",\"tid\":");
+    out->append(std::to_string(tid));
+  }
+  out->append(",\"args\":{\"");
+  out->append(sort_index >= 0 ? "sort_index" : "name");
+  out->append("\":");
+  if (sort_index >= 0) {
+    out->append(std::to_string(sort_index));
+  } else {
+    out->push_back('"');
+    AppendEscaped(out, name.c_str());
+    out->push_back('"');
+  }
+  out->append("}},\n");
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson() {
+  const std::vector<TraceEvent> events = Snapshot();
+
+  // Which (pid, tid) pairs exist, so track metadata only names real rows.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> pid_tids;
+  for (const TraceEvent& ev : events) {
+    pids.insert(PidOf(ev));
+    pid_tids.insert({PidOf(ev), ev.tid});
+  }
+
+  std::string out;
+  out.reserve(events.size() * 120 + 4096);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+
+  for (int pid : pids) {
+    const std::string name =
+        pid == kHostPid ? "host" : "machine " + std::to_string(pid);
+    AppendMetadata(&out, "process_name", pid, 0, false, name, -1);
+    AppendMetadata(&out, "process_sort_index", pid, 0, false, "", pid);
+  }
+  for (const auto& [tid, name] : ThreadNames()) {
+    for (const auto& [pid, seen_tid] : pid_tids) {
+      if (seen_tid != tid) continue;
+      AppendMetadata(&out, "thread_name", pid, tid, true, name, -1);
+    }
+  }
+
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append("{\"ph\":\"");
+    out.append(ev.is_span() ? "X" : "i");
+    out.append("\",\"name\":\"");
+    AppendEscaped(&out, ev.name);
+    out.append("\",\"cat\":\"");
+    AppendEscaped(&out, ev.cat);
+    out.append("\",\"pid\":");
+    out.append(std::to_string(PidOf(ev)));
+    out.append(",\"tid\":");
+    out.append(std::to_string(ev.tid));
+    out.append(",\"ts\":");
+    AppendMicros(&out, ev.ts_nanos);
+    if (ev.is_span()) {
+      out.append(",\"dur\":");
+      AppendMicros(&out, ev.dur_nanos);
+    } else {
+      out.append(",\"s\":\"t\"");  // instant scope: thread
+    }
+    AppendArgs(&out, ev);
+    out.push_back('}');
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace tgpp::trace

@@ -1,0 +1,365 @@
+// Tests for the execution tracer (util/trace.h): disabled-mode inertness,
+// span nesting, lock-free concurrent recording, ring overflow accounting,
+// and Chrome-trace JSON export.
+
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tgpp::trace {
+namespace {
+
+// Each test owns the process-global tracer state.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(false);
+    Reset();
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    Reset();
+  }
+};
+
+// --- a minimal JSON validity checker (no third-party parser available) ---
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t len = std::string(lit).size();
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// --- tests ------------------------------------------------------------------
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(Enabled());
+  {
+    TraceSpan span("outer", "test");
+    span.AddArg("k", 1);
+    Instant("ping", "test");
+  }
+  Complete("late", "test", 0);
+  EXPECT_EQ(Stats().recorded, 0u);
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+TEST_F(TraceTest, SpanDisabledAtConstructionStaysInert) {
+  {
+    TraceSpan span("outer", "test");
+    SetEnabled(true);  // mid-scope enable must not produce a torn span
+  }
+  EXPECT_EQ(Stats().recorded, 0u);
+}
+
+TEST_F(TraceTest, SpansNestCorrectly) {
+  SetEnabled(true);
+  {
+    TraceSpan outer("outer", "test");
+    {
+      TraceSpan inner("inner", "test");
+      Instant("tick", "test");
+    }
+  }
+  const std::vector<TraceEvent> events = Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by begin time with the enclosing span first.
+  EXPECT_STREQ(events[0].name, "outer");
+  ASSERT_TRUE(events[0].is_span());
+  const TraceEvent* inner = nullptr;
+  const TraceEvent* tick = nullptr;
+  for (const TraceEvent& ev : events) {
+    if (std::string(ev.name) == "inner") inner = &ev;
+    if (std::string(ev.name) == "tick") tick = &ev;
+  }
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(tick, nullptr);
+  ASSERT_TRUE(inner->is_span());
+  EXPECT_FALSE(tick->is_span());
+  // inner ⊆ outer, tick ∈ inner.
+  EXPECT_GE(inner->ts_nanos, events[0].ts_nanos);
+  EXPECT_LE(inner->ts_nanos + inner->dur_nanos,
+            events[0].ts_nanos + events[0].dur_nanos);
+  EXPECT_GE(tick->ts_nanos, inner->ts_nanos);
+  EXPECT_LE(tick->ts_nanos, inner->ts_nanos + inner->dur_nanos);
+}
+
+TEST_F(TraceTest, ConcurrentThreadsProduceUncorruptedRecords) {
+  SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 2000;
+  static const char* kNames[kThreads] = {"t0", "t1", "t2", "t3",
+                                         "t4", "t5", "t6", "t7"};
+  // Hold all threads at a start line so they are alive simultaneously and
+  // therefore own distinct rings (the free list only recycles rings of
+  // exited threads).
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ready, &go] {
+      SetCurrentMachine(t);
+      // Record one event before the start line: rings are acquired at
+      // first record, and holding one here (while every thread is still
+      // alive) guarantees the 8 threads own 8 distinct rings.
+      Instant(kNames[t], "test", "thread", static_cast<uint64_t>(t), "seq",
+              0);
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 1; i < kEventsPerThread; ++i) {
+        Instant(kNames[t], "test", "thread", static_cast<uint64_t>(t), "seq",
+                static_cast<uint64_t>(i));
+      }
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  const std::vector<TraceEvent> events = Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kEventsPerThread);
+  // Per machine id: every record internally consistent, sequence complete.
+  std::vector<std::vector<uint64_t>> seqs(kThreads);
+  std::vector<int> tid_of_machine(kThreads, -1);
+  for (const TraceEvent& ev : events) {
+    ASSERT_GE(ev.machine, 0);
+    ASSERT_LT(ev.machine, kThreads);
+    EXPECT_STREQ(ev.name, kNames[ev.machine]);
+    EXPECT_EQ(ev.arg_value0, static_cast<uint64_t>(ev.machine));
+    if (tid_of_machine[ev.machine] < 0) {
+      tid_of_machine[ev.machine] = ev.tid;
+    } else {
+      EXPECT_EQ(tid_of_machine[ev.machine], ev.tid);
+    }
+    seqs[ev.machine].push_back(ev.arg_value1);
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(seqs[t].size(), static_cast<size_t>(kEventsPerThread));
+    std::sort(seqs[t].begin(), seqs[t].end());
+    for (int i = 0; i < kEventsPerThread; ++i) {
+      ASSERT_EQ(seqs[t][i], static_cast<uint64_t>(i));
+    }
+    // Distinct threads must not share a ring.
+    for (int u = 0; u < t; ++u) {
+      EXPECT_NE(tid_of_machine[t], tid_of_machine[u]);
+    }
+  }
+  EXPECT_EQ(Stats().dropped, 0u);
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestOnly) {
+  SetEnabled(true);
+  constexpr uint64_t kTotal = 40000;  // > per-thread ring capacity
+  std::thread writer([] {
+    for (uint64_t i = 0; i < kTotal; ++i) {
+      Instant("ov", "test", "seq", i);
+    }
+  });
+  writer.join();
+  const TraceStats stats = Stats();
+  EXPECT_EQ(stats.recorded, kTotal);
+  ASSERT_GT(stats.dropped, 0u);
+  ASSERT_LT(stats.dropped, kTotal);
+  const std::vector<TraceEvent> events = Snapshot();
+  ASSERT_EQ(events.size(), kTotal - stats.dropped);
+  // The survivors are exactly the newest `kept` events.
+  uint64_t min_seq = kTotal, max_seq = 0;
+  for (const TraceEvent& ev : events) {
+    min_seq = std::min(min_seq, ev.arg_value0);
+    max_seq = std::max(max_seq, ev.arg_value0);
+  }
+  EXPECT_EQ(max_seq, kTotal - 1);
+  EXPECT_EQ(min_seq, stats.dropped);
+}
+
+TEST_F(TraceTest, ExportedJsonParsesAndRoundTripsEventCounts) {
+  SetEnabled(true);
+  SetCurrentMachine(2);
+  SetCurrentThreadName("test.exporter");
+  {
+    TraceSpan a("alpha", "test");
+    a.AddArg("bytes", 123);
+    { TraceSpan b("beta", "test"); }
+    { TraceSpan c("gamma", "test"); }
+  }
+  Instant("one", "test", "v", 7);
+  Instant("two", "test");
+  SetEnabled(false);
+
+  const std::string json = ToChromeTraceJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 3u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"i\""), 2u);
+  // Machine tagging: everything recorded above renders under pid 2.
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"machine 2\""), 1u);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("test.exporter"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":123"), std::string::npos);
+
+  // Round-trip through a file.
+  const std::string path = ::testing::TempDir() + "/tgpp_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string from_disk;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    from_disk.append(buf, n);
+  }
+  std::fclose(f);
+  EXPECT_EQ(from_disk, json);
+}
+
+TEST_F(TraceTest, ResetClearsEvents) {
+  SetEnabled(true);
+  Instant("gone", "test");
+  ASSERT_EQ(Stats().recorded, 1u);
+  Reset();
+  EXPECT_EQ(Stats().recorded, 0u);
+  EXPECT_TRUE(Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace tgpp::trace

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Fails if any docs/*.md (or README.md) references a repo path that does
+# not exist. Keeps the architecture docs honest as the tree evolves.
+#
+# What counts as a reference: backtick-quoted tokens and markdown link
+# targets that look like repo paths (contain a '/' or a known doc/file
+# suffix). Anchors, URLs, and obvious non-paths are ignored.
+#
+# Usage: tools/check_docs.sh [repo-root]   (default: script's parent dir)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+fail=0
+checked=0
+
+check_path() {
+  local doc="$1" ref="$2"
+  # Strip trailing punctuation and any :line suffix.
+  ref="${ref%%:*}"
+  ref="${ref%/}"
+  [ -z "$ref" ] && return
+  case "$ref" in
+    http://*|https://*|mailto:*|\#*) return ;;          # URLs/anchors
+    /*) return ;;                                       # absolute = not repo
+    *\**|*\<*|*\>*|*'|'*|*' '*) return ;;               # globs/templates
+  esac
+  # Only treat as a path if it has a directory part or a doc/source suffix.
+  case "$ref" in
+    */*) : ;;
+    *.md|*.sh|*.cc|*.h|*.cpp|*.txt|*.cmake) : ;;
+    *) return ;;
+  esac
+  checked=$((checked + 1))
+  # Accept repo-root-relative paths and include-style paths ("util/trace.h"
+  # means src/util/trace.h, matching the #include convention).
+  if [ ! -e "$ref" ] && [ ! -e "src/$ref" ]; then
+    echo "check_docs: $doc references nonexistent path: $ref" >&2
+    fail=1
+  fi
+}
+
+scan_doc() {
+  local doc="$1"
+  # 1) backtick-quoted tokens: `src/core/engine.h`, `tools/check_docs.sh`
+  while IFS= read -r ref; do
+    check_path "$doc" "$ref"
+  done < <(grep -o '`[^`]*`' "$doc" | tr -d '`')
+  # 2) markdown link targets: [text](docs/TRACING.md)
+  while IFS= read -r ref; do
+    check_path "$doc" "$ref"
+  done < <(grep -o '](/*[^)]*)' "$doc" | sed 's/^](//; s/)$//')
+}
+
+docs="README.md"
+[ -d docs ] && docs="$docs $(ls docs/*.md 2>/dev/null)"
+for doc in $docs; do
+  [ -f "$doc" ] && scan_doc "$doc"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK ($checked path references verified)"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Minimal CI: configure, build, run the tier-1 test suite, and check
+# that the docs reference only paths that exist.
+#
+# Usage: tools/ci.sh [build-dir]   (default: build)
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-build}"
+
+cmake -B "$root/$build" -S "$root"
+cmake --build "$root/$build" -j"$(nproc)"
+ctest --test-dir "$root/$build" --output-on-failure
+"$root/tools/check_docs.sh" "$root"
+echo "ci: OK"

@@ -7,6 +7,12 @@
 //   tgpp run       --graph=graph.bin --query=pr|sssp|wcc|tc|lcc|clique4
 //                  [--machines=4] [--budget-mb=32] [--iterations=10]
 //                  [--source=0] [--workdir=/tmp/tgpp_cli]
+//                  [--trace-out=trace.json]
+//
+// --trace-out records an execution trace of the run (superstep phases,
+// async I/O, fabric traffic, barriers — one track per simulated machine)
+// and writes Chrome-trace JSON loadable in chrome://tracing or Perfetto.
+// See docs/TRACING.md.
 //
 // Exit code 0 on success; failures print the Status and exit 1.
 
@@ -25,6 +31,7 @@
 #include "core/system.h"
 #include "graph/degree.h"
 #include "graph/rmat.h"
+#include "util/trace.h"
 
 namespace tgpp::cli {
 namespace {
@@ -154,6 +161,8 @@ int CmdRun(int argc, char** argv) {
   auto graph = LoadEdgeList(FlagStr(argc, argv, "graph", "graph.bin"));
   if (!graph.ok()) return Fail(graph.status());
   const std::string query = FlagStr(argc, argv, "query", "pr");
+  const std::string trace_out = FlagStr(argc, argv, "trace-out", "");
+  if (!trace_out.empty()) trace::SetEnabled(true);
 
   TurboGraphSystem system(MakeClusterConfig(argc, argv));
   Status s = system.LoadGraph(std::move(*graph));
@@ -233,6 +242,15 @@ int CmdRun(int argc, char** argv) {
               stats->supersteps, stats->wall_seconds, stats->q_used);
   std::printf("I/O: disk %.2f MB, network %.2f MB\n",
               snap.disk_bytes / 1e6, snap.net_bytes / 1e6);
+  if (!trace_out.empty()) {
+    Status s = trace::WriteChromeTrace(trace_out);
+    if (!s.ok()) return Fail(s);
+    const trace::TraceStats tstats = trace::Stats();
+    std::printf("trace: %s (%llu events, %llu dropped)\n",
+                trace_out.c_str(),
+                static_cast<unsigned long long>(tstats.recorded),
+                static_cast<unsigned long long>(tstats.dropped));
+  }
   return 0;
 }
 
