@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "common/fault_injector.h"
 #include "util/trace.h"
 
 namespace tgpp::bench {
@@ -32,6 +33,56 @@ void MaybeEnableTracingFromEnv() {
   (void)enabled;
 }
 
+// Opt-in fault injection for bench runs (docs/FAULTS.md):
+//   TGPP_FAULTS="disk.read:io_error@p=0.001"  — spec, armed process-wide
+//   TGPP_FAULT_SEED=7                         — draw seed (default 42)
+//   TGPP_CHECKPOINT_EVERY=2                   — engine checkpoint cadence
+// The checkpoint cadence is read by MeasureTurboGraph so crash faults
+// recover instead of turning the cell into an F.
+void MaybeArmFaultsFromEnv() {
+  static const bool armed = [] {
+    const char* spec = std::getenv("TGPP_FAULTS");
+    if (spec == nullptr || spec[0] == '\0') return false;
+    uint64_t seed = 42;
+    if (const char* s = std::getenv("TGPP_FAULT_SEED")) {
+      seed = std::strtoull(s, nullptr, 10);
+    }
+    Status st = fault::Configure(spec, seed);
+    if (!st.ok()) {
+      std::fprintf(stderr, "TGPP_FAULTS rejected: %s\n",
+                   st.ToString().c_str());
+      std::exit(2);  // a misspelled fault spec must not pass as fault-free
+    }
+    std::fprintf(stderr, "fault injection armed: %s (seed %llu)\n", spec,
+                 static_cast<unsigned long long>(seed));
+    return true;
+  }();
+  (void)armed;
+}
+
+int EnvCheckpointEvery() {
+  const char* s = std::getenv("TGPP_CHECKPOINT_EVERY");
+  return s == nullptr ? 0 : static_cast<int>(std::strtoll(s, nullptr, 10));
+}
+
+// Fills the fault provenance fields from the live injector state.
+void FillFaultInfo(Measurement* m, uint64_t injected_before) {
+  m->fault_spec = fault::ActiveSpec();
+  m->fault_seed = fault::ActiveSeed();
+  m->faults_injected = fault::InjectedCount() - injected_before;
+}
+
+// Appends the measurement to $TGPP_BENCH_JSON when set.
+void MaybeDumpJsonFromEnv(const Measurement& m) {
+  const char* path = std::getenv("TGPP_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  Status s = AppendMeasurementJson(m, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "TGPP_BENCH_JSON append failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
 }  // namespace
 
 ClusterConfig ToClusterConfig(const BenchConfig& bc,
@@ -39,6 +90,7 @@ ClusterConfig ToClusterConfig(const BenchConfig& bc,
   // Every bench builds its cluster(s) through here, so this is the one
   // hook that covers benches that bypass MeasureTurboGraph/MeasureBaseline.
   MaybeEnableTracingFromEnv();
+  MaybeArmFaultsFromEnv();
   ClusterConfig config;
   config.num_machines = bc.machines;
   config.threads_per_machine = bc.threads;
@@ -89,6 +141,59 @@ std::string Measurement::Cell() const {
     default:
       return "F";
   }
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status AppendMeasurementJson(const Measurement& m, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for append");
+  }
+  std::fprintf(
+      f,
+      "{\"system\":\"%s\",\"graph\":\"%s\",\"query\":\"%s\","
+      "\"status\":\"%s\",\"exec_seconds\":%.6f,\"wall_seconds\":%.6f,"
+      "\"cpu_seconds\":%.6f,\"disk_seconds\":%.6f,\"net_seconds\":%.6f,"
+      "\"disk_bytes\":%llu,\"net_bytes\":%llu,\"supersteps\":%d,"
+      "\"aggregate\":%llu,\"q_used\":%d,\"prep_seconds\":%.6f,"
+      "\"fault_spec\":\"%s\",\"fault_seed\":%llu,\"faults_injected\":%llu,"
+      "\"checkpoints\":%d,\"recoveries\":%d}\n",
+      JsonEscape(m.system).c_str(), JsonEscape(m.graph).c_str(),
+      QueryName(m.query), JsonEscape(m.status.ToString()).c_str(),
+      m.exec_seconds, m.wall_seconds, m.cpu_seconds, m.disk_seconds,
+      m.net_seconds, static_cast<unsigned long long>(m.disk_bytes),
+      static_cast<unsigned long long>(m.net_bytes), m.supersteps,
+      static_cast<unsigned long long>(m.aggregate), m.q_used,
+      m.prep_seconds, JsonEscape(m.fault_spec).c_str(),
+      static_cast<unsigned long long>(m.fault_seed),
+      static_cast<unsigned long long>(m.faults_injected), m.checkpoints,
+      m.recoveries);
+  std::fclose(f);
+  return Status::OK();
 }
 
 namespace {
@@ -145,6 +250,10 @@ Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
   m.graph = graph_name;
   m.query = query;
   MaybeEnableTracingFromEnv();
+  MaybeArmFaultsFromEnv();
+  const uint64_t injected_before = fault::InjectedCount();
+  EngineOptions options;
+  options.checkpoint_every = EnvCheckpointEvery();
 
   const std::string run_name = std::string("tgpp_") + graph_name + "_" +
                                QueryName(query) + "_" +
@@ -153,6 +262,8 @@ Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
   Status load = system.LoadGraph(graph, scheme);
   if (!load.ok()) {
     m.status = load;
+    FillFaultInfo(&m, injected_before);
+    MaybeDumpJsonFromEnv(m);
     return m;
   }
   m.prep_seconds = system.last_partition_seconds();
@@ -163,7 +274,7 @@ Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
   switch (query) {
     case Query::kPageRank: {
       auto app = MakePageRankApp(system.partition(), pr_iterations);
-      stats = system.RunQuery(app);
+      stats = system.RunQuery(app, options);
       break;
     }
     case Query::kSssp: {
@@ -182,33 +293,37 @@ Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
         }
       }
       auto app = MakeSsspApp(system.partition(), best);
-      stats = system.RunQuery(app);
+      stats = system.RunQuery(app, options);
       break;
     }
     case Query::kWcc: {
       auto app = MakeWccApp(system.partition());
-      stats = system.RunQuery(app);
+      stats = system.RunQuery(app, options);
       break;
     }
     case Query::kTriangleCount: {
       auto app = MakeTriangleCountingApp();
-      stats = system.RunQuery(app);
+      stats = system.RunQuery(app, options);
       break;
     }
     case Query::kLcc: {
       auto app = MakeLccApp(system.partition());
-      stats = system.RunQuery(app);
+      stats = system.RunQuery(app, options);
       break;
     }
   }
   const double wall = timer.Seconds();
+  FillFaultInfo(&m, injected_before);
   if (!stats.ok()) {
     m.status = stats.status();
+    MaybeDumpJsonFromEnv(m);
     return m;
   }
   m.supersteps = stats->supersteps;
   m.aggregate = stats->aggregate_sum;
   m.q_used = stats->q_used;
+  m.checkpoints = stats->checkpoints;
+  m.recoveries = stats->recoveries;
   FillFromSnapshot(&m, system.cluster(), OverlapModel::kFullOverlap, wall);
   if (query == Query::kPageRank && pr_iterations > 0) {
     // Paper reports the average per-iteration time for PR.
@@ -218,6 +333,7 @@ Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
   if (m.exec_seconds > bc.timeout_model_seconds) {
     m.status = Status::Timeout("modeled time exceeds limit");
   }
+  MaybeDumpJsonFromEnv(m);
   return m;
 }
 
@@ -230,6 +346,8 @@ Measurement MeasureBaseline(const BenchConfig& bc, const EdgeList& graph,
   m.graph = graph_name;
   m.query = query;
   MaybeEnableTracingFromEnv();
+  MaybeArmFaultsFromEnv();
+  const uint64_t injected_before = fault::InjectedCount();
 
   const std::string run_name =
       system_name + "_" + graph_name + "_" + QueryName(query);
@@ -241,6 +359,8 @@ Measurement MeasureBaseline(const BenchConfig& bc, const EdgeList& graph,
   m.prep_seconds = prep_timer.Seconds();
   if (!load.ok()) {
     m.status = load;
+    FillFaultInfo(&m, injected_before);
+    MaybeDumpJsonFromEnv(m);
     return m;
   }
   cluster.ResetCountersAndCaches();
@@ -273,8 +393,10 @@ Measurement MeasureBaseline(const BenchConfig& bc, const EdgeList& graph,
       break;
   }
   const double wall = timer.Seconds();
+  FillFaultInfo(&m, injected_before);
   if (!result.status.ok()) {
     m.status = result.status;
+    MaybeDumpJsonFromEnv(m);
     return m;
   }
   m.supersteps = result.supersteps;
@@ -287,6 +409,7 @@ Measurement MeasureBaseline(const BenchConfig& bc, const EdgeList& graph,
   if (m.exec_seconds > bc.timeout_model_seconds) {
     m.status = Status::Timeout("modeled time exceeds limit");
   }
+  MaybeDumpJsonFromEnv(m);
   return m;
 }
 

@@ -73,9 +73,24 @@ struct Measurement {
   int q_used = 1;           // vertex chunks per machine (TurboGraph++)
   double prep_seconds = 0;  // partitioning/loading time
 
+  // Fault-injection provenance (docs/FAULTS.md): the armed spec/seed, how
+  // many faults actually fired during this measurement, and the recovery
+  // work the engine did. Empty/zero on fault-free runs so that existing
+  // results stay comparable.
+  std::string fault_spec;
+  uint64_t fault_seed = 0;
+  uint64_t faults_injected = 0;
+  int checkpoints = 0;
+  int recoveries = 0;
+
   // "12.3" / "O" / "T" / "F" like the paper's figures.
   std::string Cell() const;
 };
+
+// Appends `m` as one JSON object (JSON-lines) to `path`. Used by the
+// TGPP_BENCH_JSON=results.jsonl env hook so scripted runs keep the fault
+// configuration attached to every number they record.
+Status AppendMeasurementJson(const Measurement& m, const std::string& path);
 
 // Runs one query on TurboGraph++ (fresh cluster + BBP load), measuring
 // only the query (prep captured separately). PR runs `pr_iterations` and

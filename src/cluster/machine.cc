@@ -14,6 +14,9 @@ Machine::Machine(const MachineConfig& config)
       budget_(config.memory_budget_bytes) {
   TGPP_CHECK(!config.storage_dir.empty());
   TGPP_CHECK(config.numa_nodes >= 1);
+  // Attribute this device's I/O to the machine so `machineN:disk.*`
+  // fault rules scope correctly.
+  disk_.set_fault_machine(config.id);
 }
 
 uint64_t Machine::WindowMemoryBytes() const {

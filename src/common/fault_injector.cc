@@ -1,0 +1,312 @@
+#include "common/fault_injector.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace tgpp::fault {
+
+const char* ActionName(Action action) {
+  switch (action) {
+    case Action::kIoError:
+      return "io_error";
+    case Action::kTimeout:
+      return "timeout";
+    case Action::kDrop:
+      return "drop";
+    case Action::kDelay:
+      return "delay";
+    case Action::kDuplicate:
+      return "dup";
+    case Action::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+struct Rule {
+  std::string site;
+  int machine = -1;  // -1 = any machine
+  Action action = Action::kIoError;
+  uint64_t param_ms = 0;
+  bool has_probability = false;
+  uint64_t probability_bits = 0;  // fire iff 53-bit draw < this (p * 2^53)
+  uint64_t nth = 0;               // 1-based; 0 = unset
+  bool once = false;
+  int superstep = -1;  // -1 = any superstep
+  int index = 0;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<bool> disarmed{false};
+};
+
+struct ArmedConfig {
+  std::string spec;
+  uint64_t seed = 0;
+  // unique_ptr because Rule holds atomics (not movable).
+  std::vector<std::unique_ptr<Rule>> rules;
+};
+
+// Mutated only at quiescence (Configure/Disarm contract); read lock-free
+// from Hit().
+ArmedConfig g_config;
+std::atomic<int> g_superstep{-1};
+std::atomic<uint64_t> g_injected{0};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool KnownSite(const std::string& site) {
+  return site == "disk.read" || site == "disk.write" ||
+         site == "disk.append" || site == "disk.sync" ||
+         site == "fabric.send" || site == "crash";
+}
+
+bool ParseAction(const std::string& name, Action* out) {
+  if (name == "io_error") {
+    *out = Action::kIoError;
+  } else if (name == "timeout") {
+    *out = Action::kTimeout;
+  } else if (name == "drop") {
+    *out = Action::kDrop;
+  } else if (name == "delay") {
+    *out = Action::kDelay;
+  } else if (name == "dup" || name == "duplicate") {
+    *out = Action::kDuplicate;
+  } else if (name == "crash") {
+    *out = Action::kCrash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Action DefaultAction(const std::string& site) {
+  if (site == "fabric.send") return Action::kDrop;
+  if (site == "crash") return Action::kCrash;
+  return Action::kIoError;  // disk.*
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+Status ParseRule(const std::string& text, int index, Rule* rule) {
+  rule->index = index;
+  std::string head = text;
+  std::string triggers;
+  if (size_t at = head.find('@'); at != std::string::npos) {
+    triggers = head.substr(at + 1);
+    head = head.substr(0, at);
+  }
+
+  // head := [machineN ':'] site [':' action]
+  std::vector<std::string> parts;
+  for (size_t pos = 0;;) {
+    size_t colon = head.find(':', pos);
+    if (colon == std::string::npos) {
+      parts.push_back(Trim(head.substr(pos)));
+      break;
+    }
+    parts.push_back(Trim(head.substr(pos, colon - pos)));
+    pos = colon + 1;
+  }
+  size_t i = 0;
+  if (!parts.empty() && parts[0].rfind("machine", 0) == 0) {
+    uint64_t m = 0;
+    if (!ParseUint(parts[0].substr(7), &m)) {
+      return Status::InvalidArgument("faults: bad machine scope in '" + text +
+                                     "'");
+    }
+    rule->machine = static_cast<int>(m);
+    ++i;
+  }
+  if (i >= parts.size() || parts[i].empty()) {
+    return Status::InvalidArgument("faults: missing site in '" + text + "'");
+  }
+  rule->site = parts[i++];
+  if (!KnownSite(rule->site)) {
+    return Status::InvalidArgument("faults: unknown site '" + rule->site +
+                                   "' in '" + text + "'");
+  }
+  if (i < parts.size()) {
+    if (!ParseAction(parts[i], &rule->action)) {
+      return Status::InvalidArgument("faults: unknown action '" + parts[i] +
+                                     "' in '" + text + "'");
+    }
+    ++i;
+  } else {
+    rule->action = DefaultAction(rule->site);
+  }
+  if (i < parts.size()) {
+    return Status::InvalidArgument("faults: trailing ':' fields in '" + text +
+                                   "'");
+  }
+
+  // triggers := trigger {',' trigger}
+  for (size_t pos = 0; pos < triggers.size();) {
+    size_t comma = triggers.find(',', pos);
+    std::string t = Trim(comma == std::string::npos
+                             ? triggers.substr(pos)
+                             : triggers.substr(pos, comma - pos));
+    pos = (comma == std::string::npos) ? triggers.size() : comma + 1;
+    if (t.empty()) continue;
+    if (t == "once") {
+      rule->once = true;
+    } else if (t.rfind("p=", 0) == 0) {
+      double p = 0;
+      if (!ParseDouble(t.substr(2), &p) || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("faults: bad probability '" + t +
+                                       "' in '" + text + "'");
+      }
+      rule->has_probability = true;
+      // 53-bit threshold; p=1 must always fire.
+      rule->probability_bits =
+          p >= 1.0 ? (1ull << 53)
+                   : static_cast<uint64_t>(p * 9007199254740992.0 /*2^53*/);
+    } else if (t.rfind("n=", 0) == 0) {
+      if (!ParseUint(t.substr(2), &rule->nth) || rule->nth == 0) {
+        return Status::InvalidArgument("faults: bad occurrence '" + t +
+                                       "' in '" + text + "'");
+      }
+    } else if (t.rfind("superstep=", 0) == 0) {
+      uint64_t s = 0;
+      if (!ParseUint(t.substr(10), &s)) {
+        return Status::InvalidArgument("faults: bad superstep '" + t +
+                                       "' in '" + text + "'");
+      }
+      rule->superstep = static_cast<int>(s);
+    } else if (t.rfind("ms=", 0) == 0) {
+      if (!ParseUint(t.substr(3), &rule->param_ms)) {
+        return Status::InvalidArgument("faults: bad delay '" + t + "' in '" +
+                                       text + "'");
+      }
+    } else {
+      return Status::InvalidArgument("faults: unknown trigger '" + t +
+                                     "' in '" + text + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace internal {
+
+std::optional<Injected> HitSlow(const char* site, int machine) {
+  const int superstep = g_superstep.load(std::memory_order_relaxed);
+  for (const auto& rule_ptr : g_config.rules) {
+    Rule& rule = *rule_ptr;
+    if (rule.disarmed.load(std::memory_order_relaxed)) continue;
+    if (std::strcmp(site, rule.site.c_str()) != 0) continue;
+    if (rule.machine >= 0 && rule.machine != machine) continue;
+    if (rule.superstep >= 0 && rule.superstep != superstep) continue;
+    const uint64_t k = rule.hits.fetch_add(1, std::memory_order_relaxed);
+    bool fire;
+    if (rule.once) {
+      fire = (k == 0);
+    } else if (rule.nth > 0) {
+      fire = (k + 1 == rule.nth);
+    } else if (rule.has_probability) {
+      // Deterministic in (seed, rule index, hit number): replayable, and
+      // independent across rules sharing a site.
+      const uint64_t draw =
+          Mix64(g_config.seed ^
+                (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(rule.index + 1)) ^
+                k) >>
+          11;
+      fire = draw < rule.probability_bits;
+    } else {
+      fire = true;
+    }
+    if (!fire) continue;
+    if (rule.superstep >= 0) {
+      // One-shot per gate: a superstep replayed during recovery must not
+      // re-trigger the same fault (the crash would refire forever).
+      rule.disarmed.store(true, std::memory_order_relaxed);
+    }
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    trace::Instant("fault.inject", "fault", "rule",
+                   static_cast<uint64_t>(rule.index), "machine",
+                   static_cast<uint64_t>(machine < 0 ? 0xffffffffu : machine));
+    return Injected{rule.action, rule.param_ms, rule.index};
+  }
+  return std::nullopt;
+}
+
+}  // namespace internal
+
+Status Configure(const std::string& spec, uint64_t seed) {
+  ArmedConfig next;
+  next.spec = spec;
+  next.seed = seed;
+  for (size_t pos = 0; pos < spec.size();) {
+    size_t semi = spec.find(';', pos);
+    std::string text = Trim(semi == std::string::npos
+                                ? spec.substr(pos)
+                                : spec.substr(pos, semi - pos));
+    pos = (semi == std::string::npos) ? spec.size() : semi + 1;
+    if (text.empty()) continue;
+    auto rule = std::make_unique<Rule>();
+    TGPP_RETURN_IF_ERROR(
+        ParseRule(text, static_cast<int>(next.rules.size()), rule.get()));
+    next.rules.push_back(std::move(rule));
+  }
+  internal::g_armed.store(false, std::memory_order_relaxed);
+  g_config = std::move(next);
+  g_superstep.store(-1, std::memory_order_relaxed);
+  g_injected.store(0, std::memory_order_relaxed);
+  if (!g_config.rules.empty()) {
+    internal::g_armed.store(true, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void Disarm() {
+  internal::g_armed.store(false, std::memory_order_relaxed);
+  g_config = ArmedConfig{};
+  g_superstep.store(-1, std::memory_order_relaxed);
+}
+
+void SetSuperstep(int superstep) {
+  g_superstep.store(superstep, std::memory_order_relaxed);
+}
+
+int CurrentSuperstep() { return g_superstep.load(std::memory_order_relaxed); }
+
+std::string ActiveSpec() { return Armed() ? g_config.spec : std::string(); }
+
+uint64_t ActiveSeed() { return Armed() ? g_config.seed : 0; }
+
+uint64_t InjectedCount() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace tgpp::fault

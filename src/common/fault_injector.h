@@ -1,0 +1,120 @@
+// Deterministic fault injection (docs/FAULTS.md).
+//
+// The paper inherits reliability from MPI and never loses a machine
+// (A.3); this framework is how the reproduction earns the same property
+// instead of assuming it. Faults are injected at *named sites* compiled
+// into the substrates (disk reads/writes/syncs, fabric sends, the
+// per-machine crash point at superstep start), armed at runtime from a
+// spec string, and the system is expected to survive everything the
+// framework can inject: transient disk errors are retried by
+// `DiskDevice`, lost/late messages surface as `Status::Timeout` through
+// `Fabric::RecvFor`, and machine crashes roll the engine back to the
+// last superstep-boundary checkpoint (core/engine.h).
+//
+// Spec grammar (one rule per ';'):
+//
+//   rule    := [scope ':'] site [':' action] ['@' trigger {',' trigger}]
+//   scope   := 'machine' INT          (default: every machine)
+//   site    := disk.read | disk.write | disk.append | disk.sync
+//            | fabric.send | crash
+//   action  := io_error | timeout | drop | delay | dup | crash
+//              (optional when the site implies it, e.g. `crash`)
+//   trigger := 'p=' FLOAT             fire each hit with probability p
+//            | 'n=' INT               fire on the nth matching hit (1-based)
+//            | 'once'                 fire on the first matching hit
+//            | 'superstep=' INT       gate on the engine's superstep clock
+//            | 'ms=' INT              parameter for `delay`
+//
+// Examples:
+//   disk.read:io_error@p=0.001
+//   fabric.send:drop@n=500
+//   machine2:crash@superstep=3
+//
+// Semantics:
+//  - A rule with no p/n/once trigger fires on every matching hit.
+//  - `n=` and `once` rules fire exactly once, ever.
+//  - `superstep=`-gated rules disarm after their first firing, so a
+//    superstep replayed during recovery does not re-trigger the fault.
+//  - `p=` decisions are a pure function of (seed, rule index, per-rule
+//    hit counter): the same seed over the same hit sequence reproduces
+//    the same firing pattern bit for bit.
+//
+// Cost: when disarmed, `Hit()` is one relaxed atomic load. When armed,
+// each hit walks the (short) rule list; every firing emits a
+// `fault.inject` instant event into the execution tracer (util/trace.h).
+//
+// Thread safety: `Hit()` is safe from any thread. `Configure()` /
+// `Disarm()` must run at quiescence (no concurrent traffic through
+// injected sites), e.g. between queries — the normal place to arm faults.
+
+#ifndef TGPP_COMMON_FAULT_INJECTOR_H_
+#define TGPP_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace tgpp::fault {
+
+enum class Action : uint8_t {
+  kIoError,    // disk.*: fail the attempt with a transient kIOError
+  kTimeout,    // disk.*: fail the operation with kTimeout (not retried)
+  kDrop,       // fabric.send: the message is lost
+  kDelay,      // fabric.send / disk.*: stall for `param_ms` milliseconds
+  kDuplicate,  // fabric.send: the message is delivered twice
+  kCrash,      // crash site: the machine loses this superstep
+};
+
+const char* ActionName(Action action);
+
+// What an armed rule decided at a site.
+struct Injected {
+  Action action = Action::kIoError;
+  uint64_t param_ms = 0;  // delay parameter (ms=); 0 otherwise
+  int rule_index = 0;     // position in the armed spec, for logs/traces
+};
+
+namespace internal {
+extern std::atomic<bool> g_armed;
+std::optional<Injected> HitSlow(const char* site, int machine);
+}  // namespace internal
+
+// True when a spec is armed. One relaxed atomic load.
+inline bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+// The per-site check. `machine` is the simulated machine the operation
+// belongs to (-1 when unknown; scoped rules then never match). Returns
+// the first firing rule's decision, or nullopt.
+inline std::optional<Injected> Hit(const char* site, int machine = -1) {
+  if (!Armed()) return std::nullopt;
+  return internal::HitSlow(site, machine);
+}
+
+// Parses `spec` and arms it (replacing any previous spec). An empty spec
+// disarms. Probability decisions derive from `seed` deterministically.
+Status Configure(const std::string& spec, uint64_t seed = 42);
+
+// Disarms all rules (Hit() returns nullopt until the next Configure).
+void Disarm();
+
+// The engine's superstep clock, consulted by `superstep=` triggers.
+// -1 (the initial value) matches no gated rule.
+void SetSuperstep(int superstep);
+int CurrentSuperstep();
+
+// The armed spec string and seed ("" / 0 when disarmed) — recorded by
+// the bench harness into its output JSON.
+std::string ActiveSpec();
+uint64_t ActiveSeed();
+
+// Total rule firings since the last Configure().
+uint64_t InjectedCount();
+
+}  // namespace tgpp::fault
+
+#endif  // TGPP_COMMON_FAULT_INJECTOR_H_

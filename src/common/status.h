@@ -7,6 +7,7 @@
 #ifndef TGPP_COMMON_STATUS_H_
 #define TGPP_COMMON_STATUS_H_
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -76,6 +77,11 @@ class Status {
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -83,6 +89,10 @@ class Status {
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  // Compares codes only — two errors with different messages are equal.
+  // Intentional: call sites match on the kind of failure ("is this a
+  // timeout?"), and messages carry context (paths, offsets) that would
+  // make equality useless.
   bool operator==(const Status& other) const { return code_ == other.code_; }
 
  private:
@@ -102,15 +112,37 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  // Precondition: ok(). Checked in debug builds.
-  T& value() & { return *value_; }
-  const T& value() const& { return *value_; }
-  T&& value() && { return std::move(*value_); }
+  // Precondition: ok(). Checked in debug builds (plain assert: logging.h
+  // includes this header, so TGPP_DCHECK is unavailable here).
+  T& value() & {
+    assert(ok() && "Result::value() on error");
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok() && "Result::value() on error");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() on error");
+    return std::move(*value_);
+  }
 
-  T& operator*() & { return *value_; }
-  const T& operator*() const& { return *value_; }
-  T* operator->() { return &*value_; }
-  const T* operator->() const { return &*value_; }
+  T& operator*() & {
+    assert(ok() && "Result::operator* on error");
+    return *value_;
+  }
+  const T& operator*() const& {
+    assert(ok() && "Result::operator* on error");
+    return *value_;
+  }
+  T* operator->() {
+    assert(ok() && "Result::operator-> on error");
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok() && "Result::operator-> on error");
+    return &*value_;
+  }
 
  private:
   Status status_;

@@ -102,13 +102,18 @@ Status AdjacencyService::Fetch(int owner, std::span<const VertexId> vids,
                            std::move(payload));
 
   Message reply;
-  if (!cluster_->fabric()->Recv(machine_id_, kTagAdjResponse, &reply)) {
-    return Status::Aborted("fabric shut down while awaiting adjacency");
-  }
+  TGPP_RETURN_IF_ERROR(cluster_->fabric()->RecvFor(
+      machine_id_, kTagAdjResponse, &reply, recv_timeout_ms_));
   PodReader reader(reply.payload);
   const uint64_t got_id = reader.Read<uint64_t>();
   TGPP_CHECK(got_id == request_id)
       << "adjacency response out of order (engine fetches serially)";
+  const uint8_t remote_code = reader.Read<uint8_t>();
+  if (remote_code != 0) {
+    return Status(static_cast<StatusCode>(remote_code),
+                  "remote adjacency materialization failed on machine " +
+                      std::to_string(owner));
+  }
   const uint64_t count = reader.Read<uint64_t>();
   out->vids.resize(count);
   out->offsets.assign(count + 1, 0);
@@ -147,18 +152,24 @@ void AdjacencyService::ServeLoop() {
     std::vector<VertexId> vids(count);
     reader.ReadSpan(vids.data(), count);
 
+    // A failed materialization (e.g. an injected disk error surviving the
+    // retry policy) is reported to the requester as a status byte rather
+    // than aborting the process: the requester's scatter fails with a
+    // proper Status and engine-level recovery can take over.
     Status status = MaterializeLocal(vids, &batch);
-    TGPP_CHECK_OK(status);
-
     std::vector<uint8_t> payload;
     AppendPod<uint64_t>(&payload, request_id);
-    AppendPod<uint64_t>(&payload, batch.size());
-    for (size_t i = 0; i < batch.size(); ++i) {
-      AppendPod<VertexId>(&payload, batch.vids[i]);
-      AppendPod<uint64_t>(&payload,
-                          batch.offsets[i + 1] - batch.offsets[i]);
+    AppendPod<uint8_t>(&payload, static_cast<uint8_t>(status.code()));
+    if (status.ok()) {
+      AppendPod<uint64_t>(&payload, batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        AppendPod<VertexId>(&payload, batch.vids[i]);
+        AppendPod<uint64_t>(&payload,
+                            batch.offsets[i + 1] - batch.offsets[i]);
+      }
+      AppendPodSpan<VertexId>(&payload,
+                              std::span<const VertexId>(batch.dsts));
     }
-    AppendPodSpan<VertexId>(&payload, std::span<const VertexId>(batch.dsts));
     fabric->Send(machine_id_, request.src, kTagAdjResponse,
                  std::move(payload));
   }

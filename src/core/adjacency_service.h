@@ -67,6 +67,11 @@ class AdjacencyService {
   void Start();
   void Stop();
 
+  // Deadline for awaiting a remote reply; a lost request or response then
+  // surfaces as Status::Timeout instead of hanging the scatter. <= 0
+  // waits forever (the default).
+  void set_recv_timeout_ms(int64_t ms) { recv_timeout_ms_ = ms; }
+
  private:
   void ServeLoop();
 
@@ -75,6 +80,7 @@ class AdjacencyService {
   int machine_id_;
   std::thread server_;
   uint64_t next_request_id_ = 1;
+  int64_t recv_timeout_ms_ = 0;
 };
 
 }  // namespace tgpp

@@ -163,10 +163,12 @@ struct KWalkApp {
 
 // Statistics returned by a query run.
 struct QueryStats {
-  int supersteps = 0;
+  int supersteps = 0;  // logical supersteps in the result (replays excluded)
   double wall_seconds = 0;
   uint64_t aggregate_sum = 0;  // sum of ScatterContext::AggregateAdd calls
   int q_used = 1;              // vertex chunks per machine actually used
+  int checkpoints = 0;         // superstep-boundary checkpoints written
+  int recoveries = 0;          // rollbacks to a checkpoint (docs/FAULTS.md)
 };
 
 }  // namespace tgpp

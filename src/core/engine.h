@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/fault_injector.h"
 #include "core/adjacency_service.h"
 #include "core/app.h"
 #include "core/codec.h"
@@ -54,6 +55,7 @@
 #include "graph/csr.h"
 #include "partition/partitioner.h"
 #include "util/bitmap.h"
+#include "util/crc32.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -163,7 +165,8 @@ class SparseLgb {
 // --- Engine ----------------------------------------------------------------
 
 // Ablation knobs (all defaults are the paper's design; the ablation bench
-// turns them off one at a time).
+// turns them off one at a time) plus fault-tolerance policy
+// (docs/FAULTS.md).
 struct EngineOptions {
   // In-memory local gather: combine updates per destination chunk before
   // shipping (paper §4.1). Off = every generated update crosses the wire.
@@ -171,6 +174,23 @@ struct EngineOptions {
   // Asynchronous page read-ahead depth for adjacency windows (3-LPO's
   // disk/CPU overlap). 1 = synchronous reads.
   int read_ahead_pages = 4;
+  // Checkpoint the vertex attributes + frontier every N supersteps
+  // (0 = off). A failed superstep then rolls every machine back to the
+  // last complete checkpoint epoch and replays.
+  int checkpoint_every = 0;
+  // Give up after this many rollbacks in one Run() (a persistent fault
+  // would otherwise replay forever).
+  int max_recovery_attempts = 3;
+  // Deadline for the engine's blocking receives (gather, allreduce): a
+  // lost message surfaces as Status::Timeout instead of a hung barrier.
+  // <= 0 waits forever (the seed's behavior).
+  int64_t recv_timeout_ms = 60000;
+  // Deterministic execution: consume read-ahead pages in page order and
+  // drain gathered updates in sender order. Makes floating-point
+  // accumulation order — and thus results — bit-reproducible run to run,
+  // which is what lets recovery claim *identical* results to a fault-free
+  // run. Costs some overlap; off by default.
+  bool deterministic = false;
 };
 
 template <typename V, typename U>
@@ -212,6 +232,11 @@ class NwsmEngine {
   }
 
   // Start(): runs supersteps until convergence or app.max_supersteps.
+  // With options.checkpoint_every > 0, state is checkpointed every N
+  // superstep boundaries and a recoverable failure (kAborted / kIOError /
+  // kTimeout — an injected crash, an unretryable disk error, a lost
+  // message) rolls all machines back to the last complete epoch and
+  // replays from there (docs/FAULTS.md).
   Result<QueryStats> Run(KWalkApp<V, U>& app) {
     TGPP_ASSIGN_OR_RETURN(const int q_needed, ComputeRequiredQ(app));
     if (q_needed > pg_->q) {
@@ -224,15 +249,64 @@ class NwsmEngine {
     QueryStats stats;
     stats.q_used = pg_->q;
     global_aggregate_.store(0, std::memory_order_relaxed);
-    for (int step = 0; step < app.max_supersteps; ++step) {
+
+    const int every = options_.checkpoint_every;
+    int last_epoch = -1;  // epoch E = state at the start of superstep E
+    if (every > 0) {
+      TGPP_RETURN_IF_ERROR(CheckpointEpoch(0));
+      last_epoch = 0;
+      ++stats.checkpoints;
+    }
+    int recovery_attempts = 0;
+    int step = 0;
+    while (step < app.max_supersteps) {
+      fault::SetSuperstep(step);
       current_step_.store(step, std::memory_order_relaxed);
       global_active_.store(0, std::memory_order_relaxed);
       Status status = cluster_->RunOnAll(
           [&](int m) -> Status { return MachineSuperstep(m, app); });
-      TGPP_RETURN_IF_ERROR(status);
-      ++stats.supersteps;
+      if (!status.ok()) {
+        const bool recoverable_code =
+            status.code() == StatusCode::kAborted ||
+            status.code() == StatusCode::kIOError ||
+            status.code() == StatusCode::kTimeout;
+        if (last_epoch < 0 || !recoverable_code ||
+            recovery_attempts >= options_.max_recovery_attempts) {
+          fault::SetSuperstep(-1);
+          return status;
+        }
+        ++recovery_attempts;
+        ++stats.recoveries;
+        trace::Instant("engine.recover", "engine", "epoch",
+                       static_cast<uint64_t>(last_epoch), "failed_step",
+                       static_cast<uint64_t>(step));
+        // The failed superstep may have left half-delivered updates and
+        // control traffic in flight; everything since the epoch is
+        // recomputed, so the queues are drained wholesale.
+        cluster_->fabric()->Reset();
+        Status restored = RestoreEpoch(last_epoch);
+        if (!restored.ok()) {
+          fault::SetSuperstep(-1);
+          return restored;
+        }
+        step = last_epoch;
+        continue;
+      }
+      stats.supersteps = step + 1;
       if (global_active_.load(std::memory_order_relaxed) == 0) break;
+      ++step;
+      if (every > 0 && step % every == 0 && step < app.max_supersteps) {
+        Status ckpt = CheckpointEpoch(step);
+        if (!ckpt.ok()) {
+          fault::SetSuperstep(-1);
+          return ckpt;
+        }
+        ++stats.checkpoints;
+        RemoveEpoch(last_epoch);  // best-effort: bound disk usage
+        last_epoch = step;
+      }
     }
+    fault::SetSuperstep(-1);
     stats.wall_seconds = timer.Seconds();
     stats.aggregate_sum = global_aggregate_.load(std::memory_order_relaxed);
     return stats;
@@ -258,65 +332,49 @@ class NwsmEngine {
   }
 
   // --- Fault tolerance (paper A.3): checkpoint the vertex attribute data
-  // and the active frontier to disk; a failure is recovered by rolling
-  // back to the latest checkpoint and restarting the superstep loop.
+  // and the active frontier to each machine's own disk; a failure is
+  // recovered by rolling back to the latest checkpoint and replaying the
+  // superstep loop. One file per machine:
+  //
+  //   CkptHeader | vertex attrs (V[range]) | frontier bitmap (1 bit/vertex)
+  //
+  // The body is CRC32-checksummed so a torn write (e.g. a crash mid
+  // checkpoint) restores as kCorruption, never as silent garbage.
+
+  struct CkptHeader {
+    uint64_t magic = kCkptMagic;
+    uint32_t version = 1;
+    int32_t superstep = -1;      // epoch: next superstep after restore
+    uint64_t attr_bytes = 0;
+    uint64_t frontier_bytes = 0;
+    uint64_t aggregate = 0;      // global aggregate at checkpoint time
+    uint32_t body_crc = 0;
+    uint32_t reserved = 0;
+  };
+  static_assert(std::is_trivially_copyable_v<CkptHeader>);
+  static constexpr uint64_t kCkptMagic = 0x54677070436b7074ull;  // "TgppCkpt"
 
   Status Checkpoint(const std::string& tag) {
+    const int32_t superstep = current_step_.load(std::memory_order_relaxed);
+    const uint64_t aggregate =
+        global_aggregate_.load(std::memory_order_relaxed);
     return cluster_->RunOnAll([&](int m) -> Status {
-      Machine* machine = cluster_->machine(m);
-      const VertexRange range = pg_->MachineRange(m);
-      std::vector<V> attrs;
-      TGPP_RETURN_IF_ERROR(ReadAttrRange(m, range, &attrs));
-      TGPP_RETURN_IF_ERROR(machine->disk()->Truncate(
-          CheckpointFile(tag), 0));
-      if (!attrs.empty()) {
-        TGPP_RETURN_IF_ERROR(machine->disk()->Write(
-            CheckpointFile(tag), 0, attrs.data(),
-            attrs.size() * sizeof(V)));
-      }
-      // Frontier bitmap.
-      std::vector<uint8_t> bits((range.size() + 7) / 8, 0);
-      states_[m]->active.ForEachSet(
-          [&](uint64_t bit) { bits[bit >> 3] |= 1 << (bit & 7); });
-      TGPP_RETURN_IF_ERROR(
-          machine->disk()->Truncate(CheckpointFrontierFile(tag), 0));
-      if (!bits.empty()) {
-        TGPP_RETURN_IF_ERROR(machine->disk()->Write(
-            CheckpointFrontierFile(tag), 0, bits.data(), bits.size()));
-      }
-      TGPP_RETURN_IF_ERROR(machine->disk()->Sync(CheckpointFile(tag)));
-      return machine->disk()->Sync(CheckpointFrontierFile(tag));
+      return CheckpointMachine(m, tag, superstep, aggregate);
     });
   }
 
   Status Restore(const std::string& tag) {
-    return cluster_->RunOnAll([&](int m) -> Status {
-      Machine* machine = cluster_->machine(m);
-      const VertexRange range = pg_->MachineRange(m);
-      if (!machine->disk()->Exists(CheckpointFile(tag))) {
-        return Status::NotFound("no checkpoint '" + tag + "' on machine " +
-                                std::to_string(m));
-      }
-      std::vector<V> attrs(range.size());
-      if (!attrs.empty()) {
-        TGPP_RETURN_IF_ERROR(machine->disk()->Read(
-            CheckpointFile(tag), 0, attrs.data(),
-            attrs.size() * sizeof(V)));
-      }
-      TGPP_RETURN_IF_ERROR(WriteAttrRange(m, range, attrs));
-      std::vector<uint8_t> bits((range.size() + 7) / 8, 0);
-      if (!bits.empty()) {
-        TGPP_RETURN_IF_ERROR(machine->disk()->Read(
-            CheckpointFrontierFile(tag), 0, bits.data(), bits.size()));
-      }
-      states_[m]->active.ClearAll();
-      for (uint64_t bit = 0; bit < range.size(); ++bit) {
-        if ((bits[bit >> 3] >> (bit & 7)) & 1) {
-          states_[m]->active.Set(bit);
-        }
-      }
+    std::atomic<uint64_t> aggregate{0};
+    TGPP_RETURN_IF_ERROR(cluster_->RunOnAll([&](int m) -> Status {
+      CkptHeader header;
+      TGPP_RETURN_IF_ERROR(RestoreMachine(m, tag, &header));
+      aggregate.store(header.aggregate, std::memory_order_relaxed);
       return Status::OK();
-    });
+    }));
+    // All machines store the same value (written by one Checkpoint call).
+    global_aggregate_.store(aggregate.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    return Status::OK();
   }
 
  private:
@@ -377,13 +435,33 @@ class NwsmEngine {
     superstep_span.AddArg(
         "step", current_step_.load(std::memory_order_relaxed));
 
-    // Pre-superstep: truncate spill partitions.
-    for (int c = 1; c < q; ++c) {
-      TGPP_RETURN_IF_ERROR(
-          machine->disk()->Truncate(SpillFileName(c), 0));
+    // Every failure from here on is *carried* through the full superstep
+    // skeleton (done markers, gather join, barriers, allreduce) rather
+    // than returned early: a machine that bails out of the protocol
+    // strands its peers in std::barrier forever. The phases themselves
+    // are skipped once step_status is non-OK.
+    Status step_status;
+
+    // Injected machine crash: this machine loses the superstep (no
+    // scatter, no apply) but keeps walking the protocol skeleton —
+    // modeling a failed worker whose peers detect the failure at the
+    // allreduce and roll back together.
+    if (auto crash = fault::Hit("crash", m)) {
+      (void)crash;
+      step_status = Status::Aborted(
+          "injected crash on machine " + std::to_string(m) +
+          " at superstep " +
+          std::to_string(current_step_.load(std::memory_order_relaxed)));
     }
 
-    // Spawn the global gather task (Algorithm 1 lines 5-7).
+    // Pre-superstep: truncate spill partitions.
+    for (int c = 1; c < q && step_status.ok(); ++c) {
+      step_status = machine->disk()->Truncate(SpillFileName(c), 0);
+    }
+
+    // Spawn the global gather task (Algorithm 1 lines 5-7). It runs even
+    // on a failed machine: peers' updates addressed here must be drained
+    // so *their* sends and done markers complete.
     GatherRuntime gather;
     gather.chunk0 = pg_->VertexChunkRange(m, 0);
     gather.ggb.Reset(gather.chunk0);
@@ -399,15 +477,12 @@ class NwsmEngine {
     std::unique_ptr<AdjacencyService> adj_service;
     if (app.mode == AdjMode::kFull) {
       adj_service = std::make_unique<AdjacencyService>(cluster_, pg_, m);
+      adj_service->set_recv_timeout_ms(options_.recv_timeout_ms);
       adj_service->Start();
     }
 
-    // Scatter phase (overlapped with the gather task). Errors are carried
-    // through the barrier/allreduce skeleton below rather than returned
-    // immediately, so a failing machine never strands its peers in a
-    // barrier or a blocking receive.
-    Status step_status;
-    {
+    // Scatter phase (overlapped with the gather task).
+    if (step_status.ok()) {
       trace::TraceSpan scatter_span("scatter", "engine");
       ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
       if (app.mode == AdjMode::kPartial) {
@@ -436,6 +511,8 @@ class NwsmEngine {
     }
 
     // Superstep epilogue: swap frontiers, allreduce activity + aggregate.
+    // A failed machine's contribution is garbage, but recovery discards
+    // all of this state anyway; what matters is that it participates.
     const VertexRange range = pg_->MachineRange(m);
     uint64_t local_active = state.next_active.CountSet();
     std::swap(state.active, state.next_active);
@@ -443,7 +520,8 @@ class NwsmEngine {
 
     const uint64_t local_agg =
         state.aggregate.exchange(0, std::memory_order_relaxed);
-    Status reduce_status = Allreduce(m, local_active, local_agg);
+    Status reduce_status =
+        Allreduce(m, local_active, local_agg, !step_status.ok());
     if (step_status.ok()) step_status = reduce_status;
     return step_status;
   }
@@ -569,21 +647,26 @@ class NwsmEngine {
     ctx.mark_fn_ = [](VertexId) {};  // partial mode is single level
 
     // Asynchronous read-ahead: page t+1 is in flight while page t is
-    // scanned (the disk/CPU overlap of 3-LPO).
+    // scanned (the disk/CPU overlap of 3-LPO). Tickets are kept and
+    // drained before returning: in-flight callbacks capture the local
+    // mu/cv/ready below, so an early error return without the drain would
+    // be a use-after-scope.
     const uint64_t first = chunk.first_page;
     const uint64_t count = chunk.num_pages;
     std::mutex mu;
     std::condition_variable cv;
     std::deque<std::pair<uint64_t, PageHandle>> ready;
+    std::vector<AsyncIoService::Ticket> tickets;
+    tickets.reserve(count);
 
     auto submit = [&](uint64_t page_no) {
-      machine->io()->SubmitReads(
+      tickets.push_back(machine->io()->SubmitReads(
           machine->buffer_pool(), &file, {page_no},
           [&](uint64_t no, PageHandle handle) {
             std::lock_guard<std::mutex> lock(mu);
             ready.emplace_back(no, std::move(handle));
             cv.notify_all();
-          });
+          }));
     };
 
     const uint64_t read_ahead =
@@ -592,13 +675,35 @@ class NwsmEngine {
     for (; submitted < std::min(count, read_ahead); ++submitted) {
       submit(first + submitted);
     }
+    Status scan_status;
     for (uint64_t processed = 0; processed < count; ++processed) {
       std::pair<uint64_t, PageHandle> item;
       {
         std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return !ready.empty(); });
-        item = std::move(ready.front());
-        ready.pop_front();
+        if (options_.deterministic) {
+          // Consume pages in page order so the scatter order (and any
+          // order-dependent accumulation) is reproducible regardless of
+          // I/O completion order.
+          const uint64_t want = first + processed;
+          auto found = ready.end();
+          cv.wait(lock, [&] {
+            found = std::find_if(
+                ready.begin(), ready.end(),
+                [&](const auto& r) { return r.first == want; });
+            return found != ready.end();
+          });
+          item = std::move(*found);
+          ready.erase(found);
+        } else {
+          cv.wait(lock, [&] { return !ready.empty(); });
+          item = std::move(ready.front());
+          ready.pop_front();
+        }
+      }
+      if (!item.second.valid()) {
+        // Failed page read (the ticket drain below retrieves the cause).
+        scan_status = Status::IOError("async page read failed");
+        break;
       }
       if (submitted < count) {
         submit(first + submitted);
@@ -613,6 +718,14 @@ class NwsmEngine {
         app.adj_scatter[1](ctx, src, attr, reader.DstsAt(s));
       }
     }
+    for (auto& ticket : tickets) {
+      Status s = ticket.Wait();
+      if (!s.ok() && (scan_status.ok() || scan_status.message() ==
+                                              "async page read failed")) {
+        scan_status = s;  // the underlying cause beats the generic note
+      }
+    }
+    TGPP_RETURN_IF_ERROR(scan_status);
     if (raw_count > 0) {
       std::vector<uint8_t> payload;
       AppendPod<uint8_t>(&payload, 0);  // kind: data
@@ -905,10 +1018,119 @@ class NwsmEngine {
   }
 
   static std::string CheckpointFile(const std::string& tag) {
-    return "checkpoint_" + tag + ".vattr";
+    return "checkpoint_" + tag + ".ckpt";
   }
-  static std::string CheckpointFrontierFile(const std::string& tag) {
-    return "checkpoint_" + tag + ".frontier";
+  static std::string EpochTag(int epoch) {
+    return "auto" + std::to_string(epoch);
+  }
+
+  Status CheckpointMachine(int m, const std::string& tag, int32_t superstep,
+                           uint64_t aggregate) {
+    trace::TraceSpan span("checkpoint", "engine");
+    Machine* machine = cluster_->machine(m);
+    const VertexRange range = pg_->MachineRange(m);
+    std::vector<V> attrs;
+    TGPP_RETURN_IF_ERROR(ReadAttrRange(m, range, &attrs));
+    std::vector<uint8_t> bits((range.size() + 7) / 8, 0);
+    states_[m]->active.ForEachSet(
+        [&](uint64_t bit) { bits[bit >> 3] |= 1 << (bit & 7); });
+
+    CkptHeader header;
+    header.superstep = superstep;
+    header.attr_bytes = attrs.size() * sizeof(V);
+    header.frontier_bytes = bits.size();
+    header.aggregate = aggregate;
+    header.body_crc = Crc32(attrs.data(), header.attr_bytes);
+    header.body_crc = Crc32(bits.data(), bits.size(), header.body_crc);
+
+    const std::string file = CheckpointFile(tag);
+    TGPP_RETURN_IF_ERROR(machine->disk()->Truncate(file, 0));
+    TGPP_RETURN_IF_ERROR(
+        machine->disk()->Write(file, 0, &header, sizeof(header)));
+    if (!attrs.empty()) {
+      TGPP_RETURN_IF_ERROR(machine->disk()->Write(
+          file, sizeof(header), attrs.data(), header.attr_bytes));
+    }
+    if (!bits.empty()) {
+      TGPP_RETURN_IF_ERROR(machine->disk()->Write(
+          file, sizeof(header) + header.attr_bytes, bits.data(),
+          bits.size()));
+    }
+    return machine->disk()->Sync(file);
+  }
+
+  Status RestoreMachine(int m, const std::string& tag, CkptHeader* out) {
+    trace::TraceSpan span("restore", "engine");
+    Machine* machine = cluster_->machine(m);
+    const VertexRange range = pg_->MachineRange(m);
+    const std::string file = CheckpointFile(tag);
+    if (!machine->disk()->Exists(file)) {
+      return Status::NotFound("no checkpoint '" + tag + "' on machine " +
+                              std::to_string(m));
+    }
+    CkptHeader header;
+    TGPP_RETURN_IF_ERROR(
+        machine->disk()->Read(file, 0, &header, sizeof(header)));
+    if (header.magic != kCkptMagic || header.version != 1) {
+      return Status::Corruption("checkpoint '" + tag + "' on machine " +
+                                std::to_string(m) + ": bad magic/version");
+    }
+    if (header.attr_bytes != range.size() * sizeof(V) ||
+        header.frontier_bytes != (range.size() + 7) / 8) {
+      return Status::Corruption("checkpoint '" + tag + "' on machine " +
+                                std::to_string(m) +
+                                ": shape mismatch (different graph or "
+                                "attribute schema?)");
+    }
+    std::vector<V> attrs(range.size());
+    if (!attrs.empty()) {
+      TGPP_RETURN_IF_ERROR(machine->disk()->Read(
+          file, sizeof(header), attrs.data(), header.attr_bytes));
+    }
+    std::vector<uint8_t> bits(header.frontier_bytes, 0);
+    if (!bits.empty()) {
+      TGPP_RETURN_IF_ERROR(machine->disk()->Read(
+          file, sizeof(header) + header.attr_bytes, bits.data(),
+          bits.size()));
+    }
+    uint32_t crc = Crc32(attrs.data(), header.attr_bytes);
+    crc = Crc32(bits.data(), bits.size(), crc);
+    if (crc != header.body_crc) {
+      return Status::Corruption("checkpoint '" + tag + "' on machine " +
+                                std::to_string(m) + ": CRC mismatch");
+    }
+
+    TGPP_RETURN_IF_ERROR(WriteAttrRange(m, range, attrs));
+    MachineState& state = *states_[m];
+    state.active.ClearAll();
+    for (uint64_t bit = 0; bit < range.size(); ++bit) {
+      if ((bits[bit >> 3] >> (bit & 7)) & 1) state.active.Set(bit);
+    }
+    // Discard any partial progress of the failed superstep.
+    state.next_active.ClearAll();
+    state.aggregate.store(0, std::memory_order_relaxed);
+    *out = header;
+    return Status::OK();
+  }
+
+  // Epoch checkpoints: state at the start of superstep `epoch`, written
+  // by the Run() loop every options_.checkpoint_every supersteps.
+  Status CheckpointEpoch(int epoch) {
+    const uint64_t aggregate =
+        global_aggregate_.load(std::memory_order_relaxed);
+    return cluster_->RunOnAll([&](int m) -> Status {
+      return CheckpointMachine(m, EpochTag(epoch), epoch, aggregate);
+    });
+  }
+
+  Status RestoreEpoch(int epoch) { return Restore(EpochTag(epoch)); }
+
+  void RemoveEpoch(int epoch) {
+    if (epoch < 0) return;
+    (void)cluster_->RunOnAll([&](int m) -> Status {
+      return cluster_->machine(m)->disk()->Remove(
+          CheckpointFile(EpochTag(epoch)));
+    });
   }
 
   int ChunkOfLocal(int m, VertexId vid) const {
@@ -935,16 +1157,11 @@ class NwsmEngine {
       return Status::OK();
     };
 
-    int done_markers = 0;
-    Message msg;
-    while (done_markers < pg_->p &&
-           cluster_->fabric()->Recv(m, kTagUpdates, &msg)) {
+    // Accumulates one data message into GGB / spill buffers. Returns the
+    // first spill-flush error.
+    auto consume = [&](const Message& msg) -> Status {
       PodReader reader(msg.payload);
-      const uint8_t kind = reader.Read<uint8_t>();
-      if (kind == 1) {
-        ++done_markers;
-        continue;
-      }
+      reader.Read<uint8_t>();  // kind: data (checked by the caller)
       const uint64_t count = reader.Read<uint64_t>();
       for (uint64_t i = 0; i < count; ++i) {
         const VertexId vid = reader.Read<VertexId>();
@@ -960,12 +1177,53 @@ class NwsmEngine {
           machine->metrics()->updates_spilled.fetch_add(
               1, std::memory_order_relaxed);
           if (grt->spill_buffers[c].size() >= kSpillFlushBytes) {
-            Status s = flush_spill(c);
-            if (!s.ok()) {
-              grt->status = s;
-              return;
-            }
+            TGPP_RETURN_IF_ERROR(flush_spill(c));
           }
+        }
+      }
+      return Status::OK();
+    };
+
+    // In deterministic mode incoming messages are buffered per sender and
+    // consumed in ascending sender order after all machines are done:
+    // update accumulation order (and thus floating-point results) no
+    // longer depends on arrival order. Default mode accumulates eagerly
+    // for maximum overlap.
+    std::vector<std::vector<Message>> by_src;
+    if (options_.deterministic) by_src.resize(pg_->p);
+
+    int done_markers = 0;
+    Message msg;
+    while (done_markers < pg_->p) {
+      // The deadline keeps a lost done marker or update from hanging the
+      // engine: the gather fails with kTimeout and recovery takes over.
+      Status s = cluster_->fabric()->RecvFor(m, kTagUpdates, &msg,
+                                             options_.recv_timeout_ms);
+      if (!s.ok()) {
+        grt->status = s;
+        return;
+      }
+      const uint8_t kind = msg.payload.empty() ? 0 : msg.payload[0];
+      if (kind == 1) {
+        ++done_markers;
+        continue;
+      }
+      if (options_.deterministic) {
+        by_src[msg.src].push_back(std::move(msg));
+        continue;
+      }
+      Status consumed = consume(msg);
+      if (!consumed.ok()) {
+        grt->status = consumed;
+        return;
+      }
+    }
+    for (auto& src_msgs : by_src) {
+      for (const Message& buffered : src_msgs) {
+        Status consumed = consume(buffered);
+        if (!consumed.ok()) {
+          grt->status = consumed;
+          return;
         }
       }
     }
@@ -1108,39 +1366,64 @@ class NwsmEngine {
 
   // ---- allreduce over the fabric (control plane) ----
 
-  Status Allreduce(int m, uint64_t local_active, uint64_t local_aggregate) {
+  // Reduces (active count, aggregate, failed flag) at machine 0 and
+  // broadcasts the OR of the failure flags back in the acks. Machine 0
+  // applies a receive deadline so a lost contribution surfaces as
+  // kTimeout; it then still sends (failed) acks so peers are never
+  // stranded, and everyone reaches the closing barrier.
+  Status Allreduce(int m, uint64_t local_active, uint64_t local_aggregate,
+                   bool local_failed) {
     trace::TraceSpan span("allreduce", "net");
     Fabric* fabric = cluster_->fabric();
     std::vector<uint8_t> payload;
     AppendPod<uint64_t>(&payload, local_active);
     AppendPod<uint64_t>(&payload, local_aggregate);
+    AppendPod<uint8_t>(&payload, local_failed ? 1 : 0);
     fabric->Send(m, 0, kTagControl, std::move(payload));
+    Status result;
     if (m == 0) {
       uint64_t total_active = 0;
       uint64_t total_aggregate = 0;
+      bool any_failed = false;
       for (int i = 0; i < pg_->p; ++i) {
         Message msg;
-        if (!fabric->Recv(0, kTagControl, &msg)) {
-          return Status::Aborted("fabric shutdown during allreduce");
+        Status s =
+            fabric->RecvFor(0, kTagControl, &msg, options_.recv_timeout_ms);
+        if (!s.ok()) {
+          result = s;
+          any_failed = true;
+          break;
         }
         PodReader reader(msg.payload);
         total_active += reader.Read<uint64_t>();
         total_aggregate += reader.Read<uint64_t>();
+        any_failed = any_failed || reader.Read<uint8_t>() != 0;
       }
-      global_active_.store(total_active, std::memory_order_relaxed);
-      global_aggregate_.fetch_add(total_aggregate,
-                                  std::memory_order_relaxed);
+      if (result.ok()) {
+        global_active_.store(total_active, std::memory_order_relaxed);
+        global_aggregate_.fetch_add(total_aggregate,
+                                    std::memory_order_relaxed);
+      }
+      if (any_failed) {
+        trace::Instant("superstep.failed", "engine", "step",
+                       current_step_.load(std::memory_order_relaxed));
+      }
       for (int i = 1; i < pg_->p; ++i) {
-        fabric->Send(0, i, kTagControl, {});
+        std::vector<uint8_t> ack;
+        AppendPod<uint8_t>(&ack, any_failed ? 1 : 0);
+        fabric->Send(0, i, kTagControl, std::move(ack));
       }
     } else {
       Message ack;
-      if (!fabric->Recv(m, kTagControl, &ack)) {
-        return Status::Aborted("fabric shutdown during allreduce");
-      }
+      Status s =
+          fabric->RecvFor(m, kTagControl, &ack, options_.recv_timeout_ms);
+      if (!s.ok()) result = s;
+      // A failed ack means some machine lost this superstep; that
+      // machine's own status drives recovery, so peers just proceed to
+      // the barrier.
     }
     cluster_->Barrier();
-    return Status::OK();
+    return result;
   }
 
   Cluster* cluster_;

@@ -1,5 +1,9 @@
 #include "net/fabric.h"
 
+#include <chrono>
+#include <thread>
+
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "util/trace.h"
 
@@ -22,6 +26,7 @@ std::deque<Message>& Fabric::QueueFor(Mailbox& box, uint32_t tag) {
 void Fabric::Send(int src, int dst, uint32_t tag,
                   std::vector<uint8_t> payload) {
   TGPP_DCHECK(dst >= 0 && dst < num_machines_);
+  bool duplicate = false;
   if (src != dst) {
     bytes_sent_.fetch_add(payload.size() + kHeaderBytes,
                           std::memory_order_relaxed);
@@ -29,11 +34,32 @@ void Fabric::Send(int src, int dst, uint32_t tag,
     trace::Instant("fabric.send", "net", "bytes",
                    payload.size() + kHeaderBytes, "dst",
                    static_cast<uint64_t>(dst));
+    // Faults are attributed to the *sending* machine's NIC/link; the
+    // bytes were still put on the wire, so counters above stand.
+    if (auto injected = fault::Hit("fabric.send", src)) {
+      switch (injected->action) {
+        case fault::Action::kDrop:
+          messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+          return;  // the message is lost in flight
+        case fault::Action::kDelay:
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(injected->param_ms));
+          break;
+        case fault::Action::kDuplicate:
+          messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
+          duplicate = true;
+          break;
+        default:
+          break;  // disk-flavored actions are meaningless here
+      }
+    }
   }
   Mailbox& box = *mailboxes_[dst];
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    QueueFor(box, tag).push_back(Message{src, tag, std::move(payload)});
+    std::deque<Message>& q = QueueFor(box, tag);
+    if (duplicate) q.push_back(Message{src, tag, payload});
+    q.push_back(Message{src, tag, std::move(payload)});
   }
   box.cv.notify_all();
 }
@@ -62,6 +88,47 @@ bool Fabric::Recv(int dst, uint32_t tag, Message* out) {
     if (shutdown_.load(std::memory_order_acquire)) return false;
     if (wait_start < 0 && trace::Enabled()) wait_start = trace::NowNanos();
     box.cv.wait(lock);
+  }
+}
+
+Status Fabric::RecvFor(int dst, uint32_t tag, Message* out,
+                       int64_t timeout_ms) {
+  if (timeout_ms <= 0) {
+    return Recv(dst, tag, out)
+               ? Status::OK()
+               : Status::Aborted("fabric shut down during recv");
+  }
+  Mailbox& box = *mailboxes_[dst];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(box.mu);
+  int64_t wait_start = -1;
+  for (;;) {
+    std::deque<Message>& q = QueueFor(box, tag);
+    if (!q.empty()) {
+      *out = std::move(q.front());
+      q.pop_front();
+      if (wait_start >= 0) {
+        trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
+      }
+      if (out->src != dst) {
+        trace::Instant("fabric.recv", "net", "bytes",
+                       out->payload.size() + kHeaderBytes, "src",
+                       static_cast<uint64_t>(out->src));
+      }
+      return Status::OK();
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return Status::Aborted("fabric shut down during recv");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // The timed-out receiver consumes nothing: a message that arrives
+      // after this return is picked up by the next receive on this tag.
+      return Status::Timeout("recv timeout on tag " + std::to_string(tag) +
+                             " at machine " + std::to_string(dst));
+    }
+    if (wait_start < 0 && trace::Enabled()) wait_start = trace::NowNanos();
+    box.cv.wait_until(lock, deadline);
   }
 }
 

@@ -51,12 +51,22 @@ class Fabric {
   const NetProfile& profile() const { return profile_; }
 
   // Enqueues a message for `dst`. Loopback (src == dst) is delivered but
-  // not counted as network traffic.
+  // not counted as network traffic — and is exempt from fault injection
+  // (a machine cannot lose a message to itself; the paper's failure
+  // domain is the interconnect).
   void Send(int src, int dst, uint32_t tag, std::vector<uint8_t> payload);
 
   // Blocking receive of the next message with `tag` addressed to `dst`.
   // Returns false if Shutdown() was called and no matching message remains.
   bool Recv(int dst, uint32_t tag, Message* out);
+
+  // Deadline-based receive: blocks at most `timeout_ms` (<= 0 waits
+  // forever, like Recv). Returns kTimeout if no matching message arrived
+  // in time — the message is NOT consumed if it arrives later — and
+  // kAborted after Shutdown() drained the queue. This is what lets the
+  // engine's gather/allreduce survive a dropped message instead of
+  // deadlocking a barrier.
+  Status RecvFor(int dst, uint32_t tag, Message* out, int64_t timeout_ms);
 
   // Non-blocking variant.
   bool TryRecv(int dst, uint32_t tag, Message* out);
@@ -71,6 +81,13 @@ class Fabric {
   }
   uint64_t messages_sent() const {
     return messages_sent_.load(std::memory_order_relaxed);
+  }
+  // Messages lost / delivered twice by injected `fabric.send` faults.
+  uint64_t messages_dropped() const {
+    return messages_dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages_duplicated() const {
+    return messages_duplicated_.load(std::memory_order_relaxed);
   }
   void ResetCounters();
 
@@ -101,6 +118,8 @@ class Fabric {
 
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> messages_dropped_{0};
+  std::atomic<uint64_t> messages_duplicated_{0};
 };
 
 }  // namespace tgpp

@@ -28,9 +28,10 @@ AsyncIoService::Ticket AsyncIoService::SubmitReads(
       trace::TraceSpan span("io.read_page", "io");
       span.AddArg("page", page_no);
       Result<PageHandle> handle = buffer_pool->Fetch(file, page_no);
-      if (handle.ok()) {
-        (*shared_cb)(page_no, std::move(handle).value());
-      }
+      // Deliver even on failure (invalid handle): the consumer may be
+      // counting completions, and a skipped callback would strand it.
+      (*shared_cb)(page_no,
+                   handle.ok() ? std::move(handle).value() : PageHandle());
       std::lock_guard<std::mutex> lock(state->mu);
       if (!handle.ok() && state->first_error.ok()) {
         state->first_error = handle.status();

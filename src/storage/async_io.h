@@ -55,7 +55,10 @@ class AsyncIoService {
 
   // Reads `pages` of `file` through `buffer_pool`, calling
   // cb(page_no, handle) on an I/O thread as each page becomes available.
-  // The callback owns the pinned handle.
+  // The callback owns the pinned handle. The callback runs for EVERY
+  // submitted page — on a failed read it receives an invalid handle
+  // (`!handle.valid()`; the error is reported by Ticket::Wait) — so
+  // consumers counting completions never wait forever on a failure.
   Ticket SubmitReads(BufferPool* buffer_pool, const PageFile* file,
                      std::vector<uint64_t> pages,
                      std::function<void(uint64_t, PageHandle)> cb);

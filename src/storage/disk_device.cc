@@ -5,10 +5,14 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 
 namespace tgpp {
@@ -18,6 +22,43 @@ std::string Errno(const std::string& op, const std::string& path) {
   return op + " " + path + ": " + std::strerror(errno);
 }
 }  // namespace
+
+Status DiskDevice::CheckFault(const char* site, bool* transient) {
+  auto injected = fault::Hit(site, fault_machine_);
+  if (!injected.has_value()) return Status::OK();
+  injected_faults_.fetch_add(1, std::memory_order_relaxed);
+  switch (injected->action) {
+    case fault::Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(injected->param_ms));
+      return Status::OK();
+    case fault::Action::kTimeout:
+      *transient = false;  // timeouts model a hung device; retry won't help
+      return Status::Timeout(std::string("injected timeout at ") + site);
+    default:
+      *transient = true;
+      return Status::IOError(std::string("injected fault at ") + site);
+  }
+}
+
+template <typename Attempt>
+Status DiskDevice::RunWithRetry(Attempt&& attempt) {
+  int64_t backoff_us = retry_policy_.initial_backoff_micros;
+  Status last = Status::OK();
+  const int attempts = std::max(1, retry_policy_.max_attempts);
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0) {
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = static_cast<int64_t>(
+          static_cast<double>(backoff_us) * retry_policy_.backoff_multiplier);
+    }
+    bool transient = false;
+    last = attempt(&transient);
+    if (last.ok() || !transient) return last;
+  }
+  return last;
+}
 
 DiskDevice::DiskDevice(std::string dir, DiskProfile profile)
     : dir_(std::move(dir)), profile_(profile) {
@@ -54,62 +95,79 @@ uint32_t DiskDevice::StableFileId(const std::string& file) {
 Status DiskDevice::Read(const std::string& file, uint64_t offset, void* data,
                         size_t n) {
   TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
-  size_t done = 0;
-  while (done < n) {
-    const ssize_t r = ::pread(fd, static_cast<char*>(data) + done, n - done,
-                              static_cast<off_t>(offset + done));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(Errno("pread", file));
+  return RunWithRetry([&](bool* transient) -> Status {
+    TGPP_RETURN_IF_ERROR(CheckFault("disk.read", transient));
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t r = ::pread(fd, static_cast<char*>(data) + done, n - done,
+                                static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        *transient = true;  // device-level errors may clear on retry
+        return Status::IOError(Errno("pread", file));
+      }
+      if (r == 0) {
+        // EOF: the bytes genuinely are not there; retrying cannot help.
+        return Status::IOError("short read from " + file + " at offset " +
+                               std::to_string(offset + done));
+      }
+      done += static_cast<size_t>(r);
     }
-    if (r == 0) {
-      return Status::IOError("short read from " + file + " at offset " +
-                             std::to_string(offset + done));
-    }
-    done += static_cast<size_t>(r);
-  }
-  bytes_read_.fetch_add(n, std::memory_order_relaxed);
-  return Status::OK();
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+    return Status::OK();
+  });
 }
 
 Status DiskDevice::Write(const std::string& file, uint64_t offset,
                          const void* data, size_t n) {
   TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
-  size_t done = 0;
-  while (done < n) {
-    const ssize_t r =
-        ::pwrite(fd, static_cast<const char*>(data) + done, n - done,
-                 static_cast<off_t>(offset + done));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(Errno("pwrite", file));
+  return RunWithRetry([&](bool* transient) -> Status {
+    TGPP_RETURN_IF_ERROR(CheckFault("disk.write", transient));
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t r =
+          ::pwrite(fd, static_cast<const char*>(data) + done, n - done,
+                   static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        *transient = true;
+        return Status::IOError(Errno("pwrite", file));
+      }
+      done += static_cast<size_t>(r);
     }
-    done += static_cast<size_t>(r);
-  }
-  bytes_written_.fetch_add(n, std::memory_order_relaxed);
-  return Status::OK();
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+    return Status::OK();
+  });
 }
 
 Status DiskDevice::Append(const std::string& file, const void* data, size_t n,
                           uint64_t* offset_out) {
-  // Serializing appends per device keeps (size probe, write) atomic.
+  // Serializing appends per device keeps (size probe, write) atomic; the
+  // lock stays held across retries so a failed attempt is redone at the
+  // same offset (a re-probe after a partial write would append past the
+  // torn bytes).
   TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
   std::lock_guard<std::mutex> lock(mu_);
   struct stat st;
   if (::fstat(fd, &st) != 0) return Status::IOError(Errno("fstat", file));
   const uint64_t offset = static_cast<uint64_t>(st.st_size);
-  size_t done = 0;
-  while (done < n) {
-    const ssize_t r =
-        ::pwrite(fd, static_cast<const char*>(data) + done, n - done,
-                 static_cast<off_t>(offset + done));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(Errno("pwrite", file));
+  TGPP_RETURN_IF_ERROR(RunWithRetry([&](bool* transient) -> Status {
+    TGPP_RETURN_IF_ERROR(CheckFault("disk.append", transient));
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t r =
+          ::pwrite(fd, static_cast<const char*>(data) + done, n - done,
+                   static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        *transient = true;
+        return Status::IOError(Errno("pwrite", file));
+      }
+      done += static_cast<size_t>(r);
     }
-    done += static_cast<size_t>(r);
-  }
-  bytes_written_.fetch_add(n, std::memory_order_relaxed);
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+    return Status::OK();
+  }));
   if (offset_out != nullptr) *offset_out = offset;
   return Status::OK();
 }
@@ -154,8 +212,14 @@ bool DiskDevice::Exists(const std::string& file) {
 
 Status DiskDevice::Sync(const std::string& file) {
   TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
-  if (::fsync(fd) != 0) return Status::IOError(Errno("fsync", file));
-  return Status::OK();
+  return RunWithRetry([&](bool* transient) -> Status {
+    TGPP_RETURN_IF_ERROR(CheckFault("disk.sync", transient));
+    if (::fsync(fd) != 0) {
+      *transient = true;
+      return Status::IOError(Errno("fsync", file));
+    }
+    return Status::OK();
+  });
 }
 
 void DiskDevice::ResetCounters() {

@@ -28,6 +28,15 @@ struct DiskProfile {
 inline constexpr DiskProfile kPcieSsdProfile{"PCIeSSD", 1.5e9};
 inline constexpr DiskProfile kHddRaidProfile{"HDD-RAID0", 300e6};
 
+// How the device retries *transient* I/O failures (syscall errors and
+// injected `disk.*:io_error` faults). Reading past EOF is permanent and
+// never retried; injected `timeout` faults bypass retry entirely.
+struct IoRetryPolicy {
+  int max_attempts = 4;                // 1 = no retry
+  int64_t initial_backoff_micros = 50;
+  double backoff_multiplier = 4.0;     // 50us, 200us, 800us, ...
+};
+
 class DiskDevice {
  public:
   // Creates `dir` if needed. All file names are relative to it.
@@ -65,6 +74,26 @@ class DiskDevice {
   }
   void ResetCounters();
 
+  // The simulated machine this device belongs to, for machine-scoped
+  // fault rules (common/fault_injector.h). -1 = unattributed.
+  void set_fault_machine(int machine) { fault_machine_ = machine; }
+  int fault_machine() const { return fault_machine_; }
+
+  void set_retry_policy(const IoRetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  const IoRetryPolicy& retry_policy() const { return retry_policy_; }
+
+  // Observability for the chaos tests and bench output: transient
+  // failures the device absorbed (retries that happened) and injected
+  // faults it saw at its sites.
+  uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_faults() const {
+    return injected_faults_.load(std::memory_order_relaxed);
+  }
+
   // bytes / nominal bandwidth — the paper's disk I/O time model.
   double ModeledIoSeconds() const {
     return static_cast<double>(bytes_read() + bytes_written()) /
@@ -75,8 +104,21 @@ class DiskDevice {
   // Returns an open fd for the file, creating it on demand.
   Result<int> GetFd(const std::string& file);
 
+  // Runs `attempt` up to retry_policy_.max_attempts times with
+  // exponential backoff; `attempt(&transient)` reports whether a failure
+  // is retryable. Defined in the .cc (only instantiated there).
+  template <typename Attempt>
+  Status RunWithRetry(Attempt&& attempt);
+
+  // Consults the fault injector at `site`. Returns an error to fail the
+  // attempt with (setting *transient), or OK to proceed (delays are
+  // served in place).
+  Status CheckFault(const char* site, bool* transient);
+
   std::string dir_;
   DiskProfile profile_;
+  int fault_machine_ = -1;
+  IoRetryPolicy retry_policy_;
 
   std::mutex mu_;
   std::map<std::string, int> fds_;
@@ -84,6 +126,8 @@ class DiskDevice {
 
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> io_retries_{0};
+  std::atomic<uint64_t> injected_faults_{0};
 };
 
 }  // namespace tgpp

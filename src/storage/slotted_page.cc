@@ -29,7 +29,9 @@ bool SlottedPageBuilder::AddRecord(uint64_t src,
     return false;
   }
   const uint32_t offset = header()->free_offset;
-  std::memcpy(buffer_ + offset, dsts.data(), record_bytes);
+  if (record_bytes > 0) {  // empty span may have a null data()
+    std::memcpy(buffer_ + offset, dsts.data(), record_bytes);
+  }
   PageSlot* slot = reinterpret_cast<PageSlot*>(
       buffer_ + kPageSize -
       (static_cast<size_t>(header()->num_slots) + 1) * sizeof(PageSlot));

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+// Used to checksum checkpoint bodies (docs/FAULTS.md) so a torn or
+// bit-rotted checkpoint is detected as kCorruption instead of silently
+// restoring garbage vertex state.
+
+#ifndef TGPP_UTIL_CRC32_H_
+#define TGPP_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tgpp {
+
+// One-shot CRC of `len` bytes. Pass the previous return value as `crc` to
+// extend a running checksum over multiple buffers (start with 0).
+uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0);
+
+}  // namespace tgpp
+
+#endif  // TGPP_UTIL_CRC32_H_

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <thread>
+#include <vector>
 
 #include "cluster/cluster.h"
+#include "common/fault_injector.h"
 #include "net/fabric.h"
 
 namespace tgpp {
@@ -86,6 +90,137 @@ TEST(Fabric, ConcurrentSendersAllDeliver) {
   Message msg;
   while (fabric.TryRecv(3, 0, &msg)) ++received;
   EXPECT_EQ(received, 150);
+}
+
+// --- Fabric::RecvFor (deadline-based receive) ---
+
+TEST(FabricRecvFor, ReturnsQueuedMessageImmediately) {
+  Fabric fabric(2, kInfinibandQdr);
+  fabric.Send(0, 1, 0, {3});
+  Message msg;
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 1000).ok());
+  EXPECT_EQ(msg.payload[0], 3);
+}
+
+TEST(FabricRecvFor, TimesOutAndLateMessageIsNotLost) {
+  Fabric fabric(2, kInfinibandQdr);
+  Message msg;
+  Status s = fabric.RecvFor(1, 0, &msg, 50);
+  EXPECT_TRUE(s.IsTimeout()) << s.ToString();
+  // The timed-out receiver consumed nothing: a message that arrives
+  // after the deadline is delivered to the next receive.
+  fabric.Send(0, 1, 0, {9});
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 1000).ok());
+  EXPECT_EQ(msg.payload[0], 9);
+}
+
+TEST(FabricRecvFor, WakesOnSendBeforeDeadline) {
+  Fabric fabric(2, kInfinibandQdr);
+  std::thread sender([&fabric] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fabric.Send(0, 1, 0, {42});
+  });
+  Message msg;
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 10000).ok());
+  EXPECT_EQ(msg.payload[0], 42);
+  sender.join();
+}
+
+TEST(FabricRecvFor, NonPositiveTimeoutWaitsForever) {
+  Fabric fabric(2, kInfinibandQdr);
+  std::thread sender([&fabric] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fabric.Send(0, 1, 0, {1});
+  });
+  Message msg;
+  EXPECT_TRUE(fabric.RecvFor(1, 0, &msg, 0).ok());
+  sender.join();
+}
+
+TEST(FabricRecvFor, ShutdownDrainsThenAborts) {
+  Fabric fabric(2, kInfinibandQdr);
+  fabric.Send(0, 1, 0, {5});
+  fabric.Shutdown();
+  Message msg;
+  EXPECT_TRUE(fabric.RecvFor(1, 0, &msg, 1000).ok());  // drains
+  Status s = fabric.RecvFor(1, 0, &msg, 1000);
+  EXPECT_EQ(s.code(), StatusCode::kAborted) << s.ToString();
+}
+
+TEST(FabricRecvFor, ShutdownWakesBlockedReceiversPromptly) {
+  Fabric fabric(4, kInfinibandQdr);
+  // Receivers parked well inside their deadline must be released by a
+  // concurrent Shutdown() with kAborted, and Reset() re-arms the fabric.
+  std::vector<std::thread> receivers;
+  std::atomic<int> aborted{0};
+  for (int m = 1; m < 4; ++m) {
+    receivers.emplace_back([&fabric, &aborted, m] {
+      Message msg;
+      Status s = fabric.RecvFor(m, 0, &msg, 60000);
+      if (s.code() == StatusCode::kAborted) aborted.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fabric.Shutdown();
+  for (auto& t : receivers) t.join();
+  EXPECT_EQ(aborted.load(), 3);
+
+  fabric.Reset();
+  fabric.Send(0, 1, 0, {8});
+  Message msg;
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 1000).ok());
+  EXPECT_EQ(msg.payload[0], 8);
+}
+
+// --- Fabric fault injection ---
+
+class FabricFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Disarm(); }
+};
+
+TEST_F(FabricFaultTest, DropLosesTheMessageAndCounts) {
+  ASSERT_TRUE(fault::Configure("fabric.send:drop@n=1").ok());
+  Fabric fabric(2, kInfinibandQdr);
+  fabric.Send(0, 1, 0, {1});  // dropped
+  fabric.Send(0, 1, 0, {2});
+  Message msg;
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 1000).ok());
+  EXPECT_EQ(msg.payload[0], 2);
+  EXPECT_EQ(fabric.messages_dropped(), 1u);
+}
+
+TEST_F(FabricFaultTest, DuplicateDeliversTwiceAndCounts) {
+  ASSERT_TRUE(fault::Configure("fabric.send:dup@n=1").ok());
+  Fabric fabric(2, kInfinibandQdr);
+  fabric.Send(0, 1, 0, {7});
+  Message msg;
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 1000).ok());
+  EXPECT_EQ(msg.payload[0], 7);
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 1000).ok());
+  EXPECT_EQ(msg.payload[0], 7);
+  EXPECT_EQ(fabric.messages_duplicated(), 1u);
+}
+
+TEST_F(FabricFaultTest, LoopbackIsExemptFromSendFaults) {
+  ASSERT_TRUE(fault::Configure("fabric.send:drop").ok());
+  Fabric fabric(2, kInfinibandQdr);
+  fabric.Send(1, 1, 0, {4});  // src == dst: never dropped
+  Message msg;
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 1000).ok());
+  EXPECT_EQ(msg.payload[0], 4);
+  EXPECT_EQ(fabric.messages_dropped(), 0u);
+}
+
+TEST_F(FabricFaultTest, ScopedDropAttributesToSender) {
+  ASSERT_TRUE(fault::Configure("machine0:fabric.send:drop").ok());
+  Fabric fabric(3, kInfinibandQdr);
+  fabric.Send(0, 2, 0, {1});  // machine 0 sending: dropped
+  fabric.Send(1, 2, 0, {2});  // machine 1 sending: delivered
+  Message msg;
+  ASSERT_TRUE(fabric.RecvFor(2, 0, &msg, 1000).ok());
+  EXPECT_EQ(msg.payload[0], 2);
+  EXPECT_EQ(fabric.messages_dropped(), 1u);
 }
 
 // --- Cluster ---

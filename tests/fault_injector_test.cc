@@ -1,0 +1,185 @@
+// Deterministic fault-injection framework (common/fault_injector.h).
+
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tgpp {
+namespace {
+
+// Every test leaves the process-global injector disarmed.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Disarm(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledIsInert) {
+  fault::Disarm();
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_FALSE(fault::Hit("disk.read", 0).has_value());
+  EXPECT_EQ(fault::ActiveSpec(), "");
+  EXPECT_EQ(fault::ActiveSeed(), 0u);
+}
+
+TEST_F(FaultInjectorTest, EmptySpecDisarms) {
+  ASSERT_TRUE(fault::Configure("disk.read:io_error").ok());
+  EXPECT_TRUE(fault::Armed());
+  ASSERT_TRUE(fault::Configure("").ok());
+  EXPECT_FALSE(fault::Armed());
+}
+
+TEST_F(FaultInjectorTest, AlwaysRuleFiresEveryHit) {
+  ASSERT_TRUE(fault::Configure("disk.read:io_error").ok());
+  for (int i = 0; i < 5; ++i) {
+    auto hit = fault::Hit("disk.read", i % 3);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->action, fault::Action::kIoError);
+  }
+  EXPECT_EQ(fault::InjectedCount(), 5u);
+  EXPECT_FALSE(fault::Hit("disk.write", 0).has_value());
+}
+
+TEST_F(FaultInjectorTest, DefaultActionsPerSite) {
+  ASSERT_TRUE(fault::Configure("fabric.send").ok());
+  EXPECT_EQ(fault::Hit("fabric.send", 0)->action, fault::Action::kDrop);
+  ASSERT_TRUE(fault::Configure("crash").ok());
+  EXPECT_EQ(fault::Hit("crash", 0)->action, fault::Action::kCrash);
+  ASSERT_TRUE(fault::Configure("disk.sync").ok());
+  EXPECT_EQ(fault::Hit("disk.sync", 0)->action, fault::Action::kIoError);
+}
+
+TEST_F(FaultInjectorTest, MachineScopeOnlyMatchesThatMachine) {
+  ASSERT_TRUE(fault::Configure("machine2:disk.read:io_error").ok());
+  EXPECT_FALSE(fault::Hit("disk.read", 0).has_value());
+  EXPECT_FALSE(fault::Hit("disk.read", 1).has_value());
+  EXPECT_TRUE(fault::Hit("disk.read", 2).has_value());
+  // Unknown machine (-1) never matches a scoped rule.
+  EXPECT_FALSE(fault::Hit("disk.read", -1).has_value());
+}
+
+TEST_F(FaultInjectorTest, NthFiresExactlyOnce) {
+  ASSERT_TRUE(fault::Configure("fabric.send:drop@n=3").ok());
+  EXPECT_FALSE(fault::Hit("fabric.send", 0).has_value());
+  EXPECT_FALSE(fault::Hit("fabric.send", 0).has_value());
+  EXPECT_TRUE(fault::Hit("fabric.send", 0).has_value());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fault::Hit("fabric.send", 0).has_value());
+  }
+  EXPECT_EQ(fault::InjectedCount(), 1u);
+}
+
+TEST_F(FaultInjectorTest, OnceFiresOnFirstHitOnly) {
+  ASSERT_TRUE(fault::Configure("disk.write:timeout@once").ok());
+  auto hit = fault::Hit("disk.write", 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, fault::Action::kTimeout);
+  EXPECT_FALSE(fault::Hit("disk.write", 1).has_value());
+}
+
+TEST_F(FaultInjectorTest, DelayCarriesMsParameter) {
+  ASSERT_TRUE(fault::Configure("fabric.send:delay@ms=7,once").ok());
+  auto hit = fault::Hit("fabric.send", 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, fault::Action::kDelay);
+  EXPECT_EQ(hit->param_ms, 7u);
+}
+
+TEST_F(FaultInjectorTest, SuperstepGateRespectsClockAndDisarmsAfterFiring) {
+  ASSERT_TRUE(fault::Configure("machine1:crash@superstep=3").ok());
+  // Initial clock is -1: gated rules never match.
+  EXPECT_FALSE(fault::Hit("crash", 1).has_value());
+  fault::SetSuperstep(2);
+  EXPECT_FALSE(fault::Hit("crash", 1).has_value());
+  fault::SetSuperstep(3);
+  EXPECT_FALSE(fault::Hit("crash", 0).has_value());  // wrong machine
+  EXPECT_TRUE(fault::Hit("crash", 1).has_value());
+  // A replay of superstep 3 after recovery must not crash again.
+  EXPECT_FALSE(fault::Hit("crash", 1).has_value());
+  fault::SetSuperstep(3);
+  EXPECT_FALSE(fault::Hit("crash", 1).has_value());
+}
+
+// The firing pattern of a p= rule is a pure function of (seed, rule
+// index, hit number): replaying the same hit sequence reproduces it bit
+// for bit, and a different seed produces a different pattern.
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicInSeed) {
+  auto pattern = [](uint64_t seed) {
+    EXPECT_TRUE(fault::Configure("disk.read:io_error@p=0.2", seed).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 400; ++i) {
+      fired.push_back(fault::Hit("disk.read", 0).has_value());
+    }
+    return fired;
+  };
+  const std::vector<bool> a = pattern(7);
+  const std::vector<bool> b = pattern(7);
+  const std::vector<bool> c = pattern(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  size_t fires = 0;
+  for (bool f : a) fires += f;
+  // ~80 expected; generous bounds just catch always/never bugs.
+  EXPECT_GT(fires, 20u);
+  EXPECT_LT(fires, 200u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityEdgeCases) {
+  ASSERT_TRUE(fault::Configure("disk.read@p=0", 1).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fault::Hit("disk.read", 0).has_value());
+  }
+  ASSERT_TRUE(fault::Configure("disk.read@p=1", 1).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(fault::Hit("disk.read", 0).has_value());
+  }
+}
+
+TEST_F(FaultInjectorTest, MultipleRulesFirstMatchWins) {
+  ASSERT_TRUE(
+      fault::Configure("disk.read:timeout@n=2; disk.read:io_error").ok());
+  // Hit 1: rule 0 counts but does not fire (n=2), rule 1 fires.
+  EXPECT_EQ(fault::Hit("disk.read", 0)->action, fault::Action::kIoError);
+  // Hit 2: rule 0 fires first.
+  EXPECT_EQ(fault::Hit("disk.read", 0)->action, fault::Action::kTimeout);
+  EXPECT_EQ(fault::Hit("disk.read", 0)->action, fault::Action::kIoError);
+}
+
+TEST_F(FaultInjectorTest, ConfigureRecordsSpecAndSeed) {
+  ASSERT_TRUE(fault::Configure("fabric.send:drop@n=500", 99).ok());
+  EXPECT_EQ(fault::ActiveSpec(), "fabric.send:drop@n=500");
+  EXPECT_EQ(fault::ActiveSeed(), 99u);
+  EXPECT_EQ(fault::InjectedCount(), 0u);
+}
+
+TEST_F(FaultInjectorTest, ParseRejectsMalformedSpecs) {
+  EXPECT_TRUE(fault::Configure("disk.everything").IsInvalidArgument());
+  EXPECT_TRUE(fault::Configure("disk.read:explode").IsInvalidArgument());
+  EXPECT_TRUE(fault::Configure("disk.read@p=2").IsInvalidArgument());
+  EXPECT_TRUE(fault::Configure("disk.read@p=-0.5").IsInvalidArgument());
+  EXPECT_TRUE(fault::Configure("disk.read@n=0").IsInvalidArgument());
+  EXPECT_TRUE(fault::Configure("disk.read@sometimes").IsInvalidArgument());
+  EXPECT_TRUE(fault::Configure("machineX:disk.read").IsInvalidArgument());
+  EXPECT_TRUE(fault::Configure("disk.read:io_error:extra")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(fault::Configure(";;").ok());  // empty rules are skipped
+  EXPECT_FALSE(fault::Armed());
+  // A failed Configure is transactional: the previous spec stays armed.
+  ASSERT_TRUE(fault::Configure("disk.read:io_error").ok());
+  EXPECT_TRUE(fault::Configure("bogus.site").IsInvalidArgument());
+  EXPECT_TRUE(fault::Armed());
+  EXPECT_EQ(fault::ActiveSpec(), "disk.read:io_error");
+}
+
+TEST_F(FaultInjectorTest, WhitespaceAndMultiRuleSpecs) {
+  ASSERT_TRUE(fault::Configure(" disk.read : io_error @ once ;"
+                               " machine1 : fabric.send : drop @ n=1 ")
+                  .ok());
+  EXPECT_TRUE(fault::Hit("disk.read", 0).has_value());
+  EXPECT_FALSE(fault::Hit("fabric.send", 0).has_value());
+  EXPECT_TRUE(fault::Hit("fabric.send", 1).has_value());
+}
+
+}  // namespace
+}  // namespace tgpp

@@ -99,5 +99,16 @@ TEST(Logging, CheckAbortsOnFalse) {
   EXPECT_DEATH(TGPP_CHECK_OK(Status::Internal("bad")), "Internal");
 }
 
+// Debug builds assert that Result accessors are only used after checking
+// ok() (the assert compiles away under NDEBUG, so this test is
+// meaningful in Debug / sanitizer builds only).
+#ifndef NDEBUG
+TEST(Result, AccessorsAssertOkInDebugBuilds) {
+  Result<int> bad(Status::IOError("nope"));
+  EXPECT_DEATH((void)bad.value(), "Result");
+  EXPECT_DEATH((void)*bad, "Result");
+}
+#endif
+
 }  // namespace
 }  // namespace tgpp

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "common/fault_injector.h"
 #include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_device.h"
@@ -86,6 +87,111 @@ TEST(DiskDevice, StableFileIdsSurviveAndDiffer) {
   const uint32_t a2 = disk.StableFileId("a.bin");
   EXPECT_EQ(a1, a2);
   EXPECT_NE(a1, b);
+}
+
+TEST(DiskDevice, ReadUpToEofSucceedsPastEofFails) {
+  DiskDevice disk(TestDir("eof"), kPcieSsdProfile);
+  char buf[32];
+  for (size_t i = 0; i < sizeof(buf); ++i) buf[i] = static_cast<char>(i);
+  ASSERT_TRUE(disk.Write("f.bin", 0, buf, 32).ok());
+  char out[32] = {0};
+  ASSERT_TRUE(disk.Read("f.bin", 28, out, 4).ok());  // ends exactly at EOF
+  EXPECT_EQ(out[3], 31);
+  // One byte past EOF is a permanent error (never retried).
+  EXPECT_TRUE(disk.Read("f.bin", 29, out, 4).IsIOError());
+  EXPECT_TRUE(disk.Read("f.bin", 64, out, 1).IsIOError());
+  EXPECT_EQ(disk.io_retries(), 0u);
+}
+
+TEST(DiskDevice, LargeTransfersRoundtripThroughTheLoop) {
+  // pread/pwrite may legally return short counts; the multi-megabyte
+  // transfer exercises the completion loops in Read/Write.
+  DiskDevice disk(TestDir("large"), kPcieSsdProfile);
+  std::vector<uint8_t> data(6 << 20);
+  uint64_t state = 99;
+  for (auto& b : data) b = static_cast<uint8_t>(SplitMix64(state));
+  ASSERT_TRUE(disk.Write("big.bin", 0, data.data(), data.size()).ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(disk.Read("big.bin", 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(disk.bytes_read(), data.size());
+}
+
+// --- DiskDevice fault injection + retry (docs/FAULTS.md) ---
+
+class DiskFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Disarm(); }
+};
+
+TEST_F(DiskFaultTest, TransientReadErrorIsRetriedAway) {
+  ASSERT_TRUE(fault::Configure("disk.read:io_error@n=1").ok());
+  DiskDevice disk(TestDir("retry_read"), kPcieSsdProfile);
+  char buf[16] = {0};
+  ASSERT_TRUE(disk.Write("f.bin", 0, buf, 16).ok());
+  EXPECT_TRUE(disk.Read("f.bin", 0, buf, 16).ok());
+  EXPECT_EQ(disk.io_retries(), 1u);
+  EXPECT_EQ(disk.injected_faults(), 1u);
+}
+
+TEST_F(DiskFaultTest, WriteAppendSyncAreRetriedToo) {
+  ASSERT_TRUE(fault::Configure("disk.write:io_error@n=1;"
+                               "disk.append:io_error@n=1;"
+                               "disk.sync:io_error@n=1")
+                  .ok());
+  DiskDevice disk(TestDir("retry_waz"), kPcieSsdProfile);
+  char buf[8] = {1};
+  EXPECT_TRUE(disk.Write("f.bin", 0, buf, 8).ok());
+  uint64_t off = 99;
+  EXPECT_TRUE(disk.Append("f.bin", buf, 8, &off).ok());
+  EXPECT_EQ(off, 8u);  // retried append lands once, at the probed offset
+  EXPECT_EQ(*disk.FileSize("f.bin"), 16u);
+  EXPECT_TRUE(disk.Sync("f.bin").ok());
+  EXPECT_EQ(disk.io_retries(), 3u);
+}
+
+TEST_F(DiskFaultTest, PersistentErrorSurfacesAfterMaxAttempts) {
+  ASSERT_TRUE(fault::Configure("disk.read:io_error").ok());
+  DiskDevice disk(TestDir("exhaust"), kPcieSsdProfile);
+  char buf[8] = {0};
+  ASSERT_TRUE(disk.Write("f.bin", 0, buf, 8).ok());
+  IoRetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_micros = 1;
+  disk.set_retry_policy(policy);
+  EXPECT_TRUE(disk.Read("f.bin", 0, buf, 8).IsIOError());
+  EXPECT_EQ(disk.io_retries(), 2u);  // attempts - 1
+  EXPECT_EQ(disk.injected_faults(), 3u);
+}
+
+TEST_F(DiskFaultTest, InjectedTimeoutIsNotRetried) {
+  ASSERT_TRUE(fault::Configure("disk.read:timeout@once").ok());
+  DiskDevice disk(TestDir("timeout"), kPcieSsdProfile);
+  char buf[8] = {0};
+  ASSERT_TRUE(disk.Write("f.bin", 0, buf, 8).ok());
+  EXPECT_TRUE(disk.Read("f.bin", 0, buf, 8).IsTimeout());
+  EXPECT_EQ(disk.io_retries(), 0u);
+  EXPECT_TRUE(disk.Read("f.bin", 0, buf, 8).ok());  // once: gone now
+}
+
+TEST_F(DiskFaultTest, DelayActionOnlyStalls) {
+  ASSERT_TRUE(fault::Configure("disk.read:delay@ms=1,once").ok());
+  DiskDevice disk(TestDir("delay"), kPcieSsdProfile);
+  char buf[8] = {0};
+  ASSERT_TRUE(disk.Write("f.bin", 0, buf, 8).ok());
+  EXPECT_TRUE(disk.Read("f.bin", 0, buf, 8).ok());
+  EXPECT_EQ(disk.io_retries(), 0u);
+  EXPECT_EQ(disk.injected_faults(), 1u);
+}
+
+TEST_F(DiskFaultTest, MachineScopedRulesSpareOtherDevices) {
+  ASSERT_TRUE(fault::Configure("machine1:disk.read:io_error").ok());
+  DiskDevice disk(TestDir("scoped"), kPcieSsdProfile);
+  disk.set_fault_machine(2);
+  char buf[8] = {0};
+  ASSERT_TRUE(disk.Write("f.bin", 0, buf, 8).ok());
+  EXPECT_TRUE(disk.Read("f.bin", 0, buf, 8).ok());
+  EXPECT_EQ(disk.injected_faults(), 0u);
 }
 
 // --- SlottedPage ---

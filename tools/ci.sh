@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Minimal CI: configure, build, run the tier-1 test suite, and check
-# that the docs reference only paths that exist.
+# Minimal CI: configure, build, run the tier-1 test suite, check that
+# the docs reference only paths that exist, and re-run the concurrency-
+# and fault-heavy suites under ASan+UBSan.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build)
+# Set TGPP_CI_SKIP_SANITIZE=1 to skip the sanitizer stage.
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -12,4 +14,18 @@ cmake -B "$root/$build" -S "$root"
 cmake --build "$root/$build" -j"$(nproc)"
 ctest --test-dir "$root/$build" --output-on-failure
 "$root/tools/check_docs.sh" "$root"
+
+if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
+  # The fault-injection, chaos, fabric, and storage tests exercise the
+  # code most likely to hide lifetime/race bugs (retry loops, receive
+  # deadlines, rollback/replay): build just those under ASan+UBSan.
+  asan="$build-asan"
+  cmake -B "$root/$asan" -S "$root" \
+        -DCMAKE_BUILD_TYPE=Debug -DTGPP_SANITIZE=ON
+  cmake --build "$root/$asan" -j"$(nproc)" \
+        --target fault_injector_test chaos_recovery_test \
+                 fabric_cluster_test storage_test status_logging_test
+  ctest --test-dir "$root/$asan" --output-on-failure \
+        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|SlottedPage|PageFile|Cluster|Logging'
+fi
 echo "ci: OK"

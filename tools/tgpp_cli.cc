@@ -8,11 +8,21 @@
 //                  [--machines=4] [--budget-mb=32] [--iterations=10]
 //                  [--source=0] [--workdir=/tmp/tgpp_cli]
 //                  [--trace-out=trace.json]
+//                  [--faults=SPEC] [--fault-seed=42]
+//                  [--checkpoint-every=N] [--deterministic]
 //
 // --trace-out records an execution trace of the run (superstep phases,
 // async I/O, fabric traffic, barriers — one track per simulated machine)
 // and writes Chrome-trace JSON loadable in chrome://tracing or Perfetto.
 // See docs/TRACING.md.
+//
+// --faults arms deterministic fault injection for the run, e.g.
+//   --faults="disk.read:io_error@p=0.001;machine2:crash@superstep=3"
+// --checkpoint-every=N writes a superstep-boundary checkpoint every N
+// supersteps so injected crashes roll back and resume instead of failing
+// the query; --deterministic makes gather order (and thus floating-point
+// results) independent of thread/message timing. Grammar and recovery
+// semantics: docs/FAULTS.md.
 //
 // Exit code 0 on success; failures print the Status and exit 1.
 
@@ -28,6 +38,7 @@
 #include "algos/sssp.h"
 #include "algos/triangle_counting.h"
 #include "algos/wcc.h"
+#include "common/fault_injector.h"
 #include "core/system.h"
 #include "graph/degree.h"
 #include "graph/rmat.h"
@@ -164,6 +175,17 @@ int CmdRun(int argc, char** argv) {
   const std::string trace_out = FlagStr(argc, argv, "trace-out", "");
   if (!trace_out.empty()) trace::SetEnabled(true);
 
+  const std::string faults = FlagStr(argc, argv, "faults", "");
+  if (!faults.empty()) {
+    Status s = fault::Configure(
+        faults, static_cast<uint64_t>(FlagInt(argc, argv, "fault-seed", 42)));
+    if (!s.ok()) return Fail(s);
+  }
+  EngineOptions options;
+  options.checkpoint_every =
+      static_cast<int>(FlagInt(argc, argv, "checkpoint-every", 0));
+  options.deterministic = FlagBool(argc, argv, "deterministic");
+
   TurboGraphSystem system(MakeClusterConfig(argc, argv));
   Status s = system.LoadGraph(std::move(*graph));
   if (!s.ok()) return Fail(s);
@@ -178,7 +200,7 @@ int CmdRun(int argc, char** argv) {
         system.partition(),
         static_cast<int>(FlagInt(argc, argv, "iterations", 10)));
     std::vector<PageRankAttr> ranks;
-    stats = system.RunQuery(app, &ranks);
+    stats = system.RunQuery(app, &ranks, options);
     if (stats.ok()) {
       VertexId best = 0;
       for (VertexId v = 0; v < ranks.size(); ++v) {
@@ -192,7 +214,7 @@ int CmdRun(int argc, char** argv) {
         system.partition(),
         static_cast<VertexId>(FlagInt(argc, argv, "source", 0)));
     std::vector<SsspAttr> dists;
-    stats = system.RunQuery(app, &dists);
+    stats = system.RunQuery(app, &dists, options);
     if (stats.ok()) {
       uint64_t reachable = 0;
       for (const SsspAttr& d : dists) {
@@ -204,7 +226,7 @@ int CmdRun(int argc, char** argv) {
   } else if (query == "wcc") {
     auto app = MakeWccApp(system.partition());
     std::vector<WccAttr> labels;
-    stats = system.RunQuery(app, &labels);
+    stats = system.RunQuery(app, &labels, options);
     if (stats.ok()) {
       std::set<uint64_t> components;
       for (const WccAttr& l : labels) components.insert(l.label);
@@ -212,7 +234,7 @@ int CmdRun(int argc, char** argv) {
     }
   } else if (query == "tc") {
     auto app = MakeTriangleCountingApp();
-    stats = system.RunQuery(app);
+    stats = system.RunQuery(app, options);
     if (stats.ok()) {
       std::printf("triangles: %llu\n",
                   static_cast<unsigned long long>(stats->aggregate_sum));
@@ -220,7 +242,7 @@ int CmdRun(int argc, char** argv) {
   } else if (query == "lcc") {
     auto app = MakeLccApp(system.partition());
     std::vector<LccAttr> attrs;
-    stats = system.RunQuery(app, &attrs);
+    stats = system.RunQuery(app, &attrs, options);
     if (stats.ok()) {
       double sum = 0;
       for (const LccAttr& a : attrs) sum += a.lcc;
@@ -229,7 +251,7 @@ int CmdRun(int argc, char** argv) {
     }
   } else if (query == "clique4") {
     auto app = MakeFourCliqueApp();
-    stats = system.RunQuery(app);
+    stats = system.RunQuery(app, options);
     if (stats.ok()) {
       std::printf("4-cliques: %llu\n",
                   static_cast<unsigned long long>(stats->aggregate_sum));
@@ -242,6 +264,12 @@ int CmdRun(int argc, char** argv) {
               stats->supersteps, stats->wall_seconds, stats->q_used);
   std::printf("I/O: disk %.2f MB, network %.2f MB\n",
               snap.disk_bytes / 1e6, snap.net_bytes / 1e6);
+  if (!faults.empty() || options.checkpoint_every > 0) {
+    std::printf("faults: %llu injected, %d checkpoints, %d recoveries\n",
+                static_cast<unsigned long long>(fault::InjectedCount()),
+                stats->checkpoints, stats->recoveries);
+    fault::Disarm();
+  }
   if (!trace_out.empty()) {
     Status s = trace::WriteChromeTrace(trace_out);
     if (!s.ok()) return Fail(s);
