@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     const ClusterSnapshot snap = system.cluster()->Snapshot();
     uint64_t updates_sent = 0;
     for (int m = 0; m < system.cluster()->num_machines(); ++m) {
-      updates_sent += system.cluster()->machine(m)->metrics()->updates_sent;
+      updates_sent += system.cluster()->machine(m)->metrics()->updates_sent.value();
     }
     const double cpu = snap.max_machine_cpu_seconds;
     const double exec = std::max(

@@ -30,12 +30,15 @@ void Trace(const BenchConfig& bc, const char* label) {
 
   std::printf("\n--- PR on RMAT%d, %s profile (wall %.3fs) ---\n", scale,
               label, stats->wall_seconds);
-  std::printf("%8s %10s %12s %12s\n", "t(s)", "cpu-util", "disk(MB/s)",
-              "net(MB/s)");
+  std::printf("%8s %10s %12s %12s %10s\n", "t(s)", "cpu-util",
+              "disk(MB/s)", "net(MB/s)", "pool-hit");
   for (const ResourceSample& s : sampler.samples()) {
-    std::printf("%8.3f %9.0f%% %12.1f %12.1f\n", s.t_seconds,
-                s.cpu_utilization * 100, s.disk_mbps, s.net_mbps);
+    std::printf("%8.3f %9.0f%% %12.1f %12.1f %9.1f%%\n", s.t_seconds,
+                s.cpu_utilization * 100, s.disk_mbps, s.net_mbps,
+                s.buffer_hit_rate * 100);
   }
+  std::printf("final buffer-pool hit rate: %.1f%%\n",
+              system.cluster()->BufferPoolHitRate() * 100);
   if (sampler.samples().empty()) {
     std::printf("(query finished within one sampling interval; rerun with "
                 "--scale > %d for a longer trace)\n", scale);

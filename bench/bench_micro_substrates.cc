@@ -1,13 +1,18 @@
 // Microbenchmarks (google-benchmark) for the substrates: slotted pages,
-// buffer pool, sorted intersections, the RMAT generator, and the fabric.
+// buffer pool, sorted intersections, the RMAT generator, the fabric, and
+// the metrics instruments (obs/metrics.h).
 
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
 
+#include "algos/pagerank.h"
+#include "common/logging.h"
+#include "core/system.h"
 #include "graph/csr.h"
 #include "graph/rmat.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "util/rng.h"
 
@@ -140,6 +145,59 @@ void BM_FabricRoundtrip(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FabricRoundtrip)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  // The hot-path cost of one instrument update: a single relaxed
+  // fetch_add (or nothing at all under TGPP_DISABLE_METRICS).
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(obs::kMetricsCompiledOut ? "metrics-off" : "metrics-on");
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  obs::LatencyHistogram hist;
+  int64_t v = 1;
+  for (auto _ : state) {
+    hist.Record(v);
+    v = (v * 7 + 13) & 0xfffff;  // spread over buckets, no clock reads
+  }
+  benchmark::DoNotOptimize(hist.count());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(obs::kMetricsCompiledOut ? "metrics-off" : "metrics-on");
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+void BM_PageRankInstrumented(benchmark::State& state) {
+  // End-to-end PageRank on a small in-memory RMAT graph. The overhead
+  // acceptance check for the metrics layer compares this benchmark built
+  // with -DTGPP_DISABLE_METRICS=ON against the default build (label shows
+  // which one is running): the instrumented wall time must stay within a
+  // few percent of the compiled-out build.
+  ClusterConfig config;
+  config.num_machines = 2;
+  config.threads_per_machine = 1;
+  config.memory_budget_bytes = 64ull << 20;
+  config.buffer_pool_frames = 96;
+  config.root_dir = "/tmp/tgpp_bench/micro_metrics_pr";
+  std::filesystem::remove_all(config.root_dir);
+  const EdgeList graph = GenerateRmatX(/*scale=*/14, /*seed=*/714);
+  TurboGraphSystem system(config);
+  TGPP_CHECK_OK(system.LoadGraph(graph));
+  auto app = MakePageRankApp(system.partition(), /*iterations=*/3);
+  for (auto _ : state) {
+    system.cluster()->ResetCounters();
+    auto stats = system.RunQuery(app);
+    TGPP_CHECK(stats.ok()) << stats.status().ToString();
+    benchmark::DoNotOptimize(stats->wall_seconds);
+  }
+  state.SetLabel(obs::kMetricsCompiledOut ? "metrics-off" : "metrics-on");
+}
+BENCHMARK(BM_PageRankInstrumented)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace tgpp

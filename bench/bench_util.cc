@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "common/fault_injector.h"
+#include "obs/export.h"
 #include "util/trace.h"
 
 namespace tgpp::bench {
@@ -240,6 +241,31 @@ void FillFromSnapshot(Measurement* m, Cluster* cluster,
   m->exec_seconds = CombineTimes(times, overlap);
 }
 
+// Appends the per-superstep rows collected through the engine observer to
+// $TGPP_BENCH_JSON, each tagged with the measurement's identity so a
+// script can join the time series back to its summary line.
+void MaybeDumpSuperstepRows(const Measurement& m,
+                            const std::vector<obs::SuperstepRow>& rows) {
+  const char* path = std::getenv("TGPP_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0' || rows.empty()) return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "TGPP_BENCH_JSON append failed: cannot open %s\n",
+                 path);
+    return;
+  }
+  const std::string prefix = "{\"system\":\"" + JsonEscape(m.system) +
+                             "\",\"graph\":\"" + JsonEscape(m.graph) +
+                             "\",\"query\":\"" + QueryName(m.query) + "\",";
+  for (const auto& row : rows) {
+    // row.ToJson() is `{"type":"superstep",...}` — splice the identity
+    // fields in right after the opening brace.
+    std::fprintf(f, "%s%s\n", prefix.c_str(),
+                 row.ToJson().substr(1).c_str());
+  }
+  std::fclose(f);
+}
+
 }  // namespace
 
 Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
@@ -254,6 +280,14 @@ Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
   const uint64_t injected_before = fault::InjectedCount();
   EngineOptions options;
   options.checkpoint_every = EnvCheckpointEvery();
+  std::vector<obs::SuperstepRow> superstep_rows;
+  if (const char* jp = std::getenv("TGPP_BENCH_JSON");
+      jp != nullptr && jp[0] != '\0') {
+    options.superstep_observer = [&superstep_rows](
+                                     const obs::SuperstepRow& row) {
+      superstep_rows.push_back(row);
+    };
+  }
 
   const std::string run_name = std::string("tgpp_") + graph_name + "_" +
                                QueryName(query) + "_" +
@@ -317,6 +351,7 @@ Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
   if (!stats.ok()) {
     m.status = stats.status();
     MaybeDumpJsonFromEnv(m);
+    MaybeDumpSuperstepRows(m, superstep_rows);
     return m;
   }
   m.supersteps = stats->supersteps;
@@ -334,6 +369,7 @@ Measurement MeasureTurboGraph(const BenchConfig& bc, const EdgeList& graph,
     m.status = Status::Timeout("modeled time exceeds limit");
   }
   MaybeDumpJsonFromEnv(m);
+  MaybeDumpSuperstepRows(m, superstep_rows);
   return m;
 }
 

@@ -209,7 +209,7 @@ class ChaosLikeSystem : public BaselineSystem {
           if (!s.ok() && local_fail.ok()) local_fail = s;
         }
         if (local_fail.ok()) {
-          ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+          obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
           std::vector<std::vector<uint8_t>> write_buf(p);
           const uint64_t total_edges = edges_per_machine_[m];
           uint64_t pos = 0;
@@ -289,7 +289,7 @@ class ChaosLikeSystem : public BaselineSystem {
         }
         uint64_t next_active = 0;
         if (local_fail.ok()) {
-          ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
+          obs::ScopedCpuCounter cpu(&machine->metrics()->gather_cpu_nanos);
           std::fill(has_incoming.begin(), has_incoming.end(), 0);
           std::vector<uint8_t> data(inbox_bytes);
           if (inbox_bytes > 0) {

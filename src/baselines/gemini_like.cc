@@ -151,7 +151,7 @@ class GeminiLikeSystem : public BaselineSystem {
 
       for (int step = 0; step < iterations; ++step) {
         if (local_fail.ok()) {
-          ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+          obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
           std::fill(dense.begin(), dense.end(), 0.0);
           for (uint64_t v = 0; v < n_local; ++v) {
             const uint64_t deg = mg.offsets[v + 1] - mg.offsets[v];
@@ -174,7 +174,7 @@ class GeminiLikeSystem : public BaselineSystem {
           cluster_->fabric()->Send(m, dst, kTagDense, std::move(payload));
         }
         if (local_fail.ok()) {
-          ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
+          obs::ScopedCpuCounter cpu(&machine->metrics()->gather_cpu_nanos);
           std::vector<double> sums(n_local, 0.0);
           for (int src = 0; src < p; ++src) {
             Message msg;
@@ -291,7 +291,7 @@ class GeminiLikeSystem : public BaselineSystem {
            ++step) {
         std::vector<std::vector<uint8_t>> out_bufs(p);
         if (local_fail.ok()) {
-          ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+          obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
           for (uint64_t v = 0; v < n_local; ++v) {
             if (!active[v]) continue;
             const uint64_t send_val = sssp ? values[m][v] + 1 : values[m][v];
@@ -309,7 +309,7 @@ class GeminiLikeSystem : public BaselineSystem {
         }
         uint64_t next_active = 0;
         {
-          ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
+          obs::ScopedCpuCounter cpu(&machine->metrics()->gather_cpu_nanos);
           std::fill(active.begin(), active.end(), 0);
           for (int src = 0; src < p; ++src) {
             Message msg;

@@ -119,7 +119,7 @@ class PteSystem : public BaselineSystem {
           TGPP_RETURN_IF_ERROR(FetchBucket(m, a, b, &sub.edges));
         }
         {
-          ScopedCpuAccumulator cpu(
+          obs::ScopedCpuCounter cpu(
               &machine->metrics()->scatter_cpu_nanos);
           local_count += CountTriangles(sub, i, j, k);
         }

@@ -219,7 +219,7 @@ BaselineResult VertexCentricSystem::RunPropagation(
       std::vector<std::vector<uint8_t>> out(p);
       uint64_t out_bytes = 0;
       if (local_fail.ok()) {
-        ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+        obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
         Status copy_status = ChargeSuperstepCopy(m);
         if (!copy_status.ok()) local_fail = copy_status;
         if (local_fail.ok()) {
@@ -275,7 +275,7 @@ BaselineResult VertexCentricSystem::RunPropagation(
       }
       uint64_t next_active = 0;
       {
-        ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
+        obs::ScopedCpuCounter cpu(&machine->metrics()->gather_cpu_nanos);
         std::fill(has_incoming[m].begin(), has_incoming[m].end(), 0);
         for (int src = 0; src < p; ++src) {
           Message msg;
@@ -448,7 +448,7 @@ BaselineResult VertexCentricSystem::RunTriangleCount() {
     }
     std::vector<std::vector<uint8_t>> out(p);
     if (local_fail.ok()) {
-      ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+      obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
       std::vector<VertexId> larger;
       Status s = ForEachLocalAdjacency(
           m, [&](uint64_t v, std::span<const VertexId> nbrs) {
@@ -498,7 +498,7 @@ BaselineResult VertexCentricSystem::RunTriangleCount() {
     // adjacency list.
     uint64_t local_triangles = 0;
     if (local_fail.ok()) {
-      ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+      obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
       // Sorted local adjacency for intersection.
       std::vector<std::pair<uint64_t, std::vector<VertexId>>> msgs;
       for (const Message& msg : inbox) {

@@ -27,6 +27,7 @@ Cluster::Cluster(const ClusterConfig& config)
     mc.storage_dir = config.root_dir + "/m" + std::to_string(i);
     machines_.push_back(std::make_unique<Machine>(mc));
   }
+  fabric_.RegisterMetrics(&obs::Registry::Global(), &registrations_);
 }
 
 Status Cluster::RunOnAll(const std::function<Status(int)>& fn) {
@@ -62,7 +63,7 @@ ClusterSnapshot Cluster::Snapshot() const {
         m->disk()->bytes_read() + m->disk()->bytes_written();
     snap.cpu_seconds += machine_cpu;
     snap.enumeration_cpu_seconds +=
-        1e-9 * static_cast<double>(m->metrics()->enumeration_cpu_nanos);
+        1e-9 * static_cast<double>(m->metrics()->enumeration_cpu_nanos.value());
     snap.disk_bytes += machine_disk;
     snap.max_machine_cpu_seconds =
         std::max(snap.max_machine_cpu_seconds, machine_cpu);
@@ -77,6 +78,17 @@ ClusterSnapshot Cluster::Snapshot() const {
   snap.net_io_seconds =
       static_cast<double>(snap.net_bytes) / AggregateNetBandwidth();
   return snap;
+}
+
+double Cluster::BufferPoolHitRate() const {
+  uint64_t hits = 0, misses = 0;
+  for (const auto& m : machines_) {
+    hits += m->buffer_pool()->hits();
+    misses += m->buffer_pool()->misses();
+  }
+  return hits + misses == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(hits + misses);
 }
 
 void Cluster::ResetCountersAndCaches() {

@@ -63,8 +63,13 @@ class Cluster {
   // must call it the same number of times.
   void Barrier();
 
-  // Aggregated cluster metrics (Figures 9/10/13/14 inputs).
+  // Aggregated cluster metrics (Figures 9/10/13/14 inputs). A pure view
+  // over the obs-registered instruments — the same values --metrics-out
+  // exports.
   ClusterSnapshot Snapshot() const;
+
+  // Cumulative buffer-pool hit rate across all machines, in [0, 1].
+  double BufferPoolHitRate() const;
 
   // Clears all I/O counters, per-machine metrics and budget usage, and
   // drops unpinned buffer pool frames (the paper drops the OS page cache
@@ -89,6 +94,8 @@ class Cluster {
   std::vector<std::unique_ptr<Machine>> machines_;
   Fabric fabric_;
   std::barrier<> barrier_;
+  // Declared after fabric_: unregisters its link instruments first.
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace tgpp

@@ -17,6 +17,18 @@ Machine::Machine(const MachineConfig& config)
   // Attribute this device's I/O to the machine so `machineN:disk.*`
   // fault rules scope correctly.
   disk_.set_fault_machine(config.id);
+
+  // Publish every substrate's instruments under this machine's label. If
+  // another cluster with the same machine ids is alive, its earlier
+  // registrations win and ours are skipped (only one cluster exports).
+  obs::Registry* registry = &obs::Registry::Global();
+  disk_.RegisterMetrics(registry, config.id, &registrations_);
+  buffer_pool_.RegisterMetrics(registry, config.id, &registrations_);
+  workers_.RegisterMetrics(registry, "threadpool", config.id,
+                           &registrations_);
+  io_.pool()->RegisterMetrics(registry, "iopool", config.id,
+                              &registrations_);
+  metrics_.RegisterMetrics(registry, config.id, &registrations_);
 }
 
 uint64_t Machine::WindowMemoryBytes() const {

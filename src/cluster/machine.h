@@ -10,8 +10,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/metrics.h"
+#include "obs/metrics.h"
 #include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_device.h"
@@ -63,6 +65,9 @@ class Machine {
   ThreadPool workers_;
   MemoryBudget budget_;
   MachineMetrics metrics_;
+  // Declared last: destroyed first, so every instrument leaves the global
+  // registry before the substrate that owns it is torn down.
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace tgpp

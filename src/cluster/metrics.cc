@@ -4,6 +4,30 @@
 
 namespace tgpp {
 
+void MachineMetrics::RegisterMetrics(obs::Registry* registry, int machine,
+                                     std::vector<obs::Registration>* out) {
+  obs::TryRegister(registry, out, "engine.scatter_cpu_ns", machine,
+                   &scatter_cpu_nanos);
+  obs::TryRegister(registry, out, "engine.gather_cpu_ns", machine,
+                   &gather_cpu_nanos);
+  obs::TryRegister(registry, out, "engine.apply_cpu_ns", machine,
+                   &apply_cpu_nanos);
+  obs::TryRegister(registry, out, "engine.enumeration_cpu_ns", machine,
+                   &enumeration_cpu_nanos);
+  obs::TryRegister(registry, out, "engine.updates_generated", machine,
+                   &updates_generated);
+  obs::TryRegister(registry, out, "engine.updates_local_gathered", machine,
+                   &updates_local_gathered);
+  obs::TryRegister(registry, out, "engine.updates_sent", machine,
+                   &updates_sent);
+  obs::TryRegister(registry, out, "engine.updates_spilled", machine,
+                   &updates_spilled);
+  obs::TryRegister(registry, out, "engine.active_vertices", machine,
+                   &active_vertices);
+  obs::TryRegister(registry, out, "engine.checkpoint_ns", machine,
+                   &checkpoint_ns);
+}
+
 std::string ClusterSnapshot::ToString() const {
   std::ostringstream os;
   os.precision(3);

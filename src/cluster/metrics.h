@@ -3,50 +3,73 @@
 // Mirrors the paper's measurement methodology (§5.1): CPU time via
 // clock_gettime on compute threads, disk/network I/O as aggregated bytes,
 // and I/O *times* modeled as bytes over aggregate nominal bandwidth.
+//
+// Since the unified metrics layer landed, MachineMetrics is a named bundle
+// of obs/ instruments (registered as "engine.*" per machine) and
+// ClusterSnapshot is a *view* computed from registered instruments — there
+// is no second bookkeeping system behind it.
 
 #ifndef TGPP_CLUSTER_METRICS_H_
 #define TGPP_CLUSTER_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace tgpp {
 
-// Counters one machine accumulates during a query. All fields are atomic
-// so compute/I-O/service threads can update them concurrently.
+// Engine-side counters one machine accumulates during a query. All
+// instruments are internally atomic, so compute/I-O/service threads
+// update them concurrently without coordination.
 class MachineMetrics {
  public:
-  std::atomic<int64_t> scatter_cpu_nanos{0};
-  std::atomic<int64_t> gather_cpu_nanos{0};
-  std::atomic<int64_t> apply_cpu_nanos{0};
+  obs::Counter scatter_cpu_nanos;
+  obs::Counter gather_cpu_nanos;
+  obs::Counter apply_cpu_nanos;
   // CPU spent purely enumerating the k-reachable walk set (marking voi and
   // backward traversal) — reported in §5.2.3 as ~0.7% of TC time.
-  std::atomic<int64_t> enumeration_cpu_nanos{0};
+  obs::Counter enumeration_cpu_nanos;
 
-  std::atomic<uint64_t> updates_generated{0};
-  std::atomic<uint64_t> updates_local_gathered{0};
-  std::atomic<uint64_t> updates_sent{0};
-  std::atomic<uint64_t> updates_spilled{0};
+  obs::Counter updates_generated;
+  obs::Counter updates_local_gathered;
+  obs::Counter updates_sent;
+  obs::Counter updates_spilled;
+
+  // Frontier size this machine contributed at the current superstep.
+  obs::Gauge active_vertices;
+  // Wall-clock duration of checkpoint writes, in nanoseconds.
+  obs::LatencyHistogram checkpoint_ns;
 
   void Reset() {
-    scatter_cpu_nanos = 0;
-    gather_cpu_nanos = 0;
-    apply_cpu_nanos = 0;
-    enumeration_cpu_nanos = 0;
-    updates_generated = 0;
-    updates_local_gathered = 0;
-    updates_sent = 0;
-    updates_spilled = 0;
+    scatter_cpu_nanos.Reset();
+    gather_cpu_nanos.Reset();
+    apply_cpu_nanos.Reset();
+    enumeration_cpu_nanos.Reset();
+    updates_generated.Reset();
+    updates_local_gathered.Reset();
+    updates_sent.Reset();
+    updates_spilled.Reset();
+    active_vertices.Reset();
+    checkpoint_ns.Reset();
   }
 
   double TotalCpuSeconds() const {
-    return 1e-9 * static_cast<double>(scatter_cpu_nanos + gather_cpu_nanos +
-                                      apply_cpu_nanos);
+    return 1e-9 * static_cast<double>(scatter_cpu_nanos.value() +
+                                      gather_cpu_nanos.value() +
+                                      apply_cpu_nanos.value());
   }
+
+  // Registers all instruments under "engine.*" for `machine`, appending
+  // the RAII handles to `out` (names already taken are skipped).
+  void RegisterMetrics(obs::Registry* registry, int machine,
+                       std::vector<obs::Registration>* out);
 };
 
 // A cluster-wide snapshot used by benches and the resource sampler.
+// Computed by Cluster::Snapshot() from the same registered instruments
+// the exporters read, so its numbers agree exactly with --metrics-out.
 struct ClusterSnapshot {
   double cpu_seconds = 0;          // summed compute-thread CPU time
   uint64_t disk_bytes = 0;         // read + written, all machines

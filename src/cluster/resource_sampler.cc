@@ -7,19 +7,44 @@
 namespace tgpp {
 
 ResourceSampler::ResourceSampler(Cluster* cluster, double interval_seconds)
-    : cluster_(cluster), interval_seconds_(interval_seconds) {}
+    : cluster_(cluster), interval_seconds_(interval_seconds) {
+  obs::Registry* registry = &obs::Registry::Global();
+  obs::TryRegister(registry, &registrations_, "resource.cpu_util_millis", -1,
+                   &cpu_utilization_millis_);
+  obs::TryRegister(registry, &registrations_, "resource.disk_mbps", -1,
+                   &disk_mbps_);
+  obs::TryRegister(registry, &registrations_, "resource.net_mbps", -1,
+                   &net_mbps_);
+  obs::TryRegister(registry, &registrations_, "resource.hit_rate_millis", -1,
+                   &buffer_hit_rate_millis_);
+}
 
 ResourceSampler::~ResourceSampler() { Stop(); }
 
 void ResourceSampler::Start() {
-  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+  }
   samples_.clear();
   thread_ = std::thread([this] { Loop(); });
 }
 
 void ResourceSampler::Stop() {
-  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  stop_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+}
+
+bool ResourceSampler::SleepUntilStopped(double seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stop_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                           [this] { return !running_; });
 }
 
 void ResourceSampler::Loop() {
@@ -35,9 +60,7 @@ void ResourceSampler::Loop() {
     prev_net = s.net_bytes;
   }
   double prev_t = 0;
-  while (running_.load(std::memory_order_relaxed)) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(interval_seconds_));
+  while (!SleepUntilStopped(interval_seconds_)) {
     const double t = wall.Seconds();
     const double dt = t - prev_t;
     const int64_t cpu = ProcessCpuTimeNanos();
@@ -53,7 +76,14 @@ void ResourceSampler::Loop() {
                : 0;
     sample.net_mbps =
         dt > 0 ? static_cast<double>(s.net_bytes - prev_net) / dt / 1e6 : 0;
+    sample.buffer_hit_rate = cluster_->BufferPoolHitRate();
     samples_.push_back(sample);
+    cpu_utilization_millis_.Set(
+        static_cast<int64_t>(sample.cpu_utilization * 1000));
+    disk_mbps_.Set(static_cast<int64_t>(sample.disk_mbps));
+    net_mbps_.Set(static_cast<int64_t>(sample.net_mbps));
+    buffer_hit_rate_millis_.Set(
+        static_cast<int64_t>(sample.buffer_hit_rate * 1000));
     prev_t = t;
     prev_cpu = cpu;
     prev_disk = s.disk_bytes;

@@ -2,17 +2,21 @@
 //
 // Reproduces the paper's dstat-based monitoring behind Figure 11 (resource
 // usage over time during PR): a background thread samples process CPU time
-// and the cluster's cumulative disk/network byte counters, producing a
-// utilization time series.
+// and the cluster's cumulative disk/network byte counters — all views over
+// the obs/ metrics registry — producing a utilization time series. The
+// latest sample is also published as "resource.*" gauges so the Prometheus
+// exporter shows live utilization alongside the raw counters.
 
 #ifndef TGPP_CLUSTER_RESOURCE_SAMPLER_H_
 #define TGPP_CLUSTER_RESOURCE_SAMPLER_H_
 
-#include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "obs/metrics.h"
 
 namespace tgpp {
 
@@ -21,6 +25,7 @@ struct ResourceSample {
   double cpu_utilization;  // fraction of total worker capacity [0, 1+]
   double disk_mbps;        // MB/s since previous sample
   double net_mbps;         // MB/s since previous sample
+  double buffer_hit_rate;  // cumulative buffer-pool hit rate [0, 1]
 };
 
 class ResourceSampler {
@@ -29,18 +34,34 @@ class ResourceSampler {
   ~ResourceSampler();
 
   void Start();
+  // Returns as soon as the sampling thread has observed the stop request —
+  // it does not wait out the current sampling interval (the thread blocks
+  // on a condition variable, not a sleep).
   void Stop();
 
   const std::vector<ResourceSample>& samples() const { return samples_; }
 
  private:
   void Loop();
+  bool SleepUntilStopped(double seconds);  // true = stop requested
 
   Cluster* cluster_;
   double interval_seconds_;
-  std::atomic<bool> running_{false};
   std::thread thread_;
+
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool running_ = false;
+
   std::vector<ResourceSample> samples_;
+
+  // Live view of the latest sample, exported as "resource.*" gauges
+  // (values in millis: 1000 = 100% utilization / 1.0 hit rate; mbps as-is).
+  obs::Gauge cpu_utilization_millis_;
+  obs::Gauge disk_mbps_;
+  obs::Gauge net_mbps_;
+  obs::Gauge buffer_hit_rate_millis_;
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace tgpp

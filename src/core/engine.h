@@ -40,6 +40,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -53,6 +54,7 @@
 #include "core/codec.h"
 #include "core/memory_model.h"
 #include "graph/csr.h"
+#include "obs/export.h"
 #include "partition/partitioner.h"
 #include "util/bitmap.h"
 #include "util/crc32.h"
@@ -191,6 +193,12 @@ struct EngineOptions {
   // which is what lets recovery claim *identical* results to a fault-free
   // run. Costs some overlap; off by default.
   bool deterministic = false;
+  // Called after every completed superstep with that superstep's activity
+  // deltas (obs/export.h) — the hook behind `tgpp run --progress`,
+  // per-barrier --metrics-out refreshes, and the bench harness's JSONL
+  // time series. Runs on the engine's driver thread between supersteps;
+  // keep it cheap. Null = no per-superstep reporting.
+  std::function<void(const obs::SuperstepRow&)> superstep_observer;
 };
 
 template <typename V, typename U>
@@ -259,6 +267,9 @@ class NwsmEngine {
     }
     int recovery_attempts = 0;
     int step = 0;
+    // Baseline for per-superstep deltas: counters accumulated before this
+    // Run (e.g. a warmup query) are not attributed to our first row.
+    ObserverTotals seen = CaptureObserverTotals(0.0);
     while (step < app.max_supersteps) {
       fault::SetSuperstep(step);
       current_step_.store(step, std::memory_order_relaxed);
@@ -293,6 +304,10 @@ class NwsmEngine {
         continue;
       }
       stats.supersteps = step + 1;
+      if (options_.superstep_observer) {
+        options_.superstep_observer(
+            MakeSuperstepRow(step, timer.Seconds(), &seen));
+      }
       if (global_active_.load(std::memory_order_relaxed) == 0) break;
       ++step;
       if (every > 0 && step % every == 0 && step < app.max_supersteps) {
@@ -383,6 +398,53 @@ class NwsmEngine {
     AtomicBitmap next_active;
     std::atomic<uint64_t> aggregate{0};
   };
+
+  // Cumulative counter values already attributed to earlier superstep
+  // rows; the next row reports (current cumulative) - (seen). After a
+  // rollback the replayed superstep's work is counted again — the row
+  // series then honestly shows the recovery's extra I/O and updates.
+  struct ObserverTotals {
+    uint64_t generated = 0;
+    uint64_t sent = 0;
+    uint64_t spilled = 0;
+    uint64_t disk_bytes = 0;
+    uint64_t net_bytes = 0;
+    double elapsed = 0.0;
+  };
+
+  ObserverTotals CaptureObserverTotals(double elapsed) {
+    ObserverTotals now;
+    for (int m = 0; m < cluster_->num_machines(); ++m) {
+      Machine* machine = cluster_->machine(m);
+      now.generated += machine->metrics()->updates_generated.value();
+      now.sent += machine->metrics()->updates_sent.value();
+      now.spilled += machine->metrics()->updates_spilled.value();
+      now.disk_bytes +=
+          machine->disk()->bytes_read() + machine->disk()->bytes_written();
+    }
+    now.net_bytes = cluster_->fabric()->bytes_sent();
+    now.elapsed = elapsed;
+    return now;
+  }
+
+  obs::SuperstepRow MakeSuperstepRow(int step, double elapsed,
+                                     ObserverTotals* seen) {
+    const ObserverTotals now = CaptureObserverTotals(elapsed);
+    obs::SuperstepRow row;
+    row.superstep = step;
+    // Frontier this superstep produced (= active entering the next one).
+    row.active_vertices = global_active_.load(std::memory_order_relaxed);
+    row.updates_generated = now.generated - seen->generated;
+    row.updates_sent = now.sent - seen->sent;
+    row.updates_spilled = now.spilled - seen->spilled;
+    row.disk_bytes = now.disk_bytes - seen->disk_bytes;
+    row.net_bytes = now.net_bytes - seen->net_bytes;
+    row.buffer_hit_rate = cluster_->BufferPoolHitRate();
+    row.superstep_seconds = elapsed - seen->elapsed;
+    row.elapsed_seconds = elapsed;
+    *seen = now;
+    return row;
+  }
 
   // ---- vertex attribute windows (vertex streams) ----
 
@@ -484,7 +546,7 @@ class NwsmEngine {
     // Scatter phase (overlapped with the gather task).
     if (step_status.ok()) {
       trace::TraceSpan scatter_span("scatter", "engine");
-      ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+      obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
       if (app.mode == AdjMode::kPartial) {
         step_status = ScatterPartial(m, app);
       } else {
@@ -515,6 +577,8 @@ class NwsmEngine {
     // all of this state anyway; what matters is that it participates.
     const VertexRange range = pg_->MachineRange(m);
     uint64_t local_active = state.next_active.CountSet();
+    machine->metrics()->active_vertices.Set(
+        static_cast<int64_t>(local_active));
     std::swap(state.active, state.next_active);
     state.next_active.Resize(range.size());
 
@@ -602,8 +666,7 @@ class NwsmEngine {
         const uint64_t combined =
             options_.in_memory_local_gather ? lgb.present_count() : 0;
         if (combined > 0) {
-          machine->metrics()->updates_sent.fetch_add(
-              combined, std::memory_order_relaxed);
+          machine->metrics()->updates_sent.Add(combined);
           cluster_->fabric()->Send(m, j / q, kTagUpdates, lgb.Serialize());
         }
       }
@@ -631,14 +694,12 @@ class NwsmEngine {
     uint64_t raw_count = 0;
     if (options_.in_memory_local_gather) {
       ctx.update_fn_ = [&](VertexId dst, const U& val) {
-        machine->metrics()->updates_generated.fetch_add(
-            1, std::memory_order_relaxed);
+        machine->metrics()->updates_generated.Add(1);
         lgb->Accumulate(dst, val, app.vertex_gather);
       };
     } else {
       ctx.update_fn_ = [&](VertexId dst, const U& val) {
-        machine->metrics()->updates_generated.fetch_add(
-            1, std::memory_order_relaxed);
+        machine->metrics()->updates_generated.Add(1);
         AppendPod<VertexId>(&raw_updates, dst);
         AppendPod<U>(&raw_updates, val);
         ++raw_count;
@@ -732,8 +793,7 @@ class NwsmEngine {
       AppendPod<uint64_t>(&payload, raw_count);
       payload.insert(payload.end(), raw_updates.begin(),
                      raw_updates.end());
-      machine->metrics()->updates_sent.fetch_add(
-          raw_count, std::memory_order_relaxed);
+      machine->metrics()->updates_sent.Add(raw_count);
       cluster_->fabric()->Send(m, chunk.dst_chunk / pg_->q, kTagUpdates,
                                std::move(payload));
     }
@@ -790,7 +850,7 @@ class NwsmEngine {
         }
         AdjBatch batch;
         {
-          ScopedCpuAccumulator enum_cpu(
+          obs::ScopedCpuCounter enum_cpu(
               &machine->metrics()->enumeration_cpu_nanos);
           TGPP_RETURN_IF_ERROR(adj_service->MaterializeLocal(
               std::span<const VertexId>(pending.data() + pos, end - pos),
@@ -850,8 +910,7 @@ class NwsmEngine {
         if (per_owner[dst].empty()) continue;
         std::memcpy(per_owner[dst].data() + 1, &counts[dst],
                     sizeof(uint64_t));
-        machine->metrics()->updates_sent.fetch_add(
-            counts[dst], std::memory_order_relaxed);
+        machine->metrics()->updates_sent.Add(counts[dst]);
         cluster_->fabric()->Send(m, dst, kTagUpdates,
                                  std::move(per_owner[dst]));
       }
@@ -865,8 +924,7 @@ class NwsmEngine {
       ctx.ancestor_batches_ = batch_stack;
       ctx.parent_indexes_ = index_stack;
       ctx.update_fn_ = [&](VertexId dst, const U& val) {
-        machine->metrics()->updates_generated.fetch_add(
-            1, std::memory_order_relaxed);
+        machine->metrics()->updates_generated.Add(1);
         lgb.Accumulate(dst, val, app.vertex_gather, flush_sparse);
       };
       ctx.mark_fn_ = [&](VertexId v) {
@@ -908,7 +966,7 @@ class NwsmEngine {
         const size_t lo = n * t / tasks;
         const size_t hi = n * (t + 1) / tasks;
         machine->workers()->Submit([&, lo, hi] {
-          ScopedCpuAccumulator cpu(&machine->metrics()->scatter_cpu_nanos);
+          obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
           ProcessFullRangeOnWorker(m, app, batch, batch_stack, index_stack,
                                    level, lo, hi, flush_sparse);
           if (remaining.fetch_sub(1) == 1) {
@@ -933,7 +991,7 @@ class NwsmEngine {
     // their disks over the fabric).
     std::vector<VertexId> marked;
     {
-      ScopedCpuAccumulator enum_cpu(
+      obs::ScopedCpuCounter enum_cpu(
           &machine->metrics()->enumeration_cpu_nanos);
       marked.reserve(next_parent_index.size());
       for (const auto& [vid, parents] : next_parent_index) {
@@ -988,8 +1046,7 @@ class NwsmEngine {
     ctx.ancestor_batches_ = batch_stack;
     ctx.parent_indexes_ = index_stack;
     ctx.update_fn_ = [&](VertexId dst, const U& val) {
-      machine->metrics()->updates_generated.fetch_add(
-          1, std::memory_order_relaxed);
+      machine->metrics()->updates_generated.Add(1);
       lgb.Accumulate(dst, val, app.vertex_gather, flush_sparse);
     };
     ctx.mark_fn_ = [](VertexId) {
@@ -1028,6 +1085,7 @@ class NwsmEngine {
                            uint64_t aggregate) {
     trace::TraceSpan span("checkpoint", "engine");
     Machine* machine = cluster_->machine(m);
+    obs::ScopedLatencyTimer ckpt_timer(&machine->metrics()->checkpoint_ns);
     const VertexRange range = pg_->MachineRange(m);
     std::vector<V> attrs;
     TGPP_RETURN_IF_ERROR(ReadAttrRange(m, range, &attrs));
@@ -1143,7 +1201,7 @@ class NwsmEngine {
   void GlobalGatherLoop(int m, KWalkApp<V, U>& app, GatherRuntime* grt) {
     Machine* machine = cluster_->machine(m);
     trace::TraceSpan gather_span("gather", "engine");
-    ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
+    obs::ScopedCpuCounter cpu(&machine->metrics()->gather_cpu_nanos);
     grt->spill_buffers.assign(pg_->q, {});
     constexpr size_t kSpillFlushBytes = 64 * 1024;
 
@@ -1169,13 +1227,11 @@ class NwsmEngine {
         const int c = ChunkOfLocal(m, vid);
         if (c == 0) {
           grt->ggb.Accumulate(vid, val, app.vertex_gather);
-          machine->metrics()->updates_local_gathered.fetch_add(
-              1, std::memory_order_relaxed);
+          machine->metrics()->updates_local_gathered.Add(1);
         } else {
           AppendPod<VertexId>(&grt->spill_buffers[c], vid);
           AppendPod<U>(&grt->spill_buffers[c], val);
-          machine->metrics()->updates_spilled.fetch_add(
-              1, std::memory_order_relaxed);
+          machine->metrics()->updates_spilled.Add(1);
           if (grt->spill_buffers[c].size() >= kSpillFlushBytes) {
             TGPP_RETURN_IF_ERROR(flush_spill(c));
           }
@@ -1266,7 +1322,7 @@ class NwsmEngine {
                                       ".spill_gather");
         }
         trace::TraceSpan spill_span("gather.spilled", "engine");
-        ScopedCpuAccumulator cpu(&machine->metrics()->gather_cpu_nanos);
+        obs::ScopedCpuCounter cpu(&machine->metrics()->gather_cpu_nanos);
         for (int c = 1; c < q; ++c) {
           Slot slot;
           slot.chunk = c;
@@ -1313,7 +1369,7 @@ class NwsmEngine {
     Status apply_status;
     {
       trace::TraceSpan apply_span("apply", "engine");
-      ScopedCpuAccumulator cpu(&machine->metrics()->apply_cpu_nanos);
+      obs::ScopedCpuCounter cpu(&machine->metrics()->apply_cpu_nanos);
       std::vector<V> attrs;
       for (int c = 0; c < q && apply_status.ok(); ++c) {
         engine_internal::DenseLgb<U>* ggb = nullptr;

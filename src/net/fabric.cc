@@ -13,9 +13,35 @@ Fabric::Fabric(int num_machines, NetProfile profile)
     : num_machines_(num_machines), profile_(profile) {
   TGPP_CHECK(num_machines > 0);
   mailboxes_.reserve(num_machines);
+  links_.reserve(num_machines);
   for (int i = 0; i < num_machines; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    links_.push_back(std::make_unique<LinkMetrics>());
   }
+}
+
+uint64_t Fabric::bytes_sent() const {
+  uint64_t total = 0;
+  for (const auto& l : links_) total += l->bytes_sent.value();
+  return total;
+}
+
+uint64_t Fabric::messages_sent() const {
+  uint64_t total = 0;
+  for (const auto& l : links_) total += l->messages_sent.value();
+  return total;
+}
+
+uint64_t Fabric::messages_dropped() const {
+  uint64_t total = 0;
+  for (const auto& l : links_) total += l->drops.value();
+  return total;
+}
+
+uint64_t Fabric::messages_duplicated() const {
+  uint64_t total = 0;
+  for (const auto& l : links_) total += l->dups.value();
+  return total;
 }
 
 std::deque<Message>& Fabric::QueueFor(Mailbox& box, uint32_t tag) {
@@ -27,10 +53,12 @@ void Fabric::Send(int src, int dst, uint32_t tag,
                   std::vector<uint8_t> payload) {
   TGPP_DCHECK(dst >= 0 && dst < num_machines_);
   bool duplicate = false;
+  int64_t send_nanos = 0;
   if (src != dst) {
-    bytes_sent_.fetch_add(payload.size() + kHeaderBytes,
-                          std::memory_order_relaxed);
-    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    LinkMetrics& link = *links_[src >= 0 ? src : dst];
+    link.bytes_sent.Add(payload.size() + kHeaderBytes);
+    link.messages_sent.Add(1);
+    send_nanos = obs::MonotonicNanos();
     trace::Instant("fabric.send", "net", "bytes",
                    payload.size() + kHeaderBytes, "dst",
                    static_cast<uint64_t>(dst));
@@ -39,14 +67,14 @@ void Fabric::Send(int src, int dst, uint32_t tag,
     if (auto injected = fault::Hit("fabric.send", src)) {
       switch (injected->action) {
         case fault::Action::kDrop:
-          messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+          link.drops.Add(1);
           return;  // the message is lost in flight
         case fault::Action::kDelay:
           std::this_thread::sleep_for(
               std::chrono::milliseconds(injected->param_ms));
           break;
         case fault::Action::kDuplicate:
-          messages_duplicated_.fetch_add(1, std::memory_order_relaxed);
+          link.dups.Add(1);
           duplicate = true;
           break;
         default:
@@ -58,8 +86,8 @@ void Fabric::Send(int src, int dst, uint32_t tag,
   {
     std::lock_guard<std::mutex> lock(box.mu);
     std::deque<Message>& q = QueueFor(box, tag);
-    if (duplicate) q.push_back(Message{src, tag, payload});
-    q.push_back(Message{src, tag, std::move(payload)});
+    if (duplicate) q.push_back(Message{src, tag, payload, send_nanos});
+    q.push_back(Message{src, tag, std::move(payload), send_nanos});
   }
   box.cv.notify_all();
 }
@@ -79,6 +107,7 @@ bool Fabric::Recv(int dst, uint32_t tag, Message* out) {
         trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
       }
       if (out->src != dst) {
+        ObserveDelivery(dst, *out);
         trace::Instant("fabric.recv", "net", "bytes",
                        out->payload.size() + kHeaderBytes, "src",
                        static_cast<uint64_t>(out->src));
@@ -112,6 +141,7 @@ Status Fabric::RecvFor(int dst, uint32_t tag, Message* out,
         trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
       }
       if (out->src != dst) {
+        ObserveDelivery(dst, *out);
         trace::Instant("fabric.recv", "net", "bytes",
                        out->payload.size() + kHeaderBytes, "src",
                        static_cast<uint64_t>(out->src));
@@ -139,7 +169,17 @@ bool Fabric::TryRecv(int dst, uint32_t tag, Message* out) {
   if (q.empty()) return false;
   *out = std::move(q.front());
   q.pop_front();
+  if (out->src != dst) ObserveDelivery(dst, *out);
   return true;
+}
+
+void Fabric::ObserveDelivery(int dst, const Message& msg) {
+  if (msg.send_nanos == 0) return;  // loopback or hand-built message
+  const int64_t now = obs::MonotonicNanos();
+  if (now > msg.send_nanos) {
+    links_[dst]->delivery_latency.Record(
+        static_cast<uint64_t>(now - msg.send_nanos));
+  }
 }
 
 void Fabric::Shutdown() {
@@ -159,8 +199,28 @@ void Fabric::Reset() {
 }
 
 void Fabric::ResetCounters() {
-  bytes_sent_.store(0, std::memory_order_relaxed);
-  messages_sent_.store(0, std::memory_order_relaxed);
+  // Drops/dups are intentionally left alone: they are fault-injection
+  // evidence the chaos tests compare against the injector's own counts
+  // across intra-run resets.
+  for (auto& l : links_) {
+    l->bytes_sent.Reset();
+    l->messages_sent.Reset();
+  }
+}
+
+void Fabric::RegisterMetrics(obs::Registry* registry,
+                             std::vector<obs::Registration>* out) {
+  for (int m = 0; m < num_machines_; ++m) {
+    LinkMetrics& link = *links_[m];
+    obs::TryRegister(registry, out, "fabric.bytes_sent", m,
+                     &link.bytes_sent);
+    obs::TryRegister(registry, out, "fabric.messages_sent", m,
+                     &link.messages_sent);
+    obs::TryRegister(registry, out, "fabric.drops", m, &link.drops);
+    obs::TryRegister(registry, out, "fabric.dups", m, &link.dups);
+    obs::TryRegister(registry, out, "fabric.delivery_latency_ns", m,
+                     &link.delivery_latency);
+  }
 }
 
 }  // namespace tgpp

@@ -17,11 +17,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace tgpp {
 
@@ -38,6 +40,21 @@ struct Message {
   int src = -1;
   uint32_t tag = 0;
   std::vector<uint8_t> payload;
+  // Fabric send timestamp (obs::MonotonicNanos) for delivery-latency
+  // measurement; 0 for loopback and hand-built messages.
+  int64_t send_nanos = 0;
+};
+
+// Per-machine fabric instruments: traffic counters are attributed to the
+// *sending* machine (its NIC put the bytes on the wire — same attribution
+// as fault injection), delivery latency to the *receiving* machine (where
+// the queueing delay is felt).
+struct LinkMetrics {
+  obs::Counter bytes_sent;
+  obs::Counter messages_sent;
+  obs::Counter drops;
+  obs::Counter dups;
+  obs::LatencyHistogram delivery_latency;
 };
 
 class Fabric {
@@ -76,20 +93,21 @@ class Fabric {
   void Shutdown();
   void Reset();
 
-  uint64_t bytes_sent() const {
-    return bytes_sent_.load(std::memory_order_relaxed);
-  }
-  uint64_t messages_sent() const {
-    return messages_sent_.load(std::memory_order_relaxed);
-  }
+  // Cluster-wide totals (sums over the per-machine link instruments).
+  uint64_t bytes_sent() const;
+  uint64_t messages_sent() const;
   // Messages lost / delivered twice by injected `fabric.send` faults.
-  uint64_t messages_dropped() const {
-    return messages_dropped_.load(std::memory_order_relaxed);
-  }
-  uint64_t messages_duplicated() const {
-    return messages_duplicated_.load(std::memory_order_relaxed);
-  }
+  uint64_t messages_dropped() const;
+  uint64_t messages_duplicated() const;
   void ResetCounters();
+
+  // Per-machine view (see LinkMetrics for attribution).
+  const LinkMetrics& link(int machine) const { return *links_[machine]; }
+
+  // Registers every machine's link instruments under "fabric.*" with its
+  // machine label, appending the RAII handles to `out`.
+  void RegisterMetrics(obs::Registry* registry,
+                       std::vector<obs::Registration>* out);
 
   // bytes / (num_machines * link bandwidth) — the paper's network I/O time
   // model over the aggregate cluster bandwidth.
@@ -111,15 +129,14 @@ class Fabric {
 
   std::deque<Message>& QueueFor(Mailbox& box, uint32_t tag);
 
+  // Records delivery latency of a just-dequeued message at machine `dst`.
+  void ObserveDelivery(int dst, const Message& msg);
+
   int num_machines_;
   NetProfile profile_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<LinkMetrics>> links_;
   std::atomic<bool> shutdown_{false};
-
-  std::atomic<uint64_t> bytes_sent_{0};
-  std::atomic<uint64_t> messages_sent_{0};
-  std::atomic<uint64_t> messages_dropped_{0};
-  std::atomic<uint64_t> messages_duplicated_{0};
 };
 
 }  // namespace tgpp

@@ -1,0 +1,141 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace tgpp::obs {
+
+namespace {
+
+// %g gives compact output but may print exponents; Prometheus accepts
+// both, and the tests only require `name{labels} value` shape.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string LabelSet(int machine, const char* extra_key = nullptr,
+                     const char* extra_value = nullptr) {
+  std::ostringstream os;
+  bool any = false;
+  os << "{";
+  if (machine >= 0) {
+    os << "machine=\"" << machine << "\"";
+    any = true;
+  }
+  if (extra_key != nullptr) {
+    if (any) os << ",";
+    os << extra_key << "=\"" << extra_value << "\"";
+    any = true;
+  }
+  os << "}";
+  return any ? os.str() : "";
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& dotted_name) {
+  std::string out = "tgpp_";
+  out.reserve(dotted_name.size() + out.size());
+  for (char c : dotted_name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const Registry& registry) {
+  std::ostringstream os;
+  std::string last_family;
+  registry.Visit([&](const InstrumentInfo& info) {
+    const std::string name = PrometheusName(info.name);
+    if (name != last_family) {
+      // Visit is ordered by (name, machine), so all samples of a family
+      // are contiguous and the TYPE comment is emitted exactly once.
+      const char* type = info.kind == Kind::kCounter  ? "counter"
+                         : info.kind == Kind::kGauge  ? "gauge"
+                                                      : "summary";
+      os << "# TYPE " << name << " " << type << "\n";
+      last_family = name;
+    }
+    switch (info.kind) {
+      case Kind::kCounter:
+        os << name << LabelSet(info.machine) << " " << info.counter->value()
+           << "\n";
+        break;
+      case Kind::kGauge:
+        os << name << LabelSet(info.machine) << " " << info.gauge->value()
+           << "\n";
+        break;
+      case Kind::kHistogram: {
+        const LatencyHistogram* h = info.histogram;
+        static constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+        static constexpr const char* kQuantileLabels[] = {"0.5", "0.95",
+                                                          "0.99"};
+        for (int i = 0; i < 3; ++i) {
+          os << name << LabelSet(info.machine, "quantile", kQuantileLabels[i])
+             << " " << h->Quantile(kQuantiles[i]) << "\n";
+        }
+        os << name << "_sum" << LabelSet(info.machine) << " " << h->sum()
+           << "\n";
+        os << name << "_count" << LabelSet(info.machine) << " " << h->count()
+           << "\n";
+        break;
+      }
+    }
+  });
+  return os.str();
+}
+
+Status WritePrometheusFile(const Registry& registry,
+                           const std::string& path) {
+  const std::string text = RenderPrometheus(registry);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics file: " + tmp);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != text.size() || !close_ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to metrics file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename metrics file into place: " + path);
+  }
+  return Status::OK();
+}
+
+std::string SuperstepRow::ToJson() const {
+  std::ostringstream os;
+  os << "{\"type\":\"superstep\",\"superstep\":" << superstep
+     << ",\"active_vertices\":" << active_vertices
+     << ",\"updates_generated\":" << updates_generated
+     << ",\"updates_sent\":" << updates_sent
+     << ",\"updates_spilled\":" << updates_spilled
+     << ",\"disk_bytes\":" << disk_bytes << ",\"net_bytes\":" << net_bytes
+     << ",\"buffer_hit_rate\":" << FormatDouble(buffer_hit_rate)
+     << ",\"superstep_seconds\":" << FormatDouble(superstep_seconds)
+     << ",\"elapsed_seconds\":" << FormatDouble(elapsed_seconds) << "}";
+  return os.str();
+}
+
+std::string SuperstepRow::ToProgressLine() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "superstep %3d | active %10llu | updates %10llu | "
+                "disk %10llu B | net %10llu B | hit %5.1f%% | %7.3fs",
+                superstep,
+                static_cast<unsigned long long>(active_vertices),
+                static_cast<unsigned long long>(updates_generated),
+                static_cast<unsigned long long>(disk_bytes),
+                static_cast<unsigned long long>(net_bytes),
+                buffer_hit_rate * 100.0, elapsed_seconds);
+  return buf;
+}
+
+}  // namespace tgpp::obs

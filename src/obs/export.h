@@ -1,0 +1,58 @@
+// Exporters over the metrics registry (obs/metrics.h):
+//  - Prometheus text exposition (`tgpp run --metrics-out=<file>`), written
+//    at exit and refreshed at every superstep barrier;
+//  - per-superstep rows, emitted by the engine through
+//    EngineOptions::superstep_observer, rendered either as JSONL time
+//    series (bench harness, TGPP_BENCH_JSON) or as one human-readable
+//    progress line (`tgpp run --progress`).
+// Format details and the metric name catalog are in docs/METRICS.md.
+
+#ifndef TGPP_OBS_EXPORT_H_
+#define TGPP_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace tgpp::obs {
+
+// "disk.read_bytes" -> "tgpp_disk_read_bytes" (dots and other
+// non-[a-zA-Z0-9_] characters become underscores).
+std::string PrometheusName(const std::string& dotted_name);
+
+// Renders every registered instrument in Prometheus text exposition
+// format: `# TYPE` comment per metric family, one `name{labels} value`
+// sample per line, `machine="<id>"` label (omitted for machine == -1),
+// histograms as summaries (quantile 0.5/0.95/0.99 + _sum/_count).
+std::string RenderPrometheus(const Registry& registry);
+
+// Atomically replaces `path` with RenderPrometheus(registry) (write to
+// `path.tmp`, then rename) so a concurrent reader never sees a torn file.
+Status WritePrometheusFile(const Registry& registry, const std::string& path);
+
+// One superstep's worth of engine activity. Counters are deltas for that
+// superstep; hit rate and elapsed time are cumulative since Run() started.
+struct SuperstepRow {
+  int superstep = 0;
+  uint64_t active_vertices = 0;   // global frontier entering this superstep
+  uint64_t updates_generated = 0;
+  uint64_t updates_sent = 0;
+  uint64_t updates_spilled = 0;
+  uint64_t disk_bytes = 0;        // read + written across all machines
+  uint64_t net_bytes = 0;         // fabric payload + header bytes
+  double buffer_hit_rate = 0.0;   // cumulative, in [0, 1]
+  double superstep_seconds = 0.0; // wall time of this superstep
+  double elapsed_seconds = 0.0;   // wall time since Run() started
+
+  // One JSONL object (no trailing newline), tagged "type":"superstep".
+  std::string ToJson() const;
+
+  // One aligned human-readable line for --progress mode.
+  std::string ToProgressLine() const;
+};
+
+}  // namespace tgpp::obs
+
+#endif  // TGPP_OBS_EXPORT_H_

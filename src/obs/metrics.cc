@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+
+namespace tgpp::obs {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  uint64_t snapshot[kNumBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  // Use the summed snapshot rather than count_: the two are updated with
+  // independent relaxed ops, and the quantile walk must be internally
+  // consistent with the bucket array it scans.
+  return histogram_internal::QuantileFromBuckets(snapshot, total, q);
+}
+
+Histogram LatencyHistogram::SnapshotHistogram() const {
+  Histogram out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    // Re-add a representative value per sample would be O(count); instead
+    // replay each bucket at its lower bound, which lands in the same
+    // bucket and preserves counts (sums/extrema are approximate).
+    for (uint64_t k = 0; k < n; ++k) {
+      out.Add(histogram_internal::BucketLowerBound(i));
+    }
+  }
+  return out;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Result<Registration> Registry::Register(const std::string& name, int machine,
+                                        Counter* counter) {
+  Entry e;
+  e.kind = Kind::kCounter;
+  e.counter = counter;
+  return RegisterEntry(name, machine, e);
+}
+
+Result<Registration> Registry::Register(const std::string& name, int machine,
+                                        Gauge* gauge) {
+  Entry e;
+  e.kind = Kind::kGauge;
+  e.gauge = gauge;
+  return RegisterEntry(name, machine, e);
+}
+
+Result<Registration> Registry::Register(const std::string& name, int machine,
+                                        LatencyHistogram* histogram) {
+  Entry e;
+  e.kind = Kind::kHistogram;
+  e.histogram = histogram;
+  return RegisterEntry(name, machine, e);
+}
+
+Result<Registration> Registry::RegisterEntry(const std::string& name,
+                                             int machine, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(name, machine);
+  if (entries_.count(key) > 0) {
+    return Status::AlreadyExists("metric already registered: " + name +
+                                 " machine=" + std::to_string(machine));
+  }
+  entry.id = next_id_++;
+  const uint64_t id = entry.id;
+  entries_.emplace(std::move(key), entry);
+  return Registration(this, name, machine, id);
+}
+
+void Registry::Unregister(const std::string& name, int machine, uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(std::make_pair(name, machine));
+  // The id check guards against A-unregisters-after-B-reregistered races:
+  // only the handle that actually owns the slot may clear it.
+  if (it != entries_.end() && it->second.id == id) entries_.erase(it);
+}
+
+void Registry::Visit(
+    const std::function<void(const InstrumentInfo&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    InstrumentInfo info{key.first, key.second, entry.kind, entry.counter,
+                        entry.gauge, entry.histogram};
+    fn(info);
+  }
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void Registration::Release() {
+  if (registry_ == nullptr) return;
+  registry_->Unregister(name_, machine_, id_);
+  registry_ = nullptr;
+}
+
+}  // namespace tgpp::obs

@@ -1,0 +1,282 @@
+// Unified metrics layer: typed instruments + a process-wide registry.
+//
+// The paper's whole evaluation (§5, Figures 9-12) is built on decomposed
+// resource measurement — per-phase CPU, disk/network bytes, and
+// bottleneck-machine views. This header is the one substrate behind all of
+// it: every subsystem (buffer pool, disk device, fabric, thread pools, the
+// NWSM engine) owns typed instruments, registers them here under a
+// canonical dotted name with a machine label, and the exporters in
+// obs/export.h turn the registry into Prometheus text exposition and
+// per-superstep JSONL (docs/METRICS.md has the full name catalog).
+//
+// Design constraints (instruments sit on the engine's hot paths):
+//  - Counter::Add / Gauge::Set / LatencyHistogram::Record cost exactly one
+//    relaxed atomic RMW each (the histogram adds two for count/sum);
+//    no locks, no allocation, no branches beyond the compile-out guard.
+//  - Instruments are owned by the subsystem that updates them (so
+//    object-scoped accessors like DiskDevice::bytes_read() stay exact even
+//    with several devices alive); the registry holds non-owning pointers
+//    and a Registration handle unregisters on destruction.
+//  - Registration of an already-taken (name, machine) key is rejected —
+//    two live objects cannot silently share an exported series.
+//  - Compile instrumentation out with -DTGPP_DISABLE_METRICS to measure
+//    its overhead (bench/bench_micro_substrates.cc); such a build reports
+//    zeros everywhere but runs the identical engine code.
+
+#ifndef TGPP_OBS_METRICS_H_
+#define TGPP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "util/histogram.h"
+#include "util/timer.h"
+
+namespace tgpp::obs {
+
+#ifdef TGPP_DISABLE_METRICS
+inline constexpr bool kMetricsCompiledOut = true;
+#else
+inline constexpr bool kMetricsCompiledOut = false;
+#endif
+
+// Monotonic nanosecond clock for latency instruments (steady, process-wide
+// comparable — the same clock the tracer uses).
+int64_t MonotonicNanos();
+
+// --- instruments -----------------------------------------------------------
+
+// Monotonically increasing count (bytes moved, cache hits, retries).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if constexpr (kMetricsCompiledOut) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time level (queue depth, resident pages, active vertices).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if constexpr (kMetricsCompiledOut) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if constexpr (kMetricsCompiledOut) return;
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Lock-free exponential-bucket histogram for latency distributions, the
+// concurrent sibling of util's Histogram (same power-of-two buckets, same
+// interpolated quantile math via histogram_internal). Writers never block;
+// readers see a near-consistent snapshot (count/sum/buckets are updated
+// with independent relaxed ops, so a mid-Record read can be off by one
+// sample — irrelevant for p50/p95/p99 reporting).
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = histogram_internal::kNumBuckets;
+
+  void Record(uint64_t value) {
+    if constexpr (kMetricsCompiledOut) return;
+    buckets_[histogram_internal::BucketFor(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    const uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+
+  // Interpolated quantile estimate (q in [0,1]) from the bucket counts;
+  // same estimator as Histogram::Quantile.
+  uint64_t Quantile(double q) const;
+
+  // Copies the bucket counts into a plain Histogram (for ToString, Merge
+  // with offline histograms, and tests).
+  Histogram SnapshotHistogram() const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Accumulates elapsed thread-CPU nanoseconds into a Counter for the
+// lifetime of the scope (the obs replacement for ScopedCpuAccumulator).
+class ScopedCpuCounter {
+ public:
+  explicit ScopedCpuCounter(Counter* sink)
+      : sink_(sink), start_(ThreadCpuTimeNanos()) {}
+  ~ScopedCpuCounter() {
+    sink_->Add(static_cast<uint64_t>(ThreadCpuTimeNanos() - start_));
+  }
+
+  ScopedCpuCounter(const ScopedCpuCounter&) = delete;
+  ScopedCpuCounter& operator=(const ScopedCpuCounter&) = delete;
+
+ private:
+  Counter* sink_;
+  int64_t start_;
+};
+
+// Records elapsed wall nanoseconds into a LatencyHistogram on scope exit.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(LatencyHistogram* sink)
+      : sink_(sink),
+        start_(kMetricsCompiledOut ? 0 : MonotonicNanos()) {}
+  ~ScopedLatencyTimer() {
+    if constexpr (kMetricsCompiledOut) return;
+    sink_->Record(static_cast<uint64_t>(MonotonicNanos() - start_));
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  LatencyHistogram* sink_;
+  int64_t start_;
+};
+
+// --- registry --------------------------------------------------------------
+
+enum class Kind { kCounter, kGauge, kHistogram };
+const char* KindName(Kind kind);
+
+// One registered instrument, as seen by Registry::Visit. Exactly one of
+// the three pointers is non-null, matching `kind`.
+struct InstrumentInfo {
+  const std::string& name;  // canonical dotted name, e.g. "disk.read_bytes"
+  int machine;              // simulated machine id; -1 = cluster/process
+  Kind kind;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const LatencyHistogram* histogram = nullptr;
+};
+
+class Registry;
+
+// Move-only handle: unregisters its instrument when destroyed. An invalid
+// handle (default-constructed, moved-from, or from a rejected Register)
+// does nothing.
+class Registration {
+ public:
+  Registration() = default;
+  ~Registration() { Release(); }
+
+  Registration(Registration&& other) noexcept { *this = std::move(other); }
+  Registration& operator=(Registration&& other) noexcept {
+    Release();
+    registry_ = other.registry_;
+    name_ = std::move(other.name_);
+    machine_ = other.machine_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    return *this;
+  }
+
+  Registration(const Registration&) = delete;
+  Registration& operator=(const Registration&) = delete;
+
+  bool valid() const { return registry_ != nullptr; }
+  void Release();
+
+ private:
+  friend class Registry;
+  Registration(Registry* registry, std::string name, int machine,
+               uint64_t id)
+      : registry_(registry),
+        name_(std::move(name)),
+        machine_(machine),
+        id_(id) {}
+
+  Registry* registry_ = nullptr;
+  std::string name_;
+  int machine_ = -1;
+  uint64_t id_ = 0;
+};
+
+// Process-wide instrument directory, keyed by (dotted name, machine).
+// Registration and visiting take a mutex; the instruments themselves are
+// updated without ever touching the registry, so nothing here is on a hot
+// path. Visit() reads values under the lock, so an instrument can never be
+// unregistered (and its owner destroyed) mid-export.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Result<Registration> Register(const std::string& name, int machine,
+                                Counter* counter);
+  Result<Registration> Register(const std::string& name, int machine,
+                                Gauge* gauge);
+  Result<Registration> Register(const std::string& name, int machine,
+                                LatencyHistogram* histogram);
+
+  // Calls fn once per registered instrument, ordered by (name, machine),
+  // holding the registry lock throughout.
+  void Visit(const std::function<void(const InstrumentInfo&)>& fn) const;
+
+  // Zeroes every registered counter/gauge/histogram.
+  void ResetAll();
+
+  size_t size() const;
+
+ private:
+  friend class Registration;
+
+  struct Entry {
+    Kind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    LatencyHistogram* histogram = nullptr;
+    uint64_t id = 0;
+  };
+
+  Result<Registration> RegisterEntry(const std::string& name, int machine,
+                                     Entry entry);
+  void Unregister(const std::string& name, int machine, uint64_t id);
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>, Entry> entries_;
+  uint64_t next_id_ = 1;
+};
+
+// Convenience for subsystems registering a batch of instruments: register
+// into `out`, silently skipping names already taken (a second concurrent
+// cluster simply isn't exported; the first owner keeps the series).
+template <typename Instrument>
+void TryRegister(Registry* registry, std::vector<Registration>* out,
+                 const std::string& name, int machine,
+                 Instrument* instrument) {
+  auto reg = registry->Register(name, machine, instrument);
+  if (reg.ok()) out->push_back(std::move(*reg));
+}
+
+}  // namespace tgpp::obs
+
+#endif  // TGPP_OBS_METRICS_H_

@@ -48,7 +48,7 @@ Result<PageHandle> BufferPool::Fetch(const PageFile* file, uint64_t page_no) {
     Frame& f = frames_[it->second];
     ++f.pin_count;
     f.ref = true;
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.Add(1);
     return PageHandle(this, it->second, f.data.get());
   }
 
@@ -74,13 +74,16 @@ Result<PageHandle> BufferPool::Fetch(const PageFile* file, uint64_t page_no) {
   Frame& f = frames_[victim];
   if (f.valid) {
     trace::Instant("bufferpool.evict", "storage", "page", f.key.page_no);
+    evictions_.Add(1);
+    resident_pages_.Add(-1);
     table_.erase(f.key);
     f.valid = false;
   }
   // Read under the pool latch: this serializes the device like a single
   // I/O queue, which is the behaviour we model on this host.
   TGPP_RETURN_IF_ERROR(file->ReadPage(page_no, f.data.get()));
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add(1);
+  resident_pages_.Add(1);
   f.key = key;
   f.pin_count = 1;
   f.ref = true;
@@ -116,13 +119,27 @@ void BufferPool::DropAll() {
       table_.erase(f.key);
       f.valid = false;
       f.ref = false;
+      resident_pages_.Add(-1);
     }
   }
 }
 
 void BufferPool::ResetCounters() {
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
+  hits_.Reset();
+  misses_.Reset();
+  evictions_.Reset();
+  // resident_pages_ is a level, not a count: it still reflects the frames
+  // actually cached, so resets leave it alone (DropAll adjusts it).
+}
+
+void BufferPool::RegisterMetrics(obs::Registry* registry, int machine,
+                                 std::vector<obs::Registration>* out) {
+  obs::TryRegister(registry, out, "bufferpool.hits", machine, &hits_);
+  obs::TryRegister(registry, out, "bufferpool.misses", machine, &misses_);
+  obs::TryRegister(registry, out, "bufferpool.evictions", machine,
+                   &evictions_);
+  obs::TryRegister(registry, out, "bufferpool.resident_pages", machine,
+                   &resident_pages_);
 }
 
 }  // namespace tgpp

@@ -17,10 +17,12 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page_file.h"
 
 namespace tgpp {
@@ -82,9 +84,22 @@ class BufferPool {
   void DropAll();
 
   size_t num_frames() const { return frames_.size(); }
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
+  int64_t resident_pages() const { return resident_pages_.value(); }
+  // Cumulative hit rate in [0, 1]; 0 before any Fetch.
+  double HitRate() const {
+    const uint64_t h = hits(), m = misses();
+    return h + m == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+  }
   void ResetCounters();
+
+  // Registers this pool's instruments under "bufferpool.*" for `machine`,
+  // appending the RAII handles to `out` (names already taken are skipped).
+  void RegisterMetrics(obs::Registry* registry, int machine,
+                       std::vector<obs::Registration>* out);
 
   // Memory footprint of the frame array.
   uint64_t size_bytes() const { return frames_.size() * kPageSize; }
@@ -132,8 +147,10 @@ class BufferPool {
   std::unordered_map<PageKey, uint32_t, PageKeyHash> table_;
   size_t clock_hand_ = 0;
 
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Gauge resident_pages_;
 };
 
 }  // namespace tgpp

@@ -21,12 +21,28 @@ namespace {
 std::string Errno(const std::string& op, const std::string& path) {
   return op + " " + path + ": " + std::strerror(errno);
 }
+
+// Tracks one in-flight operation: bumps the queue-depth gauge for the
+// duration and records wall latency (retries and injected delays
+// included) into the histogram on completion.
+class ScopedDiskOp {
+ public:
+  ScopedDiskOp(obs::Gauge* depth, obs::LatencyHistogram* latency)
+      : depth_(depth), timer_(latency) {
+    depth_->Add(1);
+  }
+  ~ScopedDiskOp() { depth_->Add(-1); }
+
+ private:
+  obs::Gauge* depth_;
+  obs::ScopedLatencyTimer timer_;
+};
 }  // namespace
 
 Status DiskDevice::CheckFault(const char* site, bool* transient) {
   auto injected = fault::Hit(site, fault_machine_);
   if (!injected.has_value()) return Status::OK();
-  injected_faults_.fetch_add(1, std::memory_order_relaxed);
+  injected_faults_.Add(1);
   switch (injected->action) {
     case fault::Action::kDelay:
       std::this_thread::sleep_for(
@@ -48,7 +64,7 @@ Status DiskDevice::RunWithRetry(Attempt&& attempt) {
   const int attempts = std::max(1, retry_policy_.max_attempts);
   for (int i = 0; i < attempts; ++i) {
     if (i > 0) {
-      io_retries_.fetch_add(1, std::memory_order_relaxed);
+      io_retries_.Add(1);
       std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
       backoff_us = static_cast<int64_t>(
           static_cast<double>(backoff_us) * retry_policy_.backoff_multiplier);
@@ -95,6 +111,7 @@ uint32_t DiskDevice::StableFileId(const std::string& file) {
 Status DiskDevice::Read(const std::string& file, uint64_t offset, void* data,
                         size_t n) {
   TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
+  ScopedDiskOp op(&queue_depth_, &read_latency_);
   return RunWithRetry([&](bool* transient) -> Status {
     TGPP_RETURN_IF_ERROR(CheckFault("disk.read", transient));
     size_t done = 0;
@@ -113,7 +130,7 @@ Status DiskDevice::Read(const std::string& file, uint64_t offset, void* data,
       }
       done += static_cast<size_t>(r);
     }
-    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+    bytes_read_.Add(n);
     return Status::OK();
   });
 }
@@ -121,6 +138,7 @@ Status DiskDevice::Read(const std::string& file, uint64_t offset, void* data,
 Status DiskDevice::Write(const std::string& file, uint64_t offset,
                          const void* data, size_t n) {
   TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
+  ScopedDiskOp op(&queue_depth_, &write_latency_);
   return RunWithRetry([&](bool* transient) -> Status {
     TGPP_RETURN_IF_ERROR(CheckFault("disk.write", transient));
     size_t done = 0;
@@ -135,7 +153,7 @@ Status DiskDevice::Write(const std::string& file, uint64_t offset,
       }
       done += static_cast<size_t>(r);
     }
-    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+    bytes_written_.Add(n);
     return Status::OK();
   });
 }
@@ -147,6 +165,7 @@ Status DiskDevice::Append(const std::string& file, const void* data, size_t n,
   // same offset (a re-probe after a partial write would append past the
   // torn bytes).
   TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
+  ScopedDiskOp op(&queue_depth_, &write_latency_);
   std::lock_guard<std::mutex> lock(mu_);
   struct stat st;
   if (::fstat(fd, &st) != 0) return Status::IOError(Errno("fstat", file));
@@ -165,7 +184,7 @@ Status DiskDevice::Append(const std::string& file, const void* data, size_t n,
       }
       done += static_cast<size_t>(r);
     }
-    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+    bytes_written_.Add(n);
     return Status::OK();
   }));
   if (offset_out != nullptr) *offset_out = offset;
@@ -223,8 +242,24 @@ Status DiskDevice::Sync(const std::string& file) {
 }
 
 void DiskDevice::ResetCounters() {
-  bytes_read_.store(0, std::memory_order_relaxed);
-  bytes_written_.store(0, std::memory_order_relaxed);
+  bytes_read_.Reset();
+  bytes_written_.Reset();
+}
+
+void DiskDevice::RegisterMetrics(obs::Registry* registry, int machine,
+                                 std::vector<obs::Registration>* out) {
+  obs::TryRegister(registry, out, "disk.read_bytes", machine, &bytes_read_);
+  obs::TryRegister(registry, out, "disk.write_bytes", machine,
+                   &bytes_written_);
+  obs::TryRegister(registry, out, "disk.retries", machine, &io_retries_);
+  obs::TryRegister(registry, out, "disk.injected_faults", machine,
+                   &injected_faults_);
+  obs::TryRegister(registry, out, "disk.read_latency_ns", machine,
+                   &read_latency_);
+  obs::TryRegister(registry, out, "disk.write_latency_ns", machine,
+                   &write_latency_);
+  obs::TryRegister(registry, out, "disk.queue_depth", machine,
+                   &queue_depth_);
 }
 
 }  // namespace tgpp

@@ -14,8 +14,10 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace tgpp {
 
@@ -66,13 +68,23 @@ class DiskDevice {
   bool Exists(const std::string& file);
   Status Sync(const std::string& file);
 
-  uint64_t bytes_read() const {
-    return bytes_read_.load(std::memory_order_relaxed);
-  }
-  uint64_t bytes_written() const {
-    return bytes_written_.load(std::memory_order_relaxed);
-  }
+  uint64_t bytes_read() const { return bytes_read_.value(); }
+  uint64_t bytes_written() const { return bytes_written_.value(); }
   void ResetCounters();
+
+  // Wall-clock latency distributions of whole operations (including
+  // retries and injected delays), in nanoseconds.
+  const obs::LatencyHistogram& read_latency() const { return read_latency_; }
+  const obs::LatencyHistogram& write_latency() const {
+    return write_latency_;
+  }
+  // Operations currently in flight on this device.
+  int64_t queue_depth() const { return queue_depth_.value(); }
+
+  // Registers this device's instruments under "disk.*" for `machine`,
+  // appending the RAII handles to `out` (names already taken are skipped).
+  void RegisterMetrics(obs::Registry* registry, int machine,
+                       std::vector<obs::Registration>* out);
 
   // The simulated machine this device belongs to, for machine-scoped
   // fault rules (common/fault_injector.h). -1 = unattributed.
@@ -87,12 +99,8 @@ class DiskDevice {
   // Observability for the chaos tests and bench output: transient
   // failures the device absorbed (retries that happened) and injected
   // faults it saw at its sites.
-  uint64_t io_retries() const {
-    return io_retries_.load(std::memory_order_relaxed);
-  }
-  uint64_t injected_faults() const {
-    return injected_faults_.load(std::memory_order_relaxed);
-  }
+  uint64_t io_retries() const { return io_retries_.value(); }
+  uint64_t injected_faults() const { return injected_faults_.value(); }
 
   // bytes / nominal bandwidth — the paper's disk I/O time model.
   double ModeledIoSeconds() const {
@@ -124,10 +132,13 @@ class DiskDevice {
   std::map<std::string, int> fds_;
   std::map<std::string, uint32_t> file_ids_;
 
-  std::atomic<uint64_t> bytes_read_{0};
-  std::atomic<uint64_t> bytes_written_{0};
-  std::atomic<uint64_t> io_retries_{0};
-  std::atomic<uint64_t> injected_faults_{0};
+  obs::Counter bytes_read_;
+  obs::Counter bytes_written_;
+  obs::Counter io_retries_;
+  obs::Counter injected_faults_;
+  obs::LatencyHistogram read_latency_;
+  obs::LatencyHistogram write_latency_;
+  obs::Gauge queue_depth_;
 };
 
 }  // namespace tgpp

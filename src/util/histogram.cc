@@ -1,10 +1,38 @@
 #include "util/histogram.h"
 
 #include <algorithm>
-#include <bit>
 #include <sstream>
 
 namespace tgpp {
+
+namespace histogram_internal {
+
+uint64_t QuantileFromBuckets(const uint64_t* buckets, uint64_t count,
+                             double q) {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample, 1-based (q=0 -> first, q=1 -> last).
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.5));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= target) {
+      const uint64_t lo = BucketLowerBound(i);
+      const uint64_t hi = BucketUpperBound(i);
+      // Position of the target sample within this bucket, in (0, 1].
+      const double frac =
+          static_cast<double>(target - seen) / static_cast<double>(buckets[i]);
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += buckets[i];
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+}  // namespace histogram_internal
+
+namespace hi = histogram_internal;
 
 Histogram::Histogram() : buckets_(kNumBuckets, 0) { Reset(); }
 
@@ -16,15 +44,8 @@ void Histogram::Reset() {
   max_ = 0;
 }
 
-namespace {
-int BucketFor(uint64_t value) {
-  if (value == 0) return 0;
-  return 64 - std::countl_zero(value);
-}
-}  // namespace
-
 void Histogram::Add(uint64_t value) {
-  ++buckets_[BucketFor(value)];
+  ++buckets_[hi::BucketFor(value)];
   ++count_;
   sum_ += value;
   min_ = std::min(min_, value);
@@ -43,6 +64,12 @@ double Histogram::Mean() const {
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
 }
 
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t est = hi::QuantileFromBuckets(buckets_.data(), count_, q);
+  // Exact extrema are tracked; clamp the interpolation to them.
+  return std::clamp(est, min(), max_);
+}
+
 uint64_t Histogram::ApproxQuantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
@@ -52,7 +79,7 @@ uint64_t Histogram::ApproxQuantile(double q) const {
     seen += buckets_[i];
     if (seen > target) {
       // Upper bound of bucket i.
-      return i == 0 ? 0 : (1ull << i) - 1;
+      return hi::BucketUpperBound(i);
     }
   }
   return max_;
@@ -64,9 +91,8 @@ std::string Histogram::ToString() const {
      << " max=" << max_ << "\n";
   for (int i = 0; i < kNumBuckets; ++i) {
     if (buckets_[i] == 0) continue;
-    const uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
-    const uint64_t hi = i == 0 ? 0 : (1ull << i) - 1;
-    os << "  [" << lo << ", " << hi << "]: " << buckets_[i] << "\n";
+    os << "  [" << hi::BucketLowerBound(i) << ", " << hi::BucketUpperBound(i)
+       << "]: " << buckets_[i] << "\n";
   }
   return os.str();
 }

@@ -1,14 +1,47 @@
 // Simple power-of-two bucketed histogram for distribution statistics
 // (degree distributions, message sizes, window fill levels).
+//
+// The bucket layout and quantile math live in histogram_internal so that
+// obs::LatencyHistogram (the lock-free atomic sibling in obs/metrics.h)
+// shares them bit-for-bit: a merged offline Histogram and a live latency
+// histogram report identical quantiles for identical samples.
 
 #ifndef TGPP_UTIL_HISTOGRAM_H_
 #define TGPP_UTIL_HISTOGRAM_H_
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace tgpp {
+
+namespace histogram_internal {
+
+// Bucket i holds values in [2^(i-1), 2^i); bucket 0 holds only 0.
+inline constexpr int kNumBuckets = 65;
+
+inline int BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - std::countl_zero(value);
+}
+
+inline uint64_t BucketLowerBound(int i) {
+  return i == 0 ? 0 : (1ull << (i - 1));
+}
+
+inline uint64_t BucketUpperBound(int i) {
+  return i == 0 ? 0 : (1ull << i) - 1;
+}
+
+// Interpolated quantile estimate from bucket counts: walks to the bucket
+// containing the q-th sample, then interpolates linearly between the
+// bucket's bounds by the sample's rank within it. `buckets` must have
+// kNumBuckets entries summing to `count`.
+uint64_t QuantileFromBuckets(const uint64_t* buckets, uint64_t count,
+                             double q);
+
+}  // namespace histogram_internal
 
 class Histogram {
  public:
@@ -24,14 +57,20 @@ class Histogram {
   uint64_t max() const { return max_; }
   double Mean() const;
 
-  // Approximate quantile (q in [0,1]) from bucket boundaries.
+  // Quantile estimate (q in [0,1]) interpolated within the containing
+  // bucket — error bounded by the bucket width (a factor of 2), typically
+  // much less for smooth distributions.
+  uint64_t Quantile(double q) const;
+
+  // Coarser estimate: upper bound of the bucket containing the q-th
+  // sample. Kept for call sites that want a conservative ceiling.
   uint64_t ApproxQuantile(double q) const;
 
   // Multi-line human-readable rendering of non-empty buckets.
   std::string ToString() const;
 
  private:
-  static constexpr int kNumBuckets = 65;  // bucket i holds values in [2^(i-1), 2^i)
+  static constexpr int kNumBuckets = histogram_internal::kNumBuckets;
   std::vector<uint64_t> buckets_;
   uint64_t count_;
   uint64_t sum_;

@@ -35,10 +35,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const int64_t now =
+      obs::kMetricsCompiledOut ? 0 : obs::MonotonicNanos();
   {
     std::lock_guard<std::mutex> lock(mu_);
     TGPP_CHECK(!shutdown_) << "submit after shutdown on pool " << name_;
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), now});
     ++pending_;
   }
   work_cv_.notify_one();
@@ -54,11 +56,20 @@ double ThreadPool::TotalTaskCpuSeconds() const {
          1e-9;
 }
 
+void ThreadPool::RegisterMetrics(obs::Registry* registry,
+                                 const std::string& prefix, int machine,
+                                 std::vector<obs::Registration>* out) {
+  obs::TryRegister(registry, out, prefix + ".queue_wait_ns", machine,
+                   &queue_wait_);
+  obs::TryRegister(registry, out, prefix + ".task_latency_ns", machine,
+                   &task_latency_);
+}
+
 void ThreadPool::WorkerLoop(int worker_id) {
   trace::SetCurrentMachine(trace_machine_);
   trace::SetCurrentThreadName(name_ + "/" + std::to_string(worker_id));
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -69,10 +80,19 @@ void ThreadPool::WorkerLoop(int worker_id) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    int64_t wall0 = 0;
+    if constexpr (!obs::kMetricsCompiledOut) {
+      wall0 = obs::MonotonicNanos();
+      queue_wait_.Record(static_cast<uint64_t>(wall0 - task.enqueue_nanos));
+    }
     const int64_t t0 = ThreadCpuNanos();
-    task();
+    task.fn();
     task_cpu_nanos_.fetch_add(ThreadCpuNanos() - t0,
                               std::memory_order_relaxed);
+    if constexpr (!obs::kMetricsCompiledOut) {
+      task_latency_.Record(
+          static_cast<uint64_t>(obs::MonotonicNanos() - wall0));
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_all();

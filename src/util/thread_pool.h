@@ -13,10 +13,13 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace tgpp {
 
@@ -43,8 +46,24 @@ class ThreadPool {
   // (CLOCK_THREAD_CPUTIME_ID, as the paper measures CPU time).
   double TotalTaskCpuSeconds() const;
 
+  // Wall-clock time tasks spent queued before a worker picked them up,
+  // and wall-clock task execution time, in nanoseconds.
+  const obs::LatencyHistogram& queue_wait() const { return queue_wait_; }
+  const obs::LatencyHistogram& task_latency() const { return task_latency_; }
+
+  // Registers this pool's instruments as "<prefix>.queue_wait_ns" and
+  // "<prefix>.task_latency_ns" for `machine` (e.g. prefix "threadpool" for
+  // worker pools, "iopool" for the async-I/O pool).
+  void RegisterMetrics(obs::Registry* registry, const std::string& prefix,
+                       int machine, std::vector<obs::Registration>* out);
+
  private:
   void WorkerLoop(int worker_id);
+
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_nanos;
+  };
 
   std::string name_;
   int trace_machine_;
@@ -53,11 +72,13 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   int64_t pending_ = 0;  // queued + running tasks
   bool shutdown_ = false;
 
   std::atomic<int64_t> task_cpu_nanos_{0};
+  obs::LatencyHistogram queue_wait_;
+  obs::LatencyHistogram task_latency_;
 };
 
 // Runs fn(i) for i in [begin, end) across the pool, blocking until done.

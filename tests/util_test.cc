@@ -229,6 +229,63 @@ TEST(Histogram, QuantilesAreMonotonic) {
   for (int i = 0; i < 10000; ++i) h.Add(rng.NextBounded(1000000));
   EXPECT_LE(h.ApproxQuantile(0.1), h.ApproxQuantile(0.5));
   EXPECT_LE(h.ApproxQuantile(0.5), h.ApproxQuantile(0.99));
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.99));
+}
+
+TEST(Histogram, QuantileOfConstantDistributionIsExact) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(42);
+  // Every value is 42, so every quantile clamps to [min, max] = [42, 42].
+  for (double q : {0.01, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileOnKnownBimodalDistribution) {
+  // 90 small values and 10 large ones: the median must land in the small
+  // mode's bucket ([1, 2)) and p95 in the large mode's ([2^20, 2^21),
+  // clamped to the observed max).
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Add(1);
+  for (int i = 0; i < 10; ++i) h.Add(1u << 20);
+  EXPECT_GE(h.Quantile(0.5), 1.0);
+  EXPECT_LT(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), static_cast<double>(1u << 20));
+}
+
+TEST(Histogram, QuantileUniformWithinBucketAccuracy) {
+  // Uniform over [0, 1000): exponential buckets + linear interpolation
+  // within a bucket keep the estimate within one bucket's width (a factor
+  // of 2) of the true quantile.
+  Histogram h;
+  for (uint64_t v = 0; v < 1000; ++v) h.Add(v);
+  for (double q : {0.25, 0.5, 0.9}) {
+    const double truth = q * 1000;
+    EXPECT_GE(h.Quantile(q), truth / 2) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), truth * 2) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergedQuantilesMatchCombinedHistogram) {
+  // Merging must produce bucket-identical state to feeding one histogram
+  // all the values, so the quantiles agree exactly.
+  Histogram lo, hi, all;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t small = rng.NextBounded(100);
+    const uint64_t large = 10000 + rng.NextBounded(100000);
+    lo.Add(small);
+    hi.Add(large);
+    all.Add(small);
+    all.Add(large);
+  }
+  lo.Merge(hi);
+  EXPECT_EQ(lo.count(), all.count());
+  EXPECT_EQ(lo.sum(), all.sum());
+  for (double q : {0.1, 0.5, 0.75, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(lo.Quantile(q), all.Quantile(q)) << "q=" << q;
+  }
 }
 
 // --- RNG ---

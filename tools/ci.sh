@@ -16,16 +16,18 @@ ctest --test-dir "$root/$build" --output-on-failure
 "$root/tools/check_docs.sh" "$root"
 
 if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
-  # The fault-injection, chaos, fabric, and storage tests exercise the
-  # code most likely to hide lifetime/race bugs (retry loops, receive
-  # deadlines, rollback/replay): build just those under ASan+UBSan.
+  # The fault-injection, chaos, fabric, storage, and metrics tests
+  # exercise the code most likely to hide lifetime/race bugs (retry
+  # loops, receive deadlines, rollback/replay, lock-free instruments and
+  # registration races): build just those under ASan+UBSan.
   asan="$build-asan"
   cmake -B "$root/$asan" -S "$root" \
         -DCMAKE_BUILD_TYPE=Debug -DTGPP_SANITIZE=ON
   cmake --build "$root/$asan" -j"$(nproc)" \
         --target fault_injector_test chaos_recovery_test \
-                 fabric_cluster_test storage_test status_logging_test
+                 fabric_cluster_test storage_test status_logging_test \
+                 metrics_registry_test
   ctest --test-dir "$root/$asan" --output-on-failure \
-        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|SlottedPage|PageFile|Cluster|Logging'
+        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos'
 fi
 echo "ci: OK"

@@ -8,6 +8,7 @@
 //                  [--machines=4] [--budget-mb=32] [--iterations=10]
 //                  [--source=0] [--workdir=/tmp/tgpp_cli]
 //                  [--trace-out=trace.json]
+//                  [--metrics-out=metrics.prom] [--progress]
 //                  [--faults=SPEC] [--fault-seed=42]
 //                  [--checkpoint-every=N] [--deterministic]
 //
@@ -15,6 +16,13 @@
 // async I/O, fabric traffic, barriers — one track per simulated machine)
 // and writes Chrome-trace JSON loadable in chrome://tracing or Perfetto.
 // See docs/TRACING.md.
+//
+// --metrics-out writes the full metrics registry in Prometheus text
+// exposition format, refreshed at every superstep barrier and once more
+// when the run finishes (atomic tmp+rename, so a scraper tailing the file
+// never sees a partial write). --progress prints one line per superstep
+// (active frontier, updates, disk/net bytes, buffer-pool hit rate,
+// elapsed time). Metric name catalog: docs/METRICS.md.
 //
 // --faults arms deterministic fault injection for the run, e.g.
 //   --faults="disk.read:io_error@p=0.001;machine2:crash@superstep=3"
@@ -42,6 +50,8 @@
 #include "core/system.h"
 #include "graph/degree.h"
 #include "graph/rmat.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/trace.h"
 
 namespace tgpp::cli {
@@ -186,6 +196,22 @@ int CmdRun(int argc, char** argv) {
       static_cast<int>(FlagInt(argc, argv, "checkpoint-every", 0));
   options.deterministic = FlagBool(argc, argv, "deterministic");
 
+  const std::string metrics_out = FlagStr(argc, argv, "metrics-out", "");
+  const bool progress = FlagBool(argc, argv, "progress");
+  if (!metrics_out.empty() || progress) {
+    options.superstep_observer = [&](const obs::SuperstepRow& row) {
+      if (progress) {
+        std::printf("%s\n", row.ToProgressLine().c_str());
+        std::fflush(stdout);
+      }
+      if (!metrics_out.empty()) {
+        // Refresh at every superstep barrier so a scraper sees live values;
+        // a failed write is not worth aborting the query over.
+        (void)obs::WritePrometheusFile(obs::Registry::Global(), metrics_out);
+      }
+    };
+  }
+
   TurboGraphSystem system(MakeClusterConfig(argc, argv));
   Status s = system.LoadGraph(std::move(*graph));
   if (!s.ok()) return Fail(s);
@@ -269,6 +295,11 @@ int CmdRun(int argc, char** argv) {
                 static_cast<unsigned long long>(fault::InjectedCount()),
                 stats->checkpoints, stats->recoveries);
     fault::Disarm();
+  }
+  if (!metrics_out.empty()) {
+    Status ms = obs::WritePrometheusFile(obs::Registry::Global(), metrics_out);
+    if (!ms.ok()) return Fail(ms);
+    std::printf("metrics: %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty()) {
     Status s = trace::WriteChromeTrace(trace_out);
