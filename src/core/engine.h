@@ -708,10 +708,14 @@ class NwsmEngine {
     ctx.mark_fn_ = [](VertexId) {};  // partial mode is single level
 
     // Asynchronous read-ahead: page t+1 is in flight while page t is
-    // scanned (the disk/CPU overlap of 3-LPO). Tickets are kept and
-    // drained before returning: in-flight callbacks capture the local
-    // mu/cv/ready below, so an early error return without the drain would
-    // be a use-after-scope.
+    // scanned (the disk/CPU overlap of 3-LPO). Reads are submitted as
+    // prefetches, so they land in shared buffer-pool frames pinned on
+    // arrival — concurrent misses on distinct pages overlap inside the
+    // pool, and pages surviving into the next superstep count as
+    // bufferpool.prefetch_hits. Tickets are kept and drained before
+    // returning: in-flight callbacks capture the local mu/cv/ready below,
+    // so an early error return without the drain would be a
+    // use-after-scope.
     const uint64_t first = chunk.first_page;
     const uint64_t count = chunk.num_pages;
     std::mutex mu;
@@ -727,7 +731,8 @@ class NwsmEngine {
             std::lock_guard<std::mutex> lock(mu);
             ready.emplace_back(no, std::move(handle));
             cv.notify_all();
-          }));
+          },
+          /*prefetch=*/true));
     };
 
     const uint64_t read_ahead =

@@ -92,6 +92,17 @@ void Fabric::Send(int src, int dst, uint32_t tag,
   box.cv.notify_all();
 }
 
+void Fabric::DeliverLocked(int dst, std::deque<Message>& q, Message* out) {
+  *out = std::move(q.front());
+  q.pop_front();
+  if (out->src != dst) {
+    ObserveDelivery(dst, *out);
+    trace::Instant("fabric.recv", "net", "bytes",
+                   out->payload.size() + kHeaderBytes, "src",
+                   static_cast<uint64_t>(out->src));
+  }
+}
+
 bool Fabric::Recv(int dst, uint32_t tag, Message* out) {
   Mailbox& box = *mailboxes_[dst];
   std::unique_lock<std::mutex> lock(box.mu);
@@ -101,17 +112,10 @@ bool Fabric::Recv(int dst, uint32_t tag, Message* out) {
   for (;;) {
     std::deque<Message>& q = QueueFor(box, tag);
     if (!q.empty()) {
-      *out = std::move(q.front());
-      q.pop_front();
       if (wait_start >= 0) {
         trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
       }
-      if (out->src != dst) {
-        ObserveDelivery(dst, *out);
-        trace::Instant("fabric.recv", "net", "bytes",
-                       out->payload.size() + kHeaderBytes, "src",
-                       static_cast<uint64_t>(out->src));
-      }
+      DeliverLocked(dst, q, out);
       return true;
     }
     if (shutdown_.load(std::memory_order_acquire)) return false;
@@ -135,17 +139,10 @@ Status Fabric::RecvFor(int dst, uint32_t tag, Message* out,
   for (;;) {
     std::deque<Message>& q = QueueFor(box, tag);
     if (!q.empty()) {
-      *out = std::move(q.front());
-      q.pop_front();
       if (wait_start >= 0) {
         trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
       }
-      if (out->src != dst) {
-        ObserveDelivery(dst, *out);
-        trace::Instant("fabric.recv", "net", "bytes",
-                       out->payload.size() + kHeaderBytes, "src",
-                       static_cast<uint64_t>(out->src));
-      }
+      DeliverLocked(dst, q, out);
       return Status::OK();
     }
     if (shutdown_.load(std::memory_order_acquire)) {
@@ -167,9 +164,7 @@ bool Fabric::TryRecv(int dst, uint32_t tag, Message* out) {
   std::lock_guard<std::mutex> lock(box.mu);
   std::deque<Message>& q = QueueFor(box, tag);
   if (q.empty()) return false;
-  *out = std::move(q.front());
-  q.pop_front();
-  if (out->src != dst) ObserveDelivery(dst, *out);
+  DeliverLocked(dst, q, out);
   return true;
 }
 

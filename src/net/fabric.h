@@ -129,6 +129,12 @@ class Fabric {
 
   std::deque<Message>& QueueFor(Mailbox& box, uint32_t tag);
 
+  // Pops the front of `q` into *out, recording delivery latency and the
+  // `fabric.recv` trace instant for remote messages. The single delivery
+  // path shared by Recv / RecvFor / TryRecv (so drained-without-blocking
+  // messages show up in traces too). Caller holds the mailbox mutex.
+  void DeliverLocked(int dst, std::deque<Message>& q, Message* out);
+
   // Records delivery latency of a just-dequeued message at machine `dst`.
   void ObserveDelivery(int dst, const Message& msg);
 

@@ -13,7 +13,8 @@ Status AsyncIoService::Ticket::Wait() {
 
 AsyncIoService::Ticket AsyncIoService::SubmitReads(
     BufferPool* buffer_pool, const PageFile* file,
-    std::vector<uint64_t> pages, std::function<void(uint64_t, PageHandle)> cb) {
+    std::vector<uint64_t> pages, std::function<void(uint64_t, PageHandle)> cb,
+    bool prefetch) {
   Ticket ticket;
   ticket.state_ = std::make_shared<Ticket::State>();
   ticket.state_->remaining = pages.size();
@@ -24,10 +25,12 @@ AsyncIoService::Ticket AsyncIoService::SubmitReads(
       std::make_shared<std::function<void(uint64_t, PageHandle)>>(
           std::move(cb));
   for (uint64_t page_no : pages) {
-    pool_.Submit([buffer_pool, file, page_no, state, shared_cb] {
+    pool_.Submit([buffer_pool, file, page_no, state, shared_cb, prefetch] {
       trace::TraceSpan span("io.read_page", "io");
       span.AddArg("page", page_no);
-      Result<PageHandle> handle = buffer_pool->Fetch(file, page_no);
+      Result<PageHandle> handle = prefetch
+                                      ? buffer_pool->Prefetch(file, page_no)
+                                      : buffer_pool->Fetch(file, page_no);
       // Deliver even on failure (invalid handle): the consumer may be
       // counting completions, and a skipped callback would strand it.
       (*shared_cb)(page_no,

@@ -59,9 +59,15 @@ class AsyncIoService {
   // submitted page — on a failed read it receives an invalid handle
   // (`!handle.valid()`; the error is reported by Ticket::Wait) — so
   // consumers counting completions never wait forever on a failure.
+  //
+  // All reads land in shared pool frames, pinned on arrival. `prefetch`
+  // marks them as read-ahead (BufferPool::Prefetch): they show up in
+  // ResidentSubset immediately and their first reuse counts toward
+  // `bufferpool.prefetch_hits`.
   Ticket SubmitReads(BufferPool* buffer_pool, const PageFile* file,
                      std::vector<uint64_t> pages,
-                     std::function<void(uint64_t, PageHandle)> cb);
+                     std::function<void(uint64_t, PageHandle)> cb,
+                     bool prefetch = false);
 
   ThreadPool* pool() { return &pool_; }
 

@@ -1,6 +1,6 @@
 #include "storage/buffer_pool.h"
 
-#include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 #include "util/trace.h"
@@ -15,112 +15,232 @@ void PageHandle::Release() {
   data_ = nullptr;
 }
 
-BufferPool::BufferPool(size_t num_frames) {
+BufferPool::BufferPool(size_t num_frames) : num_frames_(num_frames) {
   TGPP_CHECK(num_frames > 0);
-  frames_.resize(num_frames);
-  for (auto& f : frames_) {
-    f.data = std::make_unique<uint8_t[]>(kPageSize);
+  frames_ = std::make_unique<Frame[]>(num_frames);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
   }
 }
 
-int BufferPool::FindVictimLocked() {
+bool BufferPool::TryPinShared(Frame* f) {
+  int32_t pc = f->pin_count.load(std::memory_order_relaxed);
+  while (pc >= 0) {
+    if (f->pin_count.compare_exchange_weak(pc, pc + 1,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int BufferPool::TryClaimVictim() {
+  std::lock_guard<std::mutex> lock(clock_mu_);
   // Two full sweeps: the first clears ref bits, the second must find a
-  // frame unless everything is pinned.
-  for (size_t step = 0; step < frames_.size() * 2; ++step) {
+  // frame unless everything is pinned, claimed, or in flight.
+  for (size_t step = 0; step < num_frames_ * 2; ++step) {
     Frame& f = frames_[clock_hand_];
     const size_t idx = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % frames_.size();
-    if (f.pin_count > 0) continue;
-    if (f.ref) {
-      f.ref = false;
-      continue;
+    clock_hand_ = (clock_hand_ + 1) % num_frames_;
+    if (f.pin_count.load(std::memory_order_relaxed) != 0) continue;
+    if (f.ref.exchange(false, std::memory_order_relaxed)) continue;
+    int32_t expected = 0;
+    if (f.pin_count.compare_exchange_strong(expected, -1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+      return static_cast<int>(idx);
     }
-    return static_cast<int>(idx);
   }
   return -1;
 }
 
-Result<PageHandle> BufferPool::Fetch(const PageFile* file, uint64_t page_no) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const PageKey key{file->device(), file->file_id(), page_no};
-  auto it = table_.find(key);
-  if (it != table_.end()) {
-    Frame& f = frames_[it->second];
-    ++f.pin_count;
-    f.ref = true;
-    hits_.Add(1);
-    return PageHandle(this, it->second, f.data.get());
+void BufferPool::ReleaseFrame(Frame* f) {
+  f->state.store(kFree, std::memory_order_relaxed);
+  f->prefetched = false;
+  f->pin_count.store(0, std::memory_order_release);
+  if (stall_waiters_.load(std::memory_order_relaxed) > 0) {
+    unpin_cv_.notify_all();
   }
+}
 
-  // Miss: claim a victim frame (waiting for an unpin if necessary).
-  int victim = FindVictimLocked();
-  if (victim < 0) {
-    // All frames pinned: this stall is exactly the window-budget pressure
-    // the memory model is meant to avoid, so make it visible in traces.
-    const int64_t stall_start = trace::NowNanos();
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(30);
-    while (victim < 0) {
-      if (unpin_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+Result<PageHandle> BufferPool::Fetch(const PageFile* file, uint64_t page_no) {
+  return FetchImpl(file, page_no, /*prefetch=*/false);
+}
+
+Result<PageHandle> BufferPool::Prefetch(const PageFile* file,
+                                        uint64_t page_no) {
+  return FetchImpl(file, page_no, /*prefetch=*/true);
+}
+
+Result<PageHandle> BufferPool::FetchImpl(const PageFile* file,
+                                         uint64_t page_no, bool prefetch) {
+  const PageKey key{file->device(), file->file_id(), page_no};
+  Shard& shard = ShardFor(key);
+  // Stall bookkeeping for the all-frames-pinned path (set lazily; this is
+  // exactly the window-budget pressure the memory model is meant to
+  // avoid, so it is surfaced in traces as bufferpool.pin_stall).
+  int64_t stall_start = -1;
+  std::chrono::steady_clock::time_point deadline{};
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      auto it = shard.table.find(key);
+      // Another fetcher is reading this page right now: wait on the frame
+      // state instead of issuing a duplicate read. Completion (and
+      // failure, which erases the entry) notifies under the shard latch,
+      // so the table MUST be re-probed after every wake.
+      while (it != shard.table.end() &&
+             frames_[it->second].state.load(std::memory_order_relaxed) ==
+                 kIoInProgress) {
+        shard.io_cv.wait(lock);
+        it = shard.table.find(key);
+      }
+      if (it != shard.table.end()) {
+        Frame& f = frames_[it->second];
+        if (TryPinShared(&f)) {
+          f.ref.store(true, std::memory_order_relaxed);
+          hits_.Add(1);
+          if (f.prefetched) {
+            f.prefetched = false;
+            prefetch_hits_.Add(1);
+          }
+          if (stall_start >= 0) {
+            trace::Complete("bufferpool.pin_stall", "storage", stall_start,
+                            "page", page_no);
+          }
+          return PageHandle(this, it->second, f.data.get());
+        }
+        // The frame is claimed for eviction; its table entry is about to
+        // disappear. Let the evictor finish, then retry from scratch.
+        lock.unlock();
+        std::this_thread::yield();
+        continue;
+      }
+    }
+
+    // Miss: claim a victim frame with no latch held.
+    const int victim = TryClaimVictim();
+    if (victim < 0) {
+      // All frames pinned or in flight. Wait in short slices and loop
+      // back to the table probe: the page may be brought in by another
+      // fetcher while we stall, in which case we must join that frame
+      // rather than read a duplicate.
+      if (stall_start < 0) {
+        stall_start = trace::NowNanos();
+        deadline = std::chrono::steady_clock::now() + stall_timeout_;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
         return Status::Timeout(
             "buffer pool exhausted: all frames pinned (pool of " +
-            std::to_string(frames_.size()) + " frames)");
+            std::to_string(num_frames_) + " frames)");
       }
-      victim = FindVictimLocked();
+      std::unique_lock<std::mutex> lock(stall_mu_);
+      stall_waiters_.fetch_add(1, std::memory_order_relaxed);
+      unpin_cv_.wait_for(lock, std::chrono::milliseconds(10));
+      stall_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
     }
-    trace::Complete("bufferpool.pin_stall", "storage", stall_start, "page",
-                    page_no);
+    if (stall_start >= 0) {
+      trace::Complete("bufferpool.pin_stall", "storage", stall_start, "page",
+                      page_no);
+      stall_start = -1;
+    }
+
+    // We own the frame exclusively (pin_count == -1). Evict its old
+    // contents, then publish the new key as in-flight.
+    Frame& f = frames_[victim];
+    if (f.state.load(std::memory_order_relaxed) == kValid) {
+      Shard& old_shard = ShardFor(f.key);
+      std::lock_guard<std::mutex> old_lock(old_shard.mu);
+      trace::Instant("bufferpool.evict", "storage", "page", f.key.page_no);
+      evictions_.Add(1);
+      resident_pages_.Add(-1);
+      old_shard.table.erase(f.key);
+      f.state.store(kFree, std::memory_order_relaxed);
+    }
+    f.key = key;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.table.count(key) > 0) {
+        // Another fetcher published this page while we claimed the
+        // victim: return the frame and join them through the fast path.
+        ReleaseFrame(&f);
+        continue;
+      }
+      const bool inserted =
+          shard.table.emplace(key, static_cast<uint32_t>(victim)).second;
+      TGPP_CHECK(inserted);  // a silent no-op here would orphan the frame
+      f.state.store(kIoInProgress, std::memory_order_relaxed);
+      io_in_flight_.Add(1);
+    }
+
+    // The read happens with NO latch held — this is the whole point:
+    // misses on distinct pages overlap with each other and with hit-path
+    // fetches, instead of serializing behind one pool mutex.
+    const Status read = file->ReadPage(page_no, f.data.get());
+
+    std::lock_guard<std::mutex> lock(shard.mu);
+    io_in_flight_.Add(-1);
+    if (!read.ok()) {
+      shard.table.erase(key);
+      ReleaseFrame(&f);
+      shard.io_cv.notify_all();  // waiters re-probe, miss, and retry
+      return read;
+    }
+    misses_.Add(1);
+    resident_pages_.Add(1);
+    f.prefetched = prefetch;
+    f.ref.store(true, std::memory_order_relaxed);
+    f.state.store(kValid, std::memory_order_relaxed);
+    // The publishing store: waiters and later hitters pin via acquire CAS
+    // on pin_count, which pairs with this release (and with the release
+    // fetch_sub in Unpin) to make the page bytes visible.
+    f.pin_count.store(1, std::memory_order_release);
+    shard.io_cv.notify_all();
+    return PageHandle(this, static_cast<uint32_t>(victim), f.data.get());
   }
-  Frame& f = frames_[victim];
-  if (f.valid) {
-    trace::Instant("bufferpool.evict", "storage", "page", f.key.page_no);
-    evictions_.Add(1);
-    resident_pages_.Add(-1);
-    table_.erase(f.key);
-    f.valid = false;
-  }
-  // Read under the pool latch: this serializes the device like a single
-  // I/O queue, which is the behaviour we model on this host.
-  TGPP_RETURN_IF_ERROR(file->ReadPage(page_no, f.data.get()));
-  misses_.Add(1);
-  resident_pages_.Add(1);
-  f.key = key;
-  f.pin_count = 1;
-  f.ref = true;
-  f.valid = true;
-  table_.emplace(key, static_cast<uint32_t>(victim));
-  return PageHandle(this, static_cast<uint32_t>(victim), f.data.get());
 }
 
 void BufferPool::Unpin(uint32_t frame) {
-  std::lock_guard<std::mutex> lock(mu_);
   Frame& f = frames_[frame];
-  TGPP_DCHECK(f.pin_count > 0);
-  if (--f.pin_count == 0) unpin_cv_.notify_all();
+  const int32_t prev = f.pin_count.fetch_sub(1, std::memory_order_release);
+  TGPP_DCHECK(prev > 0);
+  if (prev == 1 && stall_waiters_.load(std::memory_order_relaxed) > 0) {
+    unpin_cv_.notify_all();
+  }
 }
 
 std::vector<uint64_t> BufferPool::ResidentSubset(
     const PageFile* file, std::span<const uint64_t> pages) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint64_t> resident;
   for (uint64_t p : pages) {
-    if (table_.count(PageKey{file->device(), file->file_id(), p}) > 0) {
-      resident.push_back(p);
-    }
+    const PageKey key{file->device(), file->file_id(), p};
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.table.count(key) > 0) resident.push_back(p);
   }
   return resident;
 }
 
 void BufferPool::DropAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  for (size_t i = 0; i < num_frames_; ++i) {
     Frame& f = frames_[i];
-    if (f.valid && f.pin_count == 0) {
-      table_.erase(f.key);
-      f.valid = false;
-      f.ref = false;
+    int32_t expected = 0;
+    if (!f.pin_count.compare_exchange_strong(expected, -1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+      continue;  // pinned or in flight: not droppable
+    }
+    if (f.state.load(std::memory_order_relaxed) == kValid) {
+      Shard& shard = ShardFor(f.key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.table.erase(f.key);
       resident_pages_.Add(-1);
     }
+    f.ref.store(false, std::memory_order_relaxed);
+    ReleaseFrame(&f);
   }
 }
 
@@ -128,8 +248,10 @@ void BufferPool::ResetCounters() {
   hits_.Reset();
   misses_.Reset();
   evictions_.Reset();
-  // resident_pages_ is a level, not a count: it still reflects the frames
-  // actually cached, so resets leave it alone (DropAll adjusts it).
+  prefetch_hits_.Reset();
+  // resident_pages_ and io_in_flight_ are levels, not counts: they still
+  // reflect the frames actually cached / reads actually in flight, so
+  // resets leave them alone (DropAll and completions adjust them).
 }
 
 void BufferPool::RegisterMetrics(obs::Registry* registry, int machine,
@@ -138,8 +260,12 @@ void BufferPool::RegisterMetrics(obs::Registry* registry, int machine,
   obs::TryRegister(registry, out, "bufferpool.misses", machine, &misses_);
   obs::TryRegister(registry, out, "bufferpool.evictions", machine,
                    &evictions_);
+  obs::TryRegister(registry, out, "bufferpool.prefetch_hits", machine,
+                   &prefetch_hits_);
   obs::TryRegister(registry, out, "bufferpool.resident_pages", machine,
                    &resident_pages_);
+  obs::TryRegister(registry, out, "bufferpool.io_in_flight", machine,
+                   &io_in_flight_);
 }
 
 }  // namespace tgpp

@@ -5,12 +5,14 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "common/fault_injector.h"
 #include "net/fabric.h"
+#include "util/trace.h"
 
 namespace tgpp {
 namespace {
@@ -39,6 +41,24 @@ TEST(Fabric, TryRecvDoesNotBlock) {
   fabric.Send(1, 0, 0, {7});
   EXPECT_TRUE(fabric.TryRecv(0, 0, &msg));
   EXPECT_EQ(msg.payload[0], 7);
+}
+
+TEST(Fabric, TryRecvRecordsDeliveryTrace) {
+  // All three receive paths share DeliverLocked, so the non-blocking one
+  // must record the same `fabric.recv` instant the blocking ones do.
+  trace::Reset();
+  trace::SetEnabled(true);
+  Fabric fabric(2, kInfinibandQdr);
+  fabric.Send(0, 1, 0, {5});
+  Message msg;
+  ASSERT_TRUE(fabric.TryRecv(1, 0, &msg));
+  trace::SetEnabled(false);
+  int recv_instants = 0;
+  for (const auto& ev : trace::Snapshot()) {
+    if (std::string_view(ev.name) == "fabric.recv") ++recv_instants;
+  }
+  EXPECT_EQ(recv_instants, 1);
+  trace::Reset();
 }
 
 TEST(Fabric, CountsRemoteBytesOnly) {

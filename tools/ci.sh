@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Minimal CI: configure, build, run the tier-1 test suite, check that
 # the docs reference only paths that exist, and re-run the concurrency-
-# and fault-heavy suites under ASan+UBSan.
+# and fault-heavy suites under ASan+UBSan and then under ThreadSanitizer.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build)
-# Set TGPP_CI_SKIP_SANITIZE=1 to skip the sanitizer stage.
+# Set TGPP_CI_SKIP_SANITIZE=1 to skip both sanitizer stages.
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,8 +26,21 @@ if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake --build "$root/$asan" -j"$(nproc)" \
         --target fault_injector_test chaos_recovery_test \
                  fabric_cluster_test storage_test status_logging_test \
-                 metrics_registry_test
+                 metrics_registry_test buffer_pool_concurrency_test
   ctest --test-dir "$root/$asan" --output-on-failure \
-        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos'
+        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos'
+
+  # ThreadSanitizer pass over the lock/latch-heavy suites: the buffer
+  # pool's overlapped miss path (frame claim/publish races, pin CAS,
+  # shard latches), the fabric mailboxes, and the lock-free metrics
+  # instruments.
+  tsan="$build-tsan"
+  cmake -B "$root/$tsan" -S "$root" \
+        -DCMAKE_BUILD_TYPE=Debug -DTGPP_SANITIZE=thread
+  cmake --build "$root/$tsan" -j"$(nproc)" \
+        --target storage_test buffer_pool_concurrency_test \
+                 fabric_cluster_test metrics_registry_test
+  ctest --test-dir "$root/$tsan" --output-on-failure \
+        -R 'BufferPool|AsyncIo|PageHandle|DiskDevice|DiskFault|SlottedPage|PageFile|Fabric|Cluster|Instruments|Registry|Export|EndToEnd|MetricsChaos'
 fi
 echo "ci: OK"
