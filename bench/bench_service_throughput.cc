@@ -1,0 +1,211 @@
+// Multi-query job-service throughput (docs/SERVICE.md).
+//
+// Closed-loop clients submit a mixed PageRank/SSSP/WCC stream against one
+// `JobManager` over a shared cluster and wait for each job before sending
+// the next. Reports jobs/sec plus queue-wait and run-latency p50/p99, and
+// a comparison row that executes the same job list serially with a FRESH
+// system per job (reload + repartition + cold buffer pool every time) —
+// the cost the shared service amortizes away.
+//
+// TGPP_BENCH_JSON=results.jsonl appends one JSON line per row.
+//
+//   bench_service_throughput [--scale=12] [--jobs=12] [--clients=3]
+//                            [--max-running=2] [--machines=2]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+#include "bench_util.h"
+#include "service/job_manager.h"
+#include "service/wire.h"
+#include "util/timer.h"
+
+namespace tgpp::bench {
+namespace {
+
+service::JobSpec SpecFor(int index) {
+  service::JobSpec spec;
+  switch (index % 3) {
+    case 0:
+      spec.query = "pr";
+      spec.iterations = 3;
+      break;
+    case 1:
+      spec.query = "sssp";
+      break;
+    default:
+      spec.query = "wcc";
+      break;
+  }
+  return spec;
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(pct * (values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+void AppendJsonRow(const std::string& row) {
+  const char* path = std::getenv("TGPP_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  out << row << "\n";
+}
+
+int Main(int argc, char** argv) {
+  const int scale = static_cast<int>(FlagInt(argc, argv, "scale", 12));
+  const int total_jobs = static_cast<int>(FlagInt(argc, argv, "jobs", 12));
+  const int clients = static_cast<int>(FlagInt(argc, argv, "clients", 3));
+  const int max_running =
+      static_cast<int>(FlagInt(argc, argv, "max-running", 2));
+
+  EdgeList graph = GenerateRmatX(scale, /*seed=*/77);
+  DeduplicateEdges(&graph);
+  MakeUndirected(&graph);
+
+  ClusterConfig config;
+  config.num_machines =
+      static_cast<int>(FlagInt(argc, argv, "machines", 2));
+  config.memory_budget_bytes = 32ull << 20;
+  config.buffer_pool_frames = 64;
+  config.root_dir = "/tmp/tgpp_bench_service/shared";
+  std::filesystem::remove_all(config.root_dir);
+
+  // --- Row 1: the shared service. One cluster, one partition, one
+  // buffer pool; `clients` closed-loop submitters.
+  TurboGraphSystem system(config);
+  TGPP_CHECK_OK(system.LoadGraph(graph));
+  system.cluster()->ResetCountersAndCaches();
+
+  service::JobServiceOptions svc;
+  svc.max_running = max_running;
+  service::JobManager manager(system.cluster(), system.partition(), svc);
+
+  WallTimer shared_timer;
+  std::atomic<int> next{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int cl = 0; cl < clients; ++cl) {
+    workers.emplace_back([&] {
+      for (int i; (i = next.fetch_add(1)) < total_jobs;) {
+        auto id = manager.Submit(SpecFor(i));
+        if (!id.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        auto record = manager.Wait(*id, /*timeout_ms=*/600000);
+        if (!record.ok() || record->state != service::JobState::kDone) {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double shared_seconds = shared_timer.Seconds();
+
+  std::vector<double> queue_waits;
+  std::vector<double> run_times;
+  for (const service::JobRecord& record : manager.ListJobs()) {
+    queue_waits.push_back(record.queue_wait_seconds);
+    run_times.push_back(record.run_seconds);
+  }
+  manager.Shutdown();
+  const ClusterSnapshot shared_snap = system.cluster()->Snapshot();
+  const double shared_jobs_per_sec =
+      shared_seconds > 0 ? total_jobs / shared_seconds : 0;
+
+  // --- Row 2: the same job list, serial, fresh system per job. Every
+  // job pays graph load + partition + cold pool again.
+  WallTimer reload_timer;
+  int reload_failed = 0;
+  for (int i = 0; i < total_jobs; ++i) {
+    ClusterConfig fresh = config;
+    fresh.root_dir = "/tmp/tgpp_bench_service/reload";
+    std::filesystem::remove_all(fresh.root_dir);
+    TurboGraphSystem one_shot(fresh);
+    if (!one_shot.LoadGraph(graph).ok()) {
+      ++reload_failed;
+      continue;
+    }
+    EngineOptions det;
+    det.deterministic = true;
+    const service::JobSpec spec = SpecFor(i);
+    Result<QueryStats> stats = Status::OK();
+    if (spec.query == "pr") {
+      auto app = MakePageRankApp(one_shot.partition(), spec.iterations);
+      stats = one_shot.RunQuery(app, det);
+    } else if (spec.query == "sssp") {
+      auto app = MakeSsspApp(one_shot.partition(), spec.source);
+      stats = one_shot.RunQuery(app, det);
+    } else {
+      auto app = MakeWccApp(one_shot.partition());
+      stats = one_shot.RunQuery(app, det);
+    }
+    if (!stats.ok()) ++reload_failed;
+  }
+  const double reload_seconds = reload_timer.Seconds();
+  const double reload_jobs_per_sec =
+      reload_seconds > 0 ? total_jobs / reload_seconds : 0;
+
+  const double qw_p50 = Percentile(queue_waits, 0.50);
+  const double qw_p99 = Percentile(queue_waits, 0.99);
+  const double run_p50 = Percentile(run_times, 0.50);
+  const double run_p99 = Percentile(run_times, 0.99);
+
+  std::printf("service throughput: scale=%d jobs=%d clients=%d "
+              "max_running=%d\n",
+              scale, total_jobs, clients, max_running);
+  std::printf("%-16s %9s %8s %12s %12s %9s\n", "system", "jobs/s",
+              "failed", "queue p50/p99", "run p50/p99", "total s");
+  std::printf("%-16s %9.3f %8d %6.3f/%.3f %6.3f/%.3f %9.2f\n",
+              "service-shared", shared_jobs_per_sec, failed.load(), qw_p50,
+              qw_p99, run_p50, run_p99, shared_seconds);
+  std::printf("%-16s %9.3f %8d %13s %13s %9.2f\n", "per-job-reload",
+              reload_jobs_per_sec, reload_failed, "-", "-", reload_seconds);
+  std::printf("shared pool: disk %.2f MB, net %.2f MB over %d jobs\n",
+              shared_snap.disk_bytes / 1e6, shared_snap.net_bytes / 1e6,
+              total_jobs);
+
+  AppendJsonRow(service::JsonWriter()
+                    .Str("bench", "service_throughput")
+                    .Str("system", "service-shared")
+                    .Int("scale", scale)
+                    .Int("jobs", total_jobs)
+                    .Int("clients", clients)
+                    .Int("max_running", max_running)
+                    .Int("failed", failed.load())
+                    .Double("jobs_per_sec", shared_jobs_per_sec)
+                    .Double("queue_wait_p50_s", qw_p50)
+                    .Double("queue_wait_p99_s", qw_p99)
+                    .Double("run_p50_s", run_p50)
+                    .Double("run_p99_s", run_p99)
+                    .Double("total_s", shared_seconds)
+                    .UInt("disk_bytes", shared_snap.disk_bytes)
+                    .UInt("net_bytes", shared_snap.net_bytes)
+                    .Close());
+  AppendJsonRow(service::JsonWriter()
+                    .Str("bench", "service_throughput")
+                    .Str("system", "per-job-reload")
+                    .Int("scale", scale)
+                    .Int("jobs", total_jobs)
+                    .Int("failed", reload_failed)
+                    .Double("jobs_per_sec", reload_jobs_per_sec)
+                    .Double("total_s", reload_seconds)
+                    .Close());
+  return (failed.load() == 0 && reload_failed == 0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tgpp::bench
+
+int main(int argc, char** argv) { return tgpp::bench::Main(argc, argv); }

@@ -1,0 +1,76 @@
+// CancelToken: cooperative cancellation + deadline for long-running work.
+//
+// A token is owned by whoever controls the work's lifetime (the job
+// service, a test) and observed by the work itself (the engine checks it
+// at superstep barriers). Observation is wait-free: two relaxed atomic
+// loads plus, when a deadline is set, one steady_clock read.
+//
+// Lives in common/ (not service/) so core/engine.h can depend on it
+// without a layering inversion: the engine only ever *reads* a token.
+
+#ifndef TGPP_COMMON_CANCEL_TOKEN_H_
+#define TGPP_COMMON_CANCEL_TOKEN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace tgpp {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // Tokens are handed out by pointer; copying one would silently fork the
+  // cancellation channel.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  // Arms an absolute deadline. Pass steady_clock::time_point; a token
+  // with no deadline set never times out.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+
+  // Convenience: deadline = now + timeout.
+  void SetTimeout(std::chrono::nanoseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  bool deadline_passed() const {
+    int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+    if (ns == kNoDeadline) return false;
+    return std::chrono::steady_clock::now().time_since_epoch() >=
+           std::chrono::nanoseconds(ns);
+  }
+
+  // OK while the work may continue; Cancelled / Timeout once it must
+  // stop. Cancel wins over deadline when both have fired (an operator's
+  // explicit cancel is the more informative cause).
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("cancel requested");
+    if (deadline_passed()) return Status::Timeout("job deadline exceeded");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_COMMON_CANCEL_TOKEN_H_

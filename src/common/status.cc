@@ -26,8 +26,22 @@ const char* StatusCodeToString(StatusCode code) {
       return "Aborted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
+}
+
+int ExitCodeForStatus(const Status& status) {
+  if (status.ok()) return 0;
+  switch (status.code()) {
+    case StatusCode::kTimeout:
+      return 3;
+    case StatusCode::kCancelled:
+      return 4;
+    default:
+      return 5;
+  }
 }
 
 std::string Status::ToString() const {

@@ -27,6 +27,7 @@ enum class StatusCode : uint8_t {
   kNotSupported,
   kAborted,
   kInternal,
+  kCancelled,
 };
 
 // Human-readable name of a status code ("OK", "IOError", ...).
@@ -71,6 +72,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
@@ -82,6 +86,7 @@ class Status {
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -99,6 +104,13 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+// Process exit code for a terminal Status, shared by every tgpp CLI
+// subcommand (documented in the usage text and docs/SERVICE.md):
+//   0 ok, 3 timeout, 4 cancelled, 5 everything else (internal).
+// Exit code 2 is reserved for usage errors (bad flags), which never reach
+// a Status. Kept in the library so tests can pin the mapping.
+int ExitCodeForStatus(const Status& status);
 
 // Result<T> is a Status or a value. Modeled after arrow::Result /
 // absl::StatusOr. T must be movable.

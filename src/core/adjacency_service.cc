@@ -98,12 +98,12 @@ Status AdjacencyService::Fetch(int owner, std::span<const VertexId> vids,
   AppendPod<uint64_t>(&payload, request_id);
   AppendPod<uint64_t>(&payload, vids.size());
   AppendPodSpan<VertexId>(&payload, vids);
-  cluster_->fabric()->Send(machine_id_, owner, kTagAdjRequest,
+  cluster_->fabric()->Send(machine_id_, owner, RequestTag(),
                            std::move(payload));
 
   Message reply;
   TGPP_RETURN_IF_ERROR(cluster_->fabric()->RecvFor(
-      machine_id_, kTagAdjResponse, &reply, recv_timeout_ms_));
+      machine_id_, ResponseTag(), &reply, recv_timeout_ms_));
   PodReader reader(reply.payload);
   const uint64_t got_id = reader.Read<uint64_t>();
   TGPP_CHECK(got_id == request_id)
@@ -136,7 +136,7 @@ void AdjacencyService::Start() {
 void AdjacencyService::Stop() {
   if (!server_.joinable()) return;
   // An empty request addressed to ourselves is the stop marker.
-  cluster_->fabric()->Send(machine_id_, machine_id_, kTagAdjRequest, {});
+  cluster_->fabric()->Send(machine_id_, machine_id_, RequestTag(), {});
   server_.join();
 }
 
@@ -144,7 +144,7 @@ void AdjacencyService::ServeLoop() {
   Fabric* fabric = cluster_->fabric();
   Message request;
   AdjBatch batch;
-  while (fabric->Recv(machine_id_, kTagAdjRequest, &request)) {
+  while (fabric->Recv(machine_id_, RequestTag(), &request)) {
     if (request.payload.empty()) break;  // stop marker
     PodReader reader(request.payload);
     const uint64_t request_id = reader.Read<uint64_t>();
@@ -170,7 +170,7 @@ void AdjacencyService::ServeLoop() {
       AppendPodSpan<VertexId>(&payload,
                               std::span<const VertexId>(batch.dsts));
     }
-    fabric->Send(machine_id_, request.src, kTagAdjResponse,
+    fabric->Send(machine_id_, request.src, ResponseTag(),
                  std::move(payload));
   }
 }

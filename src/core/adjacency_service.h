@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "core/codec.h"
 #include "partition/partitioner.h"
 
 namespace tgpp {
@@ -72,8 +73,16 @@ class AdjacencyService {
   // waits forever (the default).
   void set_recv_timeout_ms(int64_t ms) { recv_timeout_ms_ = ms; }
 
+  // Offset added to kTagAdjRequest/kTagAdjResponse, mirroring
+  // EngineOptions::fabric_tag_base: concurrent engines get disjoint
+  // request/response channels. Must be set before Start().
+  void set_tag_base(uint32_t base) { tag_base_ = base; }
+
  private:
   void ServeLoop();
+
+  uint32_t RequestTag() const { return tag_base_ + kTagAdjRequest; }
+  uint32_t ResponseTag() const { return tag_base_ + kTagAdjResponse; }
 
   Cluster* cluster_;
   const PartitionedGraph* pg_;
@@ -81,6 +90,7 @@ class AdjacencyService {
   std::thread server_;
   uint64_t next_request_id_ = 1;
   int64_t recv_timeout_ms_ = 0;
+  uint32_t tag_base_ = 0;
 };
 
 }  // namespace tgpp

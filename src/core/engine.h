@@ -38,6 +38,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <barrier>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -48,6 +49,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/cancel_token.h"
 #include "common/fault_injector.h"
 #include "core/adjacency_service.h"
 #include "core/app.h"
@@ -199,6 +201,32 @@ struct EngineOptions {
   // time series. Runs on the engine's driver thread between supersteps;
   // keep it cheap. Null = no per-superstep reporting.
   std::function<void(const obs::SuperstepRow&)> superstep_observer;
+
+  // --- Multi-query isolation (the job service, docs/SERVICE.md). A lone
+  // engine per cluster can leave all four at their defaults; engines
+  // sharing one Cluster must each get a disjoint tag base, a unique
+  // scratch prefix, and a private barrier, or their messages, spill
+  // files and barrier arrivals interleave.
+
+  // Added to every fabric tag the engine (and its AdjacencyService)
+  // uses. Tags 0-3 are the engine's own, 8-12 belong to the baselines;
+  // the job service hands out bases starting at 16, stride 4.
+  uint32_t fabric_tag_base = 0;
+  // Prepended to every scratch file name this engine touches on machine
+  // disks (vertex attributes, spill partitions, checkpoints) so
+  // concurrent jobs on the same simulated disks never collide.
+  std::string scratch_prefix;
+  // Superstep barrier. Null = the cluster-wide barrier (single-engine
+  // mode). Concurrent engines each bring their own std::barrier sized
+  // num_machines: the shared cluster barrier would make unrelated jobs
+  // wait for each other — and deadlock once their superstep counts
+  // differ.
+  std::barrier<>* job_barrier = nullptr;
+  // Cooperative cancellation + deadline, observed at superstep
+  // boundaries: a fired token surfaces as Status::Cancelled /
+  // Status::Timeout from Run() after the in-flight superstep completes.
+  // Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 template <typename V, typename U>
@@ -271,6 +299,17 @@ class NwsmEngine {
     // Run (e.g. a warmup query) are not attributed to our first row.
     ObserverTotals seen = CaptureObserverTotals(0.0);
     while (step < app.max_supersteps) {
+      // Cooperative cancellation / deadline: observed at superstep
+      // boundaries only, so an in-flight superstep always runs to its
+      // barrier — no machine is ever stranded mid-protocol. The caller
+      // (the job service) releases the admitted budget on this return.
+      if (options_.cancel != nullptr) {
+        Status cancel_status = options_.cancel->Check();
+        if (!cancel_status.ok()) {
+          fault::SetSuperstep(-1);
+          return cancel_status;
+        }
+      }
       fault::SetSuperstep(step);
       current_step_.store(step, std::memory_order_relaxed);
       global_active_.store(0, std::memory_order_relaxed);
@@ -446,6 +485,24 @@ class NwsmEngine {
     return row;
   }
 
+  // ---- multi-query isolation helpers (see the EngineOptions block) ----
+
+  uint32_t Tag(uint32_t tag) const { return options_.fabric_tag_base + tag; }
+
+  std::string AttrFile() const {
+    return options_.scratch_prefix + kVertexAttrFileName;
+  }
+
+  // The superstep barrier: the job's own when one was supplied, the
+  // cluster-wide barrier otherwise.
+  void JobBarrier() {
+    if (options_.job_barrier != nullptr) {
+      options_.job_barrier->arrive_and_wait();
+    } else {
+      cluster_->Barrier();
+    }
+  }
+
   // ---- vertex attribute windows (vertex streams) ----
 
   Status ReadAttrRange(int m, VertexRange range, std::vector<V>* out) {
@@ -453,7 +510,7 @@ class NwsmEngine {
     if (range.size() == 0) return Status::OK();
     const VertexId base = pg_->MachineRange(m).begin;
     return cluster_->machine(m)->disk()->Read(
-        kVertexAttrFileName, (range.begin - base) * sizeof(V), out->data(),
+        AttrFile(), (range.begin - base) * sizeof(V), out->data(),
         out->size() * sizeof(V));
   }
 
@@ -462,7 +519,7 @@ class NwsmEngine {
     if (range.size() == 0) return Status::OK();
     const VertexId base = pg_->MachineRange(m).begin;
     return cluster_->machine(m)->disk()->Write(
-        kVertexAttrFileName, (range.begin - base) * sizeof(V), data.data(),
+        AttrFile(), (range.begin - base) * sizeof(V), data.data(),
         data.size() * sizeof(V));
   }
 
@@ -540,6 +597,7 @@ class NwsmEngine {
     if (app.mode == AdjMode::kFull) {
       adj_service = std::make_unique<AdjacencyService>(cluster_, pg_, m);
       adj_service->set_recv_timeout_ms(options_.recv_timeout_ms);
+      adj_service->set_tag_base(options_.fabric_tag_base);
       adj_service->Start();
     }
 
@@ -557,14 +615,14 @@ class NwsmEngine {
     for (int dst = 0; dst < pg_->p; ++dst) {
       std::vector<uint8_t> marker;
       AppendPod<uint8_t>(&marker, 1);  // kind: done
-      cluster_->fabric()->Send(m, dst, kTagUpdates, std::move(marker));
+      cluster_->fabric()->Send(m, dst, Tag(kTagUpdates), std::move(marker));
     }
     gather_thread.join();
     if (step_status.ok()) step_status = gather.status;
 
     // GLOBALBARRIER (Algorithm 1 line 22): all updates are now gathered
     // in memory or on disk everywhere; remote adjacency reads are over.
-    cluster_->Barrier();
+    JobBarrier();
     if (adj_service != nullptr) adj_service->Stop();
 
     // Gather spilled updates overlapped with apply (Algorithms 3-4).
@@ -667,7 +725,7 @@ class NwsmEngine {
             options_.in_memory_local_gather ? lgb.present_count() : 0;
         if (combined > 0) {
           machine->metrics()->updates_sent.Add(combined);
-          cluster_->fabric()->Send(m, j / q, kTagUpdates, lgb.Serialize());
+          cluster_->fabric()->Send(m, j / q, Tag(kTagUpdates), lgb.Serialize());
         }
       }
     }
@@ -799,7 +857,7 @@ class NwsmEngine {
       payload.insert(payload.end(), raw_updates.begin(),
                      raw_updates.end());
       machine->metrics()->updates_sent.Add(raw_count);
-      cluster_->fabric()->Send(m, chunk.dst_chunk / pg_->q, kTagUpdates,
+      cluster_->fabric()->Send(m, chunk.dst_chunk / pg_->q, Tag(kTagUpdates),
                                std::move(payload));
     }
     return Status::OK();
@@ -916,7 +974,7 @@ class NwsmEngine {
         std::memcpy(per_owner[dst].data() + 1, &counts[dst],
                     sizeof(uint64_t));
         machine->metrics()->updates_sent.Add(counts[dst]);
-        cluster_->fabric()->Send(m, dst, kTagUpdates,
+        cluster_->fabric()->Send(m, dst, Tag(kTagUpdates),
                                  std::move(per_owner[dst]));
       }
     };
@@ -1076,11 +1134,11 @@ class NwsmEngine {
   };
 
   std::string SpillFileName(int c) const {
-    return "spill_" + std::to_string(c) + ".bin";
+    return options_.scratch_prefix + "spill_" + std::to_string(c) + ".bin";
   }
 
-  static std::string CheckpointFile(const std::string& tag) {
-    return "checkpoint_" + tag + ".ckpt";
+  std::string CheckpointFile(const std::string& tag) const {
+    return options_.scratch_prefix + "checkpoint_" + tag + ".ckpt";
   }
   static std::string EpochTag(int epoch) {
     return "auto" + std::to_string(epoch);
@@ -1258,7 +1316,7 @@ class NwsmEngine {
     while (done_markers < pg_->p) {
       // The deadline keeps a lost done marker or update from hanging the
       // engine: the gather fails with kTimeout and recovery takes over.
-      Status s = cluster_->fabric()->RecvFor(m, kTagUpdates, &msg,
+      Status s = cluster_->fabric()->RecvFor(m, Tag(kTagUpdates), &msg,
                                              options_.recv_timeout_ms);
       if (!s.ok()) {
         grt->status = s;
@@ -1440,7 +1498,7 @@ class NwsmEngine {
     AppendPod<uint64_t>(&payload, local_active);
     AppendPod<uint64_t>(&payload, local_aggregate);
     AppendPod<uint8_t>(&payload, local_failed ? 1 : 0);
-    fabric->Send(m, 0, kTagControl, std::move(payload));
+    fabric->Send(m, 0, Tag(kTagControl), std::move(payload));
     Status result;
     if (m == 0) {
       uint64_t total_active = 0;
@@ -1449,7 +1507,7 @@ class NwsmEngine {
       for (int i = 0; i < pg_->p; ++i) {
         Message msg;
         Status s =
-            fabric->RecvFor(0, kTagControl, &msg, options_.recv_timeout_ms);
+            fabric->RecvFor(0, Tag(kTagControl), &msg, options_.recv_timeout_ms);
         if (!s.ok()) {
           result = s;
           any_failed = true;
@@ -1472,18 +1530,18 @@ class NwsmEngine {
       for (int i = 1; i < pg_->p; ++i) {
         std::vector<uint8_t> ack;
         AppendPod<uint8_t>(&ack, any_failed ? 1 : 0);
-        fabric->Send(0, i, kTagControl, std::move(ack));
+        fabric->Send(0, i, Tag(kTagControl), std::move(ack));
       }
     } else {
       Message ack;
       Status s =
-          fabric->RecvFor(m, kTagControl, &ack, options_.recv_timeout_ms);
+          fabric->RecvFor(m, Tag(kTagControl), &ack, options_.recv_timeout_ms);
       if (!s.ok()) result = s;
       // A failed ack means some machine lost this superstep; that
       // machine's own status drives recovery, so peers just proceed to
       // the barrier.
     }
-    cluster_->Barrier();
+    JobBarrier();
     return result;
   }
 

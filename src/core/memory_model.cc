@@ -67,4 +67,31 @@ uint64_t MinimumRequiredBytes(const MemoryModelInput& in, int q) {
          va / pq;
 }
 
+Status ReservationLedger::Reserve(uint64_t bytes, const std::string& who) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > capacity_ - reserved_) {
+    return Status::OutOfMemory(
+        who + ": reservation of " + std::to_string(bytes) +
+        " bytes exceeds available " + std::to_string(capacity_ - reserved_) +
+        " of " + std::to_string(capacity_));
+  }
+  reserved_ += bytes;
+  return Status::OK();
+}
+
+void ReservationLedger::Release(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_ = bytes > reserved_ ? 0 : reserved_ - bytes;
+}
+
+uint64_t ReservationLedger::reserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_;
+}
+
+uint64_t ReservationLedger::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ - reserved_;
+}
+
 }  // namespace tgpp

@@ -13,6 +13,8 @@
 #define TGPP_CORE_MEMORY_MODEL_H_
 
 #include <cstdint>
+#include <mutex>
+#include <string>
 
 #include "common/status.h"
 
@@ -51,6 +53,32 @@ WindowSizes ComputeWindowSizes(const MemoryModelInput& in, int q);
 
 // Total minimum requirement |M|_min of Equation 4 for a given q.
 uint64_t MinimumRequiredBytes(const MemoryModelInput& in, int q);
+
+// ReservationLedger: admission-control accounting over the per-machine
+// window budget. The job service reserves a job's |M|_min (Equation 4)
+// out of the ledger before the job may start and releases it when the
+// job reaches a terminal state; Reserve fails with kOutOfMemory when the
+// remaining capacity cannot cover the request, which is the service's
+// backpressure signal. This is bookkeeping, not enforcement — engines
+// still allocate from the real heap — mirroring how the paper's §4.2
+// model *plans* memory rather than metering it.
+class ReservationLedger {
+ public:
+  explicit ReservationLedger(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  Status Reserve(uint64_t bytes, const std::string& who);
+  void Release(uint64_t bytes);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t reserved() const;
+  uint64_t available() const;
+
+ private:
+  const uint64_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t reserved_ = 0;
+};
 
 }  // namespace tgpp
 

@@ -144,6 +144,32 @@ class ScopedCpuCounter {
   int64_t start_;
 };
 
+// Increments a Gauge for the lifetime of the scope and decrements it on
+// exit — level tracking ("jobs currently running") that stays correct on
+// every return path.
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(Gauge* gauge, int64_t delta = 1)
+      : gauge_(gauge), delta_(delta) {
+    gauge_->Add(delta_);
+  }
+  ~GaugeGuard() {
+    if (gauge_ != nullptr) gauge_->Add(-delta_);
+  }
+
+  GaugeGuard(GaugeGuard&& other) noexcept
+      : gauge_(other.gauge_), delta_(other.delta_) {
+    other.gauge_ = nullptr;
+  }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(GaugeGuard&&) = delete;
+
+ private:
+  Gauge* gauge_;
+  int64_t delta_;
+};
+
 // Records elapsed wall nanoseconds into a LatencyHistogram on scope exit.
 class ScopedLatencyTimer {
  public:

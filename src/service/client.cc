@@ -1,0 +1,130 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tgpp::service {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+StatusCode CodeFromName(const std::string& name) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+    StatusCode code = static_cast<StatusCode>(c);
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace
+
+Result<ServiceClient> ServiceClient::ConnectUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("connect(" + path + ")");
+    ::close(fd);
+    return status;
+  }
+  return ServiceClient(fd);
+}
+
+Result<ServiceClient> ServiceClient::ConnectTcp(const std::string& host,
+                                                int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Errno("connect(" + host + ":" + std::to_string(port) + ")");
+    ::close(fd);
+    return status;
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::string> ServiceClient::CallRaw(const std::string& request_line) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  std::string out = request_line + "\n";
+  size_t sent = 0;
+  while (sent < out.size()) {
+    ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
+    if (n <= 0) return Errno("send");
+    sent += static_cast<size_t>(n);
+  }
+  char chunk[4096];
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) return Errno("recv");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<JsonObject> ServiceClient::Call(const std::string& request_line) {
+  TGPP_ASSIGN_OR_RETURN(auto line, CallRaw(request_line));
+  TGPP_ASSIGN_OR_RETURN(auto response, JsonObject::Parse(line));
+  TGPP_RETURN_IF_ERROR(StatusFromResponse(response));
+  return response;
+}
+
+Status StatusFromResponse(const JsonObject& response) {
+  auto ok = response.BoolOr("ok", false);
+  if (!ok.ok()) return ok.status();
+  if (*ok) return Status::OK();
+  std::string message = "server error";
+  if (auto error = response.GetString("error"); error.ok()) {
+    message = *error;
+  }
+  StatusCode code = StatusCode::kInternal;
+  if (auto name = response.GetString("code"); name.ok()) {
+    code = CodeFromName(*name);
+  }
+  return Status(code, std::move(message));
+}
+
+}  // namespace tgpp::service

@@ -1,0 +1,47 @@
+// ServiceClient: the `tgpp submit` / `tgpp jobs` side of the line
+// protocol (docs/SERVICE.md). One connection, synchronous request/reply.
+
+#ifndef TGPP_SERVICE_CLIENT_H_
+#define TGPP_SERVICE_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "service/wire.h"
+
+namespace tgpp::service {
+
+class ServiceClient {
+ public:
+  static Result<ServiceClient> ConnectUnix(const std::string& path);
+  static Result<ServiceClient> ConnectTcp(const std::string& host, int port);
+
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ~ServiceClient();
+
+  // Sends one request line (no trailing newline needed) and returns the
+  // parsed response object. A response with "ok":false is surfaced as the
+  // error Status it encodes (code + message round-trip the wire).
+  Result<JsonObject> Call(const std::string& request_line);
+
+  // Like Call but returns the raw response line (still failing on
+  // transport errors); used where the CLI just relays the payload.
+  Result<std::string> CallRaw(const std::string& request_line);
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last consumed line
+};
+
+// Reconstructs the Status a response line encodes: OK for "ok":true,
+// otherwise the code/error fields mapped back through StatusCode names.
+Status StatusFromResponse(const JsonObject& response);
+
+}  // namespace tgpp::service
+
+#endif  // TGPP_SERVICE_CLIENT_H_

@@ -1,0 +1,85 @@
+// Job model for the multi-query service (docs/SERVICE.md).
+//
+// A job is one query submitted against the service's shared cluster and
+// partitioned graph. Its lifecycle is
+//
+//   queued --admission--> admitted --runner picks up--> running
+//   running --> done | failed | cancelled
+//   queued  --> cancelled (cancel before admission) | failed (deadline)
+//
+// Admission (JobManager) reserves the job's estimated memory out of the
+// ReservationLedger; every terminal transition releases it.
+
+#ifndef TGPP_SERVICE_JOB_H_
+#define TGPP_SERVICE_JOB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/types.h"
+
+namespace tgpp::service {
+
+enum class JobState {
+  kQueued,
+  kAdmitted,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+inline const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kAdmitted:
+      return "admitted";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+inline bool IsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+// What a client submits. `query` is one of pr|sssp|wcc|tc|lcc|clique4
+// (the same names `tgpp run --query` accepts).
+struct JobSpec {
+  std::string query = "pr";
+  int iterations = 10;        // pr only
+  VertexId source = 0;        // sssp only, ORIGINAL id space
+  int priority = 0;           // higher runs first; FIFO within a priority
+  int64_t deadline_ms = 0;    // relative to submit; 0 = no deadline
+  bool deterministic = true;  // bit-reproducible results (the default so
+                              // concurrent == serial is checkable)
+};
+
+// Snapshot of one job, returned by status/jobs queries. Plain data — safe
+// to copy out of the manager's lock.
+struct JobRecord {
+  uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  std::string error;             // terminal Status message when failed
+  std::string status_code;       // terminal StatusCodeToString name
+  uint64_t reserved_bytes = 0;   // admitted memory (0 once released)
+  uint32_t result_crc = 0;       // digest of final attributes, old-id order
+  uint64_t aggregate = 0;        // QueryStats::aggregate_sum (tc/clique4)
+  int supersteps = 0;
+  double queue_wait_seconds = 0; // submit -> admitted
+  double run_seconds = 0;        // admitted -> terminal
+};
+
+}  // namespace tgpp::service
+
+#endif  // TGPP_SERVICE_JOB_H_

@@ -1,0 +1,468 @@
+#include "service/job_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algos/clique4.h"
+#include "algos/lcc.h"
+#include "algos/pagerank.h"
+#include "algos/sssp.h"
+#include "algos/triangle_counting.h"
+#include "algos/wcc.h"
+#include "common/logging.h"
+#include "core/engine.h"
+#include "util/crc32.h"
+#include "util/trace.h"
+
+namespace tgpp::service {
+namespace {
+
+// (k, per-vertex attribute bytes) per supported query, for the admission
+// estimate. Unknown names are rejected at Submit.
+struct QueryShape {
+  int k;
+  uint64_t attr_bytes;
+};
+
+Result<QueryShape> ShapeOf(const std::string& query) {
+  if (query == "pr") return QueryShape{1, sizeof(PageRankAttr)};
+  if (query == "sssp") return QueryShape{1, sizeof(SsspAttr)};
+  if (query == "wcc") return QueryShape{1, sizeof(WccAttr)};
+  if (query == "tc") return QueryShape{2, sizeof(TcAttr)};
+  if (query == "lcc") return QueryShape{2, sizeof(LccAttr)};
+  if (query == "clique4") return QueryShape{3, sizeof(Clique4Attr)};
+  return Status::InvalidArgument("unknown query: " + query);
+}
+
+struct Outcome {
+  QueryStats stats;
+  uint32_t crc = 0;
+};
+
+// Runs one query over the shared cluster with the given (job-isolated)
+// engine options and digests the final attributes in ORIGINAL vertex-id
+// order, so a serial `tgpp run` of the same query produces the same CRC.
+template <typename V, typename U>
+Status RunTyped(Cluster* cluster, const PartitionedGraph* pg,
+                KWalkApp<V, U>& app, const EngineOptions& options,
+                Outcome* out) {
+  NwsmEngine<V, U> engine(cluster, pg, options);
+  TGPP_RETURN_IF_ERROR(engine.Initialize(app));
+  TGPP_ASSIGN_OR_RETURN(out->stats, engine.Run(app));
+  std::vector<V> by_new;
+  TGPP_RETURN_IF_ERROR(engine.ReadAttributes(&by_new));
+  std::vector<V> by_old(by_new.size());
+  for (VertexId new_id = 0; new_id < by_new.size(); ++new_id) {
+    by_old[pg->new_to_old[new_id]] = by_new[new_id];
+  }
+  out->crc = Crc32(by_old.data(), by_old.size() * sizeof(V));
+  return Status::OK();
+}
+
+Status RunForSpec(Cluster* cluster, const PartitionedGraph* pg,
+                  const JobSpec& spec, const EngineOptions& options,
+                  Outcome* out) {
+  if (spec.query == "pr") {
+    auto app = MakePageRankApp(pg, spec.iterations);
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "sssp") {
+    if (spec.source >= pg->num_vertices) {
+      return Status::InvalidArgument("sssp source out of range");
+    }
+    auto app = MakeSsspApp(pg, spec.source);
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "wcc") {
+    auto app = MakeWccApp(pg);
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "tc") {
+    auto app = MakeTriangleCountingApp();
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "lcc") {
+    auto app = MakeLccApp(pg);
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "clique4") {
+    auto app = MakeFourCliqueApp();
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  return Status::InvalidArgument("unknown query: " + spec.query);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Result<int> RequiredQForService(Cluster& cluster, uint64_t num_vertices,
+                                int max_running) {
+  MemoryModelInput in;
+  in.k = 1;
+  in.p = cluster.num_machines();
+  in.num_vertices = num_vertices;
+  in.vertex_attr_bytes = sizeof(PageRankAttr);  // widest k=1 attribute
+  in.page_size = kPageSize;
+  in.total_budget_bytes =
+      cluster.machine(0)->WindowMemoryBytes() /
+      static_cast<uint64_t>(std::max(1, max_running));
+  return ComputeQMin(in);
+}
+
+JobManager::JobManager(Cluster* cluster, const PartitionedGraph* pg,
+                       JobServiceOptions options)
+    : cluster_(cluster), pg_(pg), options_(options) {
+  TGPP_CHECK(options_.max_running >= 1);
+  const uint64_t capacity =
+      options_.ledger_capacity_override != 0
+          ? options_.ledger_capacity_override
+          : cluster_->machine(0)->WindowMemoryBytes();
+  ledger_ = std::make_unique<ReservationLedger>(capacity);
+  slot_taken_.assign(static_cast<size_t>(options_.max_running), false);
+
+  obs::Registry& reg = obs::Registry::Global();
+  obs::TryRegister(&reg, &registrations_, "service.jobs_submitted", -1,
+                   &jobs_submitted_);
+  obs::TryRegister(&reg, &registrations_, "service.jobs_admitted", -1,
+                   &jobs_admitted_);
+  obs::TryRegister(&reg, &registrations_, "service.jobs_done", -1,
+                   &jobs_done_);
+  obs::TryRegister(&reg, &registrations_, "service.jobs_failed", -1,
+                   &jobs_failed_);
+  obs::TryRegister(&reg, &registrations_, "service.jobs_cancelled", -1,
+                   &jobs_cancelled_);
+  obs::TryRegister(&reg, &registrations_, "service.jobs_queued", -1,
+                   &jobs_queued_);
+  obs::TryRegister(&reg, &registrations_, "service.jobs_running", -1,
+                   &jobs_running_);
+  obs::TryRegister(&reg, &registrations_, "service.reserved_bytes", -1,
+                   &reserved_bytes_);
+  obs::TryRegister(&reg, &registrations_, "service.queue_wait_ns", -1,
+                   &queue_wait_ns_);
+  obs::TryRegister(&reg, &registrations_, "service.run_latency_ns", -1,
+                   &run_latency_ns_);
+}
+
+JobManager::~JobManager() { Shutdown(); }
+
+uint64_t JobManager::EstimateReservation(const JobSpec& spec) const {
+  auto shape = ShapeOf(spec.query);
+  if (!shape.ok()) return 0;
+  MemoryModelInput in;
+  in.k = shape->k;
+  in.p = pg_->p;
+  in.num_vertices = pg_->num_vertices;
+  in.vertex_attr_bytes = shape->attr_bytes;
+  in.page_size = kPageSize;
+  in.total_budget_bytes = ledger_->capacity();
+  return MinimumRequiredBytes(in, pg_->q);
+}
+
+Result<uint64_t> JobManager::Submit(const JobSpec& spec) {
+  TGPP_RETURN_IF_ERROR(ShapeOf(spec.query).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return Status::Aborted("job service is shut down");
+
+  auto job = std::make_unique<Job>();
+  job->id = next_id_++;
+  job->spec = spec;
+  job->submit_time = std::chrono::steady_clock::now();
+  if (spec.deadline_ms > 0) {
+    job->cancel.SetTimeout(std::chrono::milliseconds(spec.deadline_ms));
+  }
+  const uint64_t id = job->id;
+
+  // Insert keeping the queue ordered by (priority desc, id asc): stable
+  // FIFO within a priority band.
+  auto pos = std::find_if(queue_.begin(), queue_.end(), [&](uint64_t other) {
+    return jobs_.at(other)->spec.priority < spec.priority;
+  });
+  queue_.insert(pos, id);
+  jobs_.emplace(id, std::move(job));
+
+  jobs_submitted_.Add(1);
+  jobs_queued_.Add(1);
+  trace::Instant("service.submit", "service", "job", id);
+  PumpLocked();
+  cv_.notify_all();
+  return id;
+}
+
+JobManager::Job* JobManager::FindLocked(uint64_t id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+void JobManager::PumpLocked() {
+  while (!shutdown_ && !queue_.empty() && running_ < options_.max_running) {
+    Job* job = FindLocked(queue_.front());
+    TGPP_CHECK(job != nullptr && job->state == JobState::kQueued);
+
+    // A queued job whose token already fired never runs; its terminal
+    // state frees the head of the line.
+    Status token = job->cancel.Check();
+    if (!token.ok()) {
+      queue_.pop_front();
+      jobs_queued_.Add(-1);
+      FinishLocked(job,
+                   token.IsCancelled() ? JobState::kCancelled
+                                       : JobState::kFailed,
+                   token);
+      continue;
+    }
+
+    const uint64_t reservation = options_.reservation_override != 0
+                                     ? options_.reservation_override
+                                     : EstimateReservation(job->spec);
+    Status reserved =
+        ledger_->Reserve(reservation, "job" + std::to_string(job->id));
+    if (!reserved.ok()) {
+      // Backpressure: strict head-of-line — nothing behind the head is
+      // considered until budget frees (predictable admission order).
+      break;
+    }
+
+    int slot = -1;
+    for (size_t s = 0; s < slot_taken_.size(); ++s) {
+      if (!slot_taken_[s]) {
+        slot = static_cast<int>(s);
+        break;
+      }
+    }
+    TGPP_CHECK(slot >= 0);  // running_ < max_running guarantees a slot
+
+    queue_.pop_front();
+    slot_taken_[slot] = true;
+    ++running_;
+    job->state = JobState::kAdmitted;
+    job->reserved_bytes = reservation;
+    job->tag_slot = slot;
+    job->barrier =
+        std::make_unique<std::barrier<>>(cluster_->num_machines());
+    job->admit_time = std::chrono::steady_clock::now();
+    job->queue_wait_seconds = std::chrono::duration<double>(
+                                  job->admit_time - job->submit_time)
+                                  .count();
+
+    jobs_admitted_.Add(1);
+    jobs_queued_.Add(-1);
+    jobs_running_.Add(1);
+    reserved_bytes_.Add(static_cast<int64_t>(reservation));
+    queue_wait_ns_.Record(
+        static_cast<uint64_t>(job->queue_wait_seconds * 1e9));
+    trace::Instant("service.admit", "service", "job", job->id, "bytes",
+                   reservation);
+
+    job->runner = std::thread([this, job] { RunJob(job); });
+  }
+}
+
+void JobManager::RunJob(Job* job) {
+  if (trace::Enabled()) {
+    trace::SetCurrentThreadName("job" + std::to_string(job->id) + "." +
+                                job->spec.query);
+  }
+  EngineOptions options;
+  options.deterministic = job->spec.deterministic;
+  options.recv_timeout_ms = options_.recv_timeout_ms;
+  options.checkpoint_every = 0;  // recovery resets the SHARED fabric
+  options.fabric_tag_base =
+      kServiceTagBase + static_cast<uint32_t>(job->tag_slot) * kTagsPerJob;
+  options.scratch_prefix = "job" + std::to_string(job->id) + "_";
+  options.job_barrier = job->barrier.get();
+  options.cancel = &job->cancel;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->state = JobState::kRunning;
+    cv_.notify_all();
+  }
+
+  Outcome outcome;
+  Status status;
+  {
+    trace::TraceSpan run_span("service.run", "service");
+    run_span.AddArg("job", job->id);
+    status = RunForSpec(cluster_, pg_, job->spec, options, &outcome);
+  }
+
+  // Best-effort scratch cleanup; the next job with this id prefix cannot
+  // exist, but long-lived daemons should not leak one file set per job.
+  for (int m = 0; m < cluster_->num_machines(); ++m) {
+    DiskDevice* disk = cluster_->machine(m)->disk();
+    (void)disk->Remove(options.scratch_prefix + kVertexAttrFileName);
+    for (int c = 1; c < pg_->q; ++c) {
+      (void)disk->Remove(options.scratch_prefix + "spill_" +
+                         std::to_string(c) + ".bin");
+    }
+  }
+  // A cancelled or failed job may have left messages in its tag range
+  // (e.g. updates sent but never gathered); drain them so the slot's
+  // next tenant starts clean.
+  DrainTags(options.fabric_tag_base);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  job->result_crc = outcome.crc;
+  job->aggregate = outcome.stats.aggregate_sum;
+  job->supersteps = outcome.stats.supersteps;
+  JobState terminal = JobState::kDone;
+  if (status.IsCancelled()) {
+    terminal = JobState::kCancelled;
+  } else if (!status.ok()) {
+    terminal = JobState::kFailed;
+  }
+  FinishLocked(job, terminal, status);
+  PumpLocked();
+  cv_.notify_all();
+}
+
+// Caller holds mu_. Releases everything the job holds (reservation, tag
+// slot) and records the terminal state + metrics.
+void JobManager::FinishLocked(Job* job, JobState state,
+                              const Status& status) {
+  TGPP_CHECK(IsTerminal(state));
+  const bool was_admitted = job->tag_slot >= 0;
+  if (job->reserved_bytes > 0) {
+    ledger_->Release(job->reserved_bytes);
+    reserved_bytes_.Add(-static_cast<int64_t>(job->reserved_bytes));
+    job->reserved_bytes = 0;
+  }
+  if (was_admitted) {
+    slot_taken_[static_cast<size_t>(job->tag_slot)] = false;
+    job->tag_slot = -1;
+    --running_;
+    jobs_running_.Add(-1);
+    job->run_seconds = SecondsSince(job->admit_time);
+    run_latency_ns_.Record(static_cast<uint64_t>(job->run_seconds * 1e9));
+  }
+  job->state = state;
+  if (!status.ok()) {
+    job->error = status.message();
+    job->status_code = StatusCodeToString(status.code());
+  }
+  switch (state) {
+    case JobState::kDone:
+      jobs_done_.Add(1);
+      break;
+    case JobState::kCancelled:
+      jobs_cancelled_.Add(1);
+      break;
+    default:
+      jobs_failed_.Add(1);
+      break;
+  }
+  trace::Instant("service.finish", "service", "job", job->id);
+}
+
+void JobManager::DrainTags(uint32_t tag_base) {
+  Fabric* fabric = cluster_->fabric();
+  Message msg;
+  for (int m = 0; m < cluster_->num_machines(); ++m) {
+    for (uint32_t t = tag_base; t < tag_base + kTagsPerJob; ++t) {
+      while (fabric->TryRecv(m, t, &msg)) {
+      }
+    }
+  }
+}
+
+Status JobManager::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Job* job = FindLocked(id);
+  if (job == nullptr) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  if (IsTerminal(job->state)) return Status::OK();
+  job->cancel.Cancel();
+  if (job->state == JobState::kQueued) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+    jobs_queued_.Add(-1);
+    FinishLocked(job, JobState::kCancelled,
+                 Status::Cancelled("cancelled while queued"));
+    PumpLocked();
+  }
+  // Running jobs observe the token at their next superstep boundary.
+  cv_.notify_all();
+  return Status::OK();
+}
+
+JobRecord JobManager::SnapshotLocked(const Job& job) const {
+  JobRecord record;
+  record.id = job.id;
+  record.spec = job.spec;
+  record.state = job.state;
+  record.error = job.error;
+  record.status_code = job.status_code;
+  record.reserved_bytes = job.reserved_bytes;
+  record.result_crc = job.result_crc;
+  record.aggregate = job.aggregate;
+  record.supersteps = job.supersteps;
+  record.queue_wait_seconds = job.queue_wait_seconds;
+  record.run_seconds = job.run_seconds;
+  return record;
+}
+
+Result<JobRecord> JobManager::GetJob(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Job* job = FindLocked(id);
+  if (job == nullptr) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  return SnapshotLocked(*job);
+}
+
+std::vector<JobRecord> JobManager::ListJobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobRecord> records;
+  records.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    records.push_back(SnapshotLocked(*job));
+  }
+  return records;
+}
+
+Result<JobRecord> JobManager::Wait(uint64_t id, int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Job* job = FindLocked(id);
+  if (job == nullptr) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  auto done = [&] { return IsTerminal(job->state); };
+  if (timeout_ms < 0) {
+    cv_.wait(lock, done);
+  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           done)) {
+    return Status::Timeout("job " + std::to_string(id) +
+                           " still " + JobStateName(job->state));
+  }
+  return SnapshotLocked(*job);
+}
+
+void JobManager::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Queued jobs die immediately; running jobs get their token fired
+    // and are joined below.
+    while (!queue_.empty()) {
+      Job* job = FindLocked(queue_.front());
+      queue_.pop_front();
+      jobs_queued_.Add(-1);
+      job->cancel.Cancel();
+      FinishLocked(job, JobState::kCancelled,
+                   Status::Cancelled("service shutdown"));
+    }
+    for (auto& [id, job] : jobs_) {
+      if (!IsTerminal(job->state)) job->cancel.Cancel();
+      if (job->runner.joinable()) to_join.push_back(std::move(job->runner));
+    }
+    cv_.notify_all();
+  }
+  for (std::thread& t : to_join) t.join();
+}
+
+}  // namespace tgpp::service

@@ -1,0 +1,175 @@
+// JobManager: admission control, scheduling, and cancellation for many
+// queries over ONE shared Cluster (docs/SERVICE.md).
+//
+// Design:
+//  - Submissions enter a FIFO+priority queue (higher priority first, FIFO
+//    within a priority, strict head-of-line: the head must be admitted
+//    before anything behind it is considered, so backpressure is
+//    predictable and starvation-free).
+//  - Admission reserves the job's estimated memory (MemoryModel Eq 4) out
+//    of a ReservationLedger over the per-machine window budget; a failed
+//    reservation leaves the job queued until a running job releases.
+//  - Each admitted job runs on its own runner thread with a fully
+//    isolated engine: disjoint fabric tag range, private superstep
+//    barrier, per-job scratch file prefix, and a CancelToken checked at
+//    superstep boundaries. Jobs still SHARE the machines' buffer pools —
+//    that sharing (hot edge pages served to every query) is the point of
+//    the service.
+//  - Cancel and deadline surface as Status::Cancelled / Status::Timeout;
+//    every terminal transition releases the reservation and re-pumps the
+//    queue.
+//
+// Concurrency-scoped engine restrictions: service jobs always run with
+// checkpoint_every=0 (engine recovery calls Fabric::Reset(), which would
+// drain OTHER jobs' in-flight messages), and fault-injector superstep
+// gating is process-global, so superstep-scoped fault specs are only
+// meaningful with one job in flight.
+
+#ifndef TGPP_SERVICE_JOB_MANAGER_H_
+#define TGPP_SERVICE_JOB_MANAGER_H_
+
+#include <barrier>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/cancel_token.h"
+#include "core/memory_model.h"
+#include "obs/metrics.h"
+#include "partition/partitioner.h"
+#include "service/job.h"
+
+namespace tgpp::service {
+
+struct JobServiceOptions {
+  // Upper bound on concurrently running jobs; also sizes the fabric tag
+  // slot table.
+  int max_running = 2;
+  // Ledger capacity per machine. 0 = machine(0)->WindowMemoryBytes().
+  uint64_t ledger_capacity_override = 0;
+  // Per-job reservation. 0 = the memory model's Eq 4 estimate for the
+  // query at the current q. Tests pin both overrides to make admission
+  // order deterministic.
+  uint64_t reservation_override = 0;
+  // Engine receive deadline for service jobs (a lost message fails the
+  // job instead of wedging a runner thread forever).
+  int64_t recv_timeout_ms = 60000;
+};
+
+class JobManager {
+ public:
+  // `cluster` and `pg` must outlive the manager. The graph must already
+  // be partitioned with a q sufficient for the submitted queries (see
+  // RequiredQForService); the manager never repartitions — that would
+  // drop the shared buffer pools under running jobs.
+  JobManager(Cluster* cluster, const PartitionedGraph* pg,
+             JobServiceOptions options = {});
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  // Enqueues a job; returns its id. Fails only on malformed specs
+  // (unknown query name) or after Shutdown.
+  Result<uint64_t> Submit(const JobSpec& spec);
+
+  // Requests cancellation. Queued jobs transition to cancelled
+  // immediately; running jobs observe the token at their next superstep
+  // boundary. NotFound for unknown ids; ok (no-op) if already terminal.
+  Status Cancel(uint64_t id);
+
+  Result<JobRecord> GetJob(uint64_t id) const;
+  std::vector<JobRecord> ListJobs() const;
+
+  // Blocks until the job is terminal. timeout_ms < 0 waits forever;
+  // expiry returns Status::Timeout (the job keeps running).
+  Result<JobRecord> Wait(uint64_t id, int64_t timeout_ms = -1);
+
+  // Cancels every queued and running job, waits for runners to exit.
+  // Idempotent; Submit fails afterwards.
+  void Shutdown();
+
+  // The admission estimate used for `spec` (before overrides).
+  uint64_t EstimateReservation(const JobSpec& spec) const;
+
+  const ReservationLedger& ledger() const { return *ledger_; }
+
+ private:
+  struct Job {
+    uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    std::string error;
+    std::string status_code;
+    CancelToken cancel;
+    uint64_t reserved_bytes = 0;
+    int tag_slot = -1;
+    std::unique_ptr<std::barrier<>> barrier;
+    std::chrono::steady_clock::time_point submit_time;
+    std::chrono::steady_clock::time_point admit_time;
+    uint32_t result_crc = 0;
+    uint64_t aggregate = 0;
+    int supersteps = 0;
+    double queue_wait_seconds = 0;
+    double run_seconds = 0;
+    std::thread runner;
+  };
+
+  // Admits queued jobs while slots + budget allow (strict head-of-line).
+  // Caller holds mu_.
+  void PumpLocked();
+  void FinishLocked(Job* job, JobState state, const Status& status);
+  void RunJob(Job* job);
+  JobRecord SnapshotLocked(const Job& job) const;
+  Job* FindLocked(uint64_t id) const;
+
+  // Drains the job's four fabric tags on every machine so a reused tag
+  // slot never sees a predecessor's stale messages.
+  void DrainTags(uint32_t tag_base);
+
+  Cluster* cluster_;
+  const PartitionedGraph* pg_;
+  JobServiceOptions options_;
+  std::unique_ptr<ReservationLedger> ledger_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // signalled on any state change
+  std::map<uint64_t, std::unique_ptr<Job>> jobs_;
+  std::deque<uint64_t> queue_;  // kept sorted: priority desc, id asc
+  std::vector<bool> slot_taken_;
+  uint64_t next_id_ = 1;
+  int running_ = 0;  // admitted or running (holds a slot)
+  bool shutdown_ = false;
+
+  // service.* instruments (docs/METRICS.md), cluster-scoped.
+  obs::Counter jobs_submitted_, jobs_admitted_, jobs_done_, jobs_failed_,
+      jobs_cancelled_;
+  obs::Gauge jobs_queued_, jobs_running_, reserved_bytes_;
+  obs::LatencyHistogram queue_wait_ns_, run_latency_ns_;
+  std::vector<obs::Registration> registrations_;
+};
+
+// q needed so `max_running` concurrent k=1 queries (pr/sssp/wcc — the
+// widest attribute is PageRank's 16 bytes) each fit in a 1/max_running
+// share of the per-machine window budget. `tgpp serve` prepartitions
+// with this before accepting jobs; k>1 queries additionally need the
+// full-budget q and fail admission-free with InvalidArgument from the
+// engine when q is too coarse.
+Result<int> RequiredQForService(Cluster& cluster, uint64_t num_vertices,
+                                int max_running);
+
+// Fabric tag bases for job slots: the engine owns tags 0-3 and the
+// baselines 8-12, so service slots start at 16, stride 4
+// (updates/control/adj-request/adj-response per job).
+inline constexpr uint32_t kServiceTagBase = 16;
+inline constexpr uint32_t kTagsPerJob = 4;
+
+}  // namespace tgpp::service
+
+#endif  // TGPP_SERVICE_JOB_MANAGER_H_

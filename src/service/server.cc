@@ -1,0 +1,228 @@
+#include "service/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "service/wire.h"
+
+namespace tgpp::service {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+JobServer::JobServer(JobManager* manager, ServerOptions options)
+    : manager_(manager), options_(std::move(options)) {}
+
+JobServer::~JobServer() { Stop(); }
+
+Status JobServer::Start() {
+  if (!options_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());  // stale socket from a dead serve
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Errno("bind(" + options_.unix_path + ")");
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Errno("socket(AF_INET)");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Errno("bind(127.0.0.1:" + std::to_string(options_.tcp_port) +
+                   ")");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      return Errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 16) != 0) return Errno("listen");
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void JobServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listener closed under us
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void JobServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool shutdown_requested = false;
+  while (!shutdown_requested) {
+    size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;  // client hung up (or Stop closed us)
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (line.empty()) continue;
+    std::string reply = HandleLine(line, &shutdown_requested);
+    if (!SendAll(fd, reply + "\n")) break;
+  }
+  {
+    // Deregister BEFORE close so Stop() never shuts down a recycled fd.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+  }
+  ::close(fd);
+  if (shutdown_requested) {
+    {
+      std::lock_guard<std::mutex> lock(shutdown_mu_);
+      shutdown_ = true;
+    }
+    shutdown_cv_.notify_all();
+  }
+}
+
+std::string JobServer::HandleLine(const std::string& line,
+                                  bool* shutdown_requested) {
+  auto request = JsonObject::Parse(line);
+  if (!request.ok()) return ErrorLine(request.status());
+
+  auto cmd = request->StringOr("cmd", "");
+  if (!cmd.ok()) return ErrorLine(cmd.status());
+
+  if (*cmd == "submit") {
+    auto spec = ParseJobSpec(*request);
+    if (!spec.ok()) return ErrorLine(spec.status());
+    auto id = manager_->Submit(*spec);
+    if (!id.ok()) return ErrorLine(id.status());
+    return JsonWriter().Bool("ok", true).UInt("id", *id).Close();
+  }
+
+  if (*cmd == "status" || *cmd == "wait" || *cmd == "cancel") {
+    auto id = request->GetInt("id");
+    if (!id.ok()) return ErrorLine(id.status());
+    if (*id < 0) return ErrorLine(Status::InvalidArgument("bad id"));
+    uint64_t job_id = static_cast<uint64_t>(*id);
+
+    if (*cmd == "cancel") {
+      Status cancelled = manager_->Cancel(job_id);
+      if (!cancelled.ok()) return ErrorLine(cancelled);
+      auto record = manager_->GetJob(job_id);
+      if (!record.ok()) return ErrorLine(record.status());
+      return JsonWriter()
+          .Bool("ok", true)
+          .Raw("job", JobRecordToJson(*record))
+          .Close();
+    }
+
+    Result<JobRecord> record = Status::OK();
+    if (*cmd == "status") {
+      record = manager_->GetJob(job_id);
+    } else {
+      auto timeout = request->IntOr("timeout_ms", -1);
+      if (!timeout.ok()) return ErrorLine(timeout.status());
+      record = manager_->Wait(job_id, *timeout);
+    }
+    if (!record.ok()) return ErrorLine(record.status());
+    return JsonWriter()
+        .Bool("ok", true)
+        .Raw("job", JobRecordToJson(*record))
+        .Close();
+  }
+
+  if (*cmd == "jobs") {
+    std::string array = "[";
+    bool first = true;
+    for (const JobRecord& record : manager_->ListJobs()) {
+      if (!first) array += ',';
+      first = false;
+      array += JobRecordToJson(record);
+    }
+    array += ']';
+    return JsonWriter().Bool("ok", true).Raw("jobs", array).Close();
+  }
+
+  if (*cmd == "shutdown") {
+    *shutdown_requested = true;
+    return JsonWriter().Bool("ok", true).Close();
+  }
+
+  return ErrorLine(Status::InvalidArgument("unknown cmd: " + *cmd));
+}
+
+void JobServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_; });
+}
+
+void JobServer::Stop() {
+  bool was_stopping = stopping_.exchange(true, std::memory_order_acq_rel);
+  if (!was_stopping && listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblock accept()
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> connections;
+  {
+    // Half-close every live connection so threads parked in recv() on
+    // idle clients return instead of hanging the join below.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) t.join();
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+}  // namespace tgpp::service

@@ -1,0 +1,77 @@
+// JobServer: the `tgpp serve` daemon's socket front-end (docs/SERVICE.md).
+//
+// Listens on a unix-domain socket or loopback TCP, speaks one JSON object
+// per line in each direction, and translates the protocol verbs
+// (submit/status/wait/cancel/jobs/shutdown) into JobManager calls. Each
+// connection gets its own thread — connections are few (CLI clients and
+// bench harnesses), and a blocking `wait` must not starve other clients.
+
+#ifndef TGPP_SERVICE_SERVER_H_
+#define TGPP_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/job_manager.h"
+
+namespace tgpp::service {
+
+struct ServerOptions {
+  // Exactly one transport: a unix socket path, or (when empty) loopback
+  // TCP on `tcp_port` (0 = kernel-assigned ephemeral port, see port()).
+  std::string unix_path;
+  int tcp_port = 0;
+};
+
+class JobServer {
+ public:
+  JobServer(JobManager* manager, ServerOptions options);
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  // Binds + listens + starts the accept thread.
+  Status Start();
+
+  // Blocks until a client sends `shutdown` or Stop() is called.
+  void WaitForShutdown();
+
+  // Closes the listener, joins the accept and connection threads. Does
+  // NOT shut the JobManager down — the owner does that (so tests can
+  // inspect terminal job states after the server is gone). Idempotent.
+  void Stop();
+
+  // Resolved TCP port (after Start with tcp_port = 0).
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  // One request line -> one response line. Sets *shutdown_requested when
+  // the verb was `shutdown`.
+  std::string HandleLine(const std::string& line, bool* shutdown_requested);
+
+  JobManager* manager_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::vector<int> conn_fds_;  // open connection fds, for Stop() to unblock
+  std::atomic<bool> stopping_{false};
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace tgpp::service
+
+#endif  // TGPP_SERVICE_SERVER_H_

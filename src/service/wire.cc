@@ -1,0 +1,380 @@
+#include "service/wire.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tgpp::service {
+namespace {
+
+// Cursor over the input line. Parsing never throws; every malformed
+// construct surfaces as InvalidArgument naming the offset.
+struct Cursor {
+  const std::string& s;
+  size_t i = 0;
+
+  void SkipWs() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool AtEnd() {
+    SkipWs();
+    return i >= s.size();
+  }
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("bad JSON at offset " +
+                                   std::to_string(i) + ": " + what);
+  }
+  Status Expect(char c) {
+    SkipWs();
+    if (i >= s.size() || s[i] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++i;
+    return Status::OK();
+  }
+};
+
+Status ParseStringToken(Cursor* c, std::string* out) {
+  TGPP_RETURN_IF_ERROR(c->Expect('"'));
+  out->clear();
+  while (c->i < c->s.size()) {
+    char ch = c->s[c->i++];
+    if (ch == '"') return Status::OK();
+    if (ch == '\\') {
+      if (c->i >= c->s.size()) return c->Fail("dangling escape");
+      char esc = c->s[c->i++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        default:
+          return c->Fail("unsupported escape");
+      }
+    } else {
+      out->push_back(ch);
+    }
+  }
+  return c->Fail("unterminated string");
+}
+
+// Advances past one balanced {...} or [...] (strings respected) and
+// returns the raw slice including the brackets.
+Status SkipRaw(Cursor* c, std::string* out) {
+  c->SkipWs();
+  size_t start = c->i;
+  int depth = 0;
+  while (c->i < c->s.size()) {
+    char ch = c->s[c->i];
+    if (ch == '"') {
+      std::string ignored;
+      TGPP_RETURN_IF_ERROR(ParseStringToken(c, &ignored));
+      continue;
+    }
+    ++c->i;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') {
+      --depth;
+      if (depth == 0) {
+        *out = c->s.substr(start, c->i - start);
+        return Status::OK();
+      }
+    }
+  }
+  return c->Fail("unbalanced brackets");
+}
+
+}  // namespace
+
+Result<JsonObject> JsonObject::Parse(const std::string& line) {
+  JsonObject obj;
+  Cursor c{line};
+  TGPP_RETURN_IF_ERROR(c.Expect('{'));
+  c.SkipWs();
+  if (c.i < line.size() && line[c.i] == '}') {
+    ++c.i;
+    return obj;
+  }
+  while (true) {
+    std::string key;
+    TGPP_RETURN_IF_ERROR(ParseStringToken(&c, &key));
+    TGPP_RETURN_IF_ERROR(c.Expect(':'));
+    c.SkipWs();
+    if (c.i >= line.size()) return c.Fail("missing value");
+
+    Value value;
+    char ch = line[c.i];
+    if (ch == '"') {
+      value.kind = Kind::kString;
+      TGPP_RETURN_IF_ERROR(ParseStringToken(&c, &value.text));
+    } else if (ch == '{' || ch == '[') {
+      value.kind = Kind::kRaw;
+      TGPP_RETURN_IF_ERROR(SkipRaw(&c, &value.text));
+    } else if (line.compare(c.i, 4, "true") == 0) {
+      value.kind = Kind::kBool;
+      value.boolean = true;
+      c.i += 4;
+    } else if (line.compare(c.i, 5, "false") == 0) {
+      value.kind = Kind::kBool;
+      c.i += 5;
+    } else if (line.compare(c.i, 4, "null") == 0) {
+      value.kind = Kind::kNull;
+      c.i += 4;
+    } else {
+      value.kind = Kind::kNumber;
+      size_t start = c.i;
+      while (c.i < line.size() &&
+             (std::isdigit(static_cast<unsigned char>(line[c.i])) ||
+              line[c.i] == '-' || line[c.i] == '+' || line[c.i] == '.' ||
+              line[c.i] == 'e' || line[c.i] == 'E')) {
+        ++c.i;
+      }
+      if (c.i == start) return c.Fail("unrecognized value");
+      value.text = line.substr(start, c.i - start);
+    }
+    obj.values_.emplace(std::move(key), std::move(value));
+
+    c.SkipWs();
+    if (c.i < line.size() && line[c.i] == ',') {
+      ++c.i;
+      continue;
+    }
+    TGPP_RETURN_IF_ERROR(c.Expect('}'));
+    break;
+  }
+  return obj;
+}
+
+bool JsonObject::Has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+Result<std::string> JsonObject::GetString(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::InvalidArgument("missing field '" + key + "'");
+  }
+  if (it->second.kind != Kind::kString) {
+    return Status::InvalidArgument("field '" + key + "' is not a string");
+  }
+  return it->second.text;
+}
+
+Result<int64_t> JsonObject::GetInt(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::InvalidArgument("missing field '" + key + "'");
+  }
+  if (it->second.kind != Kind::kNumber) {
+    return Status::InvalidArgument("field '" + key + "' is not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.text.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.text.c_str()) {
+    return Status::InvalidArgument("field '" + key + "' is not an integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<bool> JsonObject::GetBool(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::InvalidArgument("missing field '" + key + "'");
+  }
+  if (it->second.kind != Kind::kBool) {
+    return Status::InvalidArgument("field '" + key + "' is not a bool");
+  }
+  return it->second.boolean;
+}
+
+Result<std::string> JsonObject::StringOr(const std::string& key,
+                                         std::string fallback) const {
+  if (!Has(key)) return fallback;
+  return GetString(key);
+}
+
+Result<int64_t> JsonObject::IntOr(const std::string& key,
+                                  int64_t fallback) const {
+  if (!Has(key)) return fallback;
+  return GetInt(key);
+}
+
+Result<bool> JsonObject::BoolOr(const std::string& key, bool fallback) const {
+  if (!Has(key)) return fallback;
+  return GetBool(key);
+}
+
+Result<std::string> JsonObject::GetRaw(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::InvalidArgument("missing field '" + key + "'");
+  }
+  if (it->second.kind != Kind::kRaw) {
+    return Status::InvalidArgument("field '" + key + "' is not nested");
+  }
+  return it->second.text;
+}
+
+Result<std::vector<std::string>> JsonObject::GetArray(
+    const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::InvalidArgument("missing field '" + key + "'");
+  }
+  const std::string& raw = it->second.text;
+  if (it->second.kind != Kind::kRaw || raw.empty() || raw[0] != '[') {
+    return Status::InvalidArgument("field '" + key + "' is not an array");
+  }
+  std::vector<std::string> elements;
+  Cursor c{raw};
+  TGPP_RETURN_IF_ERROR(c.Expect('['));
+  c.SkipWs();
+  if (c.i < raw.size() && raw[c.i] == ']') return elements;
+  while (true) {
+    std::string element;
+    c.SkipWs();
+    if (c.i < raw.size() && (raw[c.i] == '{' || raw[c.i] == '[')) {
+      TGPP_RETURN_IF_ERROR(SkipRaw(&c, &element));
+    } else if (c.i < raw.size() && raw[c.i] == '"') {
+      TGPP_RETURN_IF_ERROR(ParseStringToken(&c, &element));
+    } else {
+      size_t start = c.i;
+      while (c.i < raw.size() && raw[c.i] != ',' && raw[c.i] != ']') ++c.i;
+      element = raw.substr(start, c.i - start);
+    }
+    elements.push_back(std::move(element));
+    c.SkipWs();
+    if (c.i < raw.size() && raw[c.i] == ',') {
+      ++c.i;
+      continue;
+    }
+    TGPP_RETURN_IF_ERROR(c.Expect(']'));
+    break;
+  }
+  return elements;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Sep(const char* key) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += '"';
+  out_ += key;
+  out_ += "\":";
+}
+
+JsonWriter& JsonWriter::Str(const char* key, const std::string& value) {
+  Sep(key);
+  out_ += '"';
+  out_ += EscapeJson(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(const char* key, int64_t value) {
+  Sep(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(const char* key, uint64_t value) {
+  Sep(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(const char* key, double value) {
+  Sep(key);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(const char* key, bool value) {
+  Sep(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(const char* key, const std::string& json) {
+  Sep(key);
+  out_ += json;
+  return *this;
+}
+
+std::string JsonWriter::Close() { return out_ + "}"; }
+
+Result<JobSpec> ParseJobSpec(const JsonObject& request) {
+  JobSpec spec;
+  TGPP_ASSIGN_OR_RETURN(spec.query, request.StringOr("query", spec.query));
+  TGPP_ASSIGN_OR_RETURN(
+      auto iterations,
+      request.IntOr("iterations", spec.iterations));
+  spec.iterations = static_cast<int>(iterations);
+  TGPP_ASSIGN_OR_RETURN(auto source, request.IntOr("source", 0));
+  if (source < 0) return Status::InvalidArgument("source must be >= 0");
+  spec.source = static_cast<VertexId>(source);
+  TGPP_ASSIGN_OR_RETURN(auto priority, request.IntOr("priority", 0));
+  spec.priority = static_cast<int>(priority);
+  TGPP_ASSIGN_OR_RETURN(spec.deadline_ms, request.IntOr("deadline_ms", 0));
+  TGPP_ASSIGN_OR_RETURN(spec.deterministic,
+                        request.BoolOr("deterministic", true));
+  return spec;
+}
+
+std::string JobRecordToJson(const JobRecord& record) {
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", record.result_crc);
+  JsonWriter w;
+  w.UInt("id", record.id)
+      .Str("query", record.spec.query)
+      .Str("state", JobStateName(record.state))
+      .Str("crc32", crc)
+      .UInt("aggregate", record.aggregate)
+      .Int("supersteps", record.supersteps)
+      .UInt("reserved_bytes", record.reserved_bytes)
+      .Double("queue_wait_s", record.queue_wait_seconds)
+      .Double("run_s", record.run_seconds);
+  if (!record.error.empty()) {
+    w.Str("error", record.error).Str("code", record.status_code);
+  }
+  return w.Close();
+}
+
+std::string ErrorLine(const Status& status) {
+  return JsonWriter()
+      .Bool("ok", false)
+      .Str("error", status.message())
+      .Str("code", StatusCodeToString(status.code()))
+      .Close();
+}
+
+}  // namespace tgpp::service

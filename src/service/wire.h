@@ -1,0 +1,90 @@
+// Wire codec for the job-service line protocol (docs/SERVICE.md).
+//
+// Every request and response is ONE JSON object per line. Requests are
+// flat (string/number/bool values only); responses may carry one level of
+// nesting ("jobs": [...]), which the parser exposes as raw slices so the
+// client can re-parse each element. Hand-rolled because the build has no
+// JSON dependency — the grammar here is deliberately the subset the
+// protocol emits, not general JSON (no unicode escapes, no nested access
+// beyond raw slices).
+
+#ifndef TGPP_SERVICE_WIRE_H_
+#define TGPP_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/job.h"
+
+namespace tgpp::service {
+
+// A parsed flat JSON object. Object/array values are kept as raw text,
+// re-parseable with another Parse call per element via GetArray.
+class JsonObject {
+ public:
+  static Result<JsonObject> Parse(const std::string& line);
+
+  bool Has(const std::string& key) const;
+  // Typed getters: error on missing key or wrong type. The *Or forms
+  // return `fallback` when the key is absent (but still error on a
+  // present-but-mistyped value, which is a malformed request).
+  Result<std::string> GetString(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<bool> GetBool(const std::string& key) const;
+  Result<std::string> StringOr(const std::string& key,
+                               std::string fallback) const;
+  Result<int64_t> IntOr(const std::string& key, int64_t fallback) const;
+  Result<bool> BoolOr(const std::string& key, bool fallback) const;
+  // Raw text of a nested object/array value, re-parseable with Parse.
+  Result<std::string> GetRaw(const std::string& key) const;
+  // Raw element texts of an array value (each "{...}" etc.).
+  Result<std::vector<std::string>> GetArray(const std::string& key) const;
+
+ private:
+  enum class Kind { kString, kNumber, kBool, kNull, kRaw };
+  struct Value {
+    Kind kind;
+    std::string text;  // decoded string / number text / raw slice
+    bool boolean = false;
+  };
+  std::map<std::string, Value> values_;
+};
+
+std::string EscapeJson(const std::string& s);
+
+// Incremental builder for one flat JSON object line.
+class JsonWriter {
+ public:
+  JsonWriter& Str(const char* key, const std::string& value);
+  JsonWriter& Int(const char* key, int64_t value);
+  JsonWriter& UInt(const char* key, uint64_t value);
+  JsonWriter& Double(const char* key, double value);
+  JsonWriter& Bool(const char* key, bool value);
+  // Pre-serialized JSON (an object or array) as the value.
+  JsonWriter& Raw(const char* key, const std::string& json);
+  std::string Close();
+
+ private:
+  void Sep(const char* key);
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+// {"cmd":"submit", ...} -> JobSpec, validating field types. Unknown keys
+// are ignored (forward compatibility).
+Result<JobSpec> ParseJobSpec(const JsonObject& request);
+
+// Serializes a record as a flat object: id, query, state, crc32 (hex),
+// aggregate, supersteps, reserved_bytes, queue_wait_s, run_s, and — when
+// terminal-with-error — error + code.
+std::string JobRecordToJson(const JobRecord& record);
+
+// {"ok":false,"error":...,"code":"Timeout"}.
+std::string ErrorLine(const Status& status);
+
+}  // namespace tgpp::service
+
+#endif  // TGPP_SERVICE_WIRE_H_

@@ -16,6 +16,7 @@
 #include "common/fault_injector.h"
 #include "core/system.h"
 #include "graph/rmat.h"
+#include "service/job_manager.h"
 
 namespace tgpp {
 namespace {
@@ -127,6 +128,33 @@ TEST_F(ChaosTest, PersistentMessageLossFailsWithTimeoutNotHang) {
   auto stats = system.RunQuery(app, options);
   ASSERT_FALSE(stats.ok());
   EXPECT_TRUE(stats.status().IsTimeout()) << stats.status().ToString();
+}
+
+TEST_F(ChaosTest, ServiceDeadlineUnderFabricDelayTimesOutCleanly) {
+  const EdgeList graph = GenerateRmatX(12, 25);
+
+  // Every fabric send stalls 50 ms, so supersteps crawl and the job's
+  // 300 ms deadline fires mid-run. The service must surface Timeout at
+  // the next superstep boundary — no hung barrier, no leaked reservation.
+  ASSERT_TRUE(fault::Configure("fabric.send:delay@ms=50", /*seed=*/9).ok());
+  TurboGraphSystem system(ChaosCluster("svc_deadline"));
+  ASSERT_TRUE(system.LoadGraph(graph).ok());
+
+  service::JobManager manager(system.cluster(), system.partition());
+  service::JobSpec spec;
+  spec.query = "pr";
+  spec.iterations = 1000;
+  spec.deadline_ms = 300;
+  auto id = manager.Submit(spec);
+  ASSERT_TRUE(id.ok());
+
+  auto record = manager.Wait(*id, /*timeout_ms=*/60000);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_EQ(record->state, service::JobState::kFailed);
+  EXPECT_EQ(record->status_code, "Timeout");
+  EXPECT_EQ(record->reserved_bytes, 0u);
+  EXPECT_EQ(manager.ledger().reserved(), 0u);
+  EXPECT_GT(fault::InjectedCount(), 0u);
 }
 
 TEST_F(ChaosTest, CrashWithoutCheckpointsFailsCleanly) {

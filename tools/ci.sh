@@ -26,9 +26,33 @@ if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake --build "$root/$asan" -j"$(nproc)" \
         --target fault_injector_test chaos_recovery_test \
                  fabric_cluster_test storage_test status_logging_test \
-                 metrics_registry_test buffer_pool_concurrency_test
+                 metrics_registry_test buffer_pool_concurrency_test \
+                 job_service_test
   ctest --test-dir "$root/$asan" --output-on-failure \
-        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos'
+        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos|JobService'
+
+  # Job-service smoke under ASan: serve a small graph on a temp unix
+  # socket, submit a PageRank job, poll it to completion, list jobs, and
+  # shut the daemon down cleanly (docs/SERVICE.md).
+  cmake --build "$root/$asan" -j"$(nproc)" --target tgpp_cli
+  smoke_dir="$(mktemp -d /tmp/tgpp_ci_service.XXXXXX)"
+  trap 'rm -rf "$smoke_dir"' EXIT
+  "$root/$asan/tools/tgpp" generate --scale=10 --out="$smoke_dir/g.bin" \
+      --undirected
+  "$root/$asan/tools/tgpp" serve --graph="$smoke_dir/g.bin" \
+      --socket="$smoke_dir/tgpp.sock" --workdir="$smoke_dir/cluster" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$smoke_dir/tgpp.sock" ] && break
+    kill -0 "$serve_pid" || { echo "ci: serve died" >&2; exit 1; }
+    sleep 0.2
+  done
+  [ -S "$smoke_dir/tgpp.sock" ] || { echo "ci: serve never bound" >&2; exit 1; }
+  "$root/$asan/tools/tgpp" submit --socket="$smoke_dir/tgpp.sock" \
+      --query=pr --iterations=3 --wait --timeout-ms=120000
+  "$root/$asan/tools/tgpp" jobs --socket="$smoke_dir/tgpp.sock"
+  "$root/$asan/tools/tgpp" shutdown --socket="$smoke_dir/tgpp.sock"
+  wait "$serve_pid"
 
   # ThreadSanitizer pass over the lock/latch-heavy suites: the buffer
   # pool's overlapped miss path (frame claim/publish races, pin CAS,

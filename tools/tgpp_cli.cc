@@ -6,11 +6,24 @@
 //                  [--scheme=bbp|random|hash]
 //   tgpp run       --graph=graph.bin --query=pr|sssp|wcc|tc|lcc|clique4
 //                  [--machines=4] [--budget-mb=32] [--iterations=10]
-//                  [--source=0] [--workdir=/tmp/tgpp_cli]
+//                  [--source=0] [--workdir=/tmp/tgpp_cli] [--q=1]
 //                  [--trace-out=trace.json]
 //                  [--metrics-out=metrics.prom] [--progress]
 //                  [--faults=SPEC] [--fault-seed=42]
 //                  [--checkpoint-every=N] [--deterministic]
+//   tgpp serve     --graph=graph.bin (--socket=PATH | --port=N)
+//                  [--machines=4] [--budget-mb=32] [--q=0 (auto)]
+//                  [--max-running=2] [--recv-timeout-ms=60000]
+//                  [--ledger-bytes=0] [--reservation-bytes=0]
+//                  [--metrics-out=metrics.prom] [--trace-out=trace.json]
+//                  [--workdir=/tmp/tgpp_serve]
+//   tgpp submit    (--socket=PATH | --port=N) [--query=pr]
+//                  [--iterations=10] [--source=0] [--priority=0]
+//                  [--deadline-ms=0] [--nondeterministic]
+//                  [--wait] [--timeout-ms=-1]
+//   tgpp jobs      (--socket=PATH | --port=N)
+//   tgpp cancel    (--socket=PATH | --port=N) --id=N
+//   tgpp shutdown  (--socket=PATH | --port=N)
 //
 // --trace-out records an execution trace of the run (superstep phases,
 // async I/O, fabric traffic, barriers — one track per simulated machine)
@@ -32,13 +45,24 @@
 // results) independent of thread/message timing. Grammar and recovery
 // semantics: docs/FAULTS.md.
 //
-// Exit code 0 on success; failures print the Status and exit 1.
+// `tgpp serve` runs the multi-query job service over one shared cluster
+// (admission control, scheduling, cancellation) speaking line-delimited
+// JSON over the socket; `tgpp submit`/`tgpp jobs`/`tgpp cancel`/
+// `tgpp shutdown` are its clients. Protocol and lifecycle: docs/SERVICE.md.
+//
+// Exit codes (all subcommands): 0 success, 2 usage error, 3 timeout
+// (deadline exceeded), 4 cancelled, 5 internal/other failure. `tgpp
+// submit --wait` maps the job's terminal state through the same table.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
+#include <type_traits>
 
 #include "algos/clique4.h"
 #include "algos/lcc.h"
@@ -52,6 +76,11 @@
 #include "graph/rmat.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "service/client.h"
+#include "service/job_manager.h"
+#include "service/server.h"
+#include "service/wire.h"
+#include "util/crc32.h"
 #include "util/trace.h"
 
 namespace tgpp::cli {
@@ -84,13 +113,16 @@ bool FlagBool(int argc, char** argv, const std::string& key) {
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCodeForStatus(status);
 }
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tgpp <generate|stats|partition|run> [--flags]\n"
-               "see the header of tools/tgpp_cli.cc for details\n");
+               "usage: tgpp <generate|stats|partition|run|serve|submit|"
+               "jobs|cancel|shutdown> [--flags]\n"
+               "see the header of tools/tgpp_cli.cc for details\n"
+               "exit codes: 0 ok, 2 usage, 3 timeout, 4 cancelled, "
+               "5 internal\n");
   return 2;
 }
 
@@ -213,11 +245,23 @@ int CmdRun(int argc, char** argv) {
   }
 
   TurboGraphSystem system(MakeClusterConfig(argc, argv));
-  Status s = system.LoadGraph(std::move(*graph));
+  Status s = system.LoadGraph(std::move(*graph), PartitionScheme::kBbp,
+                              static_cast<int>(FlagInt(argc, argv, "q", 1)));
   if (!s.ok()) return Fail(s);
   std::printf("partitioned in %.3fs (q=%d)\n",
               system.last_partition_seconds(), system.partition()->q);
   system.cluster()->ResetCountersAndCaches();
+
+  // With --deterministic the final attributes are bit-reproducible, so
+  // this digest (original-id order, the same one the job service
+  // records) lets a serial run be compared against service results.
+  const bool print_digest = options.deterministic;
+  auto digest = [&](const auto& attrs) {
+    if (!print_digest || attrs.empty()) return;
+    using Attr = typename std::remove_reference_t<decltype(attrs)>::value_type;
+    std::printf("result: crc32=%08x\n",
+                Crc32(attrs.data(), attrs.size() * sizeof(Attr)));
+  };
 
   Result<QueryStats> stats = Status::InvalidArgument("unknown query: " +
                                                      query);
@@ -234,6 +278,7 @@ int CmdRun(int argc, char** argv) {
       }
       std::printf("top vertex: v%llu (pr=%.4f)\n",
                   static_cast<unsigned long long>(best), ranks[best].pr);
+      digest(ranks);
     }
   } else if (query == "sssp") {
     auto app = MakeSsspApp(
@@ -248,6 +293,7 @@ int CmdRun(int argc, char** argv) {
       }
       std::printf("reachable vertices: %llu\n",
                   static_cast<unsigned long long>(reachable));
+      digest(dists);
     }
   } else if (query == "wcc") {
     auto app = MakeWccApp(system.partition());
@@ -257,6 +303,7 @@ int CmdRun(int argc, char** argv) {
       std::set<uint64_t> components;
       for (const WccAttr& l : labels) components.insert(l.label);
       std::printf("components: %zu\n", components.size());
+      digest(labels);
     }
   } else if (query == "tc") {
     auto app = MakeTriangleCountingApp();
@@ -274,6 +321,7 @@ int CmdRun(int argc, char** argv) {
       for (const LccAttr& a : attrs) sum += a.lcc;
       std::printf("mean lcc: %.4f\n",
                   attrs.empty() ? 0.0 : sum / attrs.size());
+      digest(attrs);
     }
   } else if (query == "clique4") {
     auto app = MakeFourCliqueApp();
@@ -313,6 +361,231 @@ int CmdRun(int argc, char** argv) {
   return 0;
 }
 
+int CmdServe(int argc, char** argv) {
+  const std::string socket_path = FlagStr(argc, argv, "socket", "");
+  const int tcp_port = static_cast<int>(FlagInt(argc, argv, "port", -1));
+  if (socket_path.empty() && tcp_port < 0) {
+    std::fprintf(stderr, "serve: need --socket=PATH or --port=N\n");
+    return Usage();
+  }
+  auto graph = LoadEdgeList(FlagStr(argc, argv, "graph", "graph.bin"));
+  if (!graph.ok()) return Fail(graph.status());
+  const std::string trace_out = FlagStr(argc, argv, "trace-out", "");
+  if (!trace_out.empty()) trace::SetEnabled(true);
+
+  ClusterConfig config = MakeClusterConfig(argc, argv);
+  if (FlagStr(argc, argv, "workdir", "").empty()) {
+    // Distinct default from `tgpp run` so a serial comparison run does
+    // not clobber the daemon's working files.
+    std::filesystem::remove_all(config.root_dir);
+    config.root_dir = "/tmp/tgpp_serve";
+    std::filesystem::remove_all(config.root_dir);
+  }
+
+  service::JobServiceOptions svc;
+  svc.max_running = static_cast<int>(FlagInt(argc, argv, "max-running", 2));
+  svc.recv_timeout_ms = FlagInt(argc, argv, "recv-timeout-ms", 60000);
+  svc.ledger_capacity_override =
+      static_cast<uint64_t>(FlagInt(argc, argv, "ledger-bytes", 0));
+  svc.reservation_override =
+      static_cast<uint64_t>(FlagInt(argc, argv, "reservation-bytes", 0));
+
+  TurboGraphSystem system(config);
+  int q = static_cast<int>(FlagInt(argc, argv, "q", 0));
+  if (q < 1) {
+    // Size chunks so max_running concurrent k=1 queries each fit in
+    // their share of the per-machine window budget (docs/SERVICE.md).
+    auto q_auto = service::RequiredQForService(
+        *system.cluster(), graph->num_vertices, svc.max_running);
+    if (!q_auto.ok()) return Fail(q_auto.status());
+    q = *q_auto;
+  }
+  Status s = system.LoadGraph(std::move(*graph), PartitionScheme::kBbp, q);
+  if (!s.ok()) return Fail(s);
+  system.cluster()->ResetCountersAndCaches();
+
+  service::JobManager manager(system.cluster(), system.partition(), svc);
+  service::ServerOptions server_options;
+  server_options.unix_path = socket_path;
+  server_options.tcp_port = tcp_port < 0 ? 0 : tcp_port;
+  service::JobServer server(&manager, server_options);
+  s = server.Start();
+  if (!s.ok()) return Fail(s);
+  if (!socket_path.empty()) {
+    std::printf("serving on unix:%s (q=%d, max_running=%d, ledger=%llu "
+                "bytes)\n",
+                socket_path.c_str(), q, svc.max_running,
+                static_cast<unsigned long long>(manager.ledger().capacity()));
+  } else {
+    std::printf("serving on 127.0.0.1:%d (q=%d, max_running=%d, "
+                "ledger=%llu bytes)\n",
+                server.port(), q, svc.max_running,
+                static_cast<unsigned long long>(manager.ledger().capacity()));
+  }
+  std::fflush(stdout);
+
+  const std::string metrics_out = FlagStr(argc, argv, "metrics-out", "");
+  std::atomic<bool> done{false};
+  std::thread refresher;
+  if (!metrics_out.empty()) {
+    refresher = std::thread([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        (void)obs::WritePrometheusFile(obs::Registry::Global(), metrics_out);
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+    });
+  }
+
+  server.WaitForShutdown();
+  server.Stop();
+  manager.Shutdown();
+  if (refresher.joinable()) {
+    done.store(true, std::memory_order_release);
+    refresher.join();
+  }
+
+  int jobs_done = 0, jobs_failed = 0, jobs_cancelled = 0;
+  for (const service::JobRecord& record : manager.ListJobs()) {
+    switch (record.state) {
+      case service::JobState::kDone: ++jobs_done; break;
+      case service::JobState::kCancelled: ++jobs_cancelled; break;
+      default: ++jobs_failed; break;
+    }
+  }
+  std::printf("served %d jobs: %d done, %d failed, %d cancelled\n",
+              jobs_done + jobs_failed + jobs_cancelled, jobs_done,
+              jobs_failed, jobs_cancelled);
+  if (!metrics_out.empty()) {
+    Status ms = obs::WritePrometheusFile(obs::Registry::Global(), metrics_out);
+    if (!ms.ok()) return Fail(ms);
+    std::printf("metrics: %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    Status ts = trace::WriteChromeTrace(trace_out);
+    if (!ts.ok()) return Fail(ts);
+    std::printf("trace: %s\n", trace_out.c_str());
+  }
+  return 0;
+}
+
+Result<service::ServiceClient> ConnectFromFlags(int argc, char** argv) {
+  const std::string socket_path = FlagStr(argc, argv, "socket", "");
+  if (!socket_path.empty()) {
+    return service::ServiceClient::ConnectUnix(socket_path);
+  }
+  const int port = static_cast<int>(FlagInt(argc, argv, "port", -1));
+  if (port < 0) {
+    return Status::InvalidArgument("need --socket=PATH or --port=N");
+  }
+  return service::ServiceClient::ConnectTcp(
+      FlagStr(argc, argv, "host", "127.0.0.1"), port);
+}
+
+void PrintJobLine(const service::JsonObject& job) {
+  auto field = [&](const char* key) {
+    auto v = job.StringOr(key, "-");
+    return v.ok() ? *v : std::string("-");
+  };
+  auto num = [&](const char* key) {
+    auto v = job.IntOr(key, 0);
+    return v.ok() ? *v : int64_t{0};
+  };
+  std::printf("job %lld %-8s %-9s crc32=%s supersteps=%lld",
+              static_cast<long long>(num("id")), field("query").c_str(),
+              field("state").c_str(), field("crc32").c_str(),
+              static_cast<long long>(num("supersteps")));
+  if (job.Has("error")) {
+    std::printf(" error=%s (%s)", field("error").c_str(),
+                field("code").c_str());
+  }
+  std::printf("\n");
+}
+
+// Exit code for a terminal job state, same table as ExitCodeForStatus.
+int ExitCodeForJob(const service::JsonObject& job) {
+  auto state = job.StringOr("state", "");
+  if (!state.ok()) return 5;
+  if (*state == "done") return 0;
+  if (*state == "cancelled") return 4;
+  auto code = job.StringOr("code", "");
+  return (code.ok() && *code == "Timeout") ? 3 : 5;
+}
+
+int CmdSubmit(int argc, char** argv) {
+  auto client = ConnectFromFlags(argc, argv);
+  if (!client.ok()) return Fail(client.status());
+
+  service::JsonWriter request;
+  request.Str("cmd", "submit")
+      .Str("query", FlagStr(argc, argv, "query", "pr"))
+      .Int("iterations", FlagInt(argc, argv, "iterations", 10))
+      .Int("source", FlagInt(argc, argv, "source", 0))
+      .Int("priority", FlagInt(argc, argv, "priority", 0))
+      .Int("deadline_ms", FlagInt(argc, argv, "deadline-ms", 0))
+      .Bool("deterministic", !FlagBool(argc, argv, "nondeterministic"));
+  auto response = client->Call(request.Close());
+  if (!response.ok()) return Fail(response.status());
+  auto id = response->GetInt("id");
+  if (!id.ok()) return Fail(id.status());
+  std::printf("submitted job %lld\n", static_cast<long long>(*id));
+
+  if (!FlagBool(argc, argv, "wait")) return 0;
+  service::JsonWriter wait;
+  wait.Str("cmd", "wait")
+      .Int("id", *id)
+      .Int("timeout_ms", FlagInt(argc, argv, "timeout-ms", -1));
+  auto waited = client->Call(wait.Close());
+  if (!waited.ok()) return Fail(waited.status());
+  auto raw = waited->GetRaw("job");
+  Result<service::JsonObject> job =
+      raw.ok() ? service::JsonObject::Parse(*raw)
+               : Result<service::JsonObject>(raw.status());
+  if (!job.ok()) return Fail(job.status());
+  PrintJobLine(*job);
+  return ExitCodeForJob(*job);
+}
+
+int CmdJobs(int argc, char** argv) {
+  auto client = ConnectFromFlags(argc, argv);
+  if (!client.ok()) return Fail(client.status());
+  auto response =
+      client->Call(service::JsonWriter().Str("cmd", "jobs").Close());
+  if (!response.ok()) return Fail(response.status());
+  auto jobs = response->GetArray("jobs");
+  if (!jobs.ok()) return Fail(jobs.status());
+  for (const std::string& element : *jobs) {
+    auto job = service::JsonObject::Parse(element);
+    if (!job.ok()) return Fail(job.status());
+    PrintJobLine(*job);
+  }
+  return 0;
+}
+
+int CmdCancel(int argc, char** argv) {
+  const int64_t id = FlagInt(argc, argv, "id", -1);
+  if (id < 0) {
+    std::fprintf(stderr, "cancel: need --id=N\n");
+    return Usage();
+  }
+  auto client = ConnectFromFlags(argc, argv);
+  if (!client.ok()) return Fail(client.status());
+  auto response = client->Call(
+      service::JsonWriter().Str("cmd", "cancel").Int("id", id).Close());
+  if (!response.ok()) return Fail(response.status());
+  std::printf("cancel requested for job %lld\n", static_cast<long long>(id));
+  return 0;
+}
+
+int CmdShutdown(int argc, char** argv) {
+  auto client = ConnectFromFlags(argc, argv);
+  if (!client.ok()) return Fail(client.status());
+  auto response =
+      client->Call(service::JsonWriter().Str("cmd", "shutdown").Close());
+  if (!response.ok()) return Fail(response.status());
+  std::printf("shutdown acknowledged\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace tgpp::cli
 
@@ -324,5 +597,10 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "partition") return CmdPartition(argc, argv);
   if (cmd == "run") return CmdRun(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "submit") return CmdSubmit(argc, argv);
+  if (cmd == "jobs") return CmdJobs(argc, argv);
+  if (cmd == "cancel") return CmdCancel(argc, argv);
+  if (cmd == "shutdown") return CmdShutdown(argc, argv);
   return Usage();
 }
