@@ -1,0 +1,89 @@
+// Direction-optimizing breadth-first search (Beamer's hybrid BFS on the
+// NWSM engine; docs/ALGORITHMS.md).
+//
+// Push supersteps are the classic frontier-driven level expansion: newly
+// settled vertices scatter dist+1 to their neighbors. Pull supersteps
+// (pull_scatter, chosen per superstep by the engine when
+// EngineOptions::frontier.direction is kPull/kAuto) invert the loop:
+// every unsettled vertex scans its own adjacency records for a frontier
+// member and settles itself on the first hit — on the large middle
+// frontiers of low-diameter graphs this touches a small fraction of the
+// edges the push direction would stream, and ships zero update bytes.
+//
+// Pull correctness requires a symmetric graph (run MakeUndirected before
+// loading), since a record's out-fragment then equals its in-fragment.
+// Distances are schedule-independent (dist = BFS level regardless of
+// direction or update order), so push, pull and auto runs — and runs at
+// any machine count — produce bit-identical results.
+
+#ifndef TGPP_ALGOS_BFS_H_
+#define TGPP_ALGOS_BFS_H_
+
+#include <limits>
+
+#include "core/app.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+struct BfsAttr {
+  uint64_t dist;
+};
+
+inline constexpr uint64_t kBfsUnreached =
+    std::numeric_limits<uint64_t>::max();
+
+// `source_old_id` is in the ORIGINAL (pre-renumbering) ID space.
+inline KWalkApp<BfsAttr, uint64_t> MakeBfsApp(const PartitionedGraph* pg,
+                                              VertexId source_old_id) {
+  const VertexId source = pg->old_to_new[source_old_id];
+  KWalkApp<BfsAttr, uint64_t> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kUpdatedOnly;
+  app.max_supersteps = static_cast<int>(pg->num_vertices) + 1;
+
+  app.init = [source](VertexId vid, BfsAttr& attr) {
+    attr.dist = (vid == source) ? 0 : kBfsUnreached;
+    return vid == source;
+  };
+  app.adj_scatter[1] = [](ScatterContext<BfsAttr, uint64_t>& ctx, VertexId,
+                          const BfsAttr& attr,
+                          std::span<const VertexId> adj) {
+    if (attr.dist == kBfsUnreached) return;
+    const uint64_t candidate = attr.dist + 1;
+    for (VertexId v : adj) ctx.Update(v, candidate);
+  };
+  // Pull direction: an unsettled vertex u adopts level superstep+1 as
+  // soon as one neighbor is in the frontier (all frontier vertices hold
+  // dist == superstep, so the candidate needs no lookup).
+  app.pull_scatter = [](ScatterContext<BfsAttr, uint64_t>& ctx, VertexId u,
+                        const BfsAttr&, std::span<const VertexId> adj,
+                        const std::function<bool(VertexId)>& in_frontier) {
+    const uint64_t candidate = static_cast<uint64_t>(ctx.superstep()) + 1;
+    for (VertexId v : adj) {
+      if (in_frontier(v)) {
+        ctx.Update(u, candidate);
+        return;
+      }
+    }
+  };
+  app.pull_done = [](const BfsAttr& attr) {
+    return attr.dist != kBfsUnreached;
+  };
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) {
+    if (in < acc) acc = in;
+  };
+  app.vertex_apply = [](VertexId, BfsAttr& attr, const uint64_t* update) {
+    if (update != nullptr && *update < attr.dist) {
+      attr.dist = *update;
+      return true;
+    }
+    return false;
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_BFS_H_

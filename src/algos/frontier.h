@@ -1,0 +1,262 @@
+// Work-efficient frontier subsystem: sparse/dense frontier
+// representations, per-window density decisions, and push/pull direction
+// selection (docs/ALGORITHMS.md, "Frontiers and direction").
+//
+// The design follows Beamer's direction-optimizing BFS and the
+// Ligra-style |frontier| + deg(frontier) density rule that Dhulipala,
+// Blelloch and Shun use across their algorithm catalog (PAPERS.md):
+//
+//   - A Frontier holds a dense bitmap (ground truth) plus, while the
+//     population is small, a sorted index list. Adds past the sparse
+//     capacity automatically drop the list (sparse -> dense switch);
+//     RebuildSparse() re-materializes it when the population has shrunk
+//     back (dense -> sparse).
+//   - A FrontierView is the per-superstep, per-machine snapshot the
+//     engine takes of its active bitmap: it materializes the index list
+//     only when cheap, and answers the per-window range queries
+//     (count / degree sum / iteration) that the NWSM scatter loop needs.
+//   - ChooseDirection / ChooseWindowMode are the pure decision
+//     functions, unit-tested in tests/frontier_test.cc and applied by
+//     NwsmEngine per superstep (direction) and per vertex window
+//     (sparse vs. dense scan).
+//
+// This header is intentionally dependency-light (bitmap + graph types
+// only): core/engine.h includes it, and kernels in src/algos/ may use it
+// without pulling in the engine.
+
+#ifndef TGPP_ALGOS_FRONTIER_H_
+#define TGPP_ALGOS_FRONTIER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/bitmap.h"
+
+namespace tgpp {
+
+// Scatter direction of one superstep. Push streams edges of frontier
+// sources and sends updates to their destinations; pull scans the edge
+// chunks of *undecided* vertices and lets each read its (symmetric)
+// neighborhood, early-exiting on the first frontier neighbor.
+enum class Direction { kPush, kPull };
+
+// Engine-level direction policy (EngineOptions::frontier.direction).
+enum class DirectionMode {
+  kPush,  // always push — the naive vertex-centric schedule (default)
+  kPull,  // always pull (kernels providing pull_scatter only)
+  kAuto,  // per-superstep Beamer/Ligra-style switching
+};
+
+// How a Frontier/FrontierView currently answers queries.
+enum class FrontierRep { kSparse, kDense };
+
+// How the scatter loop treats one vertex window.
+enum class WindowMode {
+  kSkip,    // no active source in the window — skip it entirely
+  kSparse,  // materialize only the active sources' adjacency lists
+  kDense,   // stream every edge chunk of the window (the default)
+};
+
+// Thresholds for the decision functions; embedded in EngineOptions as
+// `frontier`. All defaults keep the engine's historical behavior (always
+// push, always dense windows) so existing queries are bit-identical.
+struct FrontierOptions {
+  DirectionMode direction = DirectionMode::kPush;
+  // Switch push -> pull when |frontier| + deg(frontier) exceeds
+  // (n + m) / pull_den (Ligra's rule with its default denominator 20).
+  uint64_t pull_den = 20;
+  // Hysteresis: once pulling, return to push only when |frontier| drops
+  // below n / push_den (Beamer's beta).
+  uint64_t push_den = 20;
+  // Enable per-window sparse scans in push mode.
+  bool sparse_windows = false;
+  // A window is scanned sparsely when
+  // (active + deg(active)) * sparse_den < edges-in-window: the point
+  // lookups must beat the full stream by a margin that covers their
+  // per-page overhead.
+  uint64_t sparse_den = 8;
+  // Sparse index lists are kept only while the population is at most
+  // range_size / sparse_list_den (the sparse<->dense conversion
+  // threshold for Frontier and FrontierView).
+  uint64_t sparse_list_den = 8;
+};
+
+// Pure per-superstep direction decision. `prev` feeds the hysteresis;
+// callers pass kPush on the first superstep.
+inline Direction ChooseDirection(Direction prev, uint64_t frontier_vertices,
+                                 uint64_t frontier_degree,
+                                 uint64_t num_vertices, uint64_t num_edges,
+                                 const FrontierOptions& options) {
+  if (frontier_vertices == 0) return Direction::kPush;
+  if (prev == Direction::kPull) {
+    const uint64_t den = std::max<uint64_t>(1, options.push_den);
+    return frontier_vertices < num_vertices / den ? Direction::kPush
+                                                  : Direction::kPull;
+  }
+  const uint64_t den = std::max<uint64_t>(1, options.pull_den);
+  const uint64_t work = frontier_vertices + frontier_degree;
+  return work > (num_vertices + num_edges) / den ? Direction::kPull
+                                                 : Direction::kPush;
+}
+
+// Pure per-window density decision (push mode). `active` and
+// `active_degree` describe the frontier restricted to the window;
+// `window_edges` is the total record count of the window's edge chunks.
+inline WindowMode ChooseWindowMode(uint64_t active, uint64_t active_degree,
+                                   uint64_t window_edges,
+                                   const FrontierOptions& options) {
+  if (active == 0) return WindowMode::kSkip;
+  if (!options.sparse_windows) return WindowMode::kDense;
+  const uint64_t work = active + active_degree;
+  return work * options.sparse_den < window_edges ? WindowMode::kSparse
+                                                  : WindowMode::kDense;
+}
+
+// An owning frontier: dense bitmap always maintained, sorted index list
+// while the population is within the sparse capacity. Add() is idempotent
+// and automatically drops the list on overflow (the sparse -> dense
+// switch). Not thread-safe for concurrent Add (Test is).
+class Frontier {
+ public:
+  Frontier() = default;
+  Frontier(uint64_t num_bits, uint64_t sparse_capacity) {
+    Reset(num_bits, sparse_capacity);
+  }
+
+  void Reset(uint64_t num_bits, uint64_t sparse_capacity) {
+    bits_.Resize(num_bits);
+    bits_.ClearAll();
+    num_bits_ = num_bits;
+    sparse_capacity_ = sparse_capacity;
+    sparse_.clear();
+    has_sparse_ = true;
+    sorted_ = true;
+    size_ = 0;
+  }
+
+  void Add(uint64_t v) {
+    if (!bits_.TestAndSet(v)) return;  // already present
+    ++size_;
+    if (!has_sparse_) return;
+    if (sparse_.size() >= sparse_capacity_) {
+      // Sparse -> dense: the list no longer pays for itself.
+      has_sparse_ = false;
+      sparse_.clear();
+      sparse_.shrink_to_fit();
+      return;
+    }
+    if (!sparse_.empty() && v < sparse_.back()) sorted_ = false;
+    sparse_.push_back(v);
+  }
+
+  bool Test(uint64_t v) const { return bits_.Test(v); }
+  uint64_t size() const { return size_; }
+  uint64_t num_bits() const { return num_bits_; }
+  FrontierRep rep() const {
+    return has_sparse_ ? FrontierRep::kSparse : FrontierRep::kDense;
+  }
+
+  // Re-materializes the index list when the population fits (the
+  // dense -> sparse conversion, e.g. after a frontier has collapsed).
+  // Returns the representation in effect afterwards.
+  FrontierRep RebuildSparse() {
+    if (has_sparse_) return FrontierRep::kSparse;
+    if (size_ > sparse_capacity_) return FrontierRep::kDense;
+    sparse_.clear();
+    bits_.ForEachSet([&](uint64_t v) { sparse_.push_back(v); });
+    has_sparse_ = true;
+    sorted_ = true;
+    return FrontierRep::kSparse;
+  }
+
+  // Iterates active ids in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_sparse_) {
+      if (!sorted_) {
+        std::sort(sparse_.begin(), sparse_.end());
+        sorted_ = true;
+      }
+      for (uint64_t v : sparse_) fn(v);
+      return;
+    }
+    bits_.ForEachSet([&](uint64_t v) { fn(v); });
+  }
+
+ private:
+  AtomicBitmap bits_;
+  mutable std::vector<uint64_t> sparse_;
+  uint64_t num_bits_ = 0;
+  uint64_t sparse_capacity_ = 0;
+  uint64_t size_ = 0;
+  bool has_sparse_ = true;
+  mutable bool sorted_ = true;
+};
+
+// A non-owning per-superstep snapshot of a machine's active bitmap with
+// the range queries the scatter loop needs. Build() materializes the
+// sorted index list only when the population is at most
+// `sparse_capacity`; above that all queries fall back to the bitmap.
+// The referenced bitmap must outlive the view and stay unmodified while
+// the view is used (the engine's active set is stable during scatter).
+class FrontierView {
+ public:
+  void Build(const AtomicBitmap& bits, uint64_t sparse_capacity) {
+    bits_ = &bits;
+    sparse_.clear();
+    count_ = bits.CountSet();
+    has_sparse_ = count_ <= sparse_capacity;
+    if (has_sparse_) {
+      sparse_.reserve(count_);
+      bits.ForEachSet([&](uint64_t v) { sparse_.push_back(v); });
+    }
+  }
+
+  FrontierRep rep() const {
+    return has_sparse_ ? FrontierRep::kSparse : FrontierRep::kDense;
+  }
+  uint64_t count() const { return count_; }
+
+  // Population of [lo, hi) — bit offsets into the underlying bitmap.
+  uint64_t CountInRange(uint64_t lo, uint64_t hi) const {
+    if (has_sparse_) {
+      auto begin = std::lower_bound(sparse_.begin(), sparse_.end(), lo);
+      auto end = std::lower_bound(begin, sparse_.end(), hi);
+      return static_cast<uint64_t>(end - begin);
+    }
+    return bits_->CountSetInRange(lo, hi);
+  }
+
+  // Iterates active bit offsets in [lo, hi), ascending.
+  template <typename Fn>
+  void ForEachIn(uint64_t lo, uint64_t hi, Fn&& fn) const {
+    if (has_sparse_) {
+      auto begin = std::lower_bound(sparse_.begin(), sparse_.end(), lo);
+      for (auto it = begin; it != sparse_.end() && *it < hi; ++it) fn(*it);
+      return;
+    }
+    bits_->ForEachSet(lo, hi, [&](uint64_t v) { fn(v); });
+  }
+
+  // Sum of degree_of(bit) over active bits in [lo, hi) — the frontier
+  // work estimate behind ChooseWindowMode. O(active in range).
+  template <typename DegreeFn>
+  uint64_t DegreeInRange(uint64_t lo, uint64_t hi,
+                         DegreeFn&& degree_of) const {
+    uint64_t sum = 0;
+    ForEachIn(lo, hi, [&](uint64_t v) { sum += degree_of(v); });
+    return sum;
+  }
+
+ private:
+  const AtomicBitmap* bits_ = nullptr;
+  std::vector<uint64_t> sparse_;
+  uint64_t count_ = 0;
+  bool has_sparse_ = false;
+};
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_FRONTIER_H_

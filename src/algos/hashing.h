@@ -1,0 +1,29 @@
+// Deterministic hashing shared by kernels and their references.
+//
+// Derandomized kernels (delta-stepping edge weights, label-propagation
+// neighbor sampling, MIS round priorities) replace random draws with
+// hashes of stable quantities — ORIGINAL vertex ids and round numbers —
+// so the distributed engine and the single-threaded references in
+// reference.cc compute *identical* pseudo-random choices and results
+// match bit for bit under --deterministic (docs/ALGORITHMS.md).
+
+#ifndef TGPP_ALGOS_HASHING_H_
+#define TGPP_ALGOS_HASHING_H_
+
+#include <cstdint>
+
+#include "util/rng.h"  // the 1-arg Mix64 (SplitMix64 finalizer)
+
+namespace tgpp {
+
+inline uint64_t Mix64(uint64_t a, uint64_t b) {
+  return Mix64(a + 0x632be59bd9b4e019ull * (b + 1));
+}
+
+inline uint64_t Mix64(uint64_t a, uint64_t b, uint64_t c) {
+  return Mix64(Mix64(a, b), c);
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_HASHING_H_

@@ -1,0 +1,105 @@
+// k-core decomposition (coreness of every vertex) by staged synchronous
+// peeling (docs/ALGORITHMS.md).
+//
+// Phase k repeatedly removes vertices whose residual degree is < k; a
+// removed vertex broadcasts one decrement to each neighbor, then leaves
+// the computation. When a phase reaches a fixed point (frontier drains),
+// on_quiescent bumps k and the next apply pass — apply runs on all
+// vertices — starts the next peel. A vertex removed during phase k has
+// coreness k-1. The peeling order within a phase does not affect
+// coreness (classic k-core property) and all messages are commutative
+// +1 decrements, so results are bit-identical across machine counts and
+// window modes.
+//
+// Expects a symmetric, deduplicated, self-loop-free graph (run
+// DeduplicateEdges + MakeUndirected before loading): residual degree
+// tracking assumes out-degree == in-degree == #neighbors.
+//
+// Uses shared scheduling atomics (current k, alive count) outside vertex
+// attributes: do not combine with EngineOptions::checkpoint_every.
+
+#ifndef TGPP_ALGOS_KCORE_H_
+#define TGPP_ALGOS_KCORE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+
+#include "core/app.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+struct KcoreAttr {
+  uint64_t degree;  // residual degree among not-yet-removed vertices
+  uint64_t core;    // coreness, valid once state != kKcoreAlive
+  uint64_t state;   // kKcoreAlive / kKcoreJustRemoved / kKcoreGone
+};
+
+inline constexpr uint64_t kKcoreAlive = 0;
+inline constexpr uint64_t kKcoreJustRemoved = 1;  // broadcasts this superstep
+inline constexpr uint64_t kKcoreGone = 2;
+
+inline KWalkApp<KcoreAttr, uint64_t> MakeKcoreApp(
+    const PartitionedGraph* pg) {
+  struct KcoreState {
+    std::atomic<uint64_t> k{1};    // current peeling phase
+    std::atomic<uint64_t> alive{0};
+  };
+  auto st = std::make_shared<KcoreState>();
+  st->alive.store(pg->num_vertices, std::memory_order_relaxed);
+
+  KWalkApp<KcoreAttr, uint64_t> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kAllVertices;  // phase starts re-examine
+                                             // every alive vertex
+  const uint64_t step_bound = 3 * pg->num_vertices + 64;
+  app.max_supersteps = static_cast<int>(
+      std::min<uint64_t>(step_bound, std::numeric_limits<int>::max() / 2));
+
+  app.init = [pg](VertexId vid, KcoreAttr& attr) {
+    attr.degree = pg->out_degree[vid];
+    attr.core = 0;
+    attr.state = kKcoreAlive;
+    return false;  // the first apply pass performs the k=1 peel
+  };
+  // A just-removed vertex sends one decrement per neighbor; the sum
+  // combiner collapses them into per-target removal counts.
+  app.adj_scatter[1] = [](ScatterContext<KcoreAttr, uint64_t>& ctx, VertexId,
+                          const KcoreAttr& attr,
+                          std::span<const VertexId> adj) {
+    if (attr.state != kKcoreJustRemoved) return;
+    for (VertexId v : adj) ctx.Update(v, 1);
+  };
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) { acc += in; };
+  app.vertex_apply = [st](VertexId, KcoreAttr& attr,
+                          const uint64_t* update) {
+    if (attr.state == kKcoreGone) return false;
+    if (attr.state == kKcoreJustRemoved) {
+      // Broadcast happened in the scatter phase of this superstep.
+      attr.state = kKcoreGone;
+      return false;
+    }
+    if (update != nullptr) attr.degree -= std::min(*update, attr.degree);
+    const uint64_t k = st->k.load(std::memory_order_relaxed);
+    if (attr.degree < k) {
+      attr.state = kKcoreJustRemoved;
+      attr.core = k - 1;
+      st->alive.fetch_sub(1, std::memory_order_relaxed);
+      return true;  // activate to broadcast decrements next superstep
+    }
+    return false;
+  };
+  app.on_quiescent = [st](int) {
+    if (st->alive.load(std::memory_order_relaxed) == 0) return false;
+    st->k.fetch_add(1, std::memory_order_relaxed);
+    return true;  // start the next peeling phase
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_KCORE_H_

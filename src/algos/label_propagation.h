@@ -1,0 +1,84 @@
+// Synchronous label propagation (community detection), derandomized
+// (docs/ALGORITHMS.md).
+//
+// Classic LPA adopts the most frequent label among a vertex's neighbors,
+// breaking ties randomly — both the frequency count and the tie-break
+// are order-sensitive, which breaks bit-determinism on a distributed
+// engine. This variant instead adopts the label of a pseudo-randomly
+// chosen neighbor per round: every edge (u, v) draws the deterministic
+// key Mix64(old_u, old_v, round) and v adopts the label carried by its
+// minimum-key in-edge. The min-by-(key, label) combiner is associative
+// and commutative, so results are bit-identical across machine counts,
+// directions and window modes, and match ReferenceLabelProp exactly.
+// Runs a fixed number of rounds (no convergence test — LPA label
+// oscillation makes fixed rounds the standard choice for benchmarks).
+
+#ifndef TGPP_ALGOS_LABEL_PROPAGATION_H_
+#define TGPP_ALGOS_LABEL_PROPAGATION_H_
+
+#include "algos/hashing.h"
+#include "common/logging.h"
+#include "core/app.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+struct LpAttr {
+  uint64_t label;
+  uint64_t round;  // rounds applied so far (drives termination)
+};
+
+// Wire update: the edge's draw key plus the label it carries. Gather
+// keeps the (key, label)-lexicographic minimum.
+struct LpUpdate {
+  uint64_t key;
+  uint64_t label;
+};
+
+// Deterministic per-round edge draw, hashed from ORIGINAL endpoint ids
+// so the engine and the reference agree edge by edge.
+inline uint64_t LpEdgeKey(uint64_t old_u, uint64_t old_v, uint64_t round) {
+  return Mix64(old_u, old_v, round);
+}
+
+inline KWalkApp<LpAttr, LpUpdate> MakeLabelPropagationApp(
+    const PartitionedGraph* pg, int rounds = 10) {
+  TGPP_CHECK(rounds >= 1) << "label propagation needs >= 1 round";
+  const uint64_t total = static_cast<uint64_t>(rounds);
+  KWalkApp<LpAttr, LpUpdate> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kAllVertices;  // every vertex adopts (or
+                                             // keeps) a label each round
+  app.max_supersteps = rounds + 1;
+
+  app.init = [pg](VertexId vid, LpAttr& attr) {
+    attr.label = pg->new_to_old[vid];
+    attr.round = 0;
+    return true;
+  };
+  app.adj_scatter[1] = [pg](ScatterContext<LpAttr, LpUpdate>& ctx,
+                            VertexId u, const LpAttr& attr,
+                            std::span<const VertexId> adj) {
+    const uint64_t t = static_cast<uint64_t>(ctx.superstep());
+    const uint64_t old_u = pg->new_to_old[u];
+    for (VertexId v : adj) {
+      ctx.Update(v, {LpEdgeKey(old_u, pg->new_to_old[v], t), attr.label});
+    }
+  };
+  app.vertex_gather = [](LpUpdate& acc, const LpUpdate& in) {
+    if (in.key < acc.key || (in.key == acc.key && in.label < acc.label)) {
+      acc = in;
+    }
+  };
+  app.vertex_apply = [total](VertexId, LpAttr& attr,
+                             const LpUpdate* update) {
+    if (update != nullptr) attr.label = update->label;
+    return ++attr.round < total;
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_LABEL_PROPAGATION_H_

@@ -1,0 +1,106 @@
+// Maximal independent set via derandomized Luby rounds
+// (docs/ALGORITHMS.md).
+//
+// Each Luby round takes two supersteps. In the priority superstep every
+// undecided vertex broadcasts its round priority (a hash of its ORIGINAL
+// id and the round number); a vertex that beats the minimum it hears —
+// or hears nothing — joins the set. In the knockout superstep the new
+// members broadcast once more and their undecided neighbors drop out.
+// Hash priorities replace Luby's random draws, so the round structure
+// (and the resulting set) is a pure function of the graph: bit-identical
+// across machine counts, window modes, and to ReferenceMis.
+//
+// Requires a symmetric graph without self-loops (run DeduplicateEdges +
+// MakeUndirected before loading). Priorities pack the original id into
+// the low bits to break hash collisions, which caps supported graphs at
+// 2^24 vertices (checked in the factory).
+
+#ifndef TGPP_ALGOS_MIS_H_
+#define TGPP_ALGOS_MIS_H_
+
+#include "algos/hashing.h"
+#include "common/logging.h"
+#include "core/app.h"
+#include "partition/partitioner.h"
+
+namespace tgpp {
+
+struct MisAttr {
+  uint64_t state;  // kMisUndecided / kMisInNew / kMisIn / kMisOut
+  uint64_t step;   // supersteps applied (parity selects the phase)
+};
+
+inline constexpr uint64_t kMisUndecided = 0;
+inline constexpr uint64_t kMisInNew = 1;  // joined this round, must knock out
+inline constexpr uint64_t kMisIn = 2;     // final: in the MIS
+inline constexpr uint64_t kMisOut = 3;    // final: dominated by a member
+
+// Distinct per-round priority: hash in the high 40 bits, ORIGINAL id in
+// the low 24 as a collision-proof tie-break.
+inline uint64_t MisPriority(uint64_t old_id, uint64_t round) {
+  return (Mix64(old_id, round) << 24) | (old_id & 0xFFFFFFull);
+}
+
+inline KWalkApp<MisAttr, uint64_t> MakeMisApp(const PartitionedGraph* pg) {
+  TGPP_CHECK(pg->num_vertices < (1ull << 24))
+      << "MIS priorities reserve 24 bits for the vertex id";
+  KWalkApp<MisAttr, uint64_t> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kAllVertices;  // phase parity must tick on
+                                             // every vertex
+  app.max_supersteps = static_cast<int>(2 * pg->num_vertices) + 8;
+
+  app.init = [](VertexId, MisAttr& attr) {
+    attr.state = kMisUndecided;
+    attr.step = 0;
+    return true;  // round 0's priority superstep covers all vertices
+  };
+  app.adj_scatter[1] = [pg](ScatterContext<MisAttr, uint64_t>& ctx,
+                            VertexId u, const MisAttr& attr,
+                            std::span<const VertexId> adj) {
+    const int t = ctx.superstep();
+    if (t % 2 == 0) {
+      if (attr.state != kMisUndecided) return;
+      const uint64_t key =
+          MisPriority(pg->new_to_old[u], static_cast<uint64_t>(t) / 2);
+      for (VertexId v : adj) ctx.Update(v, key);
+    } else {
+      if (attr.state != kMisInNew) return;
+      for (VertexId v : adj) ctx.Update(v, 1);  // knockout ping
+    }
+  };
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) {
+    if (in < acc) acc = in;
+  };
+  app.vertex_apply = [pg](VertexId vid, MisAttr& attr,
+                          const uint64_t* update) {
+    const uint64_t s = attr.step++;
+    if (s % 2 == 0) {
+      // Priority phase: join if no undecided neighbor outranks us.
+      if (attr.state != kMisUndecided) return false;
+      const uint64_t mine = MisPriority(pg->new_to_old[vid], s / 2);
+      if (update == nullptr || *update > mine) {
+        attr.state = kMisInNew;
+        return true;  // broadcast the knockout next superstep
+      }
+      return false;
+    }
+    // Knockout phase.
+    if (attr.state == kMisInNew) {
+      attr.state = kMisIn;
+      return false;
+    }
+    if (attr.state != kMisUndecided) return false;
+    if (update != nullptr) {
+      attr.state = kMisOut;  // a neighbor joined this round
+      return false;
+    }
+    return true;  // survivor: contend in the next priority phase
+  };
+  return app;
+}
+
+}  // namespace tgpp
+
+#endif  // TGPP_ALGOS_MIS_H_

@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <limits>
+#include <queue>
+#include <utility>
 
+// Kernel headers are included for the shared deterministic hash helpers
+// (SsspEdgeWeight, LpEdgeKey, MisPriority) so reference and engine use
+// the exact same pseudo-random draws.
+#include "algos/label_propagation.h"
+#include "algos/mis.h"
+#include "algos/sssp.h"
 #include "graph/csr.h"
 
 namespace tgpp {
@@ -123,6 +132,153 @@ uint64_t ReferenceFourCliqueCount(const EdgeList& graph) {
     }
   }
   return count;
+}
+
+std::vector<uint64_t> ReferenceBfs(const EdgeList& graph, VertexId source) {
+  const Csr csr = Csr::Build(graph);
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> dist(graph.num_vertices, kInf);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : csr.Neighbors(u)) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> ReferenceSsspWeighted(const EdgeList& graph,
+                                            VertexId source,
+                                            uint64_t max_weight) {
+  const Csr csr = Csr::Build(graph);
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> dist(graph.num_vertices, kInf);
+  using Entry = std::pair<uint64_t, VertexId>;  // (distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;  // stale entry
+    for (VertexId v : csr.Neighbors(u)) {
+      const uint64_t nd = d + SsspEdgeWeight(u, v, max_weight);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> ReferenceKCore(const EdgeList& graph) {
+  const Csr csr = Csr::Build(graph);
+  const uint64_t n = graph.num_vertices;
+  std::vector<uint64_t> degree(n);
+  std::vector<uint64_t> core(n, 0);
+  std::vector<uint8_t> removed(n, 0);
+  uint64_t alive = n;
+  for (VertexId v = 0; v < n; ++v) degree[v] = csr.Degree(v);
+  for (uint64_t k = 1; alive > 0; ++k) {
+    // Synchronous peeling rounds, matching the engine's phase structure:
+    // all sub-k vertices of a round are removed together, then their
+    // decrements land, then the next round re-tests.
+    for (;;) {
+      std::vector<VertexId> batch;
+      for (VertexId v = 0; v < n; ++v) {
+        if (!removed[v] && degree[v] < k) batch.push_back(v);
+      }
+      if (batch.empty()) break;
+      for (VertexId v : batch) {
+        removed[v] = 1;
+        core[v] = k - 1;
+        --alive;
+      }
+      for (VertexId v : batch) {
+        for (VertexId u : csr.Neighbors(v)) {
+          if (!removed[u] && degree[u] > 0) --degree[u];
+        }
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<uint64_t> ReferenceLabelProp(const EdgeList& graph, int rounds) {
+  const Csr csr = Csr::Build(graph);
+  const uint64_t n = graph.num_vertices;
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v] = v;
+  std::vector<uint64_t> best_key(n);
+  std::vector<uint64_t> best_label(n);
+  for (int t = 0; t < rounds; ++t) {
+    std::fill(best_key.begin(), best_key.end(), kInf);
+    std::fill(best_label.begin(), best_label.end(), kInf);
+    for (VertexId u = 0; u < n; ++u) {
+      const uint64_t label_u = labels[u];
+      for (VertexId v : csr.Neighbors(u)) {
+        const uint64_t key = LpEdgeKey(u, v, static_cast<uint64_t>(t));
+        if (key < best_key[v] ||
+            (key == best_key[v] && label_u < best_label[v])) {
+          best_key[v] = key;
+          best_label[v] = label_u;
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (best_key[v] != kInf) labels[v] = best_label[v];
+    }
+  }
+  return labels;
+}
+
+std::vector<uint8_t> ReferenceMis(const EdgeList& graph) {
+  const Csr csr = Csr::Build(graph);
+  const uint64_t n = graph.num_vertices;
+  std::vector<uint8_t> in_set(n, 0);
+  std::vector<uint8_t> decided(n, 0);
+  uint64_t undecided = n;
+  for (uint64_t round = 0; undecided > 0; ++round) {
+    // Priority phase: a vertex joins when it outranks (smaller priority
+    // than) every undecided neighbor.
+    std::vector<VertexId> joiners;
+    for (VertexId v = 0; v < n; ++v) {
+      if (decided[v]) continue;
+      const uint64_t mine = MisPriority(v, round);
+      bool wins = true;
+      for (VertexId u : csr.Neighbors(v)) {
+        if (!decided[u] && MisPriority(u, round) <= mine) {
+          wins = false;
+          break;
+        }
+      }
+      if (wins) joiners.push_back(v);
+    }
+    for (VertexId v : joiners) {
+      in_set[v] = 1;
+      decided[v] = 1;
+      --undecided;
+    }
+    // Knockout phase: undecided neighbors of new members drop out.
+    for (VertexId v : joiners) {
+      for (VertexId u : csr.Neighbors(v)) {
+        if (!decided[u]) {
+          decided[u] = 1;
+          --undecided;
+        }
+      }
+    }
+  }
+  return in_set;
 }
 
 std::vector<double> ReferenceLcc(const EdgeList& graph) {

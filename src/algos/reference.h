@@ -1,8 +1,12 @@
-// Single-threaded in-memory reference implementations of the five queries.
+// Single-threaded in-memory reference implementations of every query in
+// the catalog (docs/ALGORITHMS.md).
 //
 // These are the ground truth that unit/property tests validate the NWSM
 // engine and every baseline system against. They operate in the ORIGINAL
-// vertex-ID space.
+// vertex-ID space. Derandomized references (weighted SSSP, label
+// propagation, MIS) share their hash functions with the kernels
+// (algos/hashing.h and the kernel headers) so engine results match bit
+// for bit.
 
 #ifndef TGPP_ALGOS_REFERENCE_H_
 #define TGPP_ALGOS_REFERENCE_H_
@@ -36,6 +40,30 @@ std::vector<double> ReferenceLcc(const EdgeList& graph);
 
 // 4-clique count of an undirected, deduplicated, loop-free graph.
 uint64_t ReferenceFourCliqueCount(const EdgeList& graph);
+
+// BFS levels from `source` (kBfsUnreached == UINT64_MAX when
+// unreachable). Identical to ReferenceSssp; kept separate so the BFS
+// kernel validates against an independently-named ground truth.
+std::vector<uint64_t> ReferenceBfs(const EdgeList& graph, VertexId source);
+
+// Dijkstra over the hashed integer weights SsspEdgeWeight(u, v,
+// max_weight) — the ground truth for delta-stepping SSSP.
+std::vector<uint64_t> ReferenceSsspWeighted(const EdgeList& graph,
+                                            VertexId source,
+                                            uint64_t max_weight);
+
+// Coreness of every vertex by iterative peeling. Expects an undirected,
+// deduplicated, loop-free graph.
+std::vector<uint64_t> ReferenceKCore(const EdgeList& graph);
+
+// Derandomized synchronous label propagation: per round t, v adopts the
+// label carried by its minimum-LpEdgeKey in-edge (ties broken by smaller
+// label). Expects an undirected graph.
+std::vector<uint64_t> ReferenceLabelProp(const EdgeList& graph, int rounds);
+
+// Derandomized Luby MIS over MisPriority rounds: 1 = in the set,
+// 0 = dominated. Expects an undirected, deduplicated, loop-free graph.
+std::vector<uint8_t> ReferenceMis(const EdgeList& graph);
 
 }  // namespace tgpp
 

@@ -1,4 +1,7 @@
-// Single-source shortest paths (unit edge weights) as a one-walk query.
+// Single-source shortest paths as a one-walk query: the classic
+// unit-weight Bellman-Ford style kernel (MakeSsspApp) and a
+// work-efficient delta-stepping variant over hashed integer weights
+// (MakeSsspDeltaApp; docs/ALGORITHMS.md).
 //
 // Frontier-driven: only vertices whose distance improved are active in the
 // next superstep; the engine's chunk-level frontier skipping means quiet
@@ -7,8 +10,12 @@
 #ifndef TGPP_ALGOS_SSSP_H_
 #define TGPP_ALGOS_SSSP_H_
 
+#include <algorithm>
+#include <atomic>
 #include <limits>
+#include <memory>
 
+#include "algos/hashing.h"
 #include "core/app.h"
 #include "partition/partitioner.h"
 
@@ -51,6 +58,124 @@ inline KWalkApp<SsspAttr, uint64_t> MakeSsspApp(const PartitionedGraph* pg,
       return true;
     }
     return false;
+  };
+  return app;
+}
+
+// --- delta-stepping SSSP over hashed weights ------------------------------
+
+// Deterministic integer edge weight in [1, max_weight], hashed from the
+// ORIGINAL endpoint ids (algos/hashing.h) so the engine and the Dijkstra
+// reference (ReferenceSsspWeighted) agree on every edge without storing
+// weights.
+inline uint64_t SsspEdgeWeight(VertexId old_u, VertexId old_v,
+                               uint64_t max_weight) {
+  return 1 + Mix64(old_u, old_v) % std::max<uint64_t>(1, max_weight);
+}
+
+struct SsspDeltaAttr {
+  uint64_t dist;       // best known distance
+  uint64_t announced;  // distance last broadcast (kInfiniteDistance = never)
+};
+
+// Delta-stepping (Meyer/Sanders) on the NWSM engine: vertices relax
+// eagerly within the current bucket [0, limit) and *park* improvements
+// beyond it. When the frontier drains, on_quiescent advances the bucket
+// limit — jumping over empty buckets to the minimum parked distance —
+// and the parked vertices reactivate in the next apply pass. With
+// delta = 1 this is bucketed Dijkstra; large delta degenerates toward
+// Bellman-Ford. Results are the exact shortest-path distances for any
+// delta, so all variants (and the reference) match bit for bit.
+//
+// Scheduling state (bucket limit, parked count) lives in shared atomics
+// outside the vertex attributes: do not combine with
+// EngineOptions::checkpoint_every (docs/ALGORITHMS.md).
+inline KWalkApp<SsspDeltaAttr, uint64_t> MakeSsspDeltaApp(
+    const PartitionedGraph* pg, VertexId source_old_id, uint64_t delta = 4,
+    uint64_t max_weight = 8) {
+  struct DeltaState {
+    std::atomic<uint64_t> limit;     // current bucket upper bound
+    std::atomic<uint64_t> parked;    // vertices holding an unannounced
+                                     // improvement >= limit
+    std::atomic<uint64_t> next_min;  // min parked distance since the
+                                     // last bucket advance
+    uint64_t delta = 1;
+  };
+  auto st = std::make_shared<DeltaState>();
+  st->delta = std::max<uint64_t>(1, delta);
+  st->limit.store(st->delta, std::memory_order_relaxed);
+  st->parked.store(0, std::memory_order_relaxed);
+  st->next_min.store(kInfiniteDistance, std::memory_order_relaxed);
+
+  const VertexId source = pg->old_to_new[source_old_id];
+  KWalkApp<SsspDeltaAttr, uint64_t> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kAllVertices;  // parked vertices reactivate
+                                             // on bucket advances
+  const uint64_t step_bound =
+      2 * pg->num_vertices +
+      (pg->num_vertices * std::max<uint64_t>(1, max_weight)) / st->delta +
+      16;
+  app.max_supersteps = static_cast<int>(
+      std::min<uint64_t>(step_bound, std::numeric_limits<int>::max() / 2));
+
+  app.init = [source](VertexId vid, SsspDeltaAttr& attr) {
+    attr.dist = (vid == source) ? 0 : kInfiniteDistance;
+    attr.announced = attr.dist;
+    return vid == source;
+  };
+  app.adj_scatter[1] = [pg, max_weight](
+                           ScatterContext<SsspDeltaAttr, uint64_t>& ctx,
+                           VertexId u, const SsspDeltaAttr& attr,
+                           std::span<const VertexId> adj) {
+    if (attr.dist == kInfiniteDistance) return;
+    const VertexId old_u = pg->new_to_old[u];
+    for (VertexId v : adj) {
+      ctx.Update(v, attr.dist +
+                        SsspEdgeWeight(old_u, pg->new_to_old[v], max_weight));
+    }
+  };
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) {
+    if (in < acc) acc = in;
+  };
+  app.vertex_apply = [st](VertexId, SsspDeltaAttr& attr,
+                          const uint64_t* update) {
+    const bool was_parked = attr.dist < attr.announced;
+    if (update != nullptr && *update < attr.dist) attr.dist = *update;
+    bool pending = attr.dist < attr.announced;
+    bool activate = false;
+    if (pending &&
+        attr.dist < st->limit.load(std::memory_order_relaxed)) {
+      attr.announced = attr.dist;
+      activate = true;
+      pending = false;
+    }
+    if (pending) {
+      uint64_t cur = st->next_min.load(std::memory_order_relaxed);
+      while (attr.dist < cur &&
+             !st->next_min.compare_exchange_weak(
+                 cur, attr.dist, std::memory_order_relaxed)) {
+      }
+      if (!was_parked) st->parked.fetch_add(1, std::memory_order_relaxed);
+    } else if (was_parked) {
+      st->parked.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return activate;
+  };
+  app.on_quiescent = [st](int) {
+    if (st->parked.load(std::memory_order_relaxed) == 0) return false;
+    const uint64_t min_parked =
+        st->next_min.exchange(kInfiniteDistance, std::memory_order_relaxed);
+    const uint64_t old_limit = st->limit.load(std::memory_order_relaxed);
+    uint64_t next = old_limit + st->delta;  // progress guarantee
+    if (min_parked != kInfiniteDistance) {
+      // Jump empty buckets: straight to the one holding the minimum
+      // parked distance (stale minima fall back to the +delta step).
+      next = std::max(next, (min_parked / st->delta + 1) * st->delta);
+    }
+    st->limit.store(next, std::memory_order_relaxed);
+    return true;
   };
   return app;
 }

@@ -22,6 +22,12 @@ void MachineMetrics::RegisterMetrics(obs::Registry* registry, int machine,
                    &updates_sent);
   obs::TryRegister(registry, out, "engine.updates_spilled", machine,
                    &updates_spilled);
+  obs::TryRegister(registry, out, "engine.frontier_sparse_windows", machine,
+                   &frontier_sparse_windows);
+  obs::TryRegister(registry, out, "engine.frontier_dense_windows", machine,
+                   &frontier_dense_windows);
+  obs::TryRegister(registry, out, "engine.pull_records_skipped", machine,
+                   &pull_records_skipped);
   obs::TryRegister(registry, out, "engine.active_vertices", machine,
                    &active_vertices);
   obs::TryRegister(registry, out, "engine.checkpoint_ns", machine,

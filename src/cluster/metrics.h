@@ -37,6 +37,13 @@ class MachineMetrics {
   obs::Counter updates_sent;
   obs::Counter updates_spilled;
 
+  // Work-efficient frontier subsystem (algos/frontier.h): vertex windows
+  // scanned sparsely (point lookups) vs. densely (full edge stream), and
+  // pull-superstep records skipped by the claimed/pull_done early exits.
+  obs::Counter frontier_sparse_windows;
+  obs::Counter frontier_dense_windows;
+  obs::Counter pull_records_skipped;
+
   // Frontier size this machine contributed at the current superstep.
   obs::Gauge active_vertices;
   // Wall-clock duration of checkpoint writes, in nanoseconds.
@@ -51,6 +58,9 @@ class MachineMetrics {
     updates_local_gathered.Reset();
     updates_sent.Reset();
     updates_spilled.Reset();
+    frontier_sparse_windows.Reset();
+    frontier_dense_windows.Reset();
+    pull_records_skipped.Reset();
     active_vertices.Reset();
     checkpoint_ns.Reset();
   }

@@ -59,6 +59,11 @@ class ScatterContext {
  public:
   int level() const { return level_; }
 
+  // The current superstep (0-based). Staged kernels (delta-stepping
+  // buckets, label-propagation rounds, MIS round parity) key their
+  // per-round randomness and sampling decisions off this.
+  int superstep() const { return superstep_; }
+
   // Emits an update to `dst` (combined en route by LGB/GGB).
   void Update(VertexId dst, const U& value) { update_fn_(dst, value); }
 
@@ -118,6 +123,7 @@ class ScatterContext {
   friend class NwsmEngine<V, U>;
 
   int level_ = 1;
+  int superstep_ = 0;
   std::function<void(VertexId, const U&)> update_fn_;
   std::function<void(VertexId)> mark_fn_;
   std::atomic<uint64_t>* aggregate_ = nullptr;
@@ -159,6 +165,37 @@ struct KWalkApp {
   // `update` is null when the vertex received no updates this superstep.
   // Returns true if the vertex is active in the next superstep.
   std::function<bool(VertexId, V&, const U*)> vertex_apply;
+
+  // --- Direction-optimizing extensions (algos/frontier.h,
+  // docs/ALGORITHMS.md). All optional; a kernel that sets none of these
+  // runs exactly as before.
+
+  // Pull-direction scatter, run instead of adj_scatter[1] on pull
+  // supersteps (k == 1, partial mode only). `u` is the record's source
+  // vertex playing the *pulling* role: on a symmetric (undirected)
+  // graph its out-list equals its in-list, so the kernel scans `adj`
+  // for frontier members (`in_frontier(v)`) and typically early-exits
+  // after the first hit. Contract: may only Update() `u` itself — the
+  // engine claims `u` after its first update and skips its remaining
+  // records this superstep.
+  std::function<void(ScatterContext<V, U>&, VertexId, const V&,
+                     std::span<const VertexId>,
+                     const std::function<bool(VertexId)>&)>
+      pull_scatter;
+
+  // Pull-superstep record skip: return true when the vertex's value can
+  // no longer change (e.g. BFS distance already settled); its records
+  // are then skipped without scanning edges.
+  std::function<bool(const V&)> pull_done;
+
+  // Called on the driver thread when a superstep ends with an empty
+  // global frontier. Return true to continue running (staged kernels
+  // advance their bucket/round in shared state and reactivate vertices
+  // in the next kAllVertices apply pass); false ends the run. Kernels
+  // using this hold scheduling state outside the checkpointed vertex
+  // attributes, so they must not be combined with
+  // EngineOptions::checkpoint_every (docs/ALGORITHMS.md).
+  std::function<bool(int superstep)> on_quiescent;
 };
 
 // Statistics returned by a query run.
@@ -169,6 +206,8 @@ struct QueryStats {
   int q_used = 1;              // vertex chunks per machine actually used
   int checkpoints = 0;         // superstep-boundary checkpoints written
   int recoveries = 0;          // rollbacks to a checkpoint (docs/FAULTS.md)
+  int push_supersteps = 0;     // supersteps scattered in push direction
+  int pull_supersteps = 0;     // supersteps scattered in pull direction
 };
 
 }  // namespace tgpp

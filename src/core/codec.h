@@ -66,6 +66,7 @@ enum MessageTag : uint32_t {
   kTagControl = 1,      // allreduce / convergence control
   kTagAdjRequest = 2,   // full adjacency list requests
   kTagAdjResponse = 3,  // full adjacency list responses
+  kTagFrontier = 4,     // pull-superstep frontier bitmap allgather
 };
 
 }  // namespace tgpp

@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "algos/frontier.h"
 #include "cluster/cluster.h"
 #include "common/cancel_token.h"
 #include "common/fault_injector.h"
@@ -201,6 +202,13 @@ struct EngineOptions {
   // time series. Runs on the engine's driver thread between supersteps;
   // keep it cheap. Null = no per-superstep reporting.
   std::function<void(const obs::SuperstepRow&)> superstep_observer;
+  // Work-efficient frontier policy (algos/frontier.h): push/pull
+  // direction selection per superstep and sparse vs. dense scans per
+  // vertex window. Defaults (always push, dense windows) reproduce the
+  // engine's historical behavior exactly; pull supersteps additionally
+  // require the app to provide pull_scatter and a symmetric graph
+  // (docs/ALGORITHMS.md).
+  FrontierOptions frontier;
 
   // --- Multi-query isolation (the job service, docs/SERVICE.md). A lone
   // engine per cluster can leave all four at their defaults; engines
@@ -209,8 +217,8 @@ struct EngineOptions {
   // files and barrier arrivals interleave.
 
   // Added to every fabric tag the engine (and its AdjacencyService)
-  // uses. Tags 0-3 are the engine's own, 8-12 belong to the baselines;
-  // the job service hands out bases starting at 16, stride 4.
+  // uses. Tags 0-4 are the engine's own, 8-12 belong to the baselines;
+  // the job service hands out bases starting at 16, stride 5.
   uint32_t fabric_tag_base = 0;
   // Prepended to every scratch file name this engine touches on machine
   // disks (vertex attributes, spill partitions, checkpoints) so
@@ -295,6 +303,7 @@ class NwsmEngine {
     }
     int recovery_attempts = 0;
     int step = 0;
+    Direction prev_direction = Direction::kPush;
     // Baseline for per-superstep deltas: counters accumulated before this
     // Run (e.g. a warmup query) are not attributed to our first row.
     ObserverTotals seen = CaptureObserverTotals(0.0);
@@ -313,6 +322,12 @@ class NwsmEngine {
       fault::SetSuperstep(step);
       current_step_.store(step, std::memory_order_relaxed);
       global_active_.store(0, std::memory_order_relaxed);
+      // Direction decision for this superstep (algos/frontier.h):
+      // computed once on the driver from the shared frontier state, so
+      // every machine agrees without a protocol round.
+      const Direction dir = ChooseSuperstepDirection(app, prev_direction);
+      current_direction_.store(dir == Direction::kPull ? 1 : 0,
+                               std::memory_order_relaxed);
       Status status = cluster_->RunOnAll(
           [&](int m) -> Status { return MachineSuperstep(m, app); });
       if (!status.ok()) {
@@ -343,11 +358,25 @@ class NwsmEngine {
         continue;
       }
       stats.supersteps = step + 1;
+      prev_direction = dir;
+      if (dir == Direction::kPull) {
+        ++stats.pull_supersteps;
+      } else {
+        ++stats.push_supersteps;
+      }
       if (options_.superstep_observer) {
         options_.superstep_observer(
             MakeSuperstepRow(step, timer.Seconds(), &seen));
       }
-      if (global_active_.load(std::memory_order_relaxed) == 0) break;
+      if (global_active_.load(std::memory_order_relaxed) == 0) {
+        // Staged kernels (delta-stepping buckets, k-core peeling phases)
+        // advance their round here and reactivate in the next apply
+        // pass; everyone else converges.
+        if (!(app.on_quiescent && step + 1 < app.max_supersteps &&
+              app.on_quiescent(step))) {
+          break;
+        }
+      }
       ++step;
       if (every > 0 && step % every == 0 && step < app.max_supersteps) {
         Status ckpt = CheckpointEpoch(step);
@@ -481,8 +510,45 @@ class NwsmEngine {
     row.buffer_hit_rate = cluster_->BufferPoolHitRate();
     row.superstep_seconds = elapsed - seen->elapsed;
     row.elapsed_seconds = elapsed;
+    row.direction =
+        current_direction_.load(std::memory_order_relaxed) ? "pull" : "push";
     *seen = now;
     return row;
+  }
+
+  // ---- frontier direction selection (algos/frontier.h) ----
+
+  // A kernel can pull only in single-level partial mode with a
+  // pull_scatter; everything else always pushes.
+  bool PullCapable(const KWalkApp<V, U>& app) const {
+    return app.k == 1 && app.mode == AdjMode::kPartial &&
+           static_cast<bool>(app.pull_scatter);
+  }
+
+  Direction ChooseSuperstepDirection(const KWalkApp<V, U>& app,
+                                     Direction prev) {
+    if (!PullCapable(app) ||
+        options_.frontier.direction == DirectionMode::kPush) {
+      return Direction::kPush;
+    }
+    if (options_.frontier.direction == DirectionMode::kPull) {
+      return Direction::kPull;
+    }
+    // kAuto: the Ligra/Beamer density rule over the global frontier.
+    // O(active) per superstep — the frontier is exactly what the scatter
+    // phase is about to iterate anyway.
+    uint64_t frontier_vertices = 0;
+    uint64_t frontier_degree = 0;
+    for (int m = 0; m < cluster_->num_machines(); ++m) {
+      const VertexId base = pg_->MachineRange(m).begin;
+      states_[m]->active.ForEachSet([&](uint64_t bit) {
+        ++frontier_vertices;
+        frontier_degree += pg_->out_degree[base + bit];
+      });
+    }
+    return ChooseDirection(prev, frontier_vertices, frontier_degree,
+                           pg_->num_vertices, pg_->num_edges,
+                           options_.frontier);
   }
 
   // ---- multi-query isolation helpers (see the EngineOptions block) ----
@@ -606,7 +672,9 @@ class NwsmEngine {
       trace::TraceSpan scatter_span("scatter", "engine");
       obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
       if (app.mode == AdjMode::kPartial) {
-        step_status = ScatterPartial(m, app);
+        step_status = current_direction_.load(std::memory_order_relaxed)
+                          ? ScatterPull(m, app)
+                          : ScatterPartial(m, app);
       } else {
         step_status = ScatterFull(m, app, adj_service.get());
       }
@@ -667,18 +735,70 @@ class NwsmEngine {
       return part.chunks[(static_cast<size_t>(i) * pq + j) * pg_->r + sub];
     };
 
+    // Work-efficient frontier snapshot (algos/frontier.h): when sparse
+    // windows are enabled, take a per-superstep view of the active set
+    // that can answer the per-window count/degree queries cheaply, plus
+    // a local adjacency reader and its memory budget for the sparse
+    // (point-lookup) scan path.
+    const FrontierOptions& fopt = options_.frontier;
+    const bool sparse_enabled = fopt.sparse_windows && app.k == 1;
+    FrontierView view;
+    std::unique_ptr<AdjacencyService> sparse_adj;
+    uint64_t sparse_adj_budget = 0;
+    if (sparse_enabled) {
+      view.Build(state.active,
+                 my_range.size() /
+                     std::max<uint64_t>(1, fopt.sparse_list_den));
+      MemoryModelInput mm;
+      mm.k = app.k;
+      mm.p = pg_->p;
+      mm.num_vertices = pg_->num_vertices;
+      mm.vertex_attr_bytes = sizeof(V);
+      mm.page_size = kPageSize;
+      mm.total_budget_bytes = machine->WindowMemoryBytes();
+      sparse_adj_budget = ComputeWindowSizes(mm, q).adj_window_bytes;
+      sparse_adj = std::make_unique<AdjacencyService>(cluster_, pg_, m);
+    }
+
     std::vector<V> vertex_window;
     for (int i = 0; i < q; ++i) {
       const VertexRange vr = pg_->VertexChunkRange(m, i);
       if (vr.size() == 0) continue;
+      const uint64_t lo = vr.begin - my_range.begin;
+      const uint64_t hi = vr.end - my_range.begin;
       // Frontier skip: no active source in this vertex window.
-      if (state.active.CountSetInRange(vr.begin - my_range.begin,
-                                       vr.end - my_range.begin) == 0) {
-        continue;
-      }
+      const uint64_t active_in_window =
+          sparse_enabled ? view.CountInRange(lo, hi)
+                         : state.active.CountSetInRange(lo, hi);
+      if (active_in_window == 0) continue;
       trace::TraceSpan window_span("scatter.window", "engine");
       window_span.AddArg("window", static_cast<uint64_t>(i));
       TGPP_RETURN_IF_ERROR(ReadAttrRange(m, vr, &vertex_window));
+
+      // Per-window density decision: a sparse frontier's few sources are
+      // fetched by point lookups instead of streaming every edge chunk
+      // of the window.
+      if (sparse_enabled && view.rep() == FrontierRep::kSparse) {
+        const uint64_t active_degree = view.DegreeInRange(
+            lo, hi,
+            [&](uint64_t bit) { return pg_->out_degree[my_range.begin + bit]; });
+        uint64_t window_edges = 0;
+        for (int j = 0; j < pq; ++j) {
+          for (int sub = 0; sub < pg_->r; ++sub) {
+            window_edges += chunk_at(i, j, sub).num_edges;
+          }
+        }
+        if (ChooseWindowMode(active_in_window, active_degree, window_edges,
+                             fopt) == WindowMode::kSparse) {
+          machine->metrics()->frontier_sparse_windows.Add(1);
+          window_span.AddArg("mode", static_cast<uint64_t>(1));
+          TGPP_RETURN_IF_ERROR(SparseWindowScatter(
+              m, app, vr, vertex_window, view, sparse_adj.get(),
+              sparse_adj_budget));
+          continue;
+        }
+      }
+      machine->metrics()->frontier_dense_windows.Add(1);
 
       for (int j = 0; j < pq; ++j) {
         uint64_t edges_in_chunk = 0;
@@ -745,6 +865,7 @@ class NwsmEngine {
 
     ScatterContext<V, U> ctx;
     ctx.level_ = 1;
+    ctx.superstep_ = current_step_.load(std::memory_order_relaxed);
     ctx.aggregate_ = &state.aggregate;
     // Ablation path: with local gather disabled, updates bypass the LGB
     // and are shipped raw (uncombined).
@@ -861,6 +982,299 @@ class NwsmEngine {
                                std::move(payload));
     }
     return Status::OK();
+  }
+
+  // ---- sparse-window scatter (work-efficient push) ----
+
+  // Scans one vertex window whose frontier is sparse: instead of
+  // streaming all of the window's edge chunks, the few active sources'
+  // full adjacency lists are materialized by point lookups through the
+  // buffer pool (the same two-level page index ScatterFull uses) and
+  // scattered directly. Valid for k == 1 partial-mode kernels, whose
+  // scatter is per-edge decomposable — a full list is just the
+  // concatenation of the record fragments the dense path would stream.
+  //
+  // Runs single-threaded per window (the frontier is tiny by
+  // construction) and emits per-owner payloads in ascending source
+  // order, so the result is deterministic independent of I/O completion
+  // order.
+  Status SparseWindowScatter(int m, KWalkApp<V, U>& app, VertexRange vr,
+                             const std::vector<V>& vertex_window,
+                             const FrontierView& view,
+                             AdjacencyService* adj_service,
+                             uint64_t adj_budget) {
+    Machine* machine = cluster_->machine(m);
+    MachineState& state = *states_[m];
+    const VertexRange my_range = pg_->MachineRange(m);
+
+    std::vector<VertexId> pending;
+    view.ForEachIn(vr.begin - my_range.begin, vr.end - my_range.begin,
+                   [&](uint64_t bit) {
+                     pending.push_back(my_range.begin + bit);
+                   });
+
+    // Insertion-ordered accumulation: combining per destination without
+    // losing the ascending-source emission order keeps payloads
+    // byte-stable run to run.
+    std::vector<std::pair<VertexId, U>> acc;
+    std::unordered_map<VertexId, size_t> slot_of;
+    ScatterContext<V, U> ctx;
+    ctx.level_ = 1;
+    ctx.superstep_ = current_step_.load(std::memory_order_relaxed);
+    ctx.aggregate_ = &state.aggregate;
+    ctx.mark_fn_ = [](VertexId) {};
+    ctx.update_fn_ = [&](VertexId dst, const U& val) {
+      machine->metrics()->updates_generated.Add(1);
+      auto [it, inserted] = slot_of.try_emplace(dst, acc.size());
+      if (inserted) {
+        acc.emplace_back(dst, val);
+      } else {
+        app.vertex_gather(acc[it->second].second, val);
+      }
+    };
+
+    size_t pos = 0;
+    while (pos < pending.size()) {
+      uint64_t batch_bytes = 0;
+      size_t end = pos;
+      while (end < pending.size()) {
+        const uint64_t bytes =
+            (pg_->out_degree[pending[end]] + 2) * sizeof(VertexId);
+        if (end > pos && batch_bytes + bytes > adj_budget) break;
+        batch_bytes += bytes;
+        ++end;
+      }
+      AdjBatch batch;
+      TGPP_RETURN_IF_ERROR(adj_service->MaterializeLocal(
+          std::span<const VertexId>(pending.data() + pos, end - pos),
+          &batch));
+      for (size_t idx = 0; idx < batch.size(); ++idx) {
+        const VertexId vid = batch.vids[idx];
+        app.adj_scatter[1](ctx, vid, vertex_window[vid - vr.begin],
+                           batch.Neighbors(idx));
+      }
+      pos = end;
+    }
+
+    // Ship per owner machine (same wire format as the raw/full paths).
+    std::vector<std::vector<uint8_t>> per_owner(pg_->p);
+    std::vector<uint64_t> counts(pg_->p, 0);
+    for (const auto& [vid, val] : acc) {
+      const int owner = pg_->OwnerOf(vid);
+      if (per_owner[owner].empty()) {
+        AppendPod<uint8_t>(&per_owner[owner], 0);  // kind: data
+        AppendPod<uint64_t>(&per_owner[owner], 0);  // patched below
+      }
+      AppendPod<VertexId>(&per_owner[owner], vid);
+      AppendPod<U>(&per_owner[owner], val);
+      ++counts[owner];
+    }
+    for (int dst = 0; dst < pg_->p; ++dst) {
+      if (per_owner[dst].empty()) continue;
+      std::memcpy(per_owner[dst].data() + 1, &counts[dst],
+                  sizeof(uint64_t));
+      machine->metrics()->updates_sent.Add(counts[dst]);
+      cluster_->fabric()->Send(m, dst, Tag(kTagUpdates),
+                               std::move(per_owner[dst]));
+    }
+    return Status::OK();
+  }
+
+  // ---- pull-direction scatter (direction-optimizing supersteps) ----
+
+  // Beamer-style pull on src-major chunked storage: every machine first
+  // allgathers the frontier bitmaps (each machine's active set, packed
+  // like a checkpoint frontier, on the dedicated kTagFrontier channel),
+  // then serially scans its own edge chunks interpreting each record's
+  // source u as the *pulling* vertex — valid on symmetric graphs, where
+  // u's out-list fragments equal its in-list fragments. The kernel's
+  // pull_scatter early-exits on the first frontier neighbor; once a
+  // vertex updates itself it is "claimed" and its remaining records this
+  // superstep are skipped, as are records of vertices whose value is
+  // final (pull_done). All updates target local vertices, so they are
+  // combined in a window-sized LGB and delivered to self — pull
+  // supersteps ship zero update bytes over the fabric.
+  //
+  // The scan is serial per machine: in pull mode sub-chunks share source
+  // ranges (every chunk of window i touches the same pulling vertices),
+  // so the dense path's CAS-free parallelism does not apply; the early
+  // exits are what make the superstep cheap.
+  Status ScatterPull(int m, KWalkApp<V, U>& app) {
+    Machine* machine = cluster_->machine(m);
+    MachineState& state = *states_[m];
+    const MachinePartition& part = pg_->machines[m];
+    const VertexRange my_range = part.range;
+    const int q = pg_->q;
+    const int pq = pg_->p * q;
+
+    // Frontier allgather. n/8 bytes per peer — the (honestly accounted)
+    // price of a dense superstep, in place of its update traffic.
+    std::vector<uint8_t> mine((my_range.size() + 7) / 8, 0);
+    state.active.ForEachSet([&](uint64_t bit) {
+      mine[bit >> 3] |= static_cast<uint8_t>(1) << (bit & 7);
+    });
+    for (int peer = 0; peer < pg_->p; ++peer) {
+      if (peer == m) continue;
+      cluster_->fabric()->Send(m, peer, Tag(kTagFrontier), mine);
+    }
+    Frontier global(pg_->num_vertices, /*sparse_capacity=*/0);
+    state.active.ForEachSet(
+        [&](uint64_t bit) { global.Add(my_range.begin + bit); });
+    for (int received = 0; received + 1 < pg_->p; ++received) {
+      Message msg;
+      TGPP_RETURN_IF_ERROR(cluster_->fabric()->RecvFor(
+          m, Tag(kTagFrontier), &msg, options_.recv_timeout_ms));
+      const VertexRange peer_range = pg_->MachineRange(msg.src);
+      for (uint64_t bit = 0; bit < peer_range.size(); ++bit) {
+        if ((msg.payload[bit >> 3] >> (bit & 7)) & 1) {
+          global.Add(peer_range.begin + bit);
+        }
+      }
+    }
+    const std::function<bool(VertexId)> in_frontier =
+        [&global](VertexId v) { return global.Test(v); };
+
+    TGPP_ASSIGN_OR_RETURN(
+        PageFile file,
+        PageFile::Open(machine->disk(), PartitionedGraph::kEdgeFileName));
+    auto chunk_at = [&](int i, int j, int sub) -> const EdgeChunkInfo& {
+      return part.chunks[(static_cast<size_t>(i) * pq + j) * pg_->r + sub];
+    };
+
+    std::vector<V> vertex_window;
+    std::vector<uint8_t> claimed;
+    for (int i = 0; i < q; ++i) {
+      const VertexRange vr = pg_->VertexChunkRange(m, i);
+      if (vr.size() == 0) continue;
+      trace::TraceSpan window_span("scatter.window", "engine");
+      window_span.AddArg("window", static_cast<uint64_t>(i));
+      window_span.AddArg("mode", static_cast<uint64_t>(2));
+      TGPP_RETURN_IF_ERROR(ReadAttrRange(m, vr, &vertex_window));
+
+      engine_internal::DenseLgb<U> lgb;
+      lgb.Reset(vr);
+      claimed.assign(vr.size(), 0);
+      ScatterContext<V, U> ctx;
+      ctx.level_ = 1;
+      ctx.superstep_ = current_step_.load(std::memory_order_relaxed);
+      ctx.aggregate_ = &state.aggregate;
+      ctx.mark_fn_ = [](VertexId) {};
+      ctx.update_fn_ = [&](VertexId dst, const U& val) {
+        TGPP_CHECK(vr.Contains(dst))
+            << "pull_scatter may only update its own source vertex";
+        machine->metrics()->updates_generated.Add(1);
+        lgb.Accumulate(dst, val, app.vertex_gather);
+        claimed[dst - vr.begin] = 1;
+      };
+
+      for (int j = 0; j < pq; ++j) {
+        for (int sub = 0; sub < pg_->r; ++sub) {
+          TGPP_RETURN_IF_ERROR(PullScanChunk(m, app, file,
+                                             chunk_at(i, j, sub), vr,
+                                             vertex_window, &claimed,
+                                             in_frontier, &ctx));
+        }
+      }
+
+      const uint64_t combined = lgb.present_count();
+      if (combined > 0) {
+        machine->metrics()->updates_sent.Add(combined);
+        // Self-delivery: the gather task routes these into GGB/spill
+        // exactly like remote updates, at zero fabric bytes.
+        cluster_->fabric()->Send(m, m, Tag(kTagUpdates), lgb.Serialize());
+      }
+    }
+    return Status::OK();
+  }
+
+  // Streams one edge chunk for the pull scan, read-ahead overlapped but
+  // consumed in page order (pull claims make record order observable, so
+  // the scan is always deterministic).
+  Status PullScanChunk(int m, KWalkApp<V, U>& app, const PageFile& file,
+                       const EdgeChunkInfo& chunk, VertexRange vw_range,
+                       const std::vector<V>& vertex_window,
+                       std::vector<uint8_t>* claimed,
+                       const std::function<bool(VertexId)>& in_frontier,
+                       ScatterContext<V, U>* ctx) {
+    if (chunk.num_pages == 0) return Status::OK();
+    Machine* machine = cluster_->machine(m);
+
+    const uint64_t first = chunk.first_page;
+    const uint64_t count = chunk.num_pages;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<uint64_t, PageHandle>> ready;
+    std::vector<AsyncIoService::Ticket> tickets;
+    tickets.reserve(count);
+    auto submit = [&](uint64_t page_no) {
+      tickets.push_back(machine->io()->SubmitReads(
+          machine->buffer_pool(), &file, {page_no},
+          [&](uint64_t no, PageHandle handle) {
+            std::lock_guard<std::mutex> lock(mu);
+            ready.emplace_back(no, std::move(handle));
+            cv.notify_all();
+          },
+          /*prefetch=*/true));
+    };
+    const uint64_t read_ahead =
+        static_cast<uint64_t>(std::max(1, options_.read_ahead_pages));
+    uint64_t submitted = 0;
+    for (; submitted < std::min(count, read_ahead); ++submitted) {
+      submit(first + submitted);
+    }
+    Status scan_status;
+    uint64_t skipped = 0;
+    for (uint64_t processed = 0; processed < count; ++processed) {
+      std::pair<uint64_t, PageHandle> item;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        const uint64_t want = first + processed;
+        auto found = ready.end();
+        cv.wait(lock, [&] {
+          found = std::find_if(ready.begin(), ready.end(), [&](const auto& r) {
+            return r.first == want;
+          });
+          return found != ready.end();
+        });
+        item = std::move(*found);
+        ready.erase(found);
+      }
+      if (!item.second.valid()) {
+        scan_status = Status::IOError("async page read failed");
+        break;
+      }
+      if (submitted < count) {
+        submit(first + submitted);
+        ++submitted;
+      }
+      SlottedPageReader reader(item.second.data());
+      const uint32_t slots = reader.num_slots();
+      for (uint32_t s = 0; s < slots; ++s) {
+        const VertexId src = reader.SrcAt(s);
+        const uint64_t idx = src - vw_range.begin;
+        if ((*claimed)[idx]) {
+          ++skipped;
+          continue;
+        }
+        const V& attr = vertex_window[idx];
+        if (app.pull_done && app.pull_done(attr)) {
+          ++skipped;
+          continue;
+        }
+        app.pull_scatter(*ctx, src, attr, reader.DstsAt(s), in_frontier);
+      }
+    }
+    for (auto& ticket : tickets) {
+      Status s = ticket.Wait();
+      if (!s.ok() && (scan_status.ok() || scan_status.message() ==
+                                              "async page read failed")) {
+        scan_status = s;
+      }
+    }
+    if (skipped > 0) {
+      machine->metrics()->pull_records_skipped.Add(skipped);
+    }
+    return scan_status;
   }
 
   // ---- full adjacency list mode scatter (k-walk enumeration) ----
@@ -983,6 +1397,7 @@ class NwsmEngine {
       engine_internal::SparseLgb<U> lgb(/*capacity=*/4096, pg_->p);
       ScatterContext<V, U> ctx;
       ctx.level_ = level;
+      ctx.superstep_ = current_step_.load(std::memory_order_relaxed);
       ctx.aggregate_ = &state.aggregate;
       ctx.ancestor_batches_ = batch_stack;
       ctx.parent_indexes_ = index_stack;
@@ -1105,6 +1520,7 @@ class NwsmEngine {
     engine_internal::SparseLgb<U> lgb(/*capacity=*/4096, pg_->p);
     ScatterContext<V, U> ctx;
     ctx.level_ = level;
+    ctx.superstep_ = current_step_.load(std::memory_order_relaxed);
     ctx.aggregate_ = &state.aggregate;
     ctx.ancestor_batches_ = batch_stack;
     ctx.parent_indexes_ = index_stack;
@@ -1552,6 +1968,7 @@ class NwsmEngine {
   std::atomic<uint64_t> global_active_{0};
   std::atomic<uint64_t> global_aggregate_{0};
   std::atomic<int> current_step_{0};  // superstep number, for trace args
+  std::atomic<int> current_direction_{0};  // 0 = push, 1 = pull
 
   // Scratch for the serial full-mode context (one orchestrator per
   // machine; see process_range).

@@ -120,16 +120,17 @@ std::string SuperstepRow::ToJson() const {
      << ",\"disk_bytes\":" << disk_bytes << ",\"net_bytes\":" << net_bytes
      << ",\"buffer_hit_rate\":" << FormatDouble(buffer_hit_rate)
      << ",\"superstep_seconds\":" << FormatDouble(superstep_seconds)
-     << ",\"elapsed_seconds\":" << FormatDouble(elapsed_seconds) << "}";
+     << ",\"elapsed_seconds\":" << FormatDouble(elapsed_seconds)
+     << ",\"direction\":\"" << direction << "\"}";
   return os.str();
 }
 
 std::string SuperstepRow::ToProgressLine() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "superstep %3d | active %10llu | updates %10llu | "
+                "superstep %3d (%s) | active %10llu | updates %10llu | "
                 "disk %10llu B | net %10llu B | hit %5.1f%% | %7.3fs",
-                superstep,
+                superstep, direction,
                 static_cast<unsigned long long>(active_vertices),
                 static_cast<unsigned long long>(updates_generated),
                 static_cast<unsigned long long>(disk_bytes),

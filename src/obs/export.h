@@ -45,6 +45,9 @@ struct SuperstepRow {
   double buffer_hit_rate = 0.0;   // cumulative, in [0, 1]
   double superstep_seconds = 0.0; // wall time of this superstep
   double elapsed_seconds = 0.0;   // wall time since Run() started
+  // Scatter direction this superstep ran in: "push" or "pull"
+  // (algos/frontier.h; always "push" unless direction optimization is on).
+  const char* direction = "push";
 
   // One JSONL object (no trailing newline), tagged "type":"superstep".
   std::string ToJson() const;

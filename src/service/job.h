@@ -52,12 +52,13 @@ inline bool IsTerminal(JobState state) {
          state == JobState::kCancelled;
 }
 
-// What a client submits. `query` is one of pr|sssp|wcc|tc|lcc|clique4
-// (the same names `tgpp run --query` accepts).
+// What a client submits. `query` is one of pr|bfs|sssp|sssp-delta|wcc|
+// wcc-sampled|kcore|lp|mis|tc|lcc|clique4 (the same names
+// `tgpp run --query` accepts; catalog in docs/ALGORITHMS.md).
 struct JobSpec {
   std::string query = "pr";
-  int iterations = 10;        // pr only
-  VertexId source = 0;        // sssp only, ORIGINAL id space
+  int iterations = 10;        // pr iterations / lp rounds
+  VertexId source = 0;        // bfs/sssp/sssp-delta, ORIGINAL id space
   int priority = 0;           // higher runs first; FIFO within a priority
   int64_t deadline_ms = 0;    // relative to submit; 0 = no deadline
   bool deterministic = true;  // bit-reproducible results (the default so

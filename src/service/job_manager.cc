@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include "algos/bfs.h"
 #include "algos/clique4.h"
+#include "algos/kcore.h"
+#include "algos/label_propagation.h"
 #include "algos/lcc.h"
+#include "algos/mis.h"
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
 #include "algos/triangle_counting.h"
@@ -26,8 +30,14 @@ struct QueryShape {
 
 Result<QueryShape> ShapeOf(const std::string& query) {
   if (query == "pr") return QueryShape{1, sizeof(PageRankAttr)};
+  if (query == "bfs") return QueryShape{1, sizeof(BfsAttr)};
   if (query == "sssp") return QueryShape{1, sizeof(SsspAttr)};
+  if (query == "sssp-delta") return QueryShape{1, sizeof(SsspDeltaAttr)};
   if (query == "wcc") return QueryShape{1, sizeof(WccAttr)};
+  if (query == "wcc-sampled") return QueryShape{1, sizeof(WccSampledAttr)};
+  if (query == "kcore") return QueryShape{1, sizeof(KcoreAttr)};
+  if (query == "lp") return QueryShape{1, sizeof(LpAttr)};
+  if (query == "mis") return QueryShape{1, sizeof(MisAttr)};
   if (query == "tc") return QueryShape{2, sizeof(TcAttr)};
   if (query == "lcc") return QueryShape{2, sizeof(LccAttr)};
   if (query == "clique4") return QueryShape{3, sizeof(Clique4Attr)};
@@ -73,8 +83,39 @@ Status RunForSpec(Cluster* cluster, const PartitionedGraph* pg,
     auto app = MakeSsspApp(pg, spec.source);
     return RunTyped(cluster, pg, app, options, out);
   }
+  if (spec.query == "bfs") {
+    if (spec.source >= pg->num_vertices) {
+      return Status::InvalidArgument("bfs source out of range");
+    }
+    auto app = MakeBfsApp(pg, spec.source);
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "sssp-delta") {
+    if (spec.source >= pg->num_vertices) {
+      return Status::InvalidArgument("sssp-delta source out of range");
+    }
+    auto app = MakeSsspDeltaApp(pg, spec.source);
+    return RunTyped(cluster, pg, app, options, out);
+  }
   if (spec.query == "wcc") {
     auto app = MakeWccApp(pg);
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "wcc-sampled") {
+    auto app = MakeWccSampledApp(pg);
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "kcore") {
+    auto app = MakeKcoreApp(pg);
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "lp") {
+    // Reuses the `iterations` field as the round count.
+    auto app = MakeLabelPropagationApp(pg, std::max(1, spec.iterations));
+    return RunTyped(cluster, pg, app, options, out);
+  }
+  if (spec.query == "mis") {
+    auto app = MakeMisApp(pg);
     return RunTyped(cluster, pg, app, options, out);
   }
   if (spec.query == "tc") {

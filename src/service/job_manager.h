@@ -164,11 +164,11 @@ class JobManager {
 Result<int> RequiredQForService(Cluster& cluster, uint64_t num_vertices,
                                 int max_running);
 
-// Fabric tag bases for job slots: the engine owns tags 0-3 and the
-// baselines 8-12, so service slots start at 16, stride 4
-// (updates/control/adj-request/adj-response per job).
+// Fabric tag bases for job slots: the engine owns tags 0-4 and the
+// baselines 8-12, so service slots start at 16, stride 5
+// (updates/control/adj-request/adj-response/frontier per job).
 inline constexpr uint32_t kServiceTagBase = 16;
-inline constexpr uint32_t kTagsPerJob = 4;
+inline constexpr uint32_t kTagsPerJob = 5;
 
 }  // namespace tgpp::service
 

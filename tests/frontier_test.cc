@@ -1,0 +1,147 @@
+// Unit tests for the frontier subsystem (algos/frontier.h): the owning
+// Frontier's sparse<->dense conversions, the FrontierView range queries
+// in both representations, and the pure ChooseDirection /
+// ChooseWindowMode decision functions (thresholds and hysteresis).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algos/frontier.h"
+#include "util/bitmap.h"
+
+namespace tgpp {
+namespace {
+
+TEST(Frontier, AddIsIdempotentAndCounts) {
+  Frontier f(128, 16);
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.rep(), FrontierRep::kSparse);
+  f.Add(7);
+  f.Add(7);
+  f.Add(3);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_TRUE(f.Test(7));
+  EXPECT_TRUE(f.Test(3));
+  EXPECT_FALSE(f.Test(4));
+}
+
+TEST(Frontier, ForEachIsAscendingEvenWithUnorderedAdds) {
+  Frontier f(64, 32);
+  for (uint64_t v : {40u, 2u, 17u, 9u, 63u}) f.Add(v);
+  std::vector<uint64_t> seen;
+  f.ForEach([&](uint64_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{2, 9, 17, 40, 63}));
+}
+
+TEST(Frontier, SparseToDenseSwitchAtCapacity) {
+  Frontier f(256, 4);
+  for (uint64_t v = 0; v < 4; ++v) f.Add(2 * v);
+  EXPECT_EQ(f.rep(), FrontierRep::kSparse);
+  f.Add(100);  // 5th distinct element exceeds capacity 4
+  EXPECT_EQ(f.rep(), FrontierRep::kDense);
+  EXPECT_EQ(f.size(), 5u);
+  // Dense iteration still works and stays ascending.
+  std::vector<uint64_t> seen;
+  f.ForEach([&](uint64_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 2, 4, 6, 100}));
+}
+
+TEST(Frontier, RebuildSparseAfterReset) {
+  Frontier f(256, 4);
+  for (uint64_t v = 0; v < 10; ++v) f.Add(v);
+  EXPECT_EQ(f.rep(), FrontierRep::kDense);
+  // Still too populated: rebuild refuses.
+  EXPECT_EQ(f.RebuildSparse(), FrontierRep::kDense);
+  f.Reset(256, 4);
+  f.Add(200);
+  f.Add(100);
+  EXPECT_EQ(f.RebuildSparse(), FrontierRep::kSparse);
+  std::vector<uint64_t> seen;
+  f.ForEach([&](uint64_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{100, 200}));
+}
+
+TEST(FrontierView, SparseAndDenseAgreeOnRangeQueries) {
+  AtomicBitmap bits;
+  bits.Resize(512);
+  bits.ClearAll();
+  const std::vector<uint64_t> members = {1, 63, 64, 100, 255, 256, 400};
+  for (uint64_t v : members) bits.Set(v);
+
+  FrontierView sparse;
+  sparse.Build(bits, /*sparse_capacity=*/64);
+  ASSERT_EQ(sparse.rep(), FrontierRep::kSparse);
+
+  FrontierView dense;
+  dense.Build(bits, /*sparse_capacity=*/2);  // population 7 > 2
+  ASSERT_EQ(dense.rep(), FrontierRep::kDense);
+
+  for (const FrontierView* view : {&sparse, &dense}) {
+    EXPECT_EQ(view->count(), members.size());
+    EXPECT_EQ(view->CountInRange(0, 512), members.size());
+    EXPECT_EQ(view->CountInRange(64, 256), 3u);  // 64, 100, 255
+    EXPECT_EQ(view->CountInRange(256, 512), 2u);  // 256, 400
+    EXPECT_EQ(view->CountInRange(2, 63), 0u);
+
+    std::vector<uint64_t> seen;
+    view->ForEachIn(63, 257, [&](uint64_t v) { seen.push_back(v); });
+    EXPECT_EQ(seen, (std::vector<uint64_t>{63, 64, 100, 255, 256}));
+
+    // Degree sum with degree(v) = v makes mistakes obvious.
+    EXPECT_EQ(view->DegreeInRange(0, 512, [](uint64_t v) { return v; }),
+              1u + 63 + 64 + 100 + 255 + 256 + 400);
+  }
+}
+
+TEST(ChooseWindowModeTest, SkipsEmptyAndRespectsThreshold) {
+  FrontierOptions opt;
+  opt.sparse_windows = true;
+  opt.sparse_den = 8;
+  EXPECT_EQ(ChooseWindowMode(0, 0, 1000, opt), WindowMode::kSkip);
+  // work = 10 + 50 = 60; 60 * 8 = 480 < 1000 -> sparse.
+  EXPECT_EQ(ChooseWindowMode(10, 50, 1000, opt), WindowMode::kSparse);
+  // 60 * 8 = 480 >= 480 -> dense (strict inequality required).
+  EXPECT_EQ(ChooseWindowMode(10, 50, 480, opt), WindowMode::kDense);
+  // Feature off -> always dense for non-empty windows.
+  opt.sparse_windows = false;
+  EXPECT_EQ(ChooseWindowMode(10, 50, 1000000, opt), WindowMode::kDense);
+  EXPECT_EQ(ChooseWindowMode(0, 0, 1000000, opt), WindowMode::kSkip);
+}
+
+TEST(ChooseDirectionTest, LigraRuleFromPush) {
+  FrontierOptions opt;
+  opt.pull_den = 20;
+  const uint64_t n = 1000, m = 19000;  // (n + m) / 20 = 1000
+  // Small frontier stays push.
+  EXPECT_EQ(ChooseDirection(Direction::kPush, 10, 100, n, m, opt),
+            Direction::kPush);
+  // work = 200 + 900 = 1100 > 1000 -> pull.
+  EXPECT_EQ(ChooseDirection(Direction::kPush, 200, 900, n, m, opt),
+            Direction::kPull);
+  // Exactly at the threshold stays push (strict inequality).
+  EXPECT_EQ(ChooseDirection(Direction::kPush, 200, 800, n, m, opt),
+            Direction::kPush);
+}
+
+TEST(ChooseDirectionTest, HysteresisFromPull) {
+  FrontierOptions opt;
+  opt.push_den = 20;
+  const uint64_t n = 1000, m = 19000;  // n / 20 = 50
+  // Once pulling, a moderate frontier keeps pulling even though the
+  // Ligra work rule alone would say push...
+  EXPECT_EQ(ChooseDirection(Direction::kPull, 100, 100, n, m, opt),
+            Direction::kPull);
+  // ...until the frontier collapses below n / push_den.
+  EXPECT_EQ(ChooseDirection(Direction::kPull, 49, 100, n, m, opt),
+            Direction::kPush);
+}
+
+TEST(ChooseDirectionTest, EmptyFrontierAlwaysPush) {
+  FrontierOptions opt;
+  EXPECT_EQ(ChooseDirection(Direction::kPull, 0, 0, 1000, 19000, opt),
+            Direction::kPush);
+}
+
+}  // namespace
+}  // namespace tgpp

@@ -59,6 +59,23 @@ for doc in $docs; do
   [ -f "$doc" ] && scan_doc "$doc"
 done
 
+# Every kernel/support header under src/algos/ must be covered by the
+# algorithm catalog so new workloads cannot land undocumented.
+catalog="docs/ALGORITHMS.md"
+if [ ! -f "$catalog" ]; then
+  echo "check_docs: missing $catalog (algorithm catalog is mandatory)" >&2
+  fail=1
+else
+  for hdr in src/algos/*.h; do
+    base="$(basename "$hdr")"
+    checked=$((checked + 1))
+    if ! grep -q "$base" "$catalog"; then
+      echo "check_docs: $catalog does not mention $hdr" >&2
+      fail=1
+    fi
+  done
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1

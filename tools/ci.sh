@@ -27,9 +27,9 @@ if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
         --target fault_injector_test chaos_recovery_test \
                  fabric_cluster_test storage_test status_logging_test \
                  metrics_registry_test buffer_pool_concurrency_test \
-                 job_service_test
+                 job_service_test frontier_test kernels_direction_test
   ctest --test-dir "$root/$asan" --output-on-failure \
-        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos|JobService'
+        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos|JobService|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis'
 
   # Job-service smoke under ASan: serve a small graph on a temp unix
   # socket, submit a PageRank job, poll it to completion, list jobs, and
@@ -63,8 +63,15 @@ if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
         -DCMAKE_BUILD_TYPE=Debug -DTGPP_SANITIZE=thread
   cmake --build "$root/$tsan" -j"$(nproc)" \
         --target storage_test buffer_pool_concurrency_test \
-                 fabric_cluster_test metrics_registry_test
+                 fabric_cluster_test metrics_registry_test \
+                 frontier_test kernels_direction_test
   ctest --test-dir "$root/$tsan" --output-on-failure \
-        -R 'BufferPool|AsyncIo|PageHandle|DiskDevice|DiskFault|SlottedPage|PageFile|Fabric|Cluster|Instruments|Registry|Export|EndToEnd|MetricsChaos'
+        -R 'BufferPool|AsyncIo|PageHandle|DiskDevice|DiskFault|SlottedPage|PageFile|Fabric|Cluster|Instruments|Registry|Export|EndToEnd|MetricsChaos|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis'
 fi
+
+# Direction-optimization bench smoke: verifies push/pull/auto/sparse
+# variants produce bit-identical results and that auto actually switches
+# to pull on the RMAT graph (see bench/bench_kernels_direction.cc).
+cmake --build "$root/$build" -j"$(nproc)" --target bench_kernels_direction
+"$root/$build/bench/bench_kernels_direction" --smoke
 echo "ci: OK"

@@ -4,9 +4,14 @@
 //   tgpp stats     --graph=graph.bin
 //   tgpp partition --graph=graph.bin [--machines=4] [--q=1]
 //                  [--scheme=bbp|random|hash]
-//   tgpp run       --graph=graph.bin --query=pr|sssp|wcc|tc|lcc|clique4
+//   tgpp run       --graph=graph.bin
+//                  --query=pr|bfs|sssp|sssp-delta|wcc|wcc-sampled|tc|lcc|
+//                          clique4|kcore|lp|mis
 //                  [--machines=4] [--budget-mb=32] [--iterations=10]
 //                  [--source=0] [--workdir=/tmp/tgpp_cli] [--q=1]
+//                  [--direction=push|pull|auto] [--sparse-windows]
+//                  [--delta=4] [--max-weight=8] [--sample-rounds=2]
+//                  [--rounds=10]
 //                  [--trace-out=trace.json]
 //                  [--metrics-out=metrics.prom] [--progress]
 //                  [--faults=SPEC] [--fault-seed=42]
@@ -45,6 +50,14 @@
 // results) independent of thread/message timing. Grammar and recovery
 // semantics: docs/FAULTS.md.
 //
+// --direction selects the scatter direction per superstep (push is the
+// classic NWSM scatter; pull scans edges from the destination side and
+// is profitable on large frontiers; auto switches per superstep by the
+// Ligra rule) and --sparse-windows materializes only active sources'
+// adjacency when a window's frontier is tiny. Both need a symmetric
+// graph and a k=1 query; the algorithm catalog in docs/ALGORITHMS.md
+// lists which query supports what.
+//
 // `tgpp serve` runs the multi-query job service over one shared cluster
 // (admission control, scheduling, cancellation) speaking line-delimited
 // JSON over the socket; `tgpp submit`/`tgpp jobs`/`tgpp cancel`/
@@ -64,8 +77,12 @@
 #include <thread>
 #include <type_traits>
 
+#include "algos/bfs.h"
 #include "algos/clique4.h"
+#include "algos/kcore.h"
+#include "algos/label_propagation.h"
 #include "algos/lcc.h"
+#include "algos/mis.h"
 #include "algos/pagerank.h"
 #include "algos/sssp.h"
 #include "algos/triangle_counting.h"
@@ -228,6 +245,16 @@ int CmdRun(int argc, char** argv) {
       static_cast<int>(FlagInt(argc, argv, "checkpoint-every", 0));
   options.deterministic = FlagBool(argc, argv, "deterministic");
 
+  const std::string direction = FlagStr(argc, argv, "direction", "push");
+  if (direction == "pull") {
+    options.frontier.direction = DirectionMode::kPull;
+  } else if (direction == "auto") {
+    options.frontier.direction = DirectionMode::kAuto;
+  } else if (direction != "push") {
+    return Fail(Status::InvalidArgument("unknown --direction: " + direction));
+  }
+  options.frontier.sparse_windows = FlagBool(argc, argv, "sparse-windows");
+
   const std::string metrics_out = FlagStr(argc, argv, "metrics-out", "");
   const bool progress = FlagBool(argc, argv, "progress");
   if (!metrics_out.empty() || progress) {
@@ -280,6 +307,25 @@ int CmdRun(int argc, char** argv) {
                   static_cast<unsigned long long>(best), ranks[best].pr);
       digest(ranks);
     }
+  } else if (query == "bfs") {
+    auto app = MakeBfsApp(
+        system.partition(),
+        static_cast<VertexId>(FlagInt(argc, argv, "source", 0)));
+    std::vector<BfsAttr> dists;
+    stats = system.RunQuery(app, &dists, options);
+    if (stats.ok()) {
+      uint64_t reachable = 0, depth = 0;
+      for (const BfsAttr& d : dists) {
+        if (d.dist != kBfsUnreached) {
+          ++reachable;
+          depth = std::max(depth, d.dist);
+        }
+      }
+      std::printf("reachable vertices: %llu, depth %llu\n",
+                  static_cast<unsigned long long>(reachable),
+                  static_cast<unsigned long long>(depth));
+      digest(dists);
+    }
   } else if (query == "sssp") {
     auto app = MakeSsspApp(
         system.partition(),
@@ -294,6 +340,78 @@ int CmdRun(int argc, char** argv) {
       std::printf("reachable vertices: %llu\n",
                   static_cast<unsigned long long>(reachable));
       digest(dists);
+    }
+  } else if (query == "sssp-delta") {
+    auto app = MakeSsspDeltaApp(
+        system.partition(),
+        static_cast<VertexId>(FlagInt(argc, argv, "source", 0)),
+        static_cast<uint64_t>(FlagInt(argc, argv, "delta", 4)),
+        static_cast<uint64_t>(FlagInt(argc, argv, "max-weight", 8)));
+    std::vector<SsspDeltaAttr> dists;
+    stats = system.RunQuery(app, &dists, options);
+    if (stats.ok()) {
+      uint64_t reachable = 0;
+      for (const SsspDeltaAttr& d : dists) {
+        if (d.dist != kInfiniteDistance) ++reachable;
+      }
+      std::printf("reachable vertices: %llu\n",
+                  static_cast<unsigned long long>(reachable));
+      digest(dists);
+    }
+  } else if (query == "wcc-sampled") {
+    auto app = MakeWccSampledApp(
+        system.partition(),
+        static_cast<int>(FlagInt(argc, argv, "sample-rounds", 2)));
+    std::vector<WccSampledAttr> labels;
+    stats = system.RunQuery(app, &labels, options);
+    if (stats.ok()) {
+      std::set<uint64_t> components;
+      for (const WccSampledAttr& l : labels) components.insert(l.label);
+      std::printf("components: %zu\n", components.size());
+      // Digest only the labels: the step counter depends on superstep
+      // count, which the sampling schedule is free to change.
+      if (print_digest && !labels.empty()) {
+        std::vector<uint64_t> only(labels.size());
+        for (size_t i = 0; i < labels.size(); ++i) only[i] = labels[i].label;
+        std::printf("result: crc32=%08x\n",
+                    Crc32(only.data(), only.size() * sizeof(uint64_t)));
+      }
+    }
+  } else if (query == "kcore") {
+    auto app = MakeKcoreApp(system.partition());
+    std::vector<KcoreAttr> cores;
+    stats = system.RunQuery(app, &cores, options);
+    if (stats.ok()) {
+      uint64_t max_core = 0;
+      for (const KcoreAttr& c : cores) max_core = std::max(max_core, c.core);
+      std::printf("max coreness: %llu\n",
+                  static_cast<unsigned long long>(max_core));
+      digest(cores);
+    }
+  } else if (query == "lp") {
+    auto app = MakeLabelPropagationApp(
+        system.partition(),
+        static_cast<int>(FlagInt(argc, argv, "rounds", 10)));
+    std::vector<LpAttr> labels;
+    stats = system.RunQuery(app, &labels, options);
+    if (stats.ok()) {
+      std::set<uint64_t> communities;
+      for (const LpAttr& l : labels) communities.insert(l.label);
+      std::printf("communities: %zu\n", communities.size());
+      digest(labels);
+    }
+  } else if (query == "mis") {
+    auto app = MakeMisApp(system.partition());
+    std::vector<MisAttr> states;
+    stats = system.RunQuery(app, &states, options);
+    if (stats.ok()) {
+      uint64_t in_set = 0;
+      for (const MisAttr& s : states) {
+        if (s.state == kMisIn) ++in_set;
+      }
+      std::printf("independent set size: %llu\n",
+                  static_cast<unsigned long long>(in_set));
+      digest(states);
     }
   } else if (query == "wcc") {
     auto app = MakeWccApp(system.partition());
