@@ -1,0 +1,202 @@
+// Machine-failure recovery cost vs checkpoint interval
+// (docs/FAULTS.md "Failure model & recovery", EXPERIMENTS.md).
+//
+// Kills machine 1 mid-run (`machine1:machine.kill@superstep=K`) and
+// measures the end-to-end time-to-complete of a deterministic PageRank
+// under checkpoint cadences {1, 2, 4}, against a fault-free baseline.
+// Each row decomposes the recovery tax the way the engine accounts it:
+//
+//   detect   — wall time of failed supersteps (kill → MachineLost)
+//   restore  — revive + checkpoint restore on every machine
+//   replay   — re-executed supersteps the rollback discarded
+//
+// Every recovered run must reproduce the baseline CRC bit-for-bit
+// (deterministic mode); a mismatch fails the bench. A `ckpt=off` row
+// shows the clean failure mode: no checkpoint to confine the rollback,
+// so the run surfaces MachineLost (cell "F") within the heartbeat bound.
+//
+// TGPP_BENCH_JSON=results.jsonl appends one JSON line per row.
+//
+//   bench_recovery [--scale=13] [--machines=4] [--kill-step=2]
+//                  [--iterations=10] [--smoke]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "common/fault_injector.h"
+#include "core/system.h"
+#include "graph/rmat.h"
+#include "util/crc32.h"
+#include "util/timer.h"
+
+#include "bench_util.h"
+
+namespace tgpp::bench {
+namespace {
+
+struct Row {
+  std::string label;
+  Measurement m;
+  QueryStats stats;
+  uint32_t crc = 0;
+};
+
+// One full PageRank run on a fresh system; `spec` is armed before the
+// query and disarmed after, so the load/partition phase is never killed
+// (the paper's failure model covers query execution, not ingest).
+Row RunCell(const BenchConfig& bc, const EdgeList& graph,
+            const std::string& label, int checkpoint_every,
+            const std::string& spec, int iterations) {
+  Row row;
+  row.label = label;
+  row.m.system = "TurboGraph++";
+  row.m.graph = label;
+  row.m.query = Query::kPageRank;
+
+  EngineOptions options;
+  options.deterministic = true;
+  options.checkpoint_every = checkpoint_every;
+  options.recv_timeout_ms = 20000;
+  options.heartbeat_interval_ms = 5;
+  options.heartbeat_timeout_ms = 200;
+
+  TurboGraphSystem system(ToClusterConfig(bc, "recovery_" + label));
+  Status load = system.LoadGraph(graph);
+  if (!load.ok()) {
+    row.m.status = load;
+    return row;
+  }
+  system.cluster()->ResetCountersAndCaches();
+
+  const uint64_t injected_before = fault::InjectedCount();
+  if (!spec.empty()) {
+    Status armed = fault::Configure(spec, /*seed=*/42);
+    if (!armed.ok()) {
+      row.m.status = armed;
+      return row;
+    }
+  }
+  auto app = MakePageRankApp(system.partition(), iterations);
+  std::vector<PageRankAttr> attrs;
+  WallTimer timer;
+  Result<QueryStats> stats = system.RunQuery(app, &attrs, options);
+  row.m.wall_seconds = row.m.exec_seconds = timer.Seconds();
+  row.m.fault_spec = spec;
+  row.m.fault_seed = spec.empty() ? 0 : fault::ActiveSeed();
+  row.m.faults_injected = fault::InjectedCount() - injected_before;
+  fault::Disarm();
+  if (!stats.ok()) {
+    row.m.status = stats.status();
+    return row;
+  }
+  row.stats = *stats;
+  row.m.supersteps = stats->supersteps;
+  row.m.aggregate = stats->aggregate_sum;
+  row.m.checkpoints = stats->checkpoints;
+  row.m.recoveries = stats->recoveries;
+  row.crc = Crc32(attrs.data(), attrs.size() * sizeof(PageRankAttr));
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int scale =
+      static_cast<int>(FlagInt(argc, argv, "scale", smoke ? 11 : 13));
+  const int machines =
+      static_cast<int>(FlagInt(argc, argv, "machines", smoke ? 2 : 4));
+  const int kill_step =
+      static_cast<int>(FlagInt(argc, argv, "kill-step", 2));
+  const int iterations =
+      static_cast<int>(FlagInt(argc, argv, "iterations", smoke ? 6 : 10));
+
+  BenchConfig bc;
+  bc.machines = machines;
+  bc.budget_bytes = 64ull << 20;
+
+  const EdgeList graph = GenerateRmatX(scale, /*seed=*/33);
+  const std::string kill_spec =
+      "machine1:machine.kill@superstep=" + std::to_string(kill_step);
+  std::printf("bench_recovery: rmat scale %d, %d machines, PR x%d, "
+              "kill %s\n\n",
+              scale, machines, iterations, kill_spec.c_str());
+
+  const Row baseline =
+      RunCell(bc, graph, "baseline", /*checkpoint_every=*/0, "", iterations);
+  if (!baseline.m.status.ok()) {
+    std::fprintf(stderr, "fault-free baseline failed: %s\n",
+                 baseline.m.status.ToString().c_str());
+    return 1;
+  }
+  std::vector<Row> rows;
+  rows.push_back(baseline);
+
+  std::vector<int> cadences = smoke ? std::vector<int>{0, 1}
+                                    : std::vector<int>{0, 1, 2, 4};
+  for (int every : cadences) {
+    const std::string label =
+        every == 0 ? "kill+ckpt=off" : "kill+ckpt=" + std::to_string(every);
+    rows.push_back(RunCell(bc, graph, label, every, kill_spec, iterations));
+  }
+
+  std::printf("%-16s %9s %9s %8s %8s %8s %5s %6s %6s\n", "cell",
+              "total(s)", "overhead", "detect", "restore", "replay", "recov",
+              "ckpts", "match");
+  bool ok = true;
+  for (const Row& row : rows) {
+    const bool expected_fail = row.label == "kill+ckpt=off";
+    if (!row.m.status.ok()) {
+      std::printf("%-16s %9s  (%s)\n", row.label.c_str(),
+                  row.m.Cell().c_str(), row.m.status.ToString().c_str());
+      // The checkpoint-free kill must fail as MachineLost; anything else
+      // failing (or failing differently) is a bench error.
+      if (!expected_fail || !row.m.status.IsMachineLost()) ok = false;
+      continue;
+    }
+    if (expected_fail) {
+      std::printf("%-16s completed but was expected to fail\n",
+                  row.label.c_str());
+      ok = false;
+      continue;
+    }
+    const bool match = row.crc == baseline.crc;
+    if (!match) ok = false;
+    std::printf("%-16s %9.3f %8.1f%% %8.3f %8.3f %8.3f %5d %6d %6s\n",
+                row.label.c_str(), row.m.wall_seconds,
+                100.0 * (row.m.wall_seconds / baseline.m.wall_seconds - 1.0),
+                row.stats.recovery_detect_seconds,
+                row.stats.recovery_restore_seconds,
+                row.stats.recovery_replay_seconds, row.m.recoveries,
+                row.m.checkpoints, match ? "yes" : "NO");
+    if (const char* jp = std::getenv("TGPP_BENCH_JSON");
+        jp != nullptr && jp[0] != '\0') {
+      Status s = AppendMeasurementJson(row.m, jp);
+      if (!s.ok()) {
+        std::fprintf(stderr, "TGPP_BENCH_JSON append failed: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "\nFAIL: recovered run diverged from baseline or the "
+                 "checkpoint-free kill did not surface MachineLost\n");
+    return 1;
+  }
+  std::printf("\nall recovered runs bit-identical to baseline (crc %08x)\n",
+              baseline.crc);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tgpp::bench
+
+int main(int argc, char** argv) {
+  return tgpp::bench::Main(argc, argv);
+}

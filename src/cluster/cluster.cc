@@ -42,12 +42,35 @@ Status Cluster::RunOnAll(const std::function<Status(int)>& fn) {
       Status s = fn(i);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(mu);
-        if (first_error.ok()) first_error = s;
+        // MachineLost is the root cause; survivors' secondary errors
+        // (timeouts racing the loss) must not mask it.
+        if (first_error.ok() ||
+            (s.IsMachineLost() && !first_error.IsMachineLost())) {
+          first_error = s;
+        }
       }
     });
   }
   for (auto& t : threads) t.join();
   return first_error;
+}
+
+void Cluster::KillMachine(int machine) {
+  TGPP_CHECK(machine >= 0 && machine < num_machines());
+  machines_[machine]->Kill();
+  fabric_.SetMachineDown(machine);
+}
+
+void Cluster::ReviveMachine(int machine) {
+  TGPP_CHECK(machine >= 0 && machine < num_machines());
+  machines_[machine]->Revive();
+  fabric_.SetMachineUp(machine);
+}
+
+void Cluster::ReviveAllMachines() {
+  for (int m = 0; m < num_machines(); ++m) {
+    if (!machines_[m]->alive() || !fabric_.MachineUp(m)) ReviveMachine(m);
+  }
 }
 
 void Cluster::Barrier() {

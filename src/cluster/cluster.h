@@ -56,8 +56,19 @@ class Cluster {
   Fabric* fabric() { return &fabric_; }
 
   // Runs fn(machine_id) concurrently on one thread per machine and joins.
-  // Returns the first non-OK status (all threads still run to completion).
+  // Returns the first non-OK status (all threads still run to completion) —
+  // except that a MachineLost status wins over any other error, so a
+  // failure's root cause is never collapsed into a survivor's secondary
+  // timeout.
   Status RunOnAll(const std::function<Status(int)>& fn);
+
+  // Fail-stop one machine: flips Machine::Kill() and tells the fabric it
+  // is down (sends dropped, heartbeats stop → the monitor declares it
+  // lost within the configured timeout). ReviveMachine undoes both;
+  // ReviveAllMachines is the recovery path's "replace the dead node".
+  void KillMachine(int machine);
+  void ReviveMachine(int machine);
+  void ReviveAllMachines();
 
   // Global barrier across machine threads inside RunOnAll. Every machine
   // must call it the same number of times.

@@ -8,6 +8,7 @@
 #ifndef TGPP_CLUSTER_MACHINE_H_
 #define TGPP_CLUSTER_MACHINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,6 +58,17 @@ class Machine {
   // buffer size from the total memory size").
   uint64_t WindowMemoryBytes() const;
 
+  // Cooperative fail-stop: a killed machine's superstep loop exits at the
+  // next superstep boundary and stops participating in fabric traffic and
+  // barriers (the fabric drops its sends separately — see
+  // Cluster::KillMachine, which flips both). Revive() brings it back for
+  // checkpoint-restore recovery. The flag is all that "dies": disks,
+  // buffer pool and threads stay intact, mirroring a process restart on
+  // the same host with its storage intact.
+  void Kill() { alive_.store(false, std::memory_order_release); }
+  void Revive() { alive_.store(true, std::memory_order_release); }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
  private:
   MachineConfig config_;
   DiskDevice disk_;
@@ -65,6 +77,7 @@ class Machine {
   ThreadPool workers_;
   MemoryBudget budget_;
   MachineMetrics metrics_;
+  std::atomic<bool> alive_{true};
   // Declared last: destroyed first, so every instrument leaves the global
   // registry before the substrate that owns it is torn down.
   std::vector<obs::Registration> registrations_;

@@ -32,6 +32,9 @@ void MachineMetrics::RegisterMetrics(obs::Registry* registry, int machine,
                    &active_vertices);
   obs::TryRegister(registry, out, "engine.checkpoint_ns", machine,
                    &checkpoint_ns);
+  obs::TryRegister(registry, out, "engine.recoveries", machine, &recoveries);
+  obs::TryRegister(registry, out, "engine.recovery_replay_supersteps",
+                   machine, &recovery_replay_supersteps);
 }
 
 std::string ClusterSnapshot::ToString() const {

@@ -49,6 +49,13 @@ class MachineMetrics {
   // Wall-clock duration of checkpoint writes, in nanoseconds.
   obs::LatencyHistogram checkpoint_ns;
 
+  // Machine-failure recoveries completed (checkpoint restore after a
+  // MachineLost) and supersteps re-executed because of them. Incremented
+  // on machine 0 only — recovery is a cluster-wide event, attributed to
+  // the coordinator.
+  obs::Counter recoveries;
+  obs::Counter recovery_replay_supersteps;
+
   void Reset() {
     scatter_cpu_nanos.Reset();
     gather_cpu_nanos.Reset();
@@ -63,6 +70,8 @@ class MachineMetrics {
     pull_records_skipped.Reset();
     active_vertices.Reset();
     checkpoint_ns.Reset();
+    recoveries.Reset();
+    recovery_replay_supersteps.Reset();
   }
 
   double TotalCpuSeconds() const {

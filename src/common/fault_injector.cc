@@ -24,6 +24,8 @@ const char* ActionName(Action action) {
       return "dup";
     case Action::kCrash:
       return "crash";
+    case Action::kKill:
+      return "kill";
   }
   return "?";
 }
@@ -72,7 +74,7 @@ std::string Trim(const std::string& s) {
 bool KnownSite(const std::string& site) {
   return site == "disk.read" || site == "disk.write" ||
          site == "disk.append" || site == "disk.sync" ||
-         site == "fabric.send" || site == "crash";
+         site == "fabric.send" || site == "crash" || site == "machine.kill";
 }
 
 bool ParseAction(const std::string& name, Action* out) {
@@ -88,6 +90,8 @@ bool ParseAction(const std::string& name, Action* out) {
     *out = Action::kDuplicate;
   } else if (name == "crash") {
     *out = Action::kCrash;
+  } else if (name == "kill") {
+    *out = Action::kKill;
   } else {
     return false;
   }
@@ -97,6 +101,7 @@ bool ParseAction(const std::string& name, Action* out) {
 Action DefaultAction(const std::string& site) {
   if (site == "fabric.send") return Action::kDrop;
   if (site == "crash") return Action::kCrash;
+  if (site == "machine.kill") return Action::kKill;
   return Action::kIoError;  // disk.*
 }
 
@@ -307,6 +312,14 @@ uint64_t ActiveSeed() { return Armed() ? g_config.seed : 0; }
 
 uint64_t InjectedCount() {
   return g_injected.load(std::memory_order_relaxed);
+}
+
+bool SpecContainsSite(const char* site) {
+  if (!Armed()) return false;
+  for (const auto& rule : g_config.rules) {
+    if (rule->site == site) return true;
+  }
+  return false;
 }
 
 }  // namespace tgpp::fault

@@ -16,8 +16,8 @@
 //   rule    := [scope ':'] site [':' action] ['@' trigger {',' trigger}]
 //   scope   := 'machine' INT          (default: every machine)
 //   site    := disk.read | disk.write | disk.append | disk.sync
-//            | fabric.send | crash
-//   action  := io_error | timeout | drop | delay | dup | crash
+//            | fabric.send | crash | machine.kill
+//   action  := io_error | timeout | drop | delay | dup | crash | kill
 //              (optional when the site implies it, e.g. `crash`)
 //   trigger := 'p=' FLOAT             fire each hit with probability p
 //            | 'n=' INT               fire on the nth matching hit (1-based)
@@ -29,6 +29,14 @@
 //   disk.read:io_error@p=0.001
 //   fabric.send:drop@n=500
 //   machine2:crash@superstep=3
+//   machine1:machine.kill@superstep=2
+//
+// `crash` vs `machine.kill`: a crash is cooperative — the machine notices
+// it at superstep start and walks the superstep skeleton reporting
+// failure, so barriers still complete. A kill is fail-stop — the machine
+// stops servicing fabric sends/recvs and barriers entirely; survivors
+// only learn of it through the fabric heartbeat monitor (net/fabric.h)
+// and see `Status::MachineLost`.
 //
 // Semantics:
 //  - A rule with no p/n/once trigger fires on every matching hit.
@@ -66,6 +74,7 @@ enum class Action : uint8_t {
   kDelay,      // fabric.send / disk.*: stall for `param_ms` milliseconds
   kDuplicate,  // fabric.send: the message is delivered twice
   kCrash,      // crash site: the machine loses this superstep
+  kKill,       // machine.kill: fail-stop — the machine goes silent
 };
 
 const char* ActionName(Action action);
@@ -114,6 +123,11 @@ uint64_t ActiveSeed();
 
 // Total rule firings since the last Configure().
 uint64_t InjectedCount();
+
+// True when the armed spec contains a rule for `site` (fired or not).
+// The engine uses this to auto-enable heartbeat detection whenever a
+// `machine.kill` rule is armed, so an unconfigured run cannot wedge.
+bool SpecContainsSite(const char* site);
 
 }  // namespace tgpp::fault
 

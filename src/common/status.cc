@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kMachineLost:
+      return "MachineLost";
   }
   return "Unknown";
 }
@@ -39,6 +41,8 @@ int ExitCodeForStatus(const Status& status) {
       return 3;
     case StatusCode::kCancelled:
       return 4;
+    case StatusCode::kMachineLost:
+      return 6;
     default:
       return 5;
   }

@@ -28,6 +28,11 @@ enum class StatusCode : uint8_t {
   kAborted,
   kInternal,
   kCancelled,
+  // A fail-stop machine failure detected by the fabric heartbeat monitor
+  // or a barrier deadline. Carries the lost machine id as a structured
+  // payload (Status::machine_id()) so recovery code does not have to
+  // parse it back out of the message text.
+  kMachineLost,
 };
 
 // Human-readable name of a status code ("OK", "IOError", ...).
@@ -75,6 +80,17 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  // `superstep` < 0 means "not attributable to a superstep" (e.g. a
+  // heartbeat miss noticed outside a run).
+  static Status MachineLost(int machine_id, int superstep) {
+    std::string msg = "machine " + std::to_string(machine_id) + " lost";
+    if (superstep >= 0) {
+      msg += " at superstep " + std::to_string(superstep);
+    }
+    Status s(StatusCode::kMachineLost, std::move(msg));
+    s.machine_id_ = machine_id;
+    return s;
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
@@ -87,9 +103,23 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsMachineLost() const { return code_ == StatusCode::kMachineLost; }
+
+  // True for transient failures a supervisor may retry: timeouts, I/O
+  // errors, aborts (fabric shutdown races) and lost machines. Permanent
+  // failures — bad arguments, corruption, cancellation, OOM — are not
+  // retryable; re-running them wastes the queue's time.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kTimeout || code_ == StatusCode::kIOError ||
+           code_ == StatusCode::kAborted ||
+           code_ == StatusCode::kMachineLost;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+  // Lost machine id for kMachineLost statuses; -1 otherwise. Copies and
+  // Result<T> propagation carry it along with the code and message.
+  int machine_id() const { return machine_id_; }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -103,11 +133,13 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  int32_t machine_id_ = -1;  // only meaningful when code_ == kMachineLost
 };
 
 // Process exit code for a terminal Status, shared by every tgpp CLI
 // subcommand (documented in the usage text and docs/SERVICE.md):
-//   0 ok, 3 timeout, 4 cancelled, 5 everything else (internal).
+//   0 ok, 3 timeout, 4 cancelled, 6 machine lost (or a job whose retries
+//   were exhausted), 5 everything else (internal).
 // Exit code 2 is reserved for usage errors (bad flags), which never reach
 // a Status. Kept in the library so tests can pin the mapping.
 int ExitCodeForStatus(const Status& status);

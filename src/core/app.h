@@ -208,6 +208,19 @@ struct QueryStats {
   int recoveries = 0;          // rollbacks to a checkpoint (docs/FAULTS.md)
   int push_supersteps = 0;     // supersteps scattered in push direction
   int pull_supersteps = 0;     // supersteps scattered in pull direction
+
+  // Recovery decomposition (Ammar/Özsu-style detect / restore /
+  // re-execute, docs/FAULTS.md): wall time of failed supersteps (failure
+  // onset to detection), of checkpoint restores, and of re-executed
+  // supersteps; plus the total superstep distance rolled back. All zero
+  // on a fault-free run.
+  double recovery_detect_seconds = 0;
+  double recovery_restore_seconds = 0;
+  double recovery_replay_seconds = 0;
+  int recovered_superstep_distance = 0;
+  // True when this run resumed from an existing checkpoint instead of
+  // superstep 0 (EngineOptions::resume_from_checkpoint).
+  bool resumed = false;
 };
 
 }  // namespace tgpp

@@ -67,6 +67,7 @@ enum MessageTag : uint32_t {
   kTagAdjRequest = 2,   // full adjacency list requests
   kTagAdjResponse = 3,  // full adjacency list responses
   kTagFrontier = 4,     // pull-superstep frontier bitmap allgather
+  kTagBarrier = 5,      // failable superstep barrier (machine-0 coordinated)
 };
 
 }  // namespace tgpp

@@ -190,6 +190,22 @@ struct EngineOptions {
   // lost message surfaces as Status::Timeout instead of a hung barrier.
   // <= 0 waits forever (the seed's behavior).
   int64_t recv_timeout_ms = 60000;
+  // Failure detection (docs/FAULTS.md "Failure model & recovery"): when
+  // heartbeat_timeout_ms > 0 the engine starts the fabric heartbeat
+  // monitor for the duration of Run() and replaces the std::barrier
+  // superstep barrier with a machine-0-coordinated failable barrier on
+  // Tag(kTagBarrier), so a fail-stop machine surfaces as
+  // Status::MachineLost within the timeout instead of wedging. 0 = off
+  // (byte-identical behavior to the pre-detection engine) — unless a
+  // `machine.kill` fault is armed, in which case Run() auto-enables
+  // detection with these defaults to keep an unconfigured chaos run from
+  // hanging.
+  int64_t heartbeat_interval_ms = 0;
+  int64_t heartbeat_timeout_ms = 0;
+  // Resume from the latest on-disk checkpoint epoch (if any) instead of
+  // superstep 0. Used by job-level retry: the failed attempt's
+  // checkpoints confine how much work the re-run repeats.
+  bool resume_from_checkpoint = false;
   // Deterministic execution: consume read-ahead pages in page order and
   // drain gathered updates in sender order. Makes floating-point
   // accumulation order — and thus results — bit-reproducible run to run,
@@ -217,8 +233,8 @@ struct EngineOptions {
   // files and barrier arrivals interleave.
 
   // Added to every fabric tag the engine (and its AdjacencyService)
-  // uses. Tags 0-4 are the engine's own, 8-12 belong to the baselines;
-  // the job service hands out bases starting at 16, stride 5.
+  // uses. Tags 0-5 are the engine's own, 8-12 belong to the baselines;
+  // the job service hands out bases starting at 16, stride 6.
   uint32_t fabric_tag_base = 0;
   // Prepended to every scratch file name this engine touches on machine
   // disks (vertex attributes, spill partitions, checkpoints) so
@@ -277,10 +293,14 @@ class NwsmEngine {
 
   // Start(): runs supersteps until convergence or app.max_supersteps.
   // With options.checkpoint_every > 0, state is checkpointed every N
-  // superstep boundaries and a recoverable failure (kAborted / kIOError /
-  // kTimeout — an injected crash, an unretryable disk error, a lost
-  // message) rolls all machines back to the last complete epoch and
-  // replays from there (docs/FAULTS.md).
+  // superstep boundaries and a retryable failure (Status::IsRetryable():
+  // an injected crash, an unretryable disk error, a lost message, a
+  // fail-stop machine) rolls all machines back to the last complete
+  // epoch — reviving any machine the failure took down — and replays
+  // from there (docs/FAULTS.md). Without a checkpoint a MachineLost
+  // failure returns cleanly, bounded by the heartbeat timeout; the
+  // machines stay down until the caller revives them (Fabric::Reset,
+  // Cluster::ReviveAllMachines, or the job manager's retry path).
   Result<QueryStats> Run(KWalkApp<V, U>& app) {
     TGPP_ASSIGN_OR_RETURN(const int q_needed, ComputeRequiredQ(app));
     if (q_needed > pg_->q) {
@@ -294,15 +314,49 @@ class NwsmEngine {
     stats.q_used = pg_->q;
     global_aggregate_.store(0, std::memory_order_relaxed);
 
+    // Failure detection: explicit options win; an armed `machine.kill`
+    // rule auto-enables the defaults so an unconfigured chaos run fails
+    // fast instead of wedging on a vanished machine.
+    HeartbeatOptions hb;
+    bool detect = options_.heartbeat_timeout_ms > 0;
+    if (detect) hb.timeout_ms = options_.heartbeat_timeout_ms;
+    if (options_.heartbeat_interval_ms > 0) {
+      hb.interval_ms = options_.heartbeat_interval_ms;
+    }
+    if (!detect && fault::SpecContainsSite("machine.kill")) detect = true;
+    detection_enabled_ = detect;
+    struct HeartbeatGuard {
+      Fabric* fabric = nullptr;
+      ~HeartbeatGuard() {
+        if (fabric != nullptr) fabric->StopHeartbeats();
+      }
+    } hb_guard;
+    if (detect) {
+      cluster_->fabric()->StartHeartbeats(hb);
+      hb_guard.fabric = cluster_->fabric();
+    }
+
     const int every = options_.checkpoint_every;
     int last_epoch = -1;  // epoch E = state at the start of superstep E
-    if (every > 0) {
+    int step = 0;
+    if (every > 0 && options_.resume_from_checkpoint) {
+      // Job-level retry resumes from whatever the failed attempt last
+      // checkpointed instead of cold-restarting from superstep 0.
+      const int found = FindLatestEpoch(app.max_supersteps);
+      if (found >= 0) {
+        TGPP_RETURN_IF_ERROR(RestoreEpoch(found));
+        step = found;
+        last_epoch = found;
+        stats.resumed = true;
+      }
+    }
+    if (every > 0 && last_epoch < 0) {
       TGPP_RETURN_IF_ERROR(CheckpointEpoch(0));
       last_epoch = 0;
       ++stats.checkpoints;
     }
     int recovery_attempts = 0;
-    int step = 0;
+    int replay_until = step;  // supersteps below this are re-execution
     Direction prev_direction = Direction::kPush;
     // Baseline for per-superstep deltas: counters accumulated before this
     // Run (e.g. a warmup query) are not attributed to our first row.
@@ -328,20 +382,29 @@ class NwsmEngine {
       const Direction dir = ChooseSuperstepDirection(app, prev_direction);
       current_direction_.store(dir == Direction::kPull ? 1 : 0,
                                std::memory_order_relaxed);
+      WallTimer superstep_timer;
       Status status = cluster_->RunOnAll(
           [&](int m) -> Status { return MachineSuperstep(m, app); });
+      const double superstep_seconds = superstep_timer.Seconds();
       if (!status.ok()) {
-        const bool recoverable_code =
-            status.code() == StatusCode::kAborted ||
-            status.code() == StatusCode::kIOError ||
-            status.code() == StatusCode::kTimeout;
-        if (last_epoch < 0 || !recoverable_code ||
+        if (last_epoch < 0 || !status.IsRetryable() ||
             recovery_attempts >= options_.max_recovery_attempts) {
           fault::SetSuperstep(-1);
           return status;
         }
         ++recovery_attempts;
         ++stats.recoveries;
+        stats.recovered_superstep_distance += step - last_epoch;
+        if (status.IsMachineLost()) {
+          // Detection cost: the failed superstep's wall time spans kill →
+          // heartbeat timeout → every survivor unblocked.
+          stats.recovery_detect_seconds += superstep_seconds;
+          // "Replace" the dead machine. In the simulated cluster the same
+          // Machine revives with its disks intact — a process restart on
+          // the same host; the checkpoint restore below rebuilds its
+          // volatile state.
+          cluster_->ReviveAllMachines();
+        }
         trace::Instant("engine.recover", "engine", "epoch",
                        static_cast<uint64_t>(last_epoch), "failed_step",
                        static_cast<uint64_t>(step));
@@ -349,13 +412,23 @@ class NwsmEngine {
         // control traffic in flight; everything since the epoch is
         // recomputed, so the queues are drained wholesale.
         cluster_->fabric()->Reset();
+        WallTimer restore_timer;
         Status restored = RestoreEpoch(last_epoch);
+        stats.recovery_restore_seconds += restore_timer.Seconds();
         if (!restored.ok()) {
           fault::SetSuperstep(-1);
           return restored;
         }
+        cluster_->machine(0)->metrics()->recoveries.Add(1);
+        if (step > replay_until) replay_until = step;
         step = last_epoch;
         continue;
+      }
+      if (step < replay_until) {
+        // This superstep only ran again because a recovery rolled us back
+        // past it: its wall time is pure re-execution cost.
+        stats.recovery_replay_seconds += superstep_seconds;
+        cluster_->machine(0)->metrics()->recovery_replay_supersteps.Add(1);
       }
       stats.supersteps = step + 1;
       prev_direction = dir;
@@ -569,6 +642,55 @@ class NwsmEngine {
     }
   }
 
+  // The failable superstep barrier. Without failure detection this is the
+  // plain std::barrier (byte-identical to the historical engine). With
+  // detection, arrivals and releases are fabric messages on
+  // Tag(kTagBarrier) coordinated by machine 0 under receive deadlines, so
+  // a machine that dies mid-protocol can never wedge the others: the
+  // coordinator's RecvFor fails fast once the heartbeat monitor declares
+  // the loss, and it still releases every survivor before reporting the
+  // failure. Each machine sends exactly one arrival per round and cannot
+  // start the next round until released, so FIFO per (src, dst, tag)
+  // keeps consecutive rounds from interleaving.
+  Status FailableBarrier(int m) {
+    if (!detection_enabled_) {
+      JobBarrier();
+      return Status::OK();
+    }
+    trace::TraceSpan span("barrier.wait", "cluster");
+    Fabric* fabric = cluster_->fabric();
+    Status result;
+    if (m == 0) {
+      for (int i = 1; i < pg_->p; ++i) {
+        Message msg;
+        Status s = fabric->RecvFor(0, Tag(kTagBarrier), &msg,
+                                   options_.recv_timeout_ms);
+        if (!s.ok()) {
+          result = s;
+          break;
+        }
+      }
+      // Release every peer even on failure — the flag tells them the
+      // round failed, so nobody keeps waiting for protocol traffic.
+      for (int i = 1; i < pg_->p; ++i) {
+        std::vector<uint8_t> release;
+        AppendPod<uint8_t>(&release, result.ok() ? 0 : 1);
+        fabric->Send(0, i, Tag(kTagBarrier), std::move(release));
+      }
+    } else {
+      std::vector<uint8_t> arrive;
+      AppendPod<uint8_t>(&arrive, 0);
+      fabric->Send(m, 0, Tag(kTagBarrier), std::move(arrive));
+      Message release;
+      Status s = fabric->RecvFor(m, Tag(kTagBarrier), &release,
+                                 options_.recv_timeout_ms);
+      if (!s.ok()) result = s;
+      // A failed release needs no action here: the failure that caused it
+      // is already carried in some machine's own superstep status.
+    }
+    return result;
+  }
+
   // ---- vertex attribute windows (vertex streams) ----
 
   Status ReadAttrRange(int m, VertexRange range, std::vector<V>* out) {
@@ -614,6 +736,20 @@ class NwsmEngine {
 
   Status MachineSuperstep(int m, KWalkApp<V, U>& app) {
     Machine* machine = cluster_->machine(m);
+    // Fail-stop injection: a killed machine vanishes — no scatter, no
+    // done markers, no barrier arrivals (contrast with `crash` below,
+    // which cooperatively walks the protocol skeleton). Survivors learn
+    // of the loss from the fabric heartbeat monitor; with detection off
+    // their receive deadlines are the backstop.
+    if (fault::Hit("machine.kill", m)) {
+      cluster_->KillMachine(m);
+      return Status::MachineLost(
+          m, current_step_.load(std::memory_order_relaxed));
+    }
+    if (!machine->alive()) {
+      return Status::MachineLost(
+          m, current_step_.load(std::memory_order_relaxed));
+    }
     MachineState& state = *states_[m];
     const int q = pg_->q;
     trace::TraceSpan superstep_span("superstep", "engine");
@@ -690,7 +826,8 @@ class NwsmEngine {
 
     // GLOBALBARRIER (Algorithm 1 line 22): all updates are now gathered
     // in memory or on disk everywhere; remote adjacency reads are over.
-    JobBarrier();
+    Status barrier_status = FailableBarrier(m);
+    if (step_status.ok()) step_status = barrier_status;
     if (adj_service != nullptr) adj_service->Stop();
 
     // Gather spilled updates overlapped with apply (Algorithms 3-4).
@@ -1662,6 +1799,18 @@ class NwsmEngine {
 
   Status RestoreEpoch(int epoch) { return Restore(EpochTag(epoch)); }
 
+  // Highest epoch in [0, max_supersteps] with a checkpoint file on
+  // machine 0's disk (RemoveEpoch keeps at most the latest two), or -1.
+  // A cheap existence scan — Restore still CRC-validates every machine.
+  int FindLatestEpoch(int max_supersteps) {
+    int found = -1;
+    DiskDevice* disk = cluster_->machine(0)->disk();
+    for (int e = 0; e <= max_supersteps; ++e) {
+      if (disk->Exists(CheckpointFile(EpochTag(e)))) found = e;
+    }
+    return found;
+  }
+
   void RemoveEpoch(int epoch) {
     if (epoch < 0) return;
     (void)cluster_->RunOnAll([&](int m) -> Status {
@@ -1957,7 +2106,8 @@ class NwsmEngine {
       // machine's own status drives recovery, so peers just proceed to
       // the barrier.
     }
-    JobBarrier();
+    Status barrier_status = FailableBarrier(m);
+    if (result.ok()) result = barrier_status;
     return result;
   }
 
@@ -1969,6 +2119,9 @@ class NwsmEngine {
   std::atomic<uint64_t> global_aggregate_{0};
   std::atomic<int> current_step_{0};  // superstep number, for trace args
   std::atomic<int> current_direction_{0};  // 0 = push, 1 = pull
+  // Set by Run() before the superstep loop starts (machine threads only
+  // read it): routes JobBarrier through the failable fabric barrier.
+  bool detection_enabled_ = false;
 
   // Scratch for the serial full-mode context (one orchestrator per
   // machine; see process_range).

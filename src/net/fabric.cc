@@ -9,6 +9,18 @@
 
 namespace tgpp {
 
+namespace {
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+std::chrono::steady_clock::time_point SteadyFromNanos(int64_t nanos) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(nanos));
+}
+}  // namespace
+
 Fabric::Fabric(int num_machines, NetProfile profile)
     : num_machines_(num_machines), profile_(profile) {
   TGPP_CHECK(num_machines > 0);
@@ -18,6 +30,25 @@ Fabric::Fabric(int num_machines, NetProfile profile)
     mailboxes_.push_back(std::make_unique<Mailbox>());
     links_.push_back(std::make_unique<LinkMetrics>());
   }
+  up_ = std::make_unique<std::atomic<bool>[]>(num_machines);
+  lost_ = std::make_unique<std::atomic<bool>[]>(num_machines);
+  last_beat_nanos_ = std::make_unique<std::atomic<int64_t>[]>(num_machines);
+  for (int i = 0; i < num_machines; ++i) {
+    up_[i].store(true, std::memory_order_relaxed);
+    lost_[i].store(false, std::memory_order_relaxed);
+    last_beat_nanos_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Fabric::~Fabric() {
+  // Force-stop the monitor if a caller leaked a StartHeartbeats.
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    hb_refs_ = 0;
+    hb_running_.store(false, std::memory_order_release);
+  }
+  hb_cv_.notify_all();
+  if (hb_monitor_.joinable()) hb_monitor_.join();
 }
 
 uint64_t Fabric::bytes_sent() const {
@@ -54,8 +85,16 @@ void Fabric::Send(int src, int dst, uint32_t tag,
   TGPP_DCHECK(dst >= 0 && dst < num_machines_);
   bool duplicate = false;
   int64_t send_nanos = 0;
+  int64_t deliver_at_nanos = 0;
   if (src != dst) {
     LinkMetrics& link = *links_[src >= 0 ? src : dst];
+    // A down machine's NIC puts nothing on the wire, and nothing reaches
+    // a down machine's mailbox: drop before any byte accounting.
+    if ((src >= 0 && !up_[src].load(std::memory_order_relaxed)) ||
+        !up_[dst].load(std::memory_order_relaxed)) {
+      link.down_drops.Add(1);
+      return;
+    }
     link.bytes_sent.Add(payload.size() + kHeaderBytes);
     link.messages_sent.Add(1);
     send_nanos = obs::MonotonicNanos();
@@ -70,8 +109,12 @@ void Fabric::Send(int src, int dst, uint32_t tag,
           link.drops.Add(1);
           return;  // the message is lost in flight
         case fault::Action::kDelay:
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(injected->param_ms));
+          // Deferred delivery: the delay models link latency, so it is
+          // charged to the receiver's wait — never slept on the sender's
+          // thread — and RecvFor deadlines stay honest during it.
+          deliver_at_nanos =
+              SteadyNanos() +
+              static_cast<int64_t>(injected->param_ms) * 1'000'000;
           break;
         case fault::Action::kDuplicate:
           link.dups.Add(1);
@@ -86,8 +129,11 @@ void Fabric::Send(int src, int dst, uint32_t tag,
   {
     std::lock_guard<std::mutex> lock(box.mu);
     std::deque<Message>& q = QueueFor(box, tag);
-    if (duplicate) q.push_back(Message{src, tag, payload, send_nanos});
-    q.push_back(Message{src, tag, std::move(payload), send_nanos});
+    if (duplicate) {
+      q.push_back(Message{src, tag, payload, send_nanos, deliver_at_nanos});
+    }
+    q.push_back(
+        Message{src, tag, std::move(payload), send_nanos, deliver_at_nanos});
   }
   box.cv.notify_all();
 }
@@ -112,11 +158,19 @@ bool Fabric::Recv(int dst, uint32_t tag, Message* out) {
   for (;;) {
     std::deque<Message>& q = QueueFor(box, tag);
     if (!q.empty()) {
-      if (wait_start >= 0) {
-        trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
+      const int64_t head_at = q.front().deliver_at_nanos;
+      if (head_at <= SteadyNanos()) {
+        if (wait_start >= 0) {
+          trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
+        }
+        DeliverLocked(dst, q, out);
+        return true;
       }
-      DeliverLocked(dst, q, out);
-      return true;
+      // The head message is still "in flight" (injected link latency):
+      // wait out its delivery time, re-checking on wakeups.
+      if (wait_start < 0 && trace::Enabled()) wait_start = trace::NowNanos();
+      box.cv.wait_until(lock, SteadyFromNanos(head_at));
+      continue;
     }
     if (shutdown_.load(std::memory_order_acquire)) return false;
     if (wait_start < 0 && trace::Enabled()) wait_start = trace::NowNanos();
@@ -138,24 +192,42 @@ Status Fabric::RecvFor(int dst, uint32_t tag, Message* out,
   int64_t wait_start = -1;
   for (;;) {
     std::deque<Message>& q = QueueFor(box, tag);
+    int64_t head_at = 0;
     if (!q.empty()) {
-      if (wait_start >= 0) {
-        trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
+      head_at = q.front().deliver_at_nanos;
+      if (head_at <= SteadyNanos()) {
+        if (wait_start >= 0) {
+          trace::Complete("fabric.recv_wait", "net", wait_start, "tag", tag);
+        }
+        DeliverLocked(dst, q, out);
+        return Status::OK();
       }
-      DeliverLocked(dst, q, out);
-      return Status::OK();
     }
     if (shutdown_.load(std::memory_order_acquire)) {
       return Status::Aborted("fabric shut down during recv");
     }
+    // Nothing deliverable right now. If the monitor has declared a
+    // machine lost, waiting out the deadline is pointless — the superstep
+    // this receive belongs to can never complete. Fail fast so every
+    // survivor unblocks within the heartbeat timeout.
+    if (const int lost = FirstLostMachine(); lost >= 0) {
+      return Status::MachineLost(lost, fault::CurrentSuperstep());
+    }
     if (std::chrono::steady_clock::now() >= deadline) {
       // The timed-out receiver consumes nothing: a message that arrives
       // after this return is picked up by the next receive on this tag.
+      // A deadline expiring during an injected delay hits this path too
+      // (the wait below is capped at the deadline).
       return Status::Timeout("recv timeout on tag " + std::to_string(tag) +
                              " at machine " + std::to_string(dst));
     }
     if (wait_start < 0 && trace::Enabled()) wait_start = trace::NowNanos();
-    box.cv.wait_until(lock, deadline);
+    auto until = deadline;
+    if (!q.empty() && head_at > 0) {
+      const auto head_tp = SteadyFromNanos(head_at);
+      if (head_tp < until) until = head_tp;
+    }
+    box.cv.wait_until(lock, until);
   }
 }
 
@@ -164,6 +236,7 @@ bool Fabric::TryRecv(int dst, uint32_t tag, Message* out) {
   std::lock_guard<std::mutex> lock(box.mu);
   std::deque<Message>& q = QueueFor(box, tag);
   if (q.empty()) return false;
+  if (q.front().deliver_at_nanos > SteadyNanos()) return false;
   DeliverLocked(dst, q, out);
   return true;
 }
@@ -191,6 +264,130 @@ void Fabric::Reset() {
     std::lock_guard<std::mutex> lock(box->mu);
     box->queues.clear();
   }
+  // A reset cluster has no dead machines: restore liveness so a run
+  // following an unrecovered failure starts clean.
+  for (int m = 0; m < num_machines_; ++m) SetMachineUp(m);
+}
+
+void Fabric::StartHeartbeats(const HeartbeatOptions& options) {
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  if (hb_refs_++ > 0) return;  // first caller wins the configuration
+  hb_options_ = options;
+  if (hb_options_.interval_ms < 1) hb_options_.interval_ms = 1;
+  if (hb_options_.timeout_ms < hb_options_.interval_ms) {
+    hb_options_.timeout_ms = hb_options_.interval_ms;
+  }
+  const int64_t now = SteadyNanos();
+  for (int m = 0; m < num_machines_; ++m) {
+    last_beat_nanos_[m].store(now, std::memory_order_relaxed);
+  }
+  if (hb_monitor_.joinable()) hb_monitor_.join();  // prior epoch's thread
+  hb_running_.store(true, std::memory_order_release);
+  hb_monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+void Fabric::StopHeartbeats() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    if (hb_refs_ == 0) return;
+    if (--hb_refs_ > 0) return;
+    hb_running_.store(false, std::memory_order_release);
+    to_join = std::move(hb_monitor_);
+  }
+  hb_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+bool Fabric::HeartbeatsRunning() const {
+  return hb_running_.load(std::memory_order_acquire);
+}
+
+void Fabric::MonitorLoop() {
+  const auto interval = std::chrono::milliseconds(hb_options_.interval_ms);
+  const int64_t timeout_nanos = hb_options_.timeout_ms * 1'000'000;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(hb_mu_);
+      if (hb_cv_.wait_for(lock, interval, [this] {
+            return !hb_running_.load(std::memory_order_acquire);
+          })) {
+        return;
+      }
+    }
+    const int64_t now = SteadyNanos();
+    bool newly_lost = false;
+    for (int m = 0; m < num_machines_; ++m) {
+      if (up_[m].load(std::memory_order_relaxed)) {
+        // An up machine beats every interval. (In the simulated cluster
+        // the monitor stamps the beat on the machine's behalf — the
+        // machine's "NIC" is this process; the multi-process transport
+        // will send real messages on a dedicated tag.)
+        last_beat_nanos_[m].store(now, std::memory_order_relaxed);
+        links_[m]->heartbeats.Add(1);
+        continue;
+      }
+      if (lost_[m].load(std::memory_order_relaxed)) continue;
+      const int64_t last = last_beat_nanos_[m].load(std::memory_order_relaxed);
+      if (now - last > timeout_nanos) {
+        lost_[m].store(true, std::memory_order_release);
+        links_[m]->heartbeat_misses.Add(1);
+        trace::Instant("fabric.machine_lost", "net", "machine",
+                       static_cast<uint64_t>(m));
+        newly_lost = true;
+      }
+    }
+    if (newly_lost) NotifyAllMailboxes();
+  }
+}
+
+void Fabric::NotifyAllMailboxes() {
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+void Fabric::SetMachineDown(int machine) {
+  TGPP_DCHECK(machine >= 0 && machine < num_machines_);
+  up_[machine].store(false, std::memory_order_release);
+}
+
+void Fabric::SetMachineUp(int machine) {
+  TGPP_DCHECK(machine >= 0 && machine < num_machines_);
+  last_beat_nanos_[machine].store(SteadyNanos(), std::memory_order_relaxed);
+  up_[machine].store(true, std::memory_order_release);
+  lost_[machine].store(false, std::memory_order_release);
+}
+
+bool Fabric::MachineUp(int machine) const {
+  return up_[machine].load(std::memory_order_acquire);
+}
+
+int Fabric::FirstLostMachine() const {
+  if (!hb_running_.load(std::memory_order_acquire)) return -1;
+  for (int m = 0; m < num_machines_; ++m) {
+    if (lost_[m].load(std::memory_order_acquire)) return m;
+  }
+  return -1;
+}
+
+uint64_t Fabric::heartbeats() const {
+  uint64_t total = 0;
+  for (const auto& l : links_) total += l->heartbeats.value();
+  return total;
+}
+
+uint64_t Fabric::heartbeat_misses() const {
+  uint64_t total = 0;
+  for (const auto& l : links_) total += l->heartbeat_misses.value();
+  return total;
+}
+
+uint64_t Fabric::down_drops() const {
+  uint64_t total = 0;
+  for (const auto& l : links_) total += l->down_drops.value();
+  return total;
 }
 
 void Fabric::ResetCounters() {
@@ -213,6 +410,10 @@ void Fabric::RegisterMetrics(obs::Registry* registry,
                      &link.messages_sent);
     obs::TryRegister(registry, out, "fabric.drops", m, &link.drops);
     obs::TryRegister(registry, out, "fabric.dups", m, &link.dups);
+    obs::TryRegister(registry, out, "fabric.down_drops", m, &link.down_drops);
+    obs::TryRegister(registry, out, "fabric.heartbeats", m, &link.heartbeats);
+    obs::TryRegister(registry, out, "fabric.heartbeat_misses", m,
+                     &link.heartbeat_misses);
     obs::TryRegister(registry, out, "fabric.delivery_latency_ns", m,
                      &link.delivery_latency);
   }

@@ -9,6 +9,16 @@
 //
 // Delivery is reliable and FIFO per (src, dst, tag) — the guarantees the
 // paper gets from MPI.
+//
+// Failure detection (PR 7): the fabric optionally runs a heartbeat
+// monitor. While a machine is "up" it beats every `interval_ms`; a
+// machine whose beats stop (Machine::Kill(), `machine.kill` fault) is
+// declared *lost* once `timeout_ms` elapses without a beat. Declaring a
+// machine lost wakes every blocked receiver, and `RecvFor` then fails
+// fast with `Status::MachineLost` instead of waiting out its deadline —
+// no surviving machine ever wedges on a dead one. Sends to or from a
+// down machine are dropped silently (counted in `down_drops`, never in
+// the fault-injection `drops` counter).
 
 #ifndef TGPP_NET_FABRIC_H_
 #define TGPP_NET_FABRIC_H_
@@ -20,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -43,6 +54,20 @@ struct Message {
   // Fabric send timestamp (obs::MonotonicNanos) for delivery-latency
   // measurement; 0 for loopback and hand-built messages.
   int64_t send_nanos = 0;
+  // Earliest steady-clock time (ns) this message may be delivered; 0 =
+  // immediately. Set by injected `fabric.send:delay` faults: the delay
+  // models link latency, so it is charged to the *receiver's* wait, not
+  // spent sleeping on the sender's thread. FIFO is preserved — a delayed
+  // message at the head of its queue gates the messages behind it.
+  int64_t deliver_at_nanos = 0;
+};
+
+// Heartbeat monitor configuration. `timeout_ms` bounds detection latency:
+// a killed machine is declared lost at most `timeout_ms + interval_ms`
+// after its final beat (one monitor tick of slack).
+struct HeartbeatOptions {
+  int64_t interval_ms = 25;
+  int64_t timeout_ms = 1000;
 };
 
 // Per-machine fabric instruments: traffic counters are attributed to the
@@ -54,12 +79,20 @@ struct LinkMetrics {
   obs::Counter messages_sent;
   obs::Counter drops;
   obs::Counter dups;
+  // Messages silently dropped because the src or dst machine was down.
+  // Kept apart from `drops` (fault-injection evidence the chaos tests
+  // reconcile against the injector's own count).
+  obs::Counter down_drops;
+  // Heartbeats recorded for / misses declared against this machine.
+  obs::Counter heartbeats;
+  obs::Counter heartbeat_misses;
   obs::LatencyHistogram delivery_latency;
 };
 
 class Fabric {
  public:
   Fabric(int num_machines, NetProfile profile);
+  ~Fabric();
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -82,16 +115,49 @@ class Fabric {
   // in time — the message is NOT consumed if it arrives later — and
   // kAborted after Shutdown() drained the queue. This is what lets the
   // engine's gather/allreduce survive a dropped message instead of
-  // deadlocking a barrier.
+  // deadlocking a barrier. The deadline is honored even while an injected
+  // delay holds the head message back. When the heartbeat monitor has
+  // declared a machine lost and nothing is deliverable, returns
+  // `Status::MachineLost` immediately instead of waiting out the
+  // deadline — this is the fail-fast path that unblocks survivors.
   Status RecvFor(int dst, uint32_t tag, Message* out, int64_t timeout_ms);
 
   // Non-blocking variant.
   bool TryRecv(int dst, uint32_t tag, Message* out);
 
   // Wakes all blocked receivers; subsequent Recv calls drain remaining
-  // messages and then return false. Reset() re-arms the fabric.
+  // messages and then return false. Reset() re-arms the fabric, drops
+  // all queued messages, and restores every machine to up (a reset
+  // cluster has no dead machines).
   void Shutdown();
   void Reset();
+
+  // ---- Failure detection -------------------------------------------------
+  //
+  // Refcounted: the first StartHeartbeats wins the configuration; nested
+  // starts (concurrent jobs) just bump the count. The monitor thread
+  // stamps a beat for every up machine each interval and declares a
+  // machine lost once `timeout_ms` passes without a beat, waking every
+  // blocked receiver so RecvFor can fail fast.
+  void StartHeartbeats(const HeartbeatOptions& options);
+  void StopHeartbeats();
+  bool HeartbeatsRunning() const;
+
+  // Cooperative liveness, flipped by Machine::Kill/Revive via the
+  // cluster. Down machines stop beating (so the monitor declares them
+  // lost within the timeout) and their sends/receives are dropped.
+  void SetMachineDown(int machine);
+  void SetMachineUp(int machine);  // also clears the monitor's lost verdict
+  bool MachineUp(int machine) const;
+
+  // Lowest machine id the monitor has declared lost, or -1. Only the
+  // monitor sets the lost flag — Kill() alone never does — so detection
+  // latency honestly reflects the configured timeout.
+  int FirstLostMachine() const;
+
+  uint64_t heartbeats() const;
+  uint64_t heartbeat_misses() const;
+  uint64_t down_drops() const;
 
   // Cluster-wide totals (sums over the per-machine link instruments).
   uint64_t bytes_sent() const;
@@ -138,11 +204,26 @@ class Fabric {
   // Records delivery latency of a just-dequeued message at machine `dst`.
   void ObserveDelivery(int dst, const Message& msg);
 
+  void MonitorLoop();
+  void NotifyAllMailboxes();
+
   int num_machines_;
   NetProfile profile_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<LinkMetrics>> links_;
   std::atomic<bool> shutdown_{false};
+
+  // Liveness state (heap arrays: atomics are not movable in a vector).
+  std::unique_ptr<std::atomic<bool>[]> up_;
+  std::unique_ptr<std::atomic<bool>[]> lost_;
+  std::unique_ptr<std::atomic<int64_t>[]> last_beat_nanos_;
+
+  mutable std::mutex hb_mu_;
+  std::condition_variable hb_cv_;  // wakes the monitor for shutdown
+  std::thread hb_monitor_;
+  HeartbeatOptions hb_options_;
+  int hb_refs_ = 0;
+  std::atomic<bool> hb_running_{false};
 };
 
 }  // namespace tgpp

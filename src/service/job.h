@@ -79,6 +79,8 @@ struct JobRecord {
   int supersteps = 0;
   double queue_wait_seconds = 0; // submit -> admitted
   double run_seconds = 0;        // admitted -> terminal
+  int attempts = 0;              // runs of the job (1 + retries taken)
+  bool retries_exhausted = false;  // failed retryable after max_retries
 };
 
 }  // namespace tgpp::service

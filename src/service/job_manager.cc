@@ -16,6 +16,7 @@
 #include "common/logging.h"
 #include "core/engine.h"
 #include "util/crc32.h"
+#include "util/rng.h"
 #include "util/trace.h"
 
 namespace tgpp::service {
@@ -48,6 +49,10 @@ struct Outcome {
   QueryStats stats;
   uint32_t crc = 0;
 };
+
+// Upper bound on the epoch index scanned when removing a finished job's
+// checkpoint files (no service query runs longer than this).
+constexpr int kMaxEpochScan = 4096;
 
 // Runs one query over the shared cluster with the given (job-isolated)
 // engine options and digests the final attributes in ORIGINAL vertex-id
@@ -176,6 +181,8 @@ JobManager::JobManager(Cluster* cluster, const PartitionedGraph* pg,
                    &jobs_failed_);
   obs::TryRegister(&reg, &registrations_, "service.jobs_cancelled", -1,
                    &jobs_cancelled_);
+  obs::TryRegister(&reg, &registrations_, "service.job_retries", -1,
+                   &job_retries_);
   obs::TryRegister(&reg, &registrations_, "service.jobs_queued", -1,
                    &jobs_queued_);
   obs::TryRegister(&reg, &registrations_, "service.jobs_running", -1,
@@ -310,7 +317,14 @@ void JobManager::RunJob(Job* job) {
   EngineOptions options;
   options.deterministic = job->spec.deterministic;
   options.recv_timeout_ms = options_.recv_timeout_ms;
-  options.checkpoint_every = 0;  // recovery resets the SHARED fabric
+  // In-engine recovery stays OFF: it resets the SHARED fabric, which
+  // would drain other jobs' in-flight messages. Checkpoints are still
+  // written so the job-level retry below can resume instead of
+  // cold-restarting (docs/FAULTS.md).
+  options.checkpoint_every = options_.checkpoint_every;
+  options.max_recovery_attempts = 0;
+  options.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+  options.heartbeat_timeout_ms = options_.heartbeat_timeout_ms;
   options.fabric_tag_base =
       kServiceTagBase + static_cast<uint32_t>(job->tag_slot) * kTagsPerJob;
   options.scratch_prefix = "job" + std::to_string(job->id) + "_";
@@ -325,20 +339,57 @@ void JobManager::RunJob(Job* job) {
 
   Outcome outcome;
   Status status;
-  {
-    trace::TraceSpan run_span("service.run", "service");
-    run_span.AddArg("job", job->id);
-    status = RunForSpec(cluster_, pg_, job->spec, options, &outcome);
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    {
+      trace::TraceSpan run_span("service.run", "service");
+      run_span.AddArg("job", job->id);
+      run_span.AddArg("attempt", static_cast<uint64_t>(attempt));
+      status = RunForSpec(cluster_, pg_, job->spec, options, &outcome);
+    }
+    if (status.ok() || !status.IsRetryable()) break;
+    if (attempt > options_.max_retries) break;  // retry budget exhausted
+
+    // Prepare the retry: the failed attempt may have left messages in
+    // the job's tag range and (after a machine.kill) dead machines.
+    DrainTags(options.fabric_tag_base);
+    cluster_->ReviveAllMachines();
+    job_retries_.Add(1);
+    trace::Instant("service.retry", "service", "job", job->id, "attempt",
+                   static_cast<uint64_t>(attempt));
+    TGPP_LOG(Warning) << "job " << job->id << " attempt " << attempt
+                   << " failed (" << StatusCodeToString(status.code())
+                   << ": " << status.message() << "); retrying";
+    if (!WaitBackoff(job, attempt)) {
+      // Shutdown or cancel fired during backoff; surface the token's
+      // status (not the retryable failure) as the terminal state.
+      Status token = job->cancel.Check();
+      if (!token.ok()) status = token;
+      break;
+    }
+    options.resume_from_checkpoint = true;
+    outcome = Outcome{};
   }
 
   // Best-effort scratch cleanup; the next job with this id prefix cannot
   // exist, but long-lived daemons should not leak one file set per job.
+  // Runs only after the terminal attempt — retries resume from the
+  // checkpoint files an earlier attempt wrote.
   for (int m = 0; m < cluster_->num_machines(); ++m) {
     DiskDevice* disk = cluster_->machine(m)->disk();
     (void)disk->Remove(options.scratch_prefix + kVertexAttrFileName);
     for (int c = 1; c < pg_->q; ++c) {
       (void)disk->Remove(options.scratch_prefix + "spill_" +
                          std::to_string(c) + ".bin");
+    }
+    if (options.checkpoint_every > 0) {
+      // Epoch checkpoints land at multiples of checkpoint_every (the
+      // engine keeps at most the latest two, plus epoch 0 early on).
+      for (int e = 0; e <= kMaxEpochScan; e += options.checkpoint_every) {
+        (void)disk->Remove(options.scratch_prefix + "checkpoint_auto" +
+                           std::to_string(e) + ".ckpt");
+      }
     }
   }
   // A cancelled or failed job may have left messages in its tag range
@@ -347,6 +398,8 @@ void JobManager::RunJob(Job* job) {
   DrainTags(options.fabric_tag_base);
 
   std::lock_guard<std::mutex> lock(mu_);
+  job->attempts = attempt;
+  job->retries_exhausted = !status.ok() && status.IsRetryable();
   job->result_crc = outcome.crc;
   job->aggregate = outcome.stats.aggregate_sum;
   job->supersteps = outcome.stats.supersteps;
@@ -359,6 +412,25 @@ void JobManager::RunJob(Job* job) {
   FinishLocked(job, terminal, status);
   PumpLocked();
   cv_.notify_all();
+}
+
+// Backoff before retry `attempt` (1-based): retry_backoff_ms * 2^(N-1)
+// plus a deterministic jitter in [0, retry_backoff_ms) keyed on
+// (seed, job id, attempt) — reproducible for tests, decorrelated across
+// jobs so a herd of failures does not retry in lockstep.
+bool JobManager::WaitBackoff(Job* job, int attempt) {
+  const int shift = std::min(attempt - 1, 20);
+  const int64_t base = std::max<int64_t>(1, options_.retry_backoff_ms);
+  const int64_t jitter = static_cast<int64_t>(
+      Mix64(options_.retry_jitter_seed ^ job->id ^
+            static_cast<uint64_t>(attempt)) %
+      static_cast<uint64_t>(base));
+  const int64_t wait_ms = base * (int64_t{1} << shift) + jitter;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(wait_ms), [&] {
+    return shutdown_ || !job->cancel.Check().ok();
+  });
+  return !shutdown_ && job->cancel.Check().ok();
 }
 
 // Caller holds mu_. Releases everything the job holds (reservation, tag
@@ -443,6 +515,8 @@ JobRecord JobManager::SnapshotLocked(const Job& job) const {
   record.supersteps = job.supersteps;
   record.queue_wait_seconds = job.queue_wait_seconds;
   record.run_seconds = job.run_seconds;
+  record.attempts = job.attempts;
+  record.retries_exhausted = job.retries_exhausted;
   return record;
 }
 

@@ -19,11 +19,16 @@
 //    every terminal transition releases the reservation and re-pumps the
 //    queue.
 //
-// Concurrency-scoped engine restrictions: service jobs always run with
-// checkpoint_every=0 (engine recovery calls Fabric::Reset(), which would
-// drain OTHER jobs' in-flight messages), and fault-injector superstep
-// gating is process-global, so superstep-scoped fault specs are only
-// meaningful with one job in flight.
+// Concurrency-scoped engine restrictions: service jobs run with IN-ENGINE
+// recovery disabled (max_recovery_attempts=0 — engine recovery calls
+// Fabric::Reset(), which would drain OTHER jobs' in-flight messages).
+// Fault tolerance is instead JOB-LEVEL: a retryable failure (timeout,
+// I/O error, machine lost) re-runs the whole job after an exponential
+// backoff with deterministic jitter, draining the job's tags and reviving
+// dead machines first, and resuming from the job's latest checkpoint when
+// checkpoint_every > 0 (docs/FAULTS.md). Fault-injector superstep gating
+// is process-global, so superstep-scoped fault specs are only meaningful
+// with one job in flight.
 
 #ifndef TGPP_SERVICE_JOB_MANAGER_H_
 #define TGPP_SERVICE_JOB_MANAGER_H_
@@ -60,6 +65,26 @@ struct JobServiceOptions {
   // Engine receive deadline for service jobs (a lost message fails the
   // job instead of wedging a runner thread forever).
   int64_t recv_timeout_ms = 60000;
+
+  // Job-level retry on retryable failures (Status::IsRetryable): a job
+  // that fails with timeout / I/O error / machine lost is re-run up to
+  // this many additional times, resuming from its latest checkpoint.
+  // 0 = fail immediately (historical behavior).
+  int max_retries = 0;
+  // Base backoff before attempt N (N = 1-based retry index):
+  // base * 2^(N-1) + jitter, jitter = Mix64(seed ^ job_id ^ N) % base.
+  // The jitter is deterministic given the seed, so tests can bound
+  // retry timing exactly.
+  int64_t retry_backoff_ms = 50;
+  uint64_t retry_jitter_seed = 0x7470705f72657472ull;  // "tgpp_retr"
+  // Checkpoint cadence for service jobs (0 = none). Checkpoints enable
+  // resume-from-checkpoint on retry; they do NOT enable in-engine
+  // recovery (see header comment).
+  int checkpoint_every = 0;
+  // Failure-detection heartbeats for service jobs (engine semantics:
+  // timeout 0 = off unless an armed machine.kill spec auto-enables).
+  int64_t heartbeat_interval_ms = 0;
+  int64_t heartbeat_timeout_ms = 0;
 };
 
 class JobManager {
@@ -118,6 +143,11 @@ class JobManager {
     int supersteps = 0;
     double queue_wait_seconds = 0;
     double run_seconds = 0;
+    // Times the job has been (re-)run: 1 on a clean first pass, up to
+    // 1 + max_retries. retries_exhausted marks a terminal failure that
+    // was retryable but ran out of attempts (exit code 6 in `tgpp jobs`).
+    int attempts = 0;
+    bool retries_exhausted = false;
     std::thread runner;
   };
 
@@ -129,9 +159,15 @@ class JobManager {
   JobRecord SnapshotLocked(const Job& job) const;
   Job* FindLocked(uint64_t id) const;
 
-  // Drains the job's four fabric tags on every machine so a reused tag
-  // slot never sees a predecessor's stale messages.
+  // Drains the job's fabric tag range on every machine so a reused tag
+  // slot (or a retry of the same job) never sees a predecessor's stale
+  // messages.
   void DrainTags(uint32_t tag_base);
+
+  // Sleeps the backoff before retry `attempt` (1-based) of `job_id`,
+  // waking early on shutdown or job cancellation. Returns false if the
+  // wait was interrupted (the retry should be abandoned).
+  bool WaitBackoff(Job* job, int attempt);
 
   Cluster* cluster_;
   const PartitionedGraph* pg_;
@@ -149,7 +185,7 @@ class JobManager {
 
   // service.* instruments (docs/METRICS.md), cluster-scoped.
   obs::Counter jobs_submitted_, jobs_admitted_, jobs_done_, jobs_failed_,
-      jobs_cancelled_;
+      jobs_cancelled_, job_retries_;
   obs::Gauge jobs_queued_, jobs_running_, reserved_bytes_;
   obs::LatencyHistogram queue_wait_ns_, run_latency_ns_;
   std::vector<obs::Registration> registrations_;
@@ -164,11 +200,11 @@ class JobManager {
 Result<int> RequiredQForService(Cluster& cluster, uint64_t num_vertices,
                                 int max_running);
 
-// Fabric tag bases for job slots: the engine owns tags 0-4 and the
-// baselines 8-12, so service slots start at 16, stride 5
-// (updates/control/adj-request/adj-response/frontier per job).
+// Fabric tag bases for job slots: the engine owns tags 0-5 and the
+// baselines 8-13, so service slots start at 16, stride 6
+// (updates/control/adj-request/adj-response/frontier/barrier per job).
 inline constexpr uint32_t kServiceTagBase = 16;
-inline constexpr uint32_t kTagsPerJob = 5;
+inline constexpr uint32_t kTagsPerJob = 6;
 
 }  // namespace tgpp::service
 

@@ -362,7 +362,9 @@ std::string JobRecordToJson(const JobRecord& record) {
       .Int("supersteps", record.supersteps)
       .UInt("reserved_bytes", record.reserved_bytes)
       .Double("queue_wait_s", record.queue_wait_seconds)
-      .Double("run_s", record.run_seconds);
+      .Double("run_s", record.run_seconds)
+      .Int("attempts", record.attempts);
+  if (record.retries_exhausted) w.Bool("retries_exhausted", true);
   if (!record.error.empty()) {
     w.Str("error", record.error).Str("code", record.status_code);
   }

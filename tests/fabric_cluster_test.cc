@@ -192,12 +192,100 @@ TEST(FabricRecvFor, ShutdownWakesBlockedReceiversPromptly) {
   EXPECT_EQ(msg.payload[0], 8);
 }
 
+// --- Heartbeat failure detection ---
+
+TEST(FabricHeartbeat, LostMachineDetectedWithinTimeout) {
+  Fabric fabric(2, kInfinibandQdr);
+  HeartbeatOptions hb;
+  hb.interval_ms = 5;
+  hb.timeout_ms = 50;
+  fabric.StartHeartbeats(hb);
+  EXPECT_TRUE(fabric.HeartbeatsRunning());
+  EXPECT_EQ(fabric.FirstLostMachine(), -1);
+
+  fabric.SetMachineDown(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (fabric.FirstLostMachine() < 0 &&
+         std::chrono::steady_clock::now() - t0 < std::chrono::seconds(5)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(fabric.FirstLostMachine(), 1);
+  // Verdict no earlier than the timeout, no later than timeout + one
+  // monitor interval (plus scheduling slack).
+  EXPECT_GE(elapsed, 0.04);
+  EXPECT_LE(elapsed, 2.0);
+  EXPECT_GT(fabric.heartbeat_misses(), 0u);
+
+  // A receive with nothing deliverable fails fast with MachineLost
+  // instead of burning its whole deadline.
+  Message msg;
+  Status s = fabric.RecvFor(0, 0, &msg, 10000);
+  EXPECT_TRUE(s.IsMachineLost()) << s.ToString();
+  EXPECT_EQ(s.machine_id(), 1);
+
+  fabric.SetMachineUp(1);
+  EXPECT_EQ(fabric.FirstLostMachine(), -1);
+  fabric.StopHeartbeats();
+  EXPECT_FALSE(fabric.HeartbeatsRunning());
+}
+
+TEST(FabricHeartbeat, SendsToDownMachineCountSeparatelyFromDrops) {
+  Fabric fabric(2, kInfinibandQdr);
+  fabric.SetMachineDown(1);
+  fabric.Send(0, 1, 0, {1});
+  EXPECT_EQ(fabric.down_drops(), 1u);
+  EXPECT_EQ(fabric.messages_dropped(), 0u);  // injected-drop counter pure
+  EXPECT_EQ(fabric.bytes_sent(), 0u);        // never reached the wire
+  // Reset restores every machine: the send goes through again.
+  fabric.Reset();
+  EXPECT_TRUE(fabric.MachineUp(1));
+  fabric.Send(0, 1, 0, {2});
+  Message msg;
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 1000).ok());
+  EXPECT_EQ(msg.payload[0], 2);
+}
+
 // --- Fabric fault injection ---
 
 class FabricFaultTest : public ::testing::Test {
  protected:
   void TearDown() override { fault::Disarm(); }
 };
+
+TEST_F(FabricFaultTest, RecvForDeadlineHonoredDuringInjectedDelay) {
+  // Regression: an injected send delay used to sleep the *sender*; now it
+  // stamps the message's delivery time, so Send returns immediately and a
+  // receiver whose deadline expires mid-delay times out promptly instead
+  // of waiting out the whole delay.
+  ASSERT_TRUE(fault::Configure("fabric.send:delay@ms=500").ok());
+  Fabric fabric(2, kInfinibandQdr);
+  const auto t0 = std::chrono::steady_clock::now();
+  fabric.Send(0, 1, 0, {6});
+  const double send_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(send_seconds, 0.25) << "sender slept through the delay";
+
+  Message msg;
+  Status s = fabric.RecvFor(1, 0, &msg, 50);
+  const double recv_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(s.IsTimeout()) << s.ToString();
+  EXPECT_LT(recv_seconds, 0.45) << "deadline ignored during the delay";
+
+  // The delayed message is not lost: a patient receive delivers it once
+  // its delivery time arrives.
+  ASSERT_TRUE(fabric.RecvFor(1, 0, &msg, 10000).ok());
+  EXPECT_EQ(msg.payload[0], 6);
+  EXPECT_GE(std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count(),
+            0.45);
+}
 
 TEST_F(FabricFaultTest, DropLosesTheMessageAndCounts) {
   ASSERT_TRUE(fault::Configure("fabric.send:drop@n=1").ok());

@@ -32,9 +32,56 @@ TEST(Status, PredicatesMatchCodes) {
 }
 
 TEST(Status, EveryCodeHasAName) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kMachineLost); ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(Status, MachineLostCarriesMachineAndSuperstep) {
+  Status s = Status::MachineLost(2, 5);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsMachineLost());
+  EXPECT_EQ(s.code(), StatusCode::kMachineLost);
+  EXPECT_EQ(s.machine_id(), 2);
+  EXPECT_EQ(s.ToString(), "MachineLost: machine 2 lost at superstep 5");
+  // Unknown superstep omits the clause but keeps the machine id.
+  Status early = Status::MachineLost(1, -1);
+  EXPECT_EQ(early.machine_id(), 1);
+  EXPECT_EQ(early.message(), "machine 1 lost");
+  // Statuses without a machine payload answer -1.
+  EXPECT_EQ(Status::Timeout("x").machine_id(), -1);
+  EXPECT_EQ(Status::OK().machine_id(), -1);
+}
+
+TEST(Status, MachineIdSurvivesCopyAndResult) {
+  Status s = Status::MachineLost(3, 1);
+  Status copy = s;
+  EXPECT_EQ(copy.machine_id(), 3);
+  Result<int> r(s);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsMachineLost());
+  EXPECT_EQ(r.status().machine_id(), 3);
+}
+
+TEST(Status, RetryablePredicateSeparatesTransientFromPermanent) {
+  EXPECT_TRUE(Status::Timeout("x").IsRetryable());
+  EXPECT_TRUE(Status::IOError("x").IsRetryable());
+  EXPECT_TRUE(Status::Aborted("x").IsRetryable());
+  EXPECT_TRUE(Status::MachineLost(0, 0).IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::OutOfMemory("x").IsRetryable());
+  EXPECT_FALSE(Status::Cancelled("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+}
+
+TEST(Status, ExitCodeTableIncludesMachineLost) {
+  EXPECT_EQ(ExitCodeForStatus(Status::OK()), 0);
+  EXPECT_EQ(ExitCodeForStatus(Status::Timeout("x")), 3);
+  EXPECT_EQ(ExitCodeForStatus(Status::Cancelled("x")), 4);
+  EXPECT_EQ(ExitCodeForStatus(Status::MachineLost(0, 0)), 6);
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("x")), 5);
 }
 
 Status FailsAtDepth(int depth) {

@@ -27,9 +27,10 @@ if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
         --target fault_injector_test chaos_recovery_test \
                  fabric_cluster_test storage_test status_logging_test \
                  metrics_registry_test buffer_pool_concurrency_test \
-                 job_service_test frontier_test kernels_direction_test
+                 job_service_test frontier_test kernels_direction_test \
+                 machine_failure_test
   ctest --test-dir "$root/$asan" --output-on-failure \
-        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos|JobService|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis'
+        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos|JobService|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis|MachineFailure|FabricHeartbeat'
 
   # Job-service smoke under ASan: serve a small graph on a temp unix
   # socket, submit a PageRank job, poll it to completion, list jobs, and
@@ -61,12 +62,16 @@ if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
   tsan="$build-tsan"
   cmake -B "$root/$tsan" -S "$root" \
         -DCMAKE_BUILD_TYPE=Debug -DTGPP_SANITIZE=thread
+  # The kill-recovery chaos matrix joins the TSan pass too: the heartbeat
+  # monitor thread, FailableBarrier, and recovery replay are exactly the
+  # cross-thread paths TSan is good at breaking.
   cmake --build "$root/$tsan" -j"$(nproc)" \
         --target storage_test buffer_pool_concurrency_test \
                  fabric_cluster_test metrics_registry_test \
-                 frontier_test kernels_direction_test
+                 frontier_test kernels_direction_test \
+                 machine_failure_test
   ctest --test-dir "$root/$tsan" --output-on-failure \
-        -R 'BufferPool|AsyncIo|PageHandle|DiskDevice|DiskFault|SlottedPage|PageFile|Fabric|Cluster|Instruments|Registry|Export|EndToEnd|MetricsChaos|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis'
+        -R 'BufferPool|AsyncIo|PageHandle|DiskDevice|DiskFault|SlottedPage|PageFile|Fabric|Cluster|Instruments|Registry|Export|EndToEnd|MetricsChaos|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis|MachineFailure|FabricHeartbeat'
 fi
 
 # Direction-optimization bench smoke: verifies push/pull/auto/sparse
@@ -74,4 +79,10 @@ fi
 # to pull on the RMAT graph (see bench/bench_kernels_direction.cc).
 cmake --build "$root/$build" -j"$(nproc)" --target bench_kernels_direction
 "$root/$build/bench/bench_kernels_direction" --smoke
+
+# Kill-recovery bench smoke: kills machine 1 mid-PageRank, recovers from
+# the last checkpoint, and verifies the recovered result is bit-identical
+# to a fault-free baseline (see bench/bench_recovery.cc).
+cmake --build "$root/$build" -j"$(nproc)" --target bench_recovery
+"$root/$build/bench/bench_recovery" --smoke
 echo "ci: OK"

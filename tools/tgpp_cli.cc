@@ -16,10 +16,14 @@
 //                  [--metrics-out=metrics.prom] [--progress]
 //                  [--faults=SPEC] [--fault-seed=42]
 //                  [--checkpoint-every=N] [--deterministic]
+//                  [--heartbeat-interval-ms=0] [--heartbeat-timeout-ms=0]
 //   tgpp serve     --graph=graph.bin (--socket=PATH | --port=N)
 //                  [--machines=4] [--budget-mb=32] [--q=0 (auto)]
 //                  [--max-running=2] [--recv-timeout-ms=60000]
 //                  [--ledger-bytes=0] [--reservation-bytes=0]
+//                  [--max-retries=0] [--retry-backoff-ms=50]
+//                  [--checkpoint-every=0]
+//                  [--heartbeat-interval-ms=0] [--heartbeat-timeout-ms=0]
 //                  [--metrics-out=metrics.prom] [--trace-out=trace.json]
 //                  [--workdir=/tmp/tgpp_serve]
 //   tgpp submit    (--socket=PATH | --port=N) [--query=pr]
@@ -47,8 +51,18 @@
 // --checkpoint-every=N writes a superstep-boundary checkpoint every N
 // supersteps so injected crashes roll back and resume instead of failing
 // the query; --deterministic makes gather order (and thus floating-point
-// results) independent of thread/message timing. Grammar and recovery
-// semantics: docs/FAULTS.md.
+// results) independent of thread/message timing. --heartbeat-timeout-ms>0
+// turns on the fabric failure detector (a fail-stop machine surfaces as
+// MachineLost within the timeout instead of wedging); an armed
+// machine.kill fault auto-enables it. Grammar and recovery semantics:
+// docs/FAULTS.md.
+//
+// `tgpp serve --max-retries=N` retries a job that fails with a retryable
+// status (timeout, I/O error, machine lost) up to N more times with
+// exponential backoff (base --retry-backoff-ms plus deterministic
+// jitter), resuming from the job's latest checkpoint when
+// --checkpoint-every > 0. `tgpp jobs` shows each job's attempt count;
+// a job whose retries are exhausted maps to exit code 6.
 //
 // --direction selects the scatter direction per superstep (push is the
 // classic NWSM scatter; pull scans edges from the destination side and
@@ -64,8 +78,9 @@
 // `tgpp shutdown` are its clients. Protocol and lifecycle: docs/SERVICE.md.
 //
 // Exit codes (all subcommands): 0 success, 2 usage error, 3 timeout
-// (deadline exceeded), 4 cancelled, 5 internal/other failure. `tgpp
-// submit --wait` maps the job's terminal state through the same table.
+// (deadline exceeded), 4 cancelled, 6 machine lost / retries exhausted,
+// 5 internal/other failure. `tgpp submit --wait` maps the job's terminal
+// state through the same table.
 
 #include <atomic>
 #include <chrono>
@@ -139,7 +154,7 @@ int Usage() {
                "jobs|cancel|shutdown> [--flags]\n"
                "see the header of tools/tgpp_cli.cc for details\n"
                "exit codes: 0 ok, 2 usage, 3 timeout, 4 cancelled, "
-               "5 internal\n");
+               "6 machine lost / retries exhausted, 5 internal\n");
   return 2;
 }
 
@@ -244,6 +259,10 @@ int CmdRun(int argc, char** argv) {
   options.checkpoint_every =
       static_cast<int>(FlagInt(argc, argv, "checkpoint-every", 0));
   options.deterministic = FlagBool(argc, argv, "deterministic");
+  options.heartbeat_interval_ms =
+      FlagInt(argc, argv, "heartbeat-interval-ms", 0);
+  options.heartbeat_timeout_ms =
+      FlagInt(argc, argv, "heartbeat-timeout-ms", 0);
 
   const std::string direction = FlagStr(argc, argv, "direction", "push");
   if (direction == "pull") {
@@ -507,6 +526,14 @@ int CmdServe(int argc, char** argv) {
       static_cast<uint64_t>(FlagInt(argc, argv, "ledger-bytes", 0));
   svc.reservation_override =
       static_cast<uint64_t>(FlagInt(argc, argv, "reservation-bytes", 0));
+  svc.max_retries = static_cast<int>(FlagInt(argc, argv, "max-retries", 0));
+  svc.retry_backoff_ms = FlagInt(argc, argv, "retry-backoff-ms", 50);
+  svc.checkpoint_every =
+      static_cast<int>(FlagInt(argc, argv, "checkpoint-every", 0));
+  svc.heartbeat_interval_ms =
+      FlagInt(argc, argv, "heartbeat-interval-ms", 0);
+  svc.heartbeat_timeout_ms =
+      FlagInt(argc, argv, "heartbeat-timeout-ms", 0);
 
   TurboGraphSystem system(config);
   int q = static_cast<int>(FlagInt(argc, argv, "q", 0));
@@ -612,6 +639,11 @@ void PrintJobLine(const service::JsonObject& job) {
               static_cast<long long>(num("id")), field("query").c_str(),
               field("state").c_str(), field("crc32").c_str(),
               static_cast<long long>(num("supersteps")));
+  if (num("attempts") > 1) {
+    std::printf(" attempts=%lld", static_cast<long long>(num("attempts")));
+  }
+  auto exhausted = job.BoolOr("retries_exhausted", false);
+  if (exhausted.ok() && *exhausted) std::printf(" retries_exhausted");
   if (job.Has("error")) {
     std::printf(" error=%s (%s)", field("error").c_str(),
                 field("code").c_str());
@@ -625,7 +657,10 @@ int ExitCodeForJob(const service::JsonObject& job) {
   if (!state.ok()) return 5;
   if (*state == "done") return 0;
   if (*state == "cancelled") return 4;
+  auto exhausted = job.BoolOr("retries_exhausted", false);
+  if (exhausted.ok() && *exhausted) return 6;
   auto code = job.StringOr("code", "");
+  if (code.ok() && *code == "MachineLost") return 6;
   return (code.ok() && *code == "Timeout") ? 3 : 5;
 }
 
