@@ -14,6 +14,7 @@
 #include "graph/csr.h"
 #include "graph/rmat.h"
 #include "net/fabric.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "util/rng.h"
@@ -240,6 +241,39 @@ void BM_MetricsHistogramRecord(benchmark::State& state) {
   state.SetLabel(obs::kMetricsCompiledOut ? "metrics-off" : "metrics-on");
 }
 BENCHMARK(BM_MetricsHistogramRecord);
+
+void BM_EventEmit(benchmark::State& state) {
+  // Cost of one structured-log emit on the enabled path: a thread-local
+  // ring slot store plus one release publish (docs/OBSERVABILITY.md).
+  // The ring is drained periodically so the loop measures steady-state
+  // writes, not wrap accounting.
+  obs::SetEventsEnabled(true);
+  obs::ResetEvents();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    obs::EmitEvent(obs::EventType::kSuperstep, /*job_id=*/1, /*machine=*/0,
+                   static_cast<int>(i & 0xff), "push", "active", i);
+    if ((++i & 0xfff) == 0) benchmark::DoNotOptimize(obs::DrainEvents());
+  }
+  obs::SetEventsEnabled(false);
+  obs::ResetEvents();
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("events-on");
+}
+BENCHMARK(BM_EventEmit);
+
+void BM_EventEmitDisabled(benchmark::State& state) {
+  // The cost every engine superstep pays when no --events-out sink is
+  // attached: one relaxed atomic load and out.
+  obs::SetEventsEnabled(false);
+  for (auto _ : state) {
+    obs::EmitEvent(obs::EventType::kSuperstep, 1, 0, 3, "push", "active",
+                   42);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("events-off");
+}
+BENCHMARK(BM_EventEmitDisabled);
 
 void BM_PageRankInstrumented(benchmark::State& state) {
   // End-to-end PageRank on a small in-memory RMAT graph. The overhead

@@ -2,10 +2,13 @@
 //
 // Closed-loop clients submit a mixed PageRank/SSSP/WCC stream against one
 // `JobManager` over a shared cluster and wait for each job before sending
-// the next. Reports jobs/sec plus queue-wait and run-latency p50/p99, and
-// a comparison row that executes the same job list serially with a FRESH
-// system per job (reload + repartition + cold buffer pool every time) —
-// the cost the shared service amortizes away.
+// the next. Reports jobs/sec plus queue-wait and run-latency p50/p99 for
+// the service with the observability plane off and on (structured event
+// log streaming to disk + per-job profiles + a profile fetch per job,
+// docs/OBSERVABILITY.md) — the on/off delta is the plane's end-to-end
+// tax — and a comparison row that executes the same job list serially
+// with a FRESH system per job (reload + repartition + cold buffer pool
+// every time), the cost the shared service amortizes away.
 //
 // TGPP_BENCH_JSON=results.jsonl appends one JSON line per row.
 //
@@ -14,6 +17,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -23,6 +27,7 @@
 #include "common/logging.h"
 
 #include "bench_util.h"
+#include "obs/events.h"
 #include "service/job_manager.h"
 #include "service/wire.h"
 #include "util/timer.h"
@@ -61,6 +66,109 @@ void AppendJsonRow(const std::string& row) {
   out << row << "\n";
 }
 
+struct SharedRunResult {
+  double seconds = 0;
+  double jobs_per_sec = 0;
+  int failed = 0;
+  double qw_p50 = 0, qw_p99 = 0;
+  double run_p50 = 0, run_p99 = 0;
+  uint64_t disk_bytes = 0, net_bytes = 0;
+  uint64_t events_recorded = 0, events_dropped = 0;
+};
+
+// One shared-service run: `clients` closed-loop submitters draining
+// `total_jobs`. With `observability`, the structured event log streams
+// to `events_path` on a 200 ms cadence (mirroring `tgpp serve
+// --events-out`) and every finished job's profile is fetched — the full
+// operator-facing surface, priced end to end.
+SharedRunResult RunShared(const EdgeList& graph,
+                          const ClusterConfig& config,
+                          const service::JobServiceOptions& svc,
+                          int total_jobs, int clients, bool observability,
+                          const std::string& events_path) {
+  obs::SetEventsEnabled(observability);
+  obs::ResetEvents();
+
+  TurboGraphSystem system(config);
+  TGPP_CHECK_OK(system.LoadGraph(graph));
+  system.cluster()->ResetCountersAndCaches();
+  service::JobManager manager(system.cluster(), system.partition(), svc);
+
+  std::atomic<bool> drain_done{false};
+  std::thread drainer;
+  if (observability) {
+    std::filesystem::remove(events_path);
+    drainer = std::thread([&] {
+      while (!drain_done.load(std::memory_order_acquire)) {
+        (void)obs::AppendEventsFile(events_path);
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      (void)obs::AppendEventsFile(events_path);
+    });
+  }
+
+  WallTimer timer;
+  std::atomic<int> next{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int cl = 0; cl < clients; ++cl) {
+    workers.emplace_back([&] {
+      for (int i; (i = next.fetch_add(1)) < total_jobs;) {
+        auto id = manager.Submit(SpecFor(i));
+        if (!id.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        auto record = manager.Wait(*id, /*timeout_ms=*/600000);
+        if (!record.ok() || record->state != service::JobState::kDone) {
+          failed.fetch_add(1);
+        }
+        if (observability) {
+          auto profile = manager.GetProfile(*id);
+          if (!profile.ok() || profile->supersteps == 0) {
+            failed.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  SharedRunResult result;
+  result.seconds = timer.Seconds();
+  result.failed = failed.load();
+  result.jobs_per_sec =
+      result.seconds > 0 ? total_jobs / result.seconds : 0;
+
+  std::vector<double> queue_waits;
+  std::vector<double> run_times;
+  for (const service::JobRecord& record : manager.ListJobs()) {
+    queue_waits.push_back(record.queue_wait_seconds);
+    run_times.push_back(record.run_seconds);
+  }
+  result.qw_p50 = Percentile(queue_waits, 0.50);
+  result.qw_p99 = Percentile(queue_waits, 0.99);
+  result.run_p50 = Percentile(run_times, 0.50);
+  result.run_p99 = Percentile(run_times, 0.99);
+  manager.Shutdown();
+
+  if (drainer.joinable()) {
+    drain_done.store(true, std::memory_order_release);
+    drainer.join();
+    const obs::EventLogStats stats = obs::EventStats();
+    result.events_recorded = stats.recorded;
+    result.events_dropped = stats.dropped;
+  }
+  obs::SetEventsEnabled(false);
+  obs::ResetEvents();
+
+  const ClusterSnapshot snap = system.cluster()->Snapshot();
+  result.disk_bytes = snap.disk_bytes;
+  result.net_bytes = snap.net_bytes;
+  return result;
+}
+
 int Main(int argc, char** argv) {
   const int scale = static_cast<int>(FlagInt(argc, argv, "scale", 12));
   const int total_jobs = static_cast<int>(FlagInt(argc, argv, "jobs", 12));
@@ -80,51 +188,19 @@ int Main(int argc, char** argv) {
   config.root_dir = "/tmp/tgpp_bench_service/shared";
   std::filesystem::remove_all(config.root_dir);
 
-  // --- Row 1: the shared service. One cluster, one partition, one
-  // buffer pool; `clients` closed-loop submitters.
-  TurboGraphSystem system(config);
-  TGPP_CHECK_OK(system.LoadGraph(graph));
-  system.cluster()->ResetCountersAndCaches();
-
   service::JobServiceOptions svc;
   svc.max_running = max_running;
-  service::JobManager manager(system.cluster(), system.partition(), svc);
 
-  WallTimer shared_timer;
-  std::atomic<int> next{0};
-  std::atomic<int> failed{0};
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(clients));
-  for (int cl = 0; cl < clients; ++cl) {
-    workers.emplace_back([&] {
-      for (int i; (i = next.fetch_add(1)) < total_jobs;) {
-        auto id = manager.Submit(SpecFor(i));
-        if (!id.ok()) {
-          failed.fetch_add(1);
-          continue;
-        }
-        auto record = manager.Wait(*id, /*timeout_ms=*/600000);
-        if (!record.ok() || record->state != service::JobState::kDone) {
-          failed.fetch_add(1);
-        }
-      }
-    });
-  }
-  for (std::thread& t : workers) t.join();
-  const double shared_seconds = shared_timer.Seconds();
+  // --- Rows 1 and 2: the shared service, observability off then on.
+  const SharedRunResult plain = RunShared(
+      graph, config, svc, total_jobs, clients, /*observability=*/false,
+      "");
+  std::filesystem::remove_all(config.root_dir);
+  const SharedRunResult observed = RunShared(
+      graph, config, svc, total_jobs, clients, /*observability=*/true,
+      "/tmp/tgpp_bench_service/events.jsonl");
 
-  std::vector<double> queue_waits;
-  std::vector<double> run_times;
-  for (const service::JobRecord& record : manager.ListJobs()) {
-    queue_waits.push_back(record.queue_wait_seconds);
-    run_times.push_back(record.run_seconds);
-  }
-  manager.Shutdown();
-  const ClusterSnapshot shared_snap = system.cluster()->Snapshot();
-  const double shared_jobs_per_sec =
-      shared_seconds > 0 ? total_jobs / shared_seconds : 0;
-
-  // --- Row 2: the same job list, serial, fresh system per job. Every
+  // --- Row 3: the same job list, serial, fresh system per job. Every
   // job pays graph load + partition + cold pool again.
   WallTimer reload_timer;
   int reload_failed = 0;
@@ -157,42 +233,53 @@ int Main(int argc, char** argv) {
   const double reload_jobs_per_sec =
       reload_seconds > 0 ? total_jobs / reload_seconds : 0;
 
-  const double qw_p50 = Percentile(queue_waits, 0.50);
-  const double qw_p99 = Percentile(queue_waits, 0.99);
-  const double run_p50 = Percentile(run_times, 0.50);
-  const double run_p99 = Percentile(run_times, 0.99);
-
   std::printf("service throughput: scale=%d jobs=%d clients=%d "
               "max_running=%d\n",
               scale, total_jobs, clients, max_running);
   std::printf("%-16s %9s %8s %12s %12s %9s\n", "system", "jobs/s",
               "failed", "queue p50/p99", "run p50/p99", "total s");
-  std::printf("%-16s %9.3f %8d %6.3f/%.3f %6.3f/%.3f %9.2f\n",
-              "service-shared", shared_jobs_per_sec, failed.load(), qw_p50,
-              qw_p99, run_p50, run_p99, shared_seconds);
+  for (const auto& [name, row] :
+       {std::pair{"service-shared", &plain},
+        std::pair{"service-observed", &observed}}) {
+    std::printf("%-16s %9.3f %8d %6.3f/%.3f %6.3f/%.3f %9.2f\n", name,
+                row->jobs_per_sec, row->failed, row->qw_p50, row->qw_p99,
+                row->run_p50, row->run_p99, row->seconds);
+  }
   std::printf("%-16s %9.3f %8d %13s %13s %9.2f\n", "per-job-reload",
               reload_jobs_per_sec, reload_failed, "-", "-", reload_seconds);
+  std::printf("observability tax: %+.1f%% wall (%llu events, %llu "
+              "dropped, profiles fetched per job)\n",
+              plain.seconds > 0
+                  ? (observed.seconds / plain.seconds - 1.0) * 100.0
+                  : 0.0,
+              static_cast<unsigned long long>(observed.events_recorded),
+              static_cast<unsigned long long>(observed.events_dropped));
   std::printf("shared pool: disk %.2f MB, net %.2f MB over %d jobs\n",
-              shared_snap.disk_bytes / 1e6, shared_snap.net_bytes / 1e6,
-              total_jobs);
+              plain.disk_bytes / 1e6, plain.net_bytes / 1e6, total_jobs);
 
-  AppendJsonRow(service::JsonWriter()
-                    .Str("bench", "service_throughput")
-                    .Str("system", "service-shared")
-                    .Int("scale", scale)
-                    .Int("jobs", total_jobs)
-                    .Int("clients", clients)
-                    .Int("max_running", max_running)
-                    .Int("failed", failed.load())
-                    .Double("jobs_per_sec", shared_jobs_per_sec)
-                    .Double("queue_wait_p50_s", qw_p50)
-                    .Double("queue_wait_p99_s", qw_p99)
-                    .Double("run_p50_s", run_p50)
-                    .Double("run_p99_s", run_p99)
-                    .Double("total_s", shared_seconds)
-                    .UInt("disk_bytes", shared_snap.disk_bytes)
-                    .UInt("net_bytes", shared_snap.net_bytes)
-                    .Close());
+  for (const auto& [name, row] :
+       {std::pair{"service-shared", &plain},
+        std::pair{"service-observed", &observed}}) {
+    AppendJsonRow(service::JsonWriter()
+                      .Str("bench", "service_throughput")
+                      .Str("system", name)
+                      .Int("scale", scale)
+                      .Int("jobs", total_jobs)
+                      .Int("clients", clients)
+                      .Int("max_running", max_running)
+                      .Int("failed", row->failed)
+                      .Double("jobs_per_sec", row->jobs_per_sec)
+                      .Double("queue_wait_p50_s", row->qw_p50)
+                      .Double("queue_wait_p99_s", row->qw_p99)
+                      .Double("run_p50_s", row->run_p50)
+                      .Double("run_p99_s", row->run_p99)
+                      .Double("total_s", row->seconds)
+                      .UInt("disk_bytes", row->disk_bytes)
+                      .UInt("net_bytes", row->net_bytes)
+                      .UInt("events_recorded", row->events_recorded)
+                      .UInt("events_dropped", row->events_dropped)
+                      .Close());
+  }
   AppendJsonRow(service::JsonWriter()
                     .Str("bench", "service_throughput")
                     .Str("system", "per-job-reload")
@@ -202,7 +289,9 @@ int Main(int argc, char** argv) {
                     .Double("jobs_per_sec", reload_jobs_per_sec)
                     .Double("total_s", reload_seconds)
                     .Close());
-  return (failed.load() == 0 && reload_failed == 0) ? 0 : 1;
+  return (plain.failed == 0 && observed.failed == 0 && reload_failed == 0)
+             ? 0
+             : 1;
 }
 
 }  // namespace

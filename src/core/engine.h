@@ -57,6 +57,7 @@
 #include "core/codec.h"
 #include "core/memory_model.h"
 #include "graph/csr.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "partition/partitioner.h"
 #include "util/bitmap.h"
@@ -246,6 +247,12 @@ struct EngineOptions {
   // wait for each other — and deadlock once their superstep counts
   // differ.
   std::barrier<>* job_barrier = nullptr;
+  // Correlation key for the observability plane (docs/OBSERVABILITY.md):
+  // stamped on every structured event this engine emits (superstep,
+  // checkpoint, recovery, machine-lost) and set as the ambient job id on
+  // the engine's worker threads, so fabric and buffer-pool events beneath
+  // them attribute to this job too. 0 = standalone run (no job).
+  uint64_t job_id = 0;
   // Cooperative cancellation + deadline, observed at superstep
   // boundaries: a fired token surfaces as Status::Cancelled /
   // Status::Timeout from Run() after the in-flight superstep completes.
@@ -312,6 +319,10 @@ class NwsmEngine {
     WallTimer timer;
     QueryStats stats;
     stats.q_used = pg_->q;
+    // Driver-thread ambient job id: events emitted from Run() itself
+    // (checkpoint, recovery, superstep) carry options_.job_id explicitly,
+    // but layers we call into on this thread attribute through this.
+    obs::SetCurrentJob(options_.job_id);
     global_aggregate_.store(0, std::memory_order_relaxed);
 
     // Failure detection: explicit options win; an armed `machine.kill`
@@ -348,12 +359,14 @@ class NwsmEngine {
         step = found;
         last_epoch = found;
         stats.resumed = true;
+        obs::EmitEvent(obs::EventType::kResume, options_.job_id, -1, found);
       }
     }
     if (every > 0 && last_epoch < 0) {
       TGPP_RETURN_IF_ERROR(CheckpointEpoch(0));
       last_epoch = 0;
       ++stats.checkpoints;
+      obs::EmitEvent(obs::EventType::kCheckpoint, options_.job_id, -1, 0);
     }
     int recovery_attempts = 0;
     int replay_until = step;  // supersteps below this are re-execution
@@ -387,6 +400,12 @@ class NwsmEngine {
           [&](int m) -> Status { return MachineSuperstep(m, app); });
       const double superstep_seconds = superstep_timer.Seconds();
       if (!status.ok()) {
+        if (status.IsMachineLost()) {
+          // Emitted whether or not we can recover: the operator joins this
+          // on job_id to learn which machine a failed job lost.
+          obs::EmitEvent(obs::EventType::kEngineMachineLost,
+                         options_.job_id, status.machine_id(), step);
+        }
         if (last_epoch < 0 || !status.IsRetryable() ||
             recovery_attempts >= options_.max_recovery_attempts) {
           fault::SetSuperstep(-1);
@@ -408,6 +427,8 @@ class NwsmEngine {
         trace::Instant("engine.recover", "engine", "epoch",
                        static_cast<uint64_t>(last_epoch), "failed_step",
                        static_cast<uint64_t>(step));
+        obs::EmitEvent(obs::EventType::kRecovery, options_.job_id, -1, step,
+                       nullptr, "epoch", static_cast<uint64_t>(last_epoch));
         // The failed superstep may have left half-delivered updates and
         // control traffic in flight; everything since the epoch is
         // recomputed, so the queues are drained wholesale.
@@ -437,6 +458,13 @@ class NwsmEngine {
       } else {
         ++stats.push_supersteps;
       }
+      if (obs::EventsEnabled()) {
+        obs::EmitEvent(obs::EventType::kSuperstep, options_.job_id, -1, step,
+                       dir == Direction::kPull ? "pull" : "push", "active",
+                       global_active_.load(std::memory_order_relaxed),
+                       "dur_us",
+                       static_cast<uint64_t>(superstep_seconds * 1e6));
+      }
       if (options_.superstep_observer) {
         options_.superstep_observer(
             MakeSuperstepRow(step, timer.Seconds(), &seen));
@@ -458,6 +486,8 @@ class NwsmEngine {
           return ckpt;
         }
         ++stats.checkpoints;
+        obs::EmitEvent(obs::EventType::kCheckpoint, options_.job_id, -1,
+                       step);
         RemoveEpoch(last_epoch);  // best-effort: bound disk usage
         last_epoch = step;
       }
@@ -550,6 +580,9 @@ class NwsmEngine {
     uint64_t spilled = 0;
     uint64_t disk_bytes = 0;
     uint64_t net_bytes = 0;
+    uint64_t scatter_cpu_nanos = 0;
+    uint64_t gather_cpu_nanos = 0;
+    uint64_t apply_cpu_nanos = 0;
     double elapsed = 0.0;
   };
 
@@ -562,6 +595,9 @@ class NwsmEngine {
       now.spilled += machine->metrics()->updates_spilled.value();
       now.disk_bytes +=
           machine->disk()->bytes_read() + machine->disk()->bytes_written();
+      now.scatter_cpu_nanos += machine->metrics()->scatter_cpu_nanos.value();
+      now.gather_cpu_nanos += machine->metrics()->gather_cpu_nanos.value();
+      now.apply_cpu_nanos += machine->metrics()->apply_cpu_nanos.value();
     }
     now.net_bytes = cluster_->fabric()->bytes_sent();
     now.elapsed = elapsed;
@@ -583,6 +619,12 @@ class NwsmEngine {
     row.buffer_hit_rate = cluster_->BufferPoolHitRate();
     row.superstep_seconds = elapsed - seen->elapsed;
     row.elapsed_seconds = elapsed;
+    row.scatter_cpu_seconds =
+        1e-9 * (now.scatter_cpu_nanos - seen->scatter_cpu_nanos);
+    row.gather_cpu_seconds =
+        1e-9 * (now.gather_cpu_nanos - seen->gather_cpu_nanos);
+    row.apply_cpu_seconds =
+        1e-9 * (now.apply_cpu_nanos - seen->apply_cpu_nanos);
     row.direction =
         current_direction_.load(std::memory_order_relaxed) ? "pull" : "push";
     *seen = now;
@@ -736,6 +778,11 @@ class NwsmEngine {
 
   Status MachineSuperstep(int m, KWalkApp<V, U>& app) {
     Machine* machine = cluster_->machine(m);
+    // Ambient job id for this worker thread: structured events emitted
+    // below us (fabric, buffer pool) attribute to this job without those
+    // layers knowing about jobs. Reset naturally when another job's
+    // engine runs its superstep on the same pool thread.
+    obs::SetCurrentJob(options_.job_id);
     // Fail-stop injection: a killed machine vanishes — no scatter, no
     // done markers, no barrier arrivals (contrast with `crash` below,
     // which cooperatively walks the protocol skeleton). Survivors learn
@@ -791,6 +838,7 @@ class NwsmEngine {
         trace::SetCurrentMachine(m);
         trace::SetCurrentThreadName("m" + std::to_string(m) + ".gather");
       }
+      obs::SetCurrentJob(options_.job_id);
       GlobalGatherLoop(m, app, &gather);
     });
 
@@ -1700,6 +1748,7 @@ class NwsmEngine {
   Status CheckpointMachine(int m, const std::string& tag, int32_t superstep,
                            uint64_t aggregate) {
     trace::TraceSpan span("checkpoint", "engine");
+    obs::SetCurrentJob(options_.job_id);
     Machine* machine = cluster_->machine(m);
     obs::ScopedLatencyTimer ckpt_timer(&machine->metrics()->checkpoint_ns);
     const VertexRange range = pg_->MachineRange(m);
@@ -1735,6 +1784,7 @@ class NwsmEngine {
 
   Status RestoreMachine(int m, const std::string& tag, CkptHeader* out) {
     trace::TraceSpan span("restore", "engine");
+    obs::SetCurrentJob(options_.job_id);
     Machine* machine = cluster_->machine(m);
     const VertexRange range = pg_->MachineRange(m);
     const std::string file = CheckpointFile(tag);
@@ -1949,6 +1999,7 @@ class NwsmEngine {
           trace::SetCurrentThreadName("m" + std::to_string(m) +
                                       ".spill_gather");
         }
+        obs::SetCurrentJob(options_.job_id);
         trace::TraceSpan spill_span("gather.spilled", "engine");
         obs::ScopedCpuCounter cpu(&machine->metrics()->gather_cpu_nanos);
         for (int c = 1; c < q; ++c) {

@@ -5,6 +5,7 @@
 
 #include "common/fault_injector.h"
 #include "common/logging.h"
+#include "obs/events.h"
 #include "util/trace.h"
 
 namespace tgpp {
@@ -334,6 +335,11 @@ void Fabric::MonitorLoop() {
         links_[m]->heartbeat_misses.Add(1);
         trace::Instant("fabric.machine_lost", "net", "machine",
                        static_cast<uint64_t>(m));
+        // Cluster-scoped (the monitor thread serves every job): job 0.
+        // Per-job attribution comes from the engine.machine_lost event.
+        obs::EmitEvent(obs::EventType::kMachineLost, 0, m, -1, nullptr,
+                       "timeout_ms",
+                       static_cast<uint64_t>(hb_options_.timeout_ms));
         newly_lost = true;
       }
     }

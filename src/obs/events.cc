@@ -1,0 +1,297 @@
+#include "obs/events.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "util/trace.h"
+
+namespace tgpp::obs {
+
+namespace internal {
+std::atomic<bool> g_events_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// Per-ring capacity. Events are per-superstep / per-lifecycle-transition,
+// orders of magnitude rarer than trace events, so a small ring holds many
+// jobs' worth between the serve daemon's 200 ms drains.
+constexpr uint64_t kEventRingCapacity = 1 << 12;
+
+// Single-writer event ring with a drain cursor. `count` is the total ever
+// written (release-published after each slot store); `drained` is the
+// reader's cursor, guarded by the registry mutex. A writer that laps the
+// cursor overwrites undrained events — DrainEvents detects the overlap
+// from `count` and accounts it as dropped.
+struct EventRing {
+  std::vector<Event> ring{std::vector<Event>(kEventRingCapacity)};
+  std::atomic<uint64_t> count{0};
+  uint64_t drained = 0;  // registry-mutex protected
+};
+
+struct EventRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<EventRing>> rings;  // all ever registered
+  std::vector<std::shared_ptr<EventRing>> free_list;
+  uint64_t dropped = 0;  // drain-observed losses (mu-protected)
+};
+
+EventRegistry& GetEventRegistry() {
+  static EventRegistry* registry = new EventRegistry();
+  return *registry;
+}
+
+// The events.dropped metric (docs/METRICS.md), registered on first use so
+// plain library consumers that never emit events don't export the series.
+struct DroppedMetric {
+  Counter counter;
+  std::vector<Registration> registrations;
+  DroppedMetric() {
+    TryRegister(&Registry::Global(), &registrations, "events.dropped", -1,
+                &counter);
+  }
+};
+
+Counter& DroppedCounter() {
+  static DroppedMetric* metric = new DroppedMetric();
+  return metric->counter;
+}
+
+struct EventTlsSlot {
+  std::shared_ptr<EventRing> ring;
+  uint64_t job_id = 0;
+
+  ~EventTlsSlot() {
+    if (ring == nullptr) return;
+    EventRegistry& registry = GetEventRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.free_list.push_back(std::move(ring));
+  }
+};
+
+thread_local EventTlsSlot event_tls;
+
+EventRing* GetEventRing() {
+  if (event_tls.ring == nullptr) {
+    EventRegistry& registry = GetEventRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    if (!registry.free_list.empty()) {
+      event_tls.ring = std::move(registry.free_list.back());
+      registry.free_list.pop_back();
+    } else {
+      event_tls.ring = std::make_shared<EventRing>();
+      registry.rings.push_back(event_tls.ring);
+    }
+  }
+  return event_tls.ring.get();
+}
+
+}  // namespace
+
+// The wire vocabulary. One `return "...";` per line between the markers —
+// tools/check_docs.sh extracts these names and fails if any is missing
+// from docs/OBSERVABILITY.md.
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    // EVENT-TYPES-BEGIN
+    case EventType::kJobSubmit:
+      return "job.submit";
+    case EventType::kJobAdmit:
+      return "job.admit";
+    case EventType::kJobStart:
+      return "job.start";
+    case EventType::kJobRetry:
+      return "job.retry";
+    case EventType::kJobDone:
+      return "job.done";
+    case EventType::kJobFailed:
+      return "job.failed";
+    case EventType::kJobCancelled:
+      return "job.cancelled";
+    case EventType::kSuperstep:
+      return "superstep";
+    case EventType::kCheckpoint:
+      return "checkpoint";
+    case EventType::kResume:
+      return "resume";
+    case EventType::kRecovery:
+      return "recovery";
+    case EventType::kEngineMachineLost:
+      return "engine.machine_lost";
+    case EventType::kMachineLost:
+      return "machine.lost";
+    case EventType::kPoolReadFailed:
+      return "pool.read_failed";
+      // EVENT-TYPES-END
+  }
+  return "unknown";
+}
+
+std::string Event::ToJson() const {
+  std::string out = "{\"v\":";
+  out += std::to_string(kEventSchemaVersion);
+  out += ",\"ts_ns\":";
+  out += std::to_string(ts_nanos);
+  out += ",\"type\":\"";
+  out += EventTypeName(type);
+  out += "\",\"job\":";
+  out += std::to_string(job_id);
+  if (machine >= 0) {
+    out += ",\"machine\":";
+    out += std::to_string(machine);
+  }
+  if (superstep >= 0) {
+    out += ",\"superstep\":";
+    out += std::to_string(superstep);
+  }
+  for (const auto& [key, value] :
+       {std::pair{arg_name0, arg_value0}, std::pair{arg_name1, arg_value1},
+        std::pair{arg_name2, arg_value2}}) {
+    if (key == nullptr) continue;
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+  }
+  if (detail != nullptr) {
+    // Details are string literals from our own code (status code names,
+    // directions) — no characters that need JSON escaping.
+    out += ",\"detail\":\"";
+    out += detail;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+namespace internal {
+
+void RecordEvent(const Event& ev) {
+  EventRing* ring = GetEventRing();
+  const uint64_t n = ring->count.load(std::memory_order_relaxed);
+  ring->ring[n % kEventRingCapacity] = ev;
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace internal
+
+void SetEventsEnabled(bool enabled) {
+  internal::g_events_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetEvents() {
+  EventRegistry& registry = GetEventRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& ring : registry.rings) {
+    ring->count.store(0, std::memory_order_relaxed);
+    ring->drained = 0;
+  }
+  registry.dropped = 0;
+}
+
+void SetCurrentJob(uint64_t job_id) { event_tls.job_id = job_id; }
+
+uint64_t CurrentJob() { return event_tls.job_id; }
+
+void EmitEvent(EventType type, uint64_t job_id, int machine, int superstep,
+               const char* detail, const char* arg_name0,
+               uint64_t arg_value0, const char* arg_name1,
+               uint64_t arg_value1, const char* arg_name2,
+               uint64_t arg_value2) {
+  if (!EventsEnabled()) return;
+  Event ev;
+  ev.type = type;
+  ev.job_id = job_id != 0 ? job_id : event_tls.job_id;
+  ev.machine = machine;
+  ev.superstep = superstep;
+  ev.ts_nanos = trace::NowNanos();
+  ev.detail = detail;
+  ev.arg_name0 = arg_name0;
+  ev.arg_value0 = arg_value0;
+  ev.arg_name1 = arg_name1;
+  ev.arg_value1 = arg_value1;
+  ev.arg_name2 = arg_name2;
+  ev.arg_value2 = arg_value2;
+  internal::RecordEvent(ev);
+}
+
+EventLogStats EventStats() {
+  EventRegistry& registry = GetEventRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  EventLogStats stats;
+  stats.threads = static_cast<int>(registry.rings.size());
+  stats.dropped = registry.dropped;
+  for (const auto& ring : registry.rings) {
+    const uint64_t n = ring->count.load(std::memory_order_acquire);
+    stats.recorded += n;
+    // Undrained events already wrapped over (drain would discard them).
+    if (n > ring->drained + kEventRingCapacity) {
+      stats.dropped += n - ring->drained - kEventRingCapacity;
+    }
+  }
+  return stats;
+}
+
+std::vector<Event> DrainEvents() {
+  EventRegistry& registry = GetEventRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<Event> events;
+  uint64_t dropped = 0;
+  for (const auto& ring : registry.rings) {
+    const uint64_t n = ring->count.load(std::memory_order_acquire);
+    uint64_t start = ring->drained;
+    if (n > start + kEventRingCapacity) {
+      // The writer lapped the cursor: the oldest undrained events are
+      // gone. Everything still in the ring is salvageable.
+      dropped += n - kEventRingCapacity - start;
+      start = n - kEventRingCapacity;
+    }
+    for (uint64_t i = start; i < n; ++i) {
+      Event copy = ring->ring[i % kEventRingCapacity];
+      // Concurrent-writer guard: if the writer advanced past this slot
+      // while we copied it, the copy may be torn — discard it. The
+      // re-read is ordered after the copy by the acquire fence.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (ring->count.load(std::memory_order_relaxed) >=
+          i + kEventRingCapacity) {
+        ++dropped;
+        continue;
+      }
+      events.push_back(copy);
+    }
+    ring->drained = n;
+  }
+  registry.dropped += dropped;
+  if (dropped > 0) DroppedCounter().Add(dropped);
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              return a.ts_nanos < b.ts_nanos;
+            });
+  return events;
+}
+
+Status AppendEventsFile(const std::string& path) {
+  const std::vector<Event> events = DrainEvents();
+  if (events.empty()) return Status::OK();
+  std::string text;
+  text.reserve(events.size() * 128);
+  for (const Event& ev : events) {
+    text += ev.ToJson();
+    text += '\n';
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::IOError("cannot open events file: " + path);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != text.size() || !close_ok) {
+    return Status::IOError("short write to events file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace tgpp::obs

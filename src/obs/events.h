@@ -1,0 +1,146 @@
+// Structured event log: job-correlated lifecycle events as JSONL
+// (docs/OBSERVABILITY.md).
+//
+// Metrics (obs/metrics.h) answer "how much", traces (util/trace.h) answer
+// "when on which thread" — this log answers "what happened to which JOB":
+// submit/admit/start, per-superstep progress, checkpoints, retries,
+// recoveries, lost machines, terminal states. Every event carries the
+// schema version and a `job_id`, the same id the service's JobRecord,
+// JobProfile, trace tracks and `service.*` metrics use, so an operator can
+// join all four planes on one key without rerunning anything.
+//
+// Design (mirrors the tracer's constraints — this sits on the engine's
+// superstep path):
+//  - Disabled cost is one relaxed atomic load per site.
+//  - The emit path is lock-free: each thread owns a fixed-capacity ring of
+//    Event records (single writer); the process-wide registry locks only
+//    on first-emit-per-thread registration, and exited threads park their
+//    rings on a free list for reuse.
+//  - Event type/detail/argument-key strings must be string literals (only
+//    pointers are stored).
+//  - Rings overwrite their oldest *undrained* events when full; the loss
+//    is counted in the `events.dropped` metric and EventStats().
+//  - DrainEvents() may run concurrently with emitters (the serve daemon
+//    streams the log to disk while jobs run): a slot that wrapped during
+//    the copy is detected via the ring's write count and discarded as
+//    dropped rather than surfaced torn.
+//
+// Usage:
+//   obs::SetEventsEnabled(true);
+//   obs::EmitEvent(obs::EventType::kJobSubmit, job_id);
+//   obs::EmitEvent(obs::EventType::kSuperstep, job_id, /*machine=*/-1,
+//                  step, nullptr, "active", n_active);
+//   TGPP_RETURN_IF_ERROR(obs::AppendEventsFile("events.jsonl"));
+
+#ifndef TGPP_OBS_EVENTS_H_
+#define TGPP_OBS_EVENTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tgpp::obs {
+
+// Bumped when Event::ToJson changes keys or their meaning; every emitted
+// line carries it as "v" so consumers can reject lines they don't speak.
+inline constexpr int kEventSchemaVersion = 1;
+
+// The closed set of event types. Names (EventTypeName) are the wire
+// vocabulary; tools/check_docs.sh fails if any is missing from
+// docs/OBSERVABILITY.md.
+enum class EventType : uint8_t {
+  // Service job lifecycle (src/service/job_manager.cc).
+  kJobSubmit,
+  kJobAdmit,
+  kJobStart,
+  kJobRetry,
+  kJobDone,
+  kJobFailed,
+  kJobCancelled,
+  // Engine execution (src/core/engine.h), tagged with EngineOptions::job_id.
+  kSuperstep,
+  kCheckpoint,
+  kResume,
+  kRecovery,
+  kEngineMachineLost,
+  // Fabric heartbeat monitor (src/net/fabric.cc), cluster-scoped.
+  kMachineLost,
+  // Buffer pool (src/storage/buffer_pool.cc): a page read that failed and
+  // withdrew its in-flight entry (rare; job-attributed via ambient id).
+  kPoolReadFailed,
+};
+
+const char* EventTypeName(EventType type);
+
+// One recorded event. Fixed-size and trivially copyable so the ring write
+// is a plain struct store; all strings are literals.
+struct Event {
+  EventType type = EventType::kJobSubmit;
+  int32_t machine = -1;    // simulated machine id; -1 = unattributed
+  int32_t superstep = -1;  // -1 = not superstep-scoped
+  uint64_t job_id = 0;     // 0 = no job (standalone run / cluster scope)
+  int64_t ts_nanos = 0;    // monotonic, same epoch as trace::NowNanos()
+  const char* detail = nullptr;  // literal annotation (e.g. a status code)
+  const char* arg_name0 = nullptr;
+  const char* arg_name1 = nullptr;
+  const char* arg_name2 = nullptr;
+  uint64_t arg_value0 = 0;
+  uint64_t arg_value1 = 0;
+  uint64_t arg_value2 = 0;
+
+  // One JSONL object (no trailing newline). Stable key order:
+  // v, ts_ns, type, job, then machine/superstep/args/detail when present.
+  std::string ToJson() const;
+};
+
+namespace internal {
+extern std::atomic<bool> g_events_enabled;
+void RecordEvent(const Event& ev);
+}  // namespace internal
+
+inline bool EventsEnabled() {
+  return internal::g_events_enabled.load(std::memory_order_relaxed);
+}
+void SetEventsEnabled(bool enabled);
+
+// Drops all recorded events and resets drain cursors + stats (rings stay
+// allocated). Call between tests, not while emitters run.
+void ResetEvents();
+
+// Ambient job id for the calling thread. The engine stamps its worker
+// lambdas with EngineOptions::job_id so events emitted beneath them —
+// fabric, buffer pool, checkpoint I/O — attribute to the right job even
+// though those layers never see a job id parameter. EmitEvent uses it
+// whenever the explicit job_id argument is 0.
+void SetCurrentJob(uint64_t job_id);
+uint64_t CurrentJob();
+
+// Emits one event (no-op while disabled). Key strings must be literals.
+void EmitEvent(EventType type, uint64_t job_id = 0, int machine = -1,
+               int superstep = -1, const char* detail = nullptr,
+               const char* arg_name0 = nullptr, uint64_t arg_value0 = 0,
+               const char* arg_name1 = nullptr, uint64_t arg_value1 = 0,
+               const char* arg_name2 = nullptr, uint64_t arg_value2 = 0);
+
+struct EventLogStats {
+  uint64_t recorded = 0;  // events ever emitted (monotonic)
+  uint64_t dropped = 0;   // lost to ring wrap before a drain
+  int threads = 0;        // thread slots ever registered
+};
+EventLogStats EventStats();
+
+// Removes and returns every event recorded since the last drain, merged
+// across threads and sorted by timestamp. Safe to call while emitters run
+// (see header comment); wrapped-over slots count as dropped.
+std::vector<Event> DrainEvents();
+
+// Renders DrainEvents() as JSONL and appends it to `path` (created if
+// missing). The serve/run `--events-out` sinks call this periodically.
+Status AppendEventsFile(const std::string& path);
+
+}  // namespace tgpp::obs
+
+#endif  // TGPP_OBS_EVENTS_H_

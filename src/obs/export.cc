@@ -121,6 +121,9 @@ std::string SuperstepRow::ToJson() const {
      << ",\"buffer_hit_rate\":" << FormatDouble(buffer_hit_rate)
      << ",\"superstep_seconds\":" << FormatDouble(superstep_seconds)
      << ",\"elapsed_seconds\":" << FormatDouble(elapsed_seconds)
+     << ",\"scatter_cpu_seconds\":" << FormatDouble(scatter_cpu_seconds)
+     << ",\"gather_cpu_seconds\":" << FormatDouble(gather_cpu_seconds)
+     << ",\"apply_cpu_seconds\":" << FormatDouble(apply_cpu_seconds)
      << ",\"direction\":\"" << direction << "\"}";
   return os.str();
 }

@@ -45,6 +45,13 @@ struct SuperstepRow {
   double buffer_hit_rate = 0.0;   // cumulative, in [0, 1]
   double superstep_seconds = 0.0; // wall time of this superstep
   double elapsed_seconds = 0.0;   // wall time since Run() started
+  // Per-phase CPU time this superstep, summed across machines (the §5.2.3
+  // decomposition, per superstep). Deltas of the cluster-wide phase
+  // counters: exact for a lone engine, approximate attribution when
+  // concurrent service jobs share the machines (docs/OBSERVABILITY.md).
+  double scatter_cpu_seconds = 0.0;
+  double gather_cpu_seconds = 0.0;
+  double apply_cpu_seconds = 0.0;
   // Scatter direction this superstep ran in: "push" or "pull"
   // (algos/frontier.h; always "push" unless direction optimization is on).
   const char* direction = "push";

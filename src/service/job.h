@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/types.h"
+#include "obs/export.h"
 
 namespace tgpp::service {
 
@@ -81,6 +83,43 @@ struct JobRecord {
   double run_seconds = 0;        // admitted -> terminal
   int attempts = 0;              // runs of the job (1 + retries taken)
   bool retries_exhausted = false;  // failed retryable after max_retries
+};
+
+// Profile rows are capped so a long-running iterative job can't grow the
+// manager's memory without bound; the totals below keep accumulating past
+// the cap and `rows_dropped` records the truncation.
+inline constexpr int kMaxProfileRows = 512;
+
+// Per-job execution profile, accumulated by the JobManager from the
+// engine's superstep observer rows across every attempt of the job
+// (retries included — the rows honestly show replayed work). Retrieved by
+// `tgpp profile <id>` and the /jobs endpoint; plain data, copied out of
+// the manager's lock like JobRecord.
+struct JobProfile {
+  uint64_t job_id = 0;
+  std::vector<obs::SuperstepRow> rows;  // first kMaxProfileRows rows
+  int rows_dropped = 0;                 // rows past the cap (totals still count)
+  // Totals across all attempts.
+  int supersteps = 0;                   // observer rows seen
+  int push_supersteps = 0;
+  int pull_supersteps = 0;
+  uint64_t updates_generated = 0;
+  uint64_t updates_sent = 0;
+  uint64_t updates_spilled = 0;
+  uint64_t disk_bytes = 0;
+  uint64_t net_bytes = 0;
+  double scatter_cpu_seconds = 0;
+  double gather_cpu_seconds = 0;
+  double apply_cpu_seconds = 0;
+  double buffer_hit_rate = 0;           // last observed (cumulative rate)
+  // Recovery tax (QueryStats recovery_* fields, summed over attempts).
+  int recoveries = 0;
+  double recovery_detect_seconds = 0;
+  double recovery_restore_seconds = 0;
+  double recovery_replay_seconds = 0;
+  int checkpoints = 0;
+  bool resumed = false;                 // any attempt resumed a checkpoint
+  int lost_machine = -1;                // last machine a failure took down
 };
 
 }  // namespace tgpp::service

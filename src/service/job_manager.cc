@@ -15,6 +15,7 @@
 #include "algos/wcc.h"
 #include "common/logging.h"
 #include "core/engine.h"
+#include "obs/events.h"
 #include "util/crc32.h"
 #include "util/rng.h"
 #include "util/trace.h"
@@ -235,6 +236,8 @@ Result<uint64_t> JobManager::Submit(const JobSpec& spec) {
   jobs_submitted_.Add(1);
   jobs_queued_.Add(1);
   trace::Instant("service.submit", "service", "job", id);
+  obs::EmitEvent(obs::EventType::kJobSubmit, id, -1, -1, nullptr, "queued",
+                 static_cast<uint64_t>(queue_.size()));
   PumpLocked();
   cv_.notify_all();
   return id;
@@ -304,6 +307,9 @@ void JobManager::PumpLocked() {
         static_cast<uint64_t>(job->queue_wait_seconds * 1e9));
     trace::Instant("service.admit", "service", "job", job->id, "bytes",
                    reservation);
+    obs::EmitEvent(obs::EventType::kJobAdmit, job->id, -1, -1, nullptr,
+                   "bytes", reservation, "wait_us",
+                   static_cast<uint64_t>(job->queue_wait_seconds * 1e6));
 
     job->runner = std::thread([this, job] { RunJob(job); });
   }
@@ -330,26 +336,71 @@ void JobManager::RunJob(Job* job) {
   options.scratch_prefix = "job" + std::to_string(job->id) + "_";
   options.job_barrier = job->barrier.get();
   options.cancel = &job->cancel;
+  options.job_id = job->id;
+  // Profile accumulation: the engine calls this on the runner thread at
+  // every superstep barrier; the manager owns the rows so they survive
+  // retries and outlive the engine.
+  options.superstep_observer = [this, job](const obs::SuperstepRow& row) {
+    std::lock_guard<std::mutex> lock(mu_);
+    JobProfile& p = job->profile;
+    if (static_cast<int>(p.rows.size()) < kMaxProfileRows) {
+      p.rows.push_back(row);
+    } else {
+      ++p.rows_dropped;
+    }
+    ++p.supersteps;
+    if (row.direction[2] == 'l') {  // "pull" vs "push"
+      ++p.pull_supersteps;
+    } else {
+      ++p.push_supersteps;
+    }
+    p.updates_generated += row.updates_generated;
+    p.updates_sent += row.updates_sent;
+    p.updates_spilled += row.updates_spilled;
+    p.disk_bytes += row.disk_bytes;
+    p.net_bytes += row.net_bytes;
+    p.scatter_cpu_seconds += row.scatter_cpu_seconds;
+    p.gather_cpu_seconds += row.gather_cpu_seconds;
+    p.apply_cpu_seconds += row.apply_cpu_seconds;
+    p.buffer_hit_rate = row.buffer_hit_rate;
+  };
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     job->state = JobState::kRunning;
+    job->profile.job_id = job->id;
     cv_.notify_all();
   }
+  obs::EmitEvent(obs::EventType::kJobStart, job->id);
 
   Outcome outcome;
   Status status;
   int attempt = 0;
   for (;;) {
     ++attempt;
+    WallTimer attempt_timer;
     {
       trace::TraceSpan run_span("service.run", "service");
       run_span.AddArg("job", job->id);
       run_span.AddArg("attempt", static_cast<uint64_t>(attempt));
       status = RunForSpec(cluster_, pg_, job->spec, options, &outcome);
     }
+    if (!status.ok() && status.IsMachineLost()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->profile.lost_machine = status.machine_id();
+    }
     if (status.ok() || !status.IsRetryable()) break;
     if (attempt > options_.max_retries) break;  // retry budget exhausted
+
+    // Job-level recovery tax: the whole failed attempt is detection +
+    // lost work (in-engine recovery is off for service jobs); the next
+    // attempt's resume restore and replayed supersteps show up in its
+    // profile rows.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++job->profile.recoveries;
+      job->profile.recovery_detect_seconds += attempt_timer.Seconds();
+    }
 
     // Prepare the retry: the failed attempt may have left messages in
     // the job's tag range and (after a machine.kill) dead machines.
@@ -357,6 +408,9 @@ void JobManager::RunJob(Job* job) {
     cluster_->ReviveAllMachines();
     job_retries_.Add(1);
     trace::Instant("service.retry", "service", "job", job->id, "attempt",
+                   static_cast<uint64_t>(attempt));
+    obs::EmitEvent(obs::EventType::kJobRetry, job->id, -1, -1,
+                   StatusCodeToString(status.code()), "attempt",
                    static_cast<uint64_t>(attempt));
     TGPP_LOG(Warning) << "job " << job->id << " attempt " << attempt
                    << " failed (" << StatusCodeToString(status.code())
@@ -403,6 +457,18 @@ void JobManager::RunJob(Job* job) {
   job->result_crc = outcome.crc;
   job->aggregate = outcome.stats.aggregate_sum;
   job->supersteps = outcome.stats.supersteps;
+  // Engine-observed recovery tax from the terminal attempt (nonzero only
+  // when in-engine recovery ran; service jobs normally pay their tax at
+  // the job level, accumulated in the retry loop above).
+  job->profile.recoveries += outcome.stats.recoveries;
+  job->profile.recovery_detect_seconds +=
+      outcome.stats.recovery_detect_seconds;
+  job->profile.recovery_restore_seconds +=
+      outcome.stats.recovery_restore_seconds;
+  job->profile.recovery_replay_seconds +=
+      outcome.stats.recovery_replay_seconds;
+  job->profile.checkpoints += outcome.stats.checkpoints;
+  job->profile.resumed = job->profile.resumed || outcome.stats.resumed;
   JobState terminal = JobState::kDone;
   if (status.IsCancelled()) {
     terminal = JobState::kCancelled;
@@ -460,12 +526,21 @@ void JobManager::FinishLocked(Job* job, JobState state,
   switch (state) {
     case JobState::kDone:
       jobs_done_.Add(1);
+      obs::EmitEvent(obs::EventType::kJobDone, job->id, -1, -1, nullptr,
+                     "supersteps", static_cast<uint64_t>(job->supersteps),
+                     "attempts", static_cast<uint64_t>(job->attempts));
       break;
     case JobState::kCancelled:
       jobs_cancelled_.Add(1);
+      obs::EmitEvent(obs::EventType::kJobCancelled, job->id, -1, -1,
+                     StatusCodeToString(status.code()));
       break;
     default:
       jobs_failed_.Add(1);
+      obs::EmitEvent(obs::EventType::kJobFailed, job->id,
+                     job->profile.lost_machine, -1,
+                     StatusCodeToString(status.code()), "attempts",
+                     static_cast<uint64_t>(job->attempts));
       break;
   }
   trace::Instant("service.finish", "service", "job", job->id);
@@ -527,6 +602,17 @@ Result<JobRecord> JobManager::GetJob(uint64_t id) const {
     return Status::NotFound("no job " + std::to_string(id));
   }
   return SnapshotLocked(*job);
+}
+
+Result<JobProfile> JobManager::GetProfile(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Job* job = FindLocked(id);
+  if (job == nullptr) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  JobProfile profile = job->profile;
+  profile.job_id = id;  // set even if the job never started running
+  return profile;
 }
 
 std::vector<JobRecord> JobManager::ListJobs() const {

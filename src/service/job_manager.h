@@ -112,6 +112,15 @@ class JobManager {
   Result<JobRecord> GetJob(uint64_t id) const;
   std::vector<JobRecord> ListJobs() const;
 
+  // Execution profile accumulated from the job's superstep observer rows
+  // (all attempts). Available from the first superstep on — callers may
+  // poll it while the job runs. NotFound for unknown ids.
+  Result<JobProfile> GetProfile(uint64_t id) const;
+
+  // The shared cluster (for introspection endpoints: /healthz reads the
+  // fabric's heartbeat liveness through this).
+  Cluster* cluster() const { return cluster_; }
+
   // Blocks until the job is terminal. timeout_ms < 0 waits forever;
   // expiry returns Status::Timeout (the job keeps running).
   Result<JobRecord> Wait(uint64_t id, int64_t timeout_ms = -1);
@@ -148,6 +157,10 @@ class JobManager {
     // was retryable but ran out of attempts (exit code 6 in `tgpp jobs`).
     int attempts = 0;
     bool retries_exhausted = false;
+    // Accumulated under mu_ by the runner's superstep observer; snapshot
+    // with GetProfile. Lives in the Job (not the engine) so it survives
+    // retries and is queryable after the runner exits.
+    JobProfile profile;
     std::thread runner;
   };
 

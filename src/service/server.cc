@@ -10,6 +10,8 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "service/wire.h"
 
 namespace tgpp::service {
@@ -27,6 +29,40 @@ bool SendAll(int fd, const std::string& data) {
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+// The introspection surface. One literal per line between the markers —
+// tools/check_docs.sh extracts these paths and fails if any is missing
+// from docs/OBSERVABILITY.md.
+constexpr const char* kHttpEndpoints[] = {
+    // HTTP-ENDPOINTS-BEGIN
+    "/metrics",
+    "/jobs",
+    "/healthz",
+    // HTTP-ENDPOINTS-END
+};
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// JobRecordToJson with the profile nested under "profile" (the /jobs
+// endpoint and the `jobs` verb with profiles:true).
+std::string RecordWithProfile(const JobRecord& record,
+                              const JobProfile& profile) {
+  std::string out = JobRecordToJson(record);
+  out.pop_back();  // the closing '}'
+  out += ",\"profile\":";
+  out += JobProfileToJson(profile);
+  out += '}';
+  return out;
 }
 
 }  // namespace
@@ -98,6 +134,7 @@ void JobServer::ServeConnection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool shutdown_requested = false;
+  bool first_line = true;
   while (!shutdown_requested) {
     size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
@@ -108,7 +145,15 @@ void JobServer::ServeConnection(int fd) {
     }
     std::string line = buffer.substr(0, newline);
     buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    if (first_line && line.rfind("GET ", 0) == 0) {
+      // HTTP introspection: one response per connection, then close —
+      // the remaining request headers in `buffer` are irrelevant.
+      SendAll(fd, HandleHttp(line));
+      break;
+    }
+    first_line = false;
     std::string reply = HandleLine(line, &shutdown_requested);
     if (!SendAll(fd, reply + "\n")) break;
   }
@@ -141,6 +186,18 @@ std::string JobServer::HandleLine(const std::string& line,
     auto id = manager_->Submit(*spec);
     if (!id.ok()) return ErrorLine(id.status());
     return JsonWriter().Bool("ok", true).UInt("id", *id).Close();
+  }
+
+  if (*cmd == "profile") {
+    auto id = request->GetInt("id");
+    if (!id.ok()) return ErrorLine(id.status());
+    if (*id < 0) return ErrorLine(Status::InvalidArgument("bad id"));
+    auto profile = manager_->GetProfile(static_cast<uint64_t>(*id));
+    if (!profile.ok()) return ErrorLine(profile.status());
+    return JsonWriter()
+        .Bool("ok", true)
+        .Raw("profile", JobProfileToJson(*profile))
+        .Close();
   }
 
   if (*cmd == "status" || *cmd == "wait" || *cmd == "cancel") {
@@ -176,12 +233,20 @@ std::string JobServer::HandleLine(const std::string& line,
   }
 
   if (*cmd == "jobs") {
+    auto with_profiles = request->BoolOr("profiles", false);
+    if (!with_profiles.ok()) return ErrorLine(with_profiles.status());
     std::string array = "[";
     bool first = true;
     for (const JobRecord& record : manager_->ListJobs()) {
       if (!first) array += ',';
       first = false;
-      array += JobRecordToJson(record);
+      if (*with_profiles) {
+        auto profile = manager_->GetProfile(record.id);
+        array += profile.ok() ? RecordWithProfile(record, *profile)
+                              : JobRecordToJson(record);
+      } else {
+        array += JobRecordToJson(record);
+      }
     }
     array += ']';
     return JsonWriter().Bool("ok", true).Raw("jobs", array).Close();
@@ -193,6 +258,62 @@ std::string JobServer::HandleLine(const std::string& line,
   }
 
   return ErrorLine(Status::InvalidArgument("unknown cmd: " + *cmd));
+}
+
+std::string JobServer::HandleHttp(const std::string& request_line) {
+  // "GET <path> HTTP/1.x" — no query strings in this surface; anything
+  // after '?' is ignored so `curl .../metrics?x=1` still resolves.
+  std::string path = request_line.substr(4);
+  size_t end = path.find(' ');
+  if (end != std::string::npos) path.resize(end);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (path == "/metrics") {
+    return HttpResponse(200, "OK",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        obs::RenderPrometheus(obs::Registry::Global()));
+  }
+
+  if (path == "/jobs") {
+    std::string array = "[";
+    bool first = true;
+    for (const JobRecord& record : manager_->ListJobs()) {
+      if (!first) array += ',';
+      first = false;
+      auto profile = manager_->GetProfile(record.id);
+      array += profile.ok() ? RecordWithProfile(record, *profile)
+                            : JobRecordToJson(record);
+    }
+    array += ']';
+    return HttpResponse(200, "OK", "application/json",
+                        JsonWriter().Raw("jobs", array).Close() + "\n");
+  }
+
+  if (path == "/healthz") {
+    // Healthy = every machine's heartbeat is live (or heartbeats are not
+    // running, in which case there is no verdict to report and the
+    // service itself answering is the health signal).
+    Fabric* fabric = manager_->cluster()->fabric();
+    const int lost = fabric->FirstLostMachine();
+    JsonWriter w;
+    w.Bool("ok", lost < 0);
+    w.Bool("heartbeats", fabric->HeartbeatsRunning());
+    if (lost >= 0) w.Int("lost_machine", lost);
+    const std::string body = w.Close() + "\n";
+    return lost < 0
+               ? HttpResponse(200, "OK", "application/json", body)
+               : HttpResponse(503, "Service Unavailable", "application/json",
+                              body);
+  }
+
+  std::string known;
+  for (const char* endpoint : kHttpEndpoints) {
+    if (!known.empty()) known += ' ';
+    known += endpoint;
+  }
+  return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                      "unknown path; endpoints: " + known + "\n");
 }
 
 void JobServer::WaitForShutdown() {

@@ -2,9 +2,18 @@
 //
 // Listens on a unix-domain socket or loopback TCP, speaks one JSON object
 // per line in each direction, and translates the protocol verbs
-// (submit/status/wait/cancel/jobs/shutdown) into JobManager calls. Each
-// connection gets its own thread — connections are few (CLI clients and
-// bench harnesses), and a blocking `wait` must not starve other clients.
+// (submit/status/wait/cancel/jobs/profile/shutdown) into JobManager
+// calls. Each connection gets its own thread — connections are few (CLI
+// clients and bench harnesses), and a blocking `wait` must not starve
+// other clients.
+//
+// The same port doubles as a minimal HTTP/1.0 introspection surface
+// (docs/OBSERVABILITY.md): a connection whose first line starts with
+// "GET " is answered with one HTTP response and closed. Endpoints:
+// /metrics (Prometheus text), /jobs (records + profiles), /healthz
+// (200 while every machine's heartbeat is live, 503 otherwise). Curl and
+// Prometheus both speak HTTP/1.0-with-close fine; no keep-alive, no
+// chunking, no routing beyond exact paths.
 
 #ifndef TGPP_SERVICE_SERVER_H_
 #define TGPP_SERVICE_SERVER_H_
@@ -56,6 +65,8 @@ class JobServer {
   // One request line -> one response line. Sets *shutdown_requested when
   // the verb was `shutdown`.
   std::string HandleLine(const std::string& line, bool* shutdown_requested);
+  // One full HTTP/1.0 response (headers + body) for `GET <path>`.
+  std::string HandleHttp(const std::string& request_line);
 
   JobManager* manager_;
   ServerOptions options_;

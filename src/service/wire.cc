@@ -181,6 +181,23 @@ Result<int64_t> JsonObject::GetInt(const std::string& key) const {
   return static_cast<int64_t>(v);
 }
 
+Result<double> JsonObject::GetDouble(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::InvalidArgument("missing field '" + key + "'");
+  }
+  if (it->second.kind != Kind::kNumber) {
+    return Status::InvalidArgument("field '" + key + "' is not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(it->second.text.c_str(), &end);
+  if (errno != 0 || end == it->second.text.c_str()) {
+    return Status::InvalidArgument("field '" + key + "' is not a number");
+  }
+  return v;
+}
+
 Result<bool> JsonObject::GetBool(const std::string& key) const {
   auto it = values_.find(key);
   if (it == values_.end()) {
@@ -207,6 +224,12 @@ Result<int64_t> JsonObject::IntOr(const std::string& key,
 Result<bool> JsonObject::BoolOr(const std::string& key, bool fallback) const {
   if (!Has(key)) return fallback;
   return GetBool(key);
+}
+
+Result<double> JsonObject::DoubleOr(const std::string& key,
+                                    double fallback) const {
+  if (!Has(key)) return fallback;
+  return GetDouble(key);
 }
 
 Result<std::string> JsonObject::GetRaw(const std::string& key) const {
@@ -368,6 +391,41 @@ std::string JobRecordToJson(const JobRecord& record) {
   if (!record.error.empty()) {
     w.Str("error", record.error).Str("code", record.status_code);
   }
+  return w.Close();
+}
+
+std::string JobProfileToJson(const JobProfile& profile) {
+  JsonWriter w;
+  w.UInt("job", profile.job_id)
+      .Int("supersteps", profile.supersteps)
+      .Int("push_supersteps", profile.push_supersteps)
+      .Int("pull_supersteps", profile.pull_supersteps)
+      .UInt("updates_generated", profile.updates_generated)
+      .UInt("updates_sent", profile.updates_sent)
+      .UInt("updates_spilled", profile.updates_spilled)
+      .UInt("disk_bytes", profile.disk_bytes)
+      .UInt("net_bytes", profile.net_bytes)
+      .Double("scatter_cpu_s", profile.scatter_cpu_seconds)
+      .Double("gather_cpu_s", profile.gather_cpu_seconds)
+      .Double("apply_cpu_s", profile.apply_cpu_seconds)
+      .Double("buffer_hit_rate", profile.buffer_hit_rate)
+      .Int("recoveries", profile.recoveries)
+      .Double("recovery_detect_s", profile.recovery_detect_seconds)
+      .Double("recovery_restore_s", profile.recovery_restore_seconds)
+      .Double("recovery_replay_s", profile.recovery_replay_seconds)
+      .Int("checkpoints", profile.checkpoints);
+  if (profile.resumed) w.Bool("resumed", true);
+  if (profile.lost_machine >= 0) {
+    w.Int("lost_machine", profile.lost_machine);
+  }
+  if (profile.rows_dropped > 0) w.Int("rows_dropped", profile.rows_dropped);
+  std::string rows = "[";
+  for (size_t i = 0; i < profile.rows.size(); ++i) {
+    if (i > 0) rows += ',';
+    rows += profile.rows[i].ToJson();
+  }
+  rows += ']';
+  w.Raw("rows", rows);
   return w.Close();
 }
 

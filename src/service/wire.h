@@ -33,11 +33,13 @@ class JsonObject {
   // present-but-mistyped value, which is a malformed request).
   Result<std::string> GetString(const std::string& key) const;
   Result<int64_t> GetInt(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
   Result<bool> GetBool(const std::string& key) const;
   Result<std::string> StringOr(const std::string& key,
                                std::string fallback) const;
   Result<int64_t> IntOr(const std::string& key, int64_t fallback) const;
   Result<bool> BoolOr(const std::string& key, bool fallback) const;
+  Result<double> DoubleOr(const std::string& key, double fallback) const;
   // Raw text of a nested object/array value, re-parseable with Parse.
   Result<std::string> GetRaw(const std::string& key) const;
   // Raw element texts of an array value (each "{...}" etc.).
@@ -81,6 +83,12 @@ Result<JobSpec> ParseJobSpec(const JsonObject& request);
 // aggregate, supersteps, reserved_bytes, queue_wait_s, run_s, and — when
 // terminal-with-error — error + code.
 std::string JobRecordToJson(const JobRecord& record);
+
+// Serializes a profile: job, totals (supersteps, push/pull split, phase
+// CPU seconds, bytes, recovery tax, checkpoints), and a "rows" array of
+// per-superstep objects (obs::SuperstepRow::ToJson). Served by the
+// `profile` verb, `jobs` with profiles:true, and /jobs.
+std::string JobProfileToJson(const JobProfile& profile);
 
 // {"ok":false,"error":...,"code":"Timeout"}.
 std::string ErrorLine(const Status& status);

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/events.h"
 #include "util/trace.h"
 
 namespace tgpp {
@@ -187,6 +188,10 @@ Result<PageHandle> BufferPool::FetchImpl(const PageFile* file,
       shard.table.erase(key);
       ReleaseFrame(&f);
       shard.io_cv.notify_all();  // waiters re-probe, miss, and retry
+      // Job id rides in ambient thread-local state (the engine stamps its
+      // worker threads), so the event joins to the job that hit the error.
+      obs::EmitEvent(obs::EventType::kPoolReadFailed, 0,
+                     trace::CurrentMachine(), -1, nullptr, "page", page_no);
       return read;
     }
     misses_.Add(1);

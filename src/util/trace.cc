@@ -5,6 +5,8 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace tgpp::trace {
 
 namespace internal {
@@ -58,6 +60,22 @@ struct TlsSlot {
 
 thread_local TlsSlot tls_slot;
 
+// trace.dropped_events (docs/METRICS.md): ring-wrap overwrites, visible on
+// /metrics while the run is live — Stats().dropped only exists at export
+// time. Registered on first wrap so untraced runs don't export the series.
+obs::Counter& DroppedCounter() {
+  struct Holder {
+    obs::Counter counter;
+    std::vector<obs::Registration> registrations;
+    Holder() {
+      obs::TryRegister(&obs::Registry::Global(), &registrations,
+                       "trace.dropped_events", -1, &counter);
+    }
+  };
+  static Holder* holder = new Holder();
+  return holder->counter;
+}
+
 ThreadRing* GetThreadRing() {
   if (tls_slot.ring == nullptr) {
     Registry& registry = GetRegistry();
@@ -86,6 +104,7 @@ void Record(const char* name, const char* cat, int64_t ts_nanos,
             const char* arg_name1, uint64_t arg_value1) {
   ThreadRing* ring = GetThreadRing();
   const uint64_t n = ring->count.load(std::memory_order_relaxed);
+  if (n >= kRingCapacity) DroppedCounter().Add(1);  // overwriting the oldest
   TraceEvent& ev = ring->ring[n % kRingCapacity];
   ev.name = name;
   ev.cat = cat;

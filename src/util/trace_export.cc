@@ -11,6 +11,7 @@
 #include <string>
 #include <utility>
 
+#include "common/logging.h"
 #include "util/trace.h"
 
 namespace tgpp::trace {
@@ -161,6 +162,16 @@ Status WriteChromeTrace(const std::string& path) {
   const int close_rc = std::fclose(f);
   if (written != json.size() || close_rc != 0) {
     return Status::IOError("short write to trace output file: " + path);
+  }
+  const TraceStats stats = Stats();
+  if (stats.dropped > 0) {
+    // The rings keep the newest events; an operator reading the timeline
+    // should know its oldest edge is truncated (docs/TRACING.md).
+    TGPP_LOG(Warning) << "trace: " << stats.dropped << " of "
+                      << stats.recorded
+                      << " events dropped (ring wrap); oldest events are "
+                         "missing from "
+                      << path;
   }
   return Status::OK();
 }

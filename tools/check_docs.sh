@@ -76,6 +76,38 @@ else
   done
 fi
 
+# Every structured-event type (the `return "...";` lines between the
+# EVENT-TYPES markers in src/obs/events.cc) and every HTTP introspection
+# endpoint (the literals between the HTTP-ENDPOINTS markers in
+# src/service/server.cc) must appear in the observability guide, so the
+# wire vocabulary cannot drift from its documentation.
+obs_doc="docs/OBSERVABILITY.md"
+if [ ! -f "$obs_doc" ]; then
+  echo "check_docs: missing $obs_doc (observability guide is mandatory)" >&2
+  fail=1
+else
+  while IFS= read -r name; do
+    [ -z "$name" ] && continue
+    checked=$((checked + 1))
+    if ! grep -q "$name" "$obs_doc"; then
+      echo "check_docs: $obs_doc does not mention event type: $name" >&2
+      fail=1
+    fi
+  done < <(sed -n '/EVENT-TYPES-BEGIN/,/EVENT-TYPES-END/p' \
+               src/obs/events.cc |
+           sed -n 's/.*return "\([^"]*\)";.*/\1/p')
+  while IFS= read -r endpoint; do
+    [ -z "$endpoint" ] && continue
+    checked=$((checked + 1))
+    if ! grep -q "$endpoint" "$obs_doc"; then
+      echo "check_docs: $obs_doc does not mention endpoint: $endpoint" >&2
+      fail=1
+    fi
+  done < <(sed -n '/HTTP-ENDPOINTS-BEGIN/,/HTTP-ENDPOINTS-END/p' \
+               src/service/server.cc |
+           sed -n 's/.*"\(\/[^"]*\)",.*/\1/p')
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1

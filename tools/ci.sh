@@ -28,32 +28,79 @@ if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
                  fabric_cluster_test storage_test status_logging_test \
                  metrics_registry_test buffer_pool_concurrency_test \
                  job_service_test frontier_test kernels_direction_test \
-                 machine_failure_test
+                 machine_failure_test events_test
   ctest --test-dir "$root/$asan" --output-on-failure \
-        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos|JobService|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis|MachineFailure|FabricHeartbeat'
+        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos|JobService|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis|MachineFailure|FabricHeartbeat|EventsTest'
 
-  # Job-service smoke under ASan: serve a small graph on a temp unix
-  # socket, submit a PageRank job, poll it to completion, list jobs, and
-  # shut the daemon down cleanly (docs/SERVICE.md).
+  # Job-service smoke under ASan: serve a small graph on loopback TCP
+  # with the event log and metrics export on, submit two PageRank jobs,
+  # scrape the HTTP introspection endpoints, pull a job profile, list
+  # jobs as JSONL, and shut the daemon down cleanly (docs/SERVICE.md,
+  # docs/OBSERVABILITY.md).
   cmake --build "$root/$asan" -j"$(nproc)" --target tgpp_cli
   smoke_dir="$(mktemp -d /tmp/tgpp_ci_service.XXXXXX)"
   trap 'rm -rf "$smoke_dir"' EXIT
   "$root/$asan/tools/tgpp" generate --scale=10 --out="$smoke_dir/g.bin" \
       --undirected
   "$root/$asan/tools/tgpp" serve --graph="$smoke_dir/g.bin" \
-      --socket="$smoke_dir/tgpp.sock" --workdir="$smoke_dir/cluster" &
+      --port=0 --workdir="$smoke_dir/cluster" \
+      --events-out="$smoke_dir/events.jsonl" \
+      --metrics-out="$smoke_dir/metrics.prom" \
+      --heartbeat-interval-ms=50 --heartbeat-timeout-ms=2000 \
+      > "$smoke_dir/serve.log" &
   serve_pid=$!
+  port=""
   for _ in $(seq 1 100); do
-    [ -S "$smoke_dir/tgpp.sock" ] && break
+    port="$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+                "$smoke_dir/serve.log" 2>/dev/null | head -1)"
+    [ -n "$port" ] && break
     kill -0 "$serve_pid" || { echo "ci: serve died" >&2; exit 1; }
     sleep 0.2
   done
-  [ -S "$smoke_dir/tgpp.sock" ] || { echo "ci: serve never bound" >&2; exit 1; }
-  "$root/$asan/tools/tgpp" submit --socket="$smoke_dir/tgpp.sock" \
+  [ -n "$port" ] || { echo "ci: serve never bound" >&2; exit 1; }
+  "$root/$asan/tools/tgpp" submit --port="$port" \
       --query=pr --iterations=3 --wait --timeout-ms=120000
-  "$root/$asan/tools/tgpp" jobs --socket="$smoke_dir/tgpp.sock"
-  "$root/$asan/tools/tgpp" shutdown --socket="$smoke_dir/tgpp.sock"
+  "$root/$asan/tools/tgpp" submit --port="$port" \
+      --query=wcc --wait --timeout-ms=120000
+
+  # HTTP introspection: /metrics must be Prometheus text, /healthz must
+  # report live heartbeats, /jobs must embed per-job profiles.
+  http_get() {
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+  }
+  http_get /metrics > "$smoke_dir/metrics.http"
+  grep -q "200 OK" "$smoke_dir/metrics.http"
+  grep -q "# TYPE tgpp_service_jobs_done counter" "$smoke_dir/metrics.http"
+  http_get /healthz > "$smoke_dir/healthz.http"
+  grep -q "200 OK" "$smoke_dir/healthz.http"
+  grep -q '"ok":true' "$smoke_dir/healthz.http"
+  http_get /jobs > "$smoke_dir/jobs.http"
+  grep -q '"profile":{' "$smoke_dir/jobs.http"
+
+  # Per-job profile + machine-readable listings.
+  "$root/$asan/tools/tgpp" profile --port="$port" --id=1
+  "$root/$asan/tools/tgpp" profile --port="$port" --id=2 --json \
+      | grep -q '"supersteps":'
+  "$root/$asan/tools/tgpp" jobs --port="$port" --json \
+      > "$smoke_dir/jobs.jsonl"
+  [ "$(wc -l < "$smoke_dir/jobs.jsonl")" -eq 2 ]
+  grep -q '"scatter_cpu_s":' "$smoke_dir/jobs.jsonl"
+  "$root/$asan/tools/tgpp" shutdown --port="$port"
   wait "$serve_pid"
+
+  # The streamed event log must be well-formed JSONL telling the whole
+  # story: submits, admits, supersteps, and terminal states.
+  [ -s "$smoke_dir/events.jsonl" ] || { echo "ci: no events" >&2; exit 1; }
+  grep -q '"type":"job.submit"' "$smoke_dir/events.jsonl"
+  grep -q '"type":"job.admit"' "$smoke_dir/events.jsonl"
+  grep -q '"type":"superstep"' "$smoke_dir/events.jsonl"
+  grep -q '"type":"job.done"' "$smoke_dir/events.jsonl"
+  if grep -vq '^{"v":1,' "$smoke_dir/events.jsonl"; then
+    echo "ci: malformed event line" >&2; exit 1
+  fi
 
   # ThreadSanitizer pass over the lock/latch-heavy suites: the buffer
   # pool's overlapped miss path (frame claim/publish races, pin CAS,

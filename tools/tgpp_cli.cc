@@ -14,6 +14,7 @@
 //                  [--rounds=10]
 //                  [--trace-out=trace.json]
 //                  [--metrics-out=metrics.prom] [--progress]
+//                  [--events-out=events.jsonl]
 //                  [--faults=SPEC] [--fault-seed=42]
 //                  [--checkpoint-every=N] [--deterministic]
 //                  [--heartbeat-interval-ms=0] [--heartbeat-timeout-ms=0]
@@ -25,12 +26,15 @@
 //                  [--checkpoint-every=0]
 //                  [--heartbeat-interval-ms=0] [--heartbeat-timeout-ms=0]
 //                  [--metrics-out=metrics.prom] [--trace-out=trace.json]
+//                  [--events-out=events.jsonl]
+//                  [--faults=SPEC] [--fault-seed=42]
 //                  [--workdir=/tmp/tgpp_serve]
 //   tgpp submit    (--socket=PATH | --port=N) [--query=pr]
 //                  [--iterations=10] [--source=0] [--priority=0]
 //                  [--deadline-ms=0] [--nondeterministic]
 //                  [--wait] [--timeout-ms=-1]
-//   tgpp jobs      (--socket=PATH | --port=N)
+//   tgpp jobs      (--socket=PATH | --port=N) [--json]
+//   tgpp profile   (--socket=PATH | --port=N) --id=N [--json]
 //   tgpp cancel    (--socket=PATH | --port=N) --id=N
 //   tgpp shutdown  (--socket=PATH | --port=N)
 //
@@ -77,6 +81,14 @@
 // JSON over the socket; `tgpp submit`/`tgpp jobs`/`tgpp cancel`/
 // `tgpp shutdown` are its clients. Protocol and lifecycle: docs/SERVICE.md.
 //
+// --events-out streams the structured event log (one JSON object per
+// line, job-correlated: submit/admit/start, supersteps, checkpoints,
+// retries, recoveries, lost machines, terminal states). `tgpp profile`
+// prints a finished (or running) job's execution profile — per-superstep
+// scatter/gather/apply decomposition, I/O, recovery tax — and the serve
+// port also answers HTTP GET /metrics, /jobs and /healthz for scrapers.
+// Operator guide: docs/OBSERVABILITY.md.
+//
 // Exit codes (all subcommands): 0 success, 2 usage error, 3 timeout
 // (deadline exceeded), 4 cancelled, 6 machine lost / retries exhausted,
 // 5 internal/other failure. `tgpp submit --wait` maps the job's terminal
@@ -106,6 +118,7 @@
 #include "core/system.h"
 #include "graph/degree.h"
 #include "graph/rmat.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "service/client.h"
@@ -151,7 +164,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tgpp <generate|stats|partition|run|serve|submit|"
-               "jobs|cancel|shutdown> [--flags]\n"
+               "jobs|profile|cancel|shutdown> [--flags]\n"
                "see the header of tools/tgpp_cli.cc for details\n"
                "exit codes: 0 ok, 2 usage, 3 timeout, 4 cancelled, "
                "6 machine lost / retries exhausted, 5 internal\n");
@@ -248,6 +261,8 @@ int CmdRun(int argc, char** argv) {
   const std::string query = FlagStr(argc, argv, "query", "pr");
   const std::string trace_out = FlagStr(argc, argv, "trace-out", "");
   if (!trace_out.empty()) trace::SetEnabled(true);
+  const std::string events_out = FlagStr(argc, argv, "events-out", "");
+  if (!events_out.empty()) obs::SetEventsEnabled(true);
 
   const std::string faults = FlagStr(argc, argv, "faults", "");
   if (!faults.empty()) {
@@ -495,6 +510,15 @@ int CmdRun(int argc, char** argv) {
                 static_cast<unsigned long long>(tstats.recorded),
                 static_cast<unsigned long long>(tstats.dropped));
   }
+  if (!events_out.empty()) {
+    Status es = obs::AppendEventsFile(events_out);
+    if (!es.ok()) return Fail(es);
+    const obs::EventLogStats estats = obs::EventStats();
+    std::printf("events: %s (%llu events, %llu dropped)\n",
+                events_out.c_str(),
+                static_cast<unsigned long long>(estats.recorded),
+                static_cast<unsigned long long>(estats.dropped));
+  }
   return 0;
 }
 
@@ -509,6 +533,15 @@ int CmdServe(int argc, char** argv) {
   if (!graph.ok()) return Fail(graph.status());
   const std::string trace_out = FlagStr(argc, argv, "trace-out", "");
   if (!trace_out.empty()) trace::SetEnabled(true);
+  const std::string events_out = FlagStr(argc, argv, "events-out", "");
+  if (!events_out.empty()) obs::SetEventsEnabled(true);
+  const std::string faults = FlagStr(argc, argv, "faults", "");
+  if (!faults.empty()) {
+    Status fs = fault::Configure(
+        faults,
+        static_cast<uint64_t>(FlagInt(argc, argv, "fault-seed", 42)));
+    if (!fs.ok()) return Fail(fs);
+  }
 
   ClusterConfig config = MakeClusterConfig(argc, argv);
   if (FlagStr(argc, argv, "workdir", "").empty()) {
@@ -572,10 +605,16 @@ int CmdServe(int argc, char** argv) {
   const std::string metrics_out = FlagStr(argc, argv, "metrics-out", "");
   std::atomic<bool> done{false};
   std::thread refresher;
-  if (!metrics_out.empty()) {
+  if (!metrics_out.empty() || !events_out.empty()) {
     refresher = std::thread([&] {
       while (!done.load(std::memory_order_acquire)) {
-        (void)obs::WritePrometheusFile(obs::Registry::Global(), metrics_out);
+        if (!metrics_out.empty()) {
+          (void)obs::WritePrometheusFile(obs::Registry::Global(),
+                                         metrics_out);
+        }
+        // Stream the event log: drained while jobs run, so the file is a
+        // live tail and the rings never fill between drains.
+        if (!events_out.empty()) (void)obs::AppendEventsFile(events_out);
         std::this_thread::sleep_for(std::chrono::milliseconds(200));
       }
     });
@@ -609,6 +648,15 @@ int CmdServe(int argc, char** argv) {
     Status ts = trace::WriteChromeTrace(trace_out);
     if (!ts.ok()) return Fail(ts);
     std::printf("trace: %s\n", trace_out.c_str());
+  }
+  if (!events_out.empty()) {
+    Status es = obs::AppendEventsFile(events_out);
+    if (!es.ok()) return Fail(es);
+    const obs::EventLogStats estats = obs::EventStats();
+    std::printf("events: %s (%llu events, %llu dropped)\n",
+                events_out.c_str(),
+                static_cast<unsigned long long>(estats.recorded),
+                static_cast<unsigned long long>(estats.dropped));
   }
   return 0;
 }
@@ -699,17 +747,133 @@ int CmdSubmit(int argc, char** argv) {
 }
 
 int CmdJobs(int argc, char** argv) {
+  const bool json = FlagBool(argc, argv, "json");
   auto client = ConnectFromFlags(argc, argv);
   if (!client.ok()) return Fail(client.status());
-  auto response =
-      client->Call(service::JsonWriter().Str("cmd", "jobs").Close());
+  service::JsonWriter request;
+  request.Str("cmd", "jobs");
+  if (json) request.Bool("profiles", true);
+  auto response = client->Call(request.Close());
   if (!response.ok()) return Fail(response.status());
   auto jobs = response->GetArray("jobs");
   if (!jobs.ok()) return Fail(jobs.status());
   for (const std::string& element : *jobs) {
+    if (json) {
+      // JSONL: one record (with embedded profile) per line, ready for jq.
+      std::printf("%s\n", element.c_str());
+      continue;
+    }
     auto job = service::JsonObject::Parse(element);
     if (!job.ok()) return Fail(job.status());
     PrintJobLine(*job);
+  }
+  return 0;
+}
+
+int CmdProfile(int argc, char** argv) {
+  const int64_t id = FlagInt(argc, argv, "id", -1);
+  if (id < 0) {
+    std::fprintf(stderr, "profile: need --id=N\n");
+    return Usage();
+  }
+  auto client = ConnectFromFlags(argc, argv);
+  if (!client.ok()) return Fail(client.status());
+  auto response = client->Call(
+      service::JsonWriter().Str("cmd", "profile").Int("id", id).Close());
+  if (!response.ok()) return Fail(response.status());
+  auto raw_profile = response->GetRaw("profile");
+  if (!raw_profile.ok()) return Fail(raw_profile.status());
+  // The profile carries engine-side totals; queue wait and wall time live
+  // on the job record, so fetch that too and join on the id.
+  auto status_response = client->Call(
+      service::JsonWriter().Str("cmd", "status").Int("id", id).Close());
+  if (!status_response.ok()) return Fail(status_response.status());
+  auto raw_job = status_response->GetRaw("job");
+  if (!raw_job.ok()) return Fail(raw_job.status());
+
+  if (FlagBool(argc, argv, "json")) {
+    std::printf("%s\n", service::JsonWriter()
+                            .Raw("job", *raw_job)
+                            .Raw("profile", *raw_profile)
+                            .Close()
+                            .c_str());
+    return 0;
+  }
+
+  auto job = service::JsonObject::Parse(*raw_job);
+  if (!job.ok()) return Fail(job.status());
+  auto profile = service::JsonObject::Parse(*raw_profile);
+  if (!profile.ok()) return Fail(profile.status());
+  auto str = [](const service::JsonObject& o, const char* key) {
+    auto v = o.StringOr(key, "-");
+    return v.ok() ? *v : std::string("-");
+  };
+  auto num = [](const service::JsonObject& o, const char* key) {
+    auto v = o.IntOr(key, 0);
+    return v.ok() ? *v : int64_t{0};
+  };
+  auto dbl = [](const service::JsonObject& o, const char* key) {
+    auto v = o.DoubleOr(key, 0.0);
+    return v.ok() ? *v : 0.0;
+  };
+
+  std::printf("job %lld %s %s\n", static_cast<long long>(id),
+              str(*job, "query").c_str(), str(*job, "state").c_str());
+  std::printf("  queue wait %.3fs, run %.3fs\n", dbl(*job, "queue_wait_s"),
+              dbl(*job, "run_s"));
+  std::printf("  supersteps %lld (%lld push, %lld pull), checkpoints %lld\n",
+              static_cast<long long>(num(*profile, "supersteps")),
+              static_cast<long long>(num(*profile, "push_supersteps")),
+              static_cast<long long>(num(*profile, "pull_supersteps")),
+              static_cast<long long>(num(*profile, "checkpoints")));
+  std::printf("  cpu scatter %.3fs, gather %.3fs, apply %.3fs\n",
+              dbl(*profile, "scatter_cpu_s"), dbl(*profile, "gather_cpu_s"),
+              dbl(*profile, "apply_cpu_s"));
+  std::printf("  updates %lld generated, %lld sent, %lld spilled\n",
+              static_cast<long long>(num(*profile, "updates_generated")),
+              static_cast<long long>(num(*profile, "updates_sent")),
+              static_cast<long long>(num(*profile, "updates_spilled")));
+  std::printf("  io disk %lld bytes, net %lld bytes, buffer hit rate %.3f\n",
+              static_cast<long long>(num(*profile, "disk_bytes")),
+              static_cast<long long>(num(*profile, "net_bytes")),
+              dbl(*profile, "buffer_hit_rate"));
+  const int64_t recoveries = num(*profile, "recoveries");
+  if (recoveries > 0 || profile->Has("lost_machine") ||
+      profile->Has("resumed")) {
+    std::printf("  recovery tax: %lld recoveries, detect %.3fs, "
+                "restore %.3fs, replay %.3fs\n",
+                static_cast<long long>(recoveries),
+                dbl(*profile, "recovery_detect_s"),
+                dbl(*profile, "recovery_restore_s"),
+                dbl(*profile, "recovery_replay_s"));
+    if (profile->Has("lost_machine")) {
+      std::printf("  lost machine %lld\n",
+                  static_cast<long long>(num(*profile, "lost_machine")));
+    }
+    auto resumed = profile->BoolOr("resumed", false);
+    if (resumed.ok() && *resumed) std::printf("  resumed from checkpoint\n");
+  }
+
+  auto rows = profile->GetArray("rows");
+  if (rows.ok() && !rows->empty()) {
+    std::printf("  %-5s %-5s %9s %9s %9s %9s %12s\n", "step", "dir",
+                "wall_s", "scatter_s", "gather_s", "apply_s", "active");
+    for (const std::string& element : *rows) {
+      auto row = service::JsonObject::Parse(element);
+      if (!row.ok()) return Fail(row.status());
+      std::printf("  %-5lld %-5s %9.3f %9.3f %9.3f %9.3f %12lld\n",
+                  static_cast<long long>(num(*row, "superstep")),
+                  str(*row, "direction").c_str(),
+                  dbl(*row, "superstep_seconds"),
+                  dbl(*row, "scatter_cpu_seconds"),
+                  dbl(*row, "gather_cpu_seconds"),
+                  dbl(*row, "apply_cpu_seconds"),
+                  static_cast<long long>(num(*row, "active_vertices")));
+    }
+  }
+  if (num(*profile, "rows_dropped") > 0) {
+    std::printf("  (%lld rows dropped past cap)\n",
+                static_cast<long long>(num(*profile, "rows_dropped")));
   }
   return 0;
 }
@@ -753,6 +917,7 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "submit") return CmdSubmit(argc, argv);
   if (cmd == "jobs") return CmdJobs(argc, argv);
+  if (cmd == "profile") return CmdProfile(argc, argv);
   if (cmd == "cancel") return CmdCancel(argc, argv);
   if (cmd == "shutdown") return CmdShutdown(argc, argv);
   return Usage();
