@@ -1,0 +1,216 @@
+// Async-read backend comparison: io_uring vs thread-pool preadv
+// (docs/ARCHITECTURE.md "I/O backends", docs/EXPERIMENTS.md).
+//
+// Three measurements:
+//
+//   depth rows  — cold-miss read throughput of SubmitReads batches of
+//                 non-adjacent pages as the queue depth grows. Under
+//                 uring the in-flight window is the ring depth, so
+//                 throughput scales with it; the thread-pool backend is
+//                 capped by its thread count regardless of depth.
+//   merge rows  — the same batch submitted sequentially (merged into
+//                 vectored requests) vs strided (unmergeable), showing
+//                 what disk.merged_reads buys at fixed depth.
+//   parity      — a deterministic PageRank on a small RMAT graph run on
+//                 both backends; the attribute CRCs must be identical
+//                 bit-for-bit. A mismatch fails the bench (nonzero exit):
+//                 the backends only move bytes, so swapping them can
+//                 never change results.
+//
+//   bench_io_backend [--pages=2048] [--batch=32] [--scale=11] [--smoke]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "common/logging.h"
+#include "core/system.h"
+#include "graph/rmat.h"
+#include "storage/async_io.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_device.h"
+#include "storage/io_backend.h"
+#include "storage/page_file.h"
+#include "util/crc32.h"
+#include "util/timer.h"
+
+#include "bench_util.h"
+
+namespace tgpp::bench {
+namespace {
+
+struct Throughput {
+  double pages_per_sec = 0;
+  uint64_t merged_reads = 0;
+};
+
+// Reads `total_pages` cold pages through SubmitReads in batches of
+// `batch`, with the pool dropped between batches so every read misses.
+// `strided` interleaves odd/even pages so no two requests in a batch are
+// physically adjacent (isolating queue depth from request merging).
+Throughput MeasureMissThroughput(IoBackendKind kind, unsigned depth,
+                                 int total_pages, int batch, bool strided) {
+  const std::string dir = "/tmp/tgpp_bench/io_backend/" +
+                          std::string(IoBackendKindName(kind)) + "_d" +
+                          std::to_string(depth) + (strided ? "_s" : "_q");
+  std::filesystem::remove_all(dir);
+  DiskDevice disk(dir, kPcieSsdProfile);
+  auto file = PageFile::Open(&disk, "pages.pf");
+  TGPP_CHECK(file.ok()) << file.status().ToString();
+  std::vector<uint8_t> page(kPageSize, 0xab);
+  for (int i = 0; i < total_pages; ++i) {
+    TGPP_CHECK(file->AppendPage(page.data()).ok());
+  }
+
+  std::vector<uint64_t> order;
+  order.reserve(static_cast<size_t>(total_pages));
+  if (strided) {
+    for (int p = 0; p < total_pages; p += 2) order.push_back(p);
+    for (int p = 1; p < total_pages; p += 2) order.push_back(p);
+  } else {
+    for (int p = 0; p < total_pages; ++p) order.push_back(p);
+  }
+
+  BufferPool pool(static_cast<size_t>(batch) * 2 + 8);
+  AsyncIoService io(/*num_io_threads=*/4, /*trace_machine=*/-1, kind, depth);
+  WallTimer timer;
+  for (size_t i = 0; i < order.size(); i += static_cast<size_t>(batch)) {
+    const size_t end =
+        std::min(order.size(), i + static_cast<size_t>(batch));
+    std::vector<uint64_t> window(order.begin() + static_cast<long>(i),
+                                 order.begin() + static_cast<long>(end));
+    auto ticket =
+        io.SubmitReads(&pool, &*file, std::move(window),
+                       [](uint64_t, PageHandle) {});
+    TGPP_CHECK(ticket.Wait().ok());
+    pool.DropAll();  // next batch must miss again
+  }
+  const double secs = timer.Seconds();
+  Throughput t;
+  t.pages_per_sec = secs > 0 ? total_pages / secs : 0;
+  t.merged_reads = disk.merged_reads();
+  return t;
+}
+
+// One deterministic PageRank through the full system on `kind`; returns
+// the CRC of the final attribute vector.
+uint32_t RunParityCell(const BenchConfig& bc, const EdgeList& graph,
+                       IoBackendKind kind, int iterations, Status* status) {
+  BenchConfig cell = bc;
+  cell.io_backend = kind;
+  TurboGraphSystem system(ToClusterConfig(
+      cell, std::string("io_parity_") + IoBackendKindName(kind)));
+  Status load = system.LoadGraph(graph);
+  if (!load.ok()) {
+    *status = load;
+    return 0;
+  }
+  EngineOptions options;
+  options.deterministic = true;
+  auto app = MakePageRankApp(system.partition(), iterations);
+  std::vector<PageRankAttr> attrs;
+  Result<QueryStats> stats = system.RunQuery(app, &attrs, options);
+  if (!stats.ok()) {
+    *status = stats.status();
+    return 0;
+  }
+  *status = Status::OK();
+  return Crc32(attrs.data(), attrs.size() * sizeof(PageRankAttr));
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int pages =
+      static_cast<int>(FlagInt(argc, argv, "pages", smoke ? 256 : 2048));
+  const int batch = static_cast<int>(FlagInt(argc, argv, "batch", 32));
+  const int scale =
+      static_cast<int>(FlagInt(argc, argv, "scale", smoke ? 10 : 11));
+
+  std::vector<IoBackendKind> kinds = {IoBackendKind::kThreads};
+  if (UringAvailable()) {
+    kinds.push_back(IoBackendKind::kUring);
+  } else {
+    std::printf("io_uring unavailable in this kernel/container; "
+                "thread-pool rows only\n");
+  }
+
+  std::printf("bench_io_backend: %d pages x %zu B, batches of %d\n\n",
+              pages, static_cast<size_t>(kPageSize), batch);
+
+  // Queue-depth scaling on unmergeable (strided) batches.
+  const std::vector<unsigned> depths =
+      smoke ? std::vector<unsigned>{4, 16}
+            : std::vector<unsigned>{1, 2, 4, 8, 16, 32};
+  std::printf("%-8s %6s %14s\n", "backend", "depth", "pages/s");
+  for (IoBackendKind kind : kinds) {
+    for (unsigned depth : depths) {
+      const Throughput t =
+          MeasureMissThroughput(kind, depth, pages, batch, /*strided=*/true);
+      std::printf("%-8s %6u %14.0f\n", IoBackendKindName(kind), depth,
+                  t.pages_per_sec);
+    }
+  }
+
+  // Merged vs unmerged at fixed depth: sequential batches coalesce into
+  // vectored requests of up to 16 pages.
+  std::printf("\n%-8s %-10s %14s %8s\n", "backend", "layout", "pages/s",
+              "merged");
+  for (IoBackendKind kind : kinds) {
+    for (bool strided : {true, false}) {
+      const Throughput t =
+          MeasureMissThroughput(kind, 16, pages, batch, strided);
+      std::printf("%-8s %-10s %14.0f %8llu\n", IoBackendKindName(kind),
+                  strided ? "strided" : "sequential", t.pages_per_sec,
+                  static_cast<unsigned long long>(t.merged_reads));
+    }
+  }
+
+  // Backend parity: same graph, same query, both backends, identical CRC.
+  BenchConfig bc;
+  bc.machines = 2;
+  bc.budget_bytes = 64ull << 20;
+  const EdgeList graph = GenerateRmatX(scale, /*seed=*/7);
+  const int iterations = smoke ? 4 : 8;
+  Status status;
+  const uint32_t crc_threads =
+      RunParityCell(bc, graph, IoBackendKind::kThreads, iterations, &status);
+  if (!status.ok()) {
+    std::fprintf(stderr, "parity run (threads) failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nparity: threads crc %08x", crc_threads);
+  if (UringAvailable()) {
+    const uint32_t crc_uring =
+        RunParityCell(bc, graph, IoBackendKind::kUring, iterations, &status);
+    if (!status.ok()) {
+      std::fprintf(stderr, "\nparity run (uring) failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf(", uring crc %08x -> %s\n", crc_uring,
+                crc_uring == crc_threads ? "identical" : "MISMATCH");
+    if (crc_uring != crc_threads) {
+      std::fprintf(stderr, "FAIL: backends disagree on a deterministic "
+                           "run\n");
+      return 1;
+    }
+  } else {
+    std::printf(" (uring skipped)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tgpp::bench
+
+int main(int argc, char** argv) {
+  return tgpp::bench::Main(argc, argv);
+}

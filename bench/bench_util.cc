@@ -99,6 +99,8 @@ ClusterConfig ToClusterConfig(const BenchConfig& bc,
   config.memory_budget_bytes = bc.budget_bytes;
   config.buffer_pool_frames = bc.pool_frames;
   config.disk_profile = bc.disk;
+  config.io_backend = bc.io_backend;
+  config.io_queue_depth = bc.io_queue_depth;
   config.root_dir = bc.root_dir + "/" + run_name;
   std::filesystem::remove_all(config.root_dir);
   return config;

@@ -45,6 +45,11 @@ struct BenchConfig {
   uint64_t budget_bytes = 3ull << 20;
   size_t pool_frames = 16;
   DiskProfile disk = kPcieSsdProfile;
+  // Async-read submission engine (io_backend.h); kAuto honors
+  // TGPP_IO_BACKEND so any bench can be re-run on the other backend
+  // without a rebuild.
+  IoBackendKind io_backend = IoBackendKind::kAuto;
+  int io_queue_depth = 64;
   double timeout_model_seconds = 1e9;  // modeled-time timeout (paper: 8h)
   std::string root_dir = "/tmp/tgpp_bench";
 };

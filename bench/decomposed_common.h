@@ -27,7 +27,8 @@ inline void RunDecomposed(int argc, char** argv, DiskProfile profile,
   const int scale = static_cast<int>(FlagInt(argc, argv, "scale", 18));
 
   std::printf("%s: decomposed times, %s disk (%.1f MB/s/machine)\n",
-              figure, profile.name, profile.bandwidth_bytes_per_sec / 1e6);
+              figure, profile.name,
+              profile.aggregate_bandwidth_bytes_per_sec() / 1e6);
 
   struct Row {
     std::string label;

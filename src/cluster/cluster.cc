@@ -25,6 +25,8 @@ Cluster::Cluster(const ClusterConfig& config)
     mc.buffer_pool_frames = config.buffer_pool_frames;
     mc.disk_profile = config.disk_profile;
     mc.storage_dir = config.root_dir + "/m" + std::to_string(i);
+    mc.io_backend = config.io_backend;
+    mc.io_queue_depth = config.io_queue_depth;
     machines_.push_back(std::make_unique<Machine>(mc));
   }
   fabric_.RegisterMetrics(&obs::Registry::Global(), &registrations_);
@@ -93,7 +95,7 @@ ClusterSnapshot Cluster::Snapshot() const {
     snap.max_machine_disk_seconds = std::max(
         snap.max_machine_disk_seconds,
         static_cast<double>(machine_disk) /
-            config_.disk_profile.bandwidth_bytes_per_sec);
+            config_.disk_profile.aggregate_bandwidth_bytes_per_sec());
   }
   snap.net_bytes = fabric_.bytes_sent();
   snap.disk_io_seconds =

@@ -41,6 +41,9 @@ struct ClusterConfig {
   DiskProfile disk_profile = kPcieSsdProfile;
   NetProfile net_profile = kInfinibandQdr;
   std::string root_dir = "/tmp/tgpp_cluster";
+  // Per-machine async I/O submission engine (see storage/io_backend.h).
+  IoBackendKind io_backend = IoBackendKind::kAuto;
+  int io_queue_depth = 64;
 };
 
 class Cluster {
@@ -92,7 +95,7 @@ class Cluster {
   void ResetCounters();
 
   double AggregateDiskBandwidth() const {
-    return config_.disk_profile.bandwidth_bytes_per_sec *
+    return config_.disk_profile.aggregate_bandwidth_bytes_per_sec() *
            config_.num_machines;
   }
   double AggregateNetBandwidth() const {

@@ -1,5 +1,7 @@
 #include "cluster/machine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace tgpp {
@@ -8,7 +10,8 @@ Machine::Machine(const MachineConfig& config)
     : config_(config),
       disk_(config.storage_dir, config.disk_profile),
       buffer_pool_(config.buffer_pool_frames),
-      io_(config.num_io_threads, config.id),
+      io_(config.num_io_threads, config.id, config.io_backend,
+          static_cast<unsigned>(std::max(1, config.io_queue_depth))),
       workers_(config.num_worker_threads,
                "m" + std::to_string(config.id) + ".workers", config.id),
       budget_(config.memory_budget_bytes) {
@@ -28,6 +31,7 @@ Machine::Machine(const MachineConfig& config)
                            &registrations_);
   io_.pool()->RegisterMetrics(registry, "iopool", config.id,
                               &registrations_);
+  io_.RegisterMetrics(registry, config.id, &registrations_);
   metrics_.RegisterMetrics(registry, config.id, &registrations_);
 }
 

@@ -32,6 +32,10 @@ struct MachineConfig {
   size_t buffer_pool_frames = 64;  // edge-page buffer (paper A.3)
   DiskProfile disk_profile = kPcieSsdProfile;
   std::string storage_dir;
+  // Async I/O submission engine (kAuto → TGPP_IO_BACKEND env → io_uring
+  // if available, thread-pool fallback) and its in-flight bound.
+  IoBackendKind io_backend = IoBackendKind::kAuto;
+  int io_queue_depth = 64;
 };
 
 class Machine {

@@ -998,7 +998,11 @@ class NwsmEngine {
         // NUMA-aware sub-chunk scheduling: one task per sub-chunk; the
         // sub-chunks' destination ranges are disjoint, so LGB updates are
         // CAS-free.
-        std::atomic<int> remaining{pg_->r};
+        // `remaining` must only change under done_mu: the cv and mutex
+        // live on this stack frame, and a decrement outside the lock
+        // lets the waiter observe zero and destroy them while the last
+        // worker is still between its decrement and the notify.
+        int remaining = pg_->r;
         std::mutex done_mu;
         std::condition_variable done_cv;
         Status sub_status;
@@ -1012,15 +1016,13 @@ class NwsmEngine {
               std::lock_guard<std::mutex> lock(status_mu);
               if (sub_status.ok()) sub_status = s;
             }
-            if (remaining.fetch_sub(1) == 1) {
-              std::lock_guard<std::mutex> lock(done_mu);
-              done_cv.notify_all();
-            }
+            std::lock_guard<std::mutex> lock(done_mu);
+            if (--remaining == 0) done_cv.notify_all();
           });
         }
         {
           std::unique_lock<std::mutex> lock(done_mu);
-          done_cv.wait(lock, [&] { return remaining.load() == 0; });
+          done_cv.wait(lock, [&] { return remaining == 0; });
         }
         TGPP_RETURN_IF_ERROR(sub_status);
 
@@ -1088,9 +1090,9 @@ class NwsmEngine {
     std::vector<AsyncIoService::Ticket> tickets;
     tickets.reserve(count);
 
-    auto submit = [&](uint64_t page_no) {
+    auto submit_batch = [&](std::vector<uint64_t> page_nos) {
       tickets.push_back(machine->io()->SubmitReads(
-          machine->buffer_pool(), &file, {page_no},
+          machine->buffer_pool(), &file, std::move(page_nos),
           [&](uint64_t no, PageHandle handle) {
             std::lock_guard<std::mutex> lock(mu);
             ready.emplace_back(no, std::move(handle));
@@ -1098,12 +1100,17 @@ class NwsmEngine {
           },
           /*prefetch=*/true));
     };
+    auto submit = [&](uint64_t page_no) { submit_batch({page_no}); };
 
     const uint64_t read_ahead =
         static_cast<uint64_t>(std::max(1, options_.read_ahead_pages));
-    uint64_t submitted = 0;
-    for (; submitted < std::min(count, read_ahead); ++submitted) {
-      submit(first + submitted);
+    // The initial window goes down in ONE batch so the device can merge
+    // adjacent pages into vectored requests; refills stay single-page.
+    uint64_t submitted = std::min(count, read_ahead);
+    if (submitted > 0) {
+      std::vector<uint64_t> window(submitted);
+      for (uint64_t i = 0; i < submitted; ++i) window[i] = first + i;
+      submit_batch(std::move(window));
     }
     Status scan_status;
     for (uint64_t processed = 0; processed < count; ++processed) {
@@ -1391,9 +1398,9 @@ class NwsmEngine {
     std::deque<std::pair<uint64_t, PageHandle>> ready;
     std::vector<AsyncIoService::Ticket> tickets;
     tickets.reserve(count);
-    auto submit = [&](uint64_t page_no) {
+    auto submit_batch = [&](std::vector<uint64_t> page_nos) {
       tickets.push_back(machine->io()->SubmitReads(
-          machine->buffer_pool(), &file, {page_no},
+          machine->buffer_pool(), &file, std::move(page_nos),
           [&](uint64_t no, PageHandle handle) {
             std::lock_guard<std::mutex> lock(mu);
             ready.emplace_back(no, std::move(handle));
@@ -1401,11 +1408,16 @@ class NwsmEngine {
           },
           /*prefetch=*/true));
     };
+    auto submit = [&](uint64_t page_no) { submit_batch({page_no}); };
     const uint64_t read_ahead =
         static_cast<uint64_t>(std::max(1, options_.read_ahead_pages));
-    uint64_t submitted = 0;
-    for (; submitted < std::min(count, read_ahead); ++submitted) {
-      submit(first + submitted);
+    // One batched submit for the initial window (merge-friendly);
+    // refills stay single-page.
+    uint64_t submitted = std::min(count, read_ahead);
+    if (submitted > 0) {
+      std::vector<uint64_t> window(submitted);
+      for (uint64_t i = 0; i < submitted; ++i) window[i] = first + i;
+      submit_batch(std::move(window));
     }
     Status scan_status;
     uint64_t skipped = 0;
@@ -1622,7 +1634,9 @@ class NwsmEngine {
       const size_t n = batch.size();
       const int tasks = std::min<int>(machine->workers()->num_threads(),
                                       static_cast<int>(n));
-      std::atomic<int> remaining{tasks};
+      // Decrement under done_mu only — see the matching comment in
+      // ScatterPartial (stack-scoped cv destruction race otherwise).
+      int remaining = tasks;
       std::mutex done_mu;
       std::condition_variable done_cv;
       for (int t = 0; t < tasks; ++t) {
@@ -1632,14 +1646,12 @@ class NwsmEngine {
           obs::ScopedCpuCounter cpu(&machine->metrics()->scatter_cpu_nanos);
           ProcessFullRangeOnWorker(m, app, batch, batch_stack, index_stack,
                                    level, lo, hi, flush_sparse);
-          if (remaining.fetch_sub(1) == 1) {
-            std::lock_guard<std::mutex> lock(done_mu);
-            done_cv.notify_all();
-          }
+          std::lock_guard<std::mutex> lock(done_mu);
+          if (--remaining == 0) done_cv.notify_all();
         });
       }
       std::unique_lock<std::mutex> lock(done_mu);
-      done_cv.wait(lock, [&] { return remaining.load() == 0; });
+      done_cv.wait(lock, [&] { return remaining == 0; });
     } else {
       process_range(0, batch.size());
     }
@@ -2006,8 +2018,12 @@ class NwsmEngine {
           Slot slot;
           slot.chunk = c;
           slot.ggb.Reset(pg_->VertexChunkRange(m, c));
+          // A chunk that never spilled has no file at all (the device
+          // does not materialize files on read paths).
           Result<uint64_t> size =
-              machine->disk()->FileSize(SpillFileName(c));
+              machine->disk()->Exists(SpillFileName(c))
+                  ? machine->disk()->FileSize(SpillFileName(c))
+                  : Result<uint64_t>(uint64_t{0});
           if (!size.ok()) {
             std::lock_guard<std::mutex> lock(mu);
             producer_status = size.status();

@@ -4,6 +4,23 @@
 
 namespace tgpp {
 
+// The ok/status check happens BEFORE the handle is moved out — `handle`
+// is consumed by the callback, so nothing may touch it afterwards.
+void AsyncIoService::Deliver(
+    const std::shared_ptr<Ticket::State>& state,
+    const std::function<void(uint64_t, PageHandle)>& cb, uint64_t page_no,
+    Result<PageHandle> handle) {
+  const Status status = handle.ok() ? Status::OK() : handle.status();
+  // Deliver even on failure (invalid handle): the consumer may be
+  // counting completions, and a skipped callback would strand it.
+  cb(page_no, status.ok() ? std::move(handle).value() : PageHandle());
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (!status.ok() && state->first_error.ok()) {
+    state->first_error = status;
+  }
+  if (--state->remaining == 0) state->cv.notify_all();
+}
+
 Status AsyncIoService::Ticket::Wait() {
   if (state_ == nullptr) return Status::OK();
   std::unique_lock<std::mutex> lock(state_->mu);
@@ -24,23 +41,51 @@ AsyncIoService::Ticket AsyncIoService::SubmitReads(
   auto shared_cb =
       std::make_shared<std::function<void(uint64_t, PageHandle)>>(
           std::move(cb));
+
+  std::vector<AsyncPageRead> batch;
   for (uint64_t page_no : pages) {
-    pool_.Submit([buffer_pool, file, page_no, state, shared_cb, prefetch] {
-      trace::TraceSpan span("io.read_page", "io");
-      span.AddArg("page", page_no);
-      Result<PageHandle> handle = prefetch
-                                      ? buffer_pool->Prefetch(file, page_no)
-                                      : buffer_pool->Fetch(file, page_no);
-      // Deliver even on failure (invalid handle): the consumer may be
-      // counting completions, and a skipped callback would strand it.
-      (*shared_cb)(page_no,
-                   handle.ok() ? std::move(handle).value() : PageHandle());
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (!handle.ok() && state->first_error.ok()) {
-        state->first_error = handle.status();
+    BufferPool::StartRead sr =
+        buffer_pool->TryStartRead(file, page_no, prefetch);
+    switch (sr.kind) {
+      case BufferPool::StartRead::kHit:
+        // Resident: deliver inline, no thread hop.
+        Deliver(state, *shared_cb, page_no, std::move(sr.handle));
+        break;
+      case BufferPool::StartRead::kClaimed: {
+        // We own the in-flight frame; the device reads straight into it
+        // and FinishRead publishes it (or undoes the claim on error).
+        const uint32_t frame = sr.frame;
+        AsyncPageRead read;
+        read.offset = page_no * kPageSize;
+        read.data = sr.data;
+        read.len = kPageSize;
+        read.done = [buffer_pool, frame, prefetch, state, shared_cb,
+                     page_no](Status s) {
+          trace::TraceSpan span("io.finish_page", "io");
+          span.AddArg("page", page_no);
+          Deliver(state, *shared_cb, page_no,
+                  buffer_pool->FinishRead(frame, prefetch, s));
+        };
+        batch.push_back(std::move(read));
+        break;
       }
-      if (--state->remaining == 0) state->cv.notify_all();
-    });
+      case BufferPool::StartRead::kFallback:
+        // In flight elsewhere or pool momentarily full: the blocking
+        // fetch on an I/O thread joins (or stalls for) the frame.
+        pool_.Submit([buffer_pool, file, page_no, state, shared_cb,
+                      prefetch] {
+          trace::TraceSpan span("io.read_page", "io");
+          span.AddArg("page", page_no);
+          Deliver(state, *shared_cb, page_no,
+                  prefetch ? buffer_pool->Prefetch(file, page_no)
+                           : buffer_pool->Fetch(file, page_no));
+        });
+        break;
+    }
+  }
+  if (!batch.empty()) {
+    file->device()->SubmitReads(file->name(), std::move(batch),
+                                backend_.get());
   }
   return ticket;
 }

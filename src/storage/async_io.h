@@ -1,9 +1,20 @@
 // AsyncIoService: background page reads for 3-LPO overlap (paper §4.1).
 //
 // The engine issues AsyncRead batches for the next adjacency-list window
-// while compute threads drain the current one; completion callbacks run on
-// the I/O threads and typically enqueue pinned pages into a bounded queue
+// while compute threads drain the current one; completion callbacks run
+// as pages arrive and typically enqueue pinned pages into a bounded queue
 // consumed by the scatter workers.
+//
+// A batch is resolved per page against the buffer pool
+// (BufferPool::TryStartRead):
+//  - resident pages are delivered inline on the submitting thread;
+//  - missing pages are claimed as in-flight frames and issued through
+//    DiskDevice::SubmitReads, which merges physically adjacent pages
+//    into vectored requests and hands them to the configured IoBackend
+//    (io_uring when available, thread-pool preadv otherwise);
+//  - pages already being read by someone else (or not claimable without
+//    blocking) fall back to a blocking Fetch on an I/O thread.
+// Either way the callback runs exactly once per page.
 
 #ifndef TGPP_STORAGE_ASYNC_IO_H_
 #define TGPP_STORAGE_ASYNC_IO_H_
@@ -13,10 +24,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
+#include "storage/io_backend.h"
 #include "util/thread_pool.h"
 
 namespace tgpp {
@@ -24,12 +37,18 @@ namespace tgpp {
 class AsyncIoService {
  public:
   // `trace_machine` tags I/O-thread trace events with the owning simulated
-  // machine (util/trace.h); -1 leaves them untagged.
-  explicit AsyncIoService(int num_io_threads, int trace_machine = -1)
+  // machine (util/trace.h); -1 leaves them untagged. `backend_kind`
+  // selects the submission engine (kAuto → TGPP_IO_BACKEND env → uring if
+  // available); `queue_depth` bounds the uring backend's in-flight
+  // requests.
+  explicit AsyncIoService(int num_io_threads, int trace_machine = -1,
+                          IoBackendKind backend_kind = IoBackendKind::kAuto,
+                          unsigned queue_depth = 64)
       : pool_(num_io_threads,
               trace_machine >= 0 ? "m" + std::to_string(trace_machine) + ".io"
                                  : "io",
-              trace_machine) {}
+              trace_machine),
+        backend_(MakeIoBackend(backend_kind, &pool_, queue_depth)) {}
 
   // Tracks completion of one batch of reads.
   class Ticket {
@@ -54,25 +73,41 @@ class AsyncIoService {
   };
 
   // Reads `pages` of `file` through `buffer_pool`, calling
-  // cb(page_no, handle) on an I/O thread as each page becomes available.
+  // cb(page_no, handle) as each page becomes available — inline on the
+  // submitting thread for pool hits, on a backend/IO thread otherwise.
   // The callback owns the pinned handle. The callback runs for EVERY
   // submitted page — on a failed read it receives an invalid handle
   // (`!handle.valid()`; the error is reported by Ticket::Wait) — so
   // consumers counting completions never wait forever on a failure.
   //
   // All reads land in shared pool frames, pinned on arrival. `prefetch`
-  // marks them as read-ahead (BufferPool::Prefetch): they show up in
-  // ResidentSubset immediately and their first reuse counts toward
-  // `bufferpool.prefetch_hits`.
+  // marks them as read-ahead (bufferpool.prefetch_hits on first reuse).
+  // Submitting several pages in one call lets the device merge adjacent
+  // ones into single vectored requests (disk.merged_reads).
   Ticket SubmitReads(BufferPool* buffer_pool, const PageFile* file,
                      std::vector<uint64_t> pages,
                      std::function<void(uint64_t, PageHandle)> cb,
                      bool prefetch = false);
 
   ThreadPool* pool() { return &pool_; }
+  IoBackend* backend() { return backend_.get(); }
+  const char* backend_name() const { return backend_->name(); }
+
+  // Registers backend-specific instruments (e.g. disk.uring_submits).
+  void RegisterMetrics(obs::Registry* registry, int machine,
+                       std::vector<obs::Registration>* out) {
+    backend_->RegisterMetrics(registry, machine, out);
+  }
 
  private:
+  // Delivers one completed page to the user callback and settles its
+  // slot in the ticket (defined in async_io.cc).
+  static void Deliver(const std::shared_ptr<Ticket::State>& state,
+                      const std::function<void(uint64_t, PageHandle)>& cb,
+                      uint64_t page_no, Result<PageHandle> handle);
+
   ThreadPool pool_;
+  std::unique_ptr<IoBackend> backend_;
 };
 
 }  // namespace tgpp

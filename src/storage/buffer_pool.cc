@@ -208,6 +208,102 @@ Result<PageHandle> BufferPool::FetchImpl(const PageFile* file,
   }
 }
 
+BufferPool::StartRead BufferPool::TryStartRead(const PageFile* file,
+                                               uint64_t page_no,
+                                               bool prefetch) {
+  const PageKey key{file->device(), file->file_id(), page_no};
+  Shard& shard = ShardFor(key);
+  StartRead out;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      Frame& f = frames_[it->second];
+      if (f.state.load(std::memory_order_relaxed) == kIoInProgress) {
+        // Someone else is already reading this page; joining that read
+        // requires blocking on the shard CV — the caller's business.
+        return out;
+      }
+      if (TryPinShared(&f)) {
+        f.ref.store(true, std::memory_order_relaxed);
+        hits_.Add(1);
+        if (f.prefetched) {
+          f.prefetched = false;
+          prefetch_hits_.Add(1);
+        }
+        out.kind = StartRead::kHit;
+        out.handle = PageHandle(this, it->second, f.data.get());
+        return out;
+      }
+      // Claimed for eviction; the entry is about to disappear. A
+      // blocking retry loop sorts it out.
+      return out;
+    }
+  }
+
+  const int victim = TryClaimVictim();
+  if (victim < 0) return out;  // pool full: the blocking path can stall
+
+  // Exclusive owner of the frame (pin_count == -1) — same publish
+  // sequence as FetchImpl's miss path.
+  Frame& f = frames_[victim];
+  if (f.state.load(std::memory_order_relaxed) == kValid) {
+    Shard& old_shard = ShardFor(f.key);
+    std::lock_guard<std::mutex> old_lock(old_shard.mu);
+    trace::Instant("bufferpool.evict", "storage", "page", f.key.page_no);
+    evictions_.Add(1);
+    resident_pages_.Add(-1);
+    old_shard.table.erase(f.key);
+    f.state.store(kFree, std::memory_order_relaxed);
+  }
+  f.key = key;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.table.count(key) > 0) {
+      // Lost the publish race: another fetcher owns the read now.
+      ReleaseFrame(&f);
+      return out;
+    }
+    const bool inserted =
+        shard.table.emplace(key, static_cast<uint32_t>(victim)).second;
+    TGPP_CHECK(inserted);
+    f.state.store(kIoInProgress, std::memory_order_relaxed);
+    io_in_flight_.Add(1);
+  }
+  out.kind = StartRead::kClaimed;
+  out.frame = static_cast<uint32_t>(victim);
+  out.data = f.data.get();
+  return out;
+}
+
+Result<PageHandle> BufferPool::FinishRead(uint32_t frame, bool prefetch,
+                                          const Status& read_status) {
+  Frame& f = frames_[frame];
+  TGPP_DCHECK(f.state.load(std::memory_order_relaxed) == kIoInProgress);
+  Shard& shard = ShardFor(f.key);
+  const uint64_t page_no = f.key.page_no;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  io_in_flight_.Add(-1);
+  if (!read_status.ok()) {
+    shard.table.erase(f.key);
+    ReleaseFrame(&f);
+    shard.io_cv.notify_all();  // waiters re-probe, miss, and retry
+    obs::EmitEvent(obs::EventType::kPoolReadFailed, 0,
+                   trace::CurrentMachine(), -1, nullptr, "page", page_no);
+    return read_status;
+  }
+  misses_.Add(1);
+  resident_pages_.Add(1);
+  f.prefetched = prefetch;
+  f.ref.store(true, std::memory_order_relaxed);
+  f.state.store(kValid, std::memory_order_relaxed);
+  // Pairs with the acquire CAS in TryPinShared: later pinners see the
+  // externally written page bytes.
+  f.pin_count.store(1, std::memory_order_release);
+  shard.io_cv.notify_all();
+  return PageHandle(this, frame, f.data.get());
+}
+
 void BufferPool::Unpin(uint32_t frame) {
   Frame& f = frames_[frame];
   const int32_t prev = f.pin_count.fetch_sub(1, std::memory_order_release);

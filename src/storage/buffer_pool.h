@@ -104,6 +104,37 @@ class BufferPool {
   // read-ahead lands in shared pool frames, pinned on arrival.
   Result<PageHandle> Prefetch(const PageFile* file, uint64_t page_no);
 
+  // Non-blocking first half of an *externally performed* read, used by
+  // AsyncIoService to route misses through an IoBackend instead of a
+  // blocking ReadPage on a pool thread:
+  //
+  //  - kHit: the page was resident; `handle` is the pinned handle (hit
+  //    bookkeeping, including prefetch-hit consumption, already done).
+  //  - kClaimed: a frame was claimed and published as in-flight; the
+  //    caller MUST read kPageSize bytes into `data` and then call
+  //    FinishRead(frame, ...) exactly once with the read's status.
+  //  - kFallback: the page is being read by someone else right now, or
+  //    no frame could be claimed without blocking. The caller should
+  //    fall back to a blocking Fetch/Prefetch.
+  struct StartRead {
+    enum Kind { kHit, kClaimed, kFallback };
+    Kind kind = kFallback;
+    PageHandle handle;        // kHit
+    uint32_t frame = 0;       // kClaimed
+    uint8_t* data = nullptr;  // kClaimed: the destination frame buffer
+  };
+  StartRead TryStartRead(const PageFile* file, uint64_t page_no,
+                         bool prefetch);
+
+  // Second half: publishes a kClaimed frame after the external read
+  // finished. On success returns the pinned handle (the frame becomes
+  // kValid and visible to waiters); on failure the claim is undone, the
+  // read error is returned, and waiters re-probe. Must be called from
+  // the thread that observed the read's completion (the release store on
+  // pin_count is what makes the page bytes visible to later pinners).
+  Result<PageHandle> FinishRead(uint32_t frame, bool prefetch,
+                                const Status& read_status);
+
   // Of `pages`, returns the subset currently resident (paper A.3: at the
   // beginning of a superstep, resident pages are pre-pinned and processed
   // first to avoid sequential flooding). In-flight (prefetched) pages

@@ -37,16 +37,85 @@ class ScopedDiskOp {
   obs::Gauge* depth_;
   obs::ScopedLatencyTimer timer_;
 };
+
+// Reads exactly [offset, offset+n) from fd, looping over short counts.
+// EOF inside the range is a permanent error; syscall errors are
+// transient.
+Status PreadFull(int fd, const std::string& name, uint64_t offset,
+                 char* data, size_t n, bool* transient) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd, data + done, n - done,
+                              static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      *transient = true;  // device-level errors may clear on retry
+      return Status::IOError(Errno("pread", name));
+    }
+    if (r == 0) {
+      // EOF: the bytes genuinely are not there; retrying cannot help.
+      return Status::IOError("short read from " + name + " at offset " +
+                             std::to_string(offset + done));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status PwriteFull(int fd, const std::string& name, uint64_t offset,
+                  const char* data, size_t n, bool* transient) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pwrite(fd, data + done, n - done,
+                               static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      *transient = true;
+      return Status::IOError(Errno("pwrite", name));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+// A merged async read may carry at most this many pages; beyond it, a
+// new request is started (bounds per-request latency and iovec length).
+constexpr size_t kMaxMergedPages = 16;
+
 }  // namespace
 
-Status DiskDevice::CheckFault(const char* site, bool* transient) {
+// One merged in-flight async read: the pages it serves, the submit-time
+// fault roll, and the accounting closed out in FinishAsyncReadGroup.
+struct AsyncReadGroup {
+  std::string file;                  // logical name, for the fallback path
+  std::vector<AsyncPageRead> pages;  // in physical order
+  size_t total_bytes = 0;
+  int stripe_index = 0;
+  Status injected = Status::OK();    // submit-time disk.read fault roll
+  bool injected_transient = false;
+  std::chrono::steady_clock::time_point start;
+  // Injected delays on the async path model *device* latency: instead of
+  // sleeping at submit (which would serialize every in-flight request on
+  // the submitting thread), the delay becomes an absolute completion
+  // deadline. Concurrent merged requests overlap their injected
+  // latencies — the queue-depth scaling the io_uring backend exists to
+  // exploit — while serial submissions still pay them back to back.
+  std::chrono::steady_clock::time_point not_before;
+};
+
+Status DiskDevice::CheckFault(const char* site, bool* transient,
+                              int64_t* delay_ms_out) {
   auto injected = fault::Hit(site, fault_machine_);
   if (!injected.has_value()) return Status::OK();
   injected_faults_.Add(1);
   switch (injected->action) {
     case fault::Action::kDelay:
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(injected->param_ms));
+      if (delay_ms_out != nullptr) {
+        *delay_ms_out += injected->param_ms;  // deferred to completion
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(injected->param_ms));
+      }
       return Status::OK();
     case fault::Action::kTimeout:
       *transient = false;  // timeouts model a hung device; retry won't help
@@ -77,26 +146,63 @@ Status DiskDevice::RunWithRetry(Attempt&& attempt) {
 }
 
 DiskDevice::DiskDevice(std::string dir, DiskProfile profile)
-    : dir_(std::move(dir)), profile_(profile) {
+    : dir_(std::move(dir)),
+      profile_(profile),
+      stripe_(std::max(1, profile.stripe)),
+      stripe_queue_depth_(static_cast<size_t>(std::max(1, profile.stripe))) {
+  TGPP_CHECK(profile_.stripe_unit_bytes > 0);
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   TGPP_CHECK(!ec) << "cannot create storage dir " << dir_ << ": "
                   << ec.message();
 }
 
-DiskDevice::~DiskDevice() {
-  for (auto& [name, fd] : fds_) ::close(fd);
+DiskDevice::~DiskDevice() = default;
+
+std::string DiskDevice::PartName(const std::string& file, int d) const {
+  if (stripe_ == 1) return file;
+  return file + ".s" + std::to_string(d);
 }
 
-Result<int> DiskDevice::GetFd(const std::string& file) {
+std::vector<DiskDevice::Extent> DiskDevice::SplitExtents(
+    const std::string& file, uint64_t offset, const void* data,
+    size_t n) const {
+  std::vector<Extent> extents;
+  char* p = static_cast<char*>(const_cast<void*>(data));
+  if (stripe_ == 1) {
+    extents.push_back({file, 0, offset, p, n});
+    return extents;
+  }
+  const uint64_t unit = profile_.stripe_unit_bytes;
+  uint64_t logical = offset;
+  size_t remaining = n;
+  while (remaining > 0) {
+    const uint64_t u = logical / unit;        // logical stripe unit
+    const uint64_t in_unit = logical % unit;
+    const int d = static_cast<int>(u % static_cast<uint64_t>(stripe_));
+    const uint64_t phys =
+        (u / static_cast<uint64_t>(stripe_)) * unit + in_unit;
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(unit - in_unit, remaining));
+    extents.push_back({PartName(file, d), d, phys, p, take});
+    logical += take;
+    p += take;
+    remaining -= take;
+  }
+  return extents;
+}
+
+Result<FdRef> DiskDevice::GetFdRef(const std::string& part, bool create) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = fds_.find(file);
+  auto it = fds_.find(part);
   if (it != fds_.end()) return it->second;
-  const std::string path = dir_ + "/" + file;
-  int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  const std::string path = dir_ + "/" + part;
+  const int flags = create ? (O_CREAT | O_RDWR) : O_RDWR;
+  int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) return Status::IOError(Errno("open", path));
-  fds_.emplace(file, fd);
-  return fd;
+  FdRef ref = std::make_shared<const FdHolder>(fd);
+  fds_.emplace(part, ref);
+  return ref;
 }
 
 uint32_t DiskDevice::StableFileId(const std::string& file) {
@@ -110,52 +216,52 @@ uint32_t DiskDevice::StableFileId(const std::string& file) {
 
 Status DiskDevice::Read(const std::string& file, uint64_t offset, void* data,
                         size_t n) {
-  TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
+  const std::vector<Extent> extents = SplitExtents(file, offset, data, n);
+  std::vector<FdRef> fds;
+  fds.reserve(extents.size());
+  for (const Extent& e : extents) {
+    TGPP_ASSIGN_OR_RETURN(FdRef fd, GetFdRef(e.part, /*create=*/false));
+    fds.push_back(std::move(fd));
+  }
   ScopedDiskOp op(&queue_depth_, &read_latency_);
   return RunWithRetry([&](bool* transient) -> Status {
     TGPP_RETURN_IF_ERROR(CheckFault("disk.read", transient));
-    size_t done = 0;
-    while (done < n) {
-      const ssize_t r = ::pread(fd, static_cast<char*>(data) + done, n - done,
-                                static_cast<off_t>(offset + done));
-      if (r < 0) {
-        if (errno == EINTR) continue;
-        *transient = true;  // device-level errors may clear on retry
-        return Status::IOError(Errno("pread", file));
-      }
-      if (r == 0) {
-        // EOF: the bytes genuinely are not there; retrying cannot help.
-        return Status::IOError("short read from " + file + " at offset " +
-                               std::to_string(offset + done));
-      }
-      done += static_cast<size_t>(r);
+    for (size_t i = 0; i < extents.size(); ++i) {
+      const Extent& e = extents[i];
+      TGPP_RETURN_IF_ERROR(PreadFull(fds[i]->fd(), e.part, e.offset, e.data,
+                                     e.len, transient));
     }
     bytes_read_.Add(n);
     return Status::OK();
   });
 }
 
-Status DiskDevice::Write(const std::string& file, uint64_t offset,
-                         const void* data, size_t n) {
-  TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
-  ScopedDiskOp op(&queue_depth_, &write_latency_);
+Status DiskDevice::WriteAttempts(const char* site,
+                                 const std::vector<Extent>& extents,
+                                 const std::vector<FdRef>& fds, size_t n) {
   return RunWithRetry([&](bool* transient) -> Status {
-    TGPP_RETURN_IF_ERROR(CheckFault("disk.write", transient));
-    size_t done = 0;
-    while (done < n) {
-      const ssize_t r =
-          ::pwrite(fd, static_cast<const char*>(data) + done, n - done,
-                   static_cast<off_t>(offset + done));
-      if (r < 0) {
-        if (errno == EINTR) continue;
-        *transient = true;
-        return Status::IOError(Errno("pwrite", file));
-      }
-      done += static_cast<size_t>(r);
+    TGPP_RETURN_IF_ERROR(CheckFault(site, transient));
+    for (size_t i = 0; i < extents.size(); ++i) {
+      const Extent& e = extents[i];
+      TGPP_RETURN_IF_ERROR(PwriteFull(fds[i]->fd(), e.part, e.offset,
+                                      e.data, e.len, transient));
     }
     bytes_written_.Add(n);
     return Status::OK();
   });
+}
+
+Status DiskDevice::Write(const std::string& file, uint64_t offset,
+                         const void* data, size_t n) {
+  const std::vector<Extent> extents = SplitExtents(file, offset, data, n);
+  std::vector<FdRef> fds;
+  fds.reserve(extents.size());
+  for (const Extent& e : extents) {
+    TGPP_ASSIGN_OR_RETURN(FdRef fd, GetFdRef(e.part, /*create=*/true));
+    fds.push_back(std::move(fd));
+  }
+  ScopedDiskOp op(&queue_depth_, &write_latency_);
+  return WriteAttempts("disk.write", extents, fds, n);
 }
 
 Status DiskDevice::Append(const std::string& file, const void* data, size_t n,
@@ -164,81 +270,281 @@ Status DiskDevice::Append(const std::string& file, const void* data, size_t n,
   // lock stays held across retries so a failed attempt is redone at the
   // same offset (a re-probe after a partial write would append past the
   // torn bytes).
-  TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
+  std::lock_guard<std::mutex> lock(append_mu_);
+  uint64_t offset = 0;
+  if (Result<uint64_t> size = FileSize(file); size.ok()) offset = *size;
+  const std::vector<Extent> extents = SplitExtents(file, offset, data, n);
+  std::vector<FdRef> fds;
+  fds.reserve(extents.size());
+  for (const Extent& e : extents) {
+    TGPP_ASSIGN_OR_RETURN(FdRef fd, GetFdRef(e.part, /*create=*/true));
+    fds.push_back(std::move(fd));
+  }
+  // The op scope starts only now, after the offset probe: appenders
+  // queued on append_mu_ are waiting, not "in the device", so
+  // disk.queue_depth and disk.write_latency_ns must not include their
+  // lock wait (see AppendQueueDepthExcludesLockWait).
   ScopedDiskOp op(&queue_depth_, &write_latency_);
-  std::lock_guard<std::mutex> lock(mu_);
-  struct stat st;
-  if (::fstat(fd, &st) != 0) return Status::IOError(Errno("fstat", file));
-  const uint64_t offset = static_cast<uint64_t>(st.st_size);
-  TGPP_RETURN_IF_ERROR(RunWithRetry([&](bool* transient) -> Status {
-    TGPP_RETURN_IF_ERROR(CheckFault("disk.append", transient));
-    size_t done = 0;
-    while (done < n) {
-      const ssize_t r =
-          ::pwrite(fd, static_cast<const char*>(data) + done, n - done,
-                   static_cast<off_t>(offset + done));
-      if (r < 0) {
-        if (errno == EINTR) continue;
-        *transient = true;
-        return Status::IOError(Errno("pwrite", file));
-      }
-      done += static_cast<size_t>(r);
-    }
-    bytes_written_.Add(n);
-    return Status::OK();
-  }));
+  TGPP_RETURN_IF_ERROR(WriteAttempts("disk.append", extents, fds, n));
   if (offset_out != nullptr) *offset_out = offset;
   return Status::OK();
 }
 
 Result<uint64_t> DiskDevice::FileSize(const std::string& file) {
-  TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
-  struct stat st;
-  if (::fstat(fd, &st) != 0) return Status::IOError(Errno("fstat", file));
-  return static_cast<uint64_t>(st.st_size);
+  const uint64_t unit = profile_.stripe_unit_bytes;
+  bool any = false;
+  uint64_t logical = 0;
+  for (int d = 0; d < stripe_; ++d) {
+    const std::string path = dir_ + "/" + PartName(file, d);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) continue;
+      return Status::IOError(Errno("stat", path));
+    }
+    any = true;
+    const uint64_t s = static_cast<uint64_t>(st.st_size);
+    if (stripe_ == 1) return s;
+    if (s == 0) continue;
+    // Reconstruct the logical end this part implies: its last byte lives
+    // in its (s/unit)-th stripe unit, which is logical unit
+    // (s/unit)*stripe + d (or one earlier when the part ends on a unit
+    // boundary).
+    const uint64_t full = s / unit;
+    const uint64_t rem = s % unit;
+    const uint64_t end =
+        rem > 0 ? (full * stripe_ + d) * unit + rem
+                : ((full - 1) * stripe_ + d) * unit + unit;
+    logical = std::max(logical, end);
+  }
+  if (!any) {
+    return Status::IOError("stat " + dir_ + "/" + file +
+                           ": No such file or directory");
+  }
+  return logical;
 }
 
 Status DiskDevice::Truncate(const std::string& file, uint64_t size) {
-  TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
-  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
-    return Status::IOError(Errno("ftruncate", file));
+  const uint64_t unit = profile_.stripe_unit_bytes;
+  for (int d = 0; d < stripe_; ++d) {
+    uint64_t part_size = size;
+    if (stripe_ > 1) {
+      // Full units 0..g-1 round-robin over the parts; the partial unit g
+      // (if any) lands on part g % stripe.
+      const uint64_t g = size / unit;
+      const uint64_t partial = size % unit;
+      const uint64_t full_units =
+          g / stripe_ + ((static_cast<uint64_t>(d) < g % stripe_) ? 1 : 0);
+      part_size = full_units * unit +
+                  ((g % stripe_ == static_cast<uint64_t>(d)) ? partial : 0);
+    }
+    TGPP_ASSIGN_OR_RETURN(FdRef fd,
+                          GetFdRef(PartName(file, d), /*create=*/true));
+    if (::ftruncate(fd->fd(), static_cast<off_t>(part_size)) != 0) {
+      return Status::IOError(Errno("ftruncate", PartName(file, d)));
+    }
   }
   return Status::OK();
 }
 
 Status DiskDevice::Remove(const std::string& file) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = fds_.find(file);
-  if (it != fds_.end()) {
-    ::close(it->second);
-    fds_.erase(it);
+  // Dropping the FdRefs revokes the *name*; any operation mid-flight
+  // still holds its own reference, so its fd stays valid until it
+  // completes (no EBADF burned as a spurious transient retry).
+  std::vector<FdRef> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int d = 0; d < stripe_; ++d) {
+      auto it = fds_.find(PartName(file, d));
+      if (it != fds_.end()) {
+        dropped.push_back(std::move(it->second));
+        fds_.erase(it);
+      }
+    }
   }
-  const std::string path = dir_ + "/" + file;
-  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
-    return Status::IOError(Errno("unlink", path));
+  for (int d = 0; d < stripe_; ++d) {
+    const std::string path = dir_ + "/" + PartName(file, d);
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError(Errno("unlink", path));
+    }
   }
   return Status::OK();
 }
 
 bool DiskDevice::Exists(const std::string& file) {
+  const std::string part0 = PartName(file, 0);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (fds_.count(file) > 0) return true;
+    if (fds_.count(part0) > 0) return true;
   }
   struct stat st;
-  return ::stat((dir_ + "/" + file).c_str(), &st) == 0;
+  return ::stat((dir_ + "/" + part0).c_str(), &st) == 0;
 }
 
 Status DiskDevice::Sync(const std::string& file) {
-  TGPP_ASSIGN_OR_RETURN(int fd, GetFd(file));
+  std::vector<FdRef> fds;
+  for (int d = 0; d < stripe_; ++d) {
+    const std::string part = PartName(file, d);
+    struct stat st;
+    bool cached;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cached = fds_.count(part) > 0;
+    }
+    if (!cached && ::stat((dir_ + "/" + part).c_str(), &st) != 0) continue;
+    TGPP_ASSIGN_OR_RETURN(FdRef fd, GetFdRef(part, /*create=*/false));
+    fds.push_back(std::move(fd));
+  }
+  // Syncing a file that was never written is a no-op, not a create.
+  if (fds.empty()) return Status::OK();
   return RunWithRetry([&](bool* transient) -> Status {
     TGPP_RETURN_IF_ERROR(CheckFault("disk.sync", transient));
-    if (::fsync(fd) != 0) {
-      *transient = true;
-      return Status::IOError(Errno("fsync", file));
+    for (const FdRef& fd : fds) {
+      if (::fsync(fd->fd()) != 0) {
+        *transient = true;
+        return Status::IOError(Errno("fsync", file));
+      }
     }
     return Status::OK();
   });
+}
+
+Status DiskDevice::Touch(const std::string& file) {
+  for (int d = 0; d < stripe_; ++d) {
+    TGPP_ASSIGN_OR_RETURN(FdRef fd,
+                          GetFdRef(PartName(file, d), /*create=*/true));
+    (void)fd;
+  }
+  return Status::OK();
+}
+
+void DiskDevice::SubmitReads(const std::string& file,
+                             std::vector<AsyncPageRead> reads,
+                             IoBackend* backend) {
+  struct Claimed {
+    AsyncPageRead req;
+    FdRef fd;
+    int stripe_index;
+    uint64_t phys_offset;
+  };
+  std::vector<Claimed> claimed;
+  claimed.reserve(reads.size());
+  for (AsyncPageRead& r : reads) {
+    std::vector<Extent> extents = SplitExtents(file, r.offset, r.data, r.len);
+    if (extents.size() != 1) {
+      // Crosses a stripe-unit boundary (never the case for page-sized,
+      // page-aligned requests): serve synchronously.
+      Status s = Read(file, r.offset, r.data, r.len);
+      r.done(s);
+      continue;
+    }
+    Result<FdRef> fd = GetFdRef(extents[0].part, /*create=*/false);
+    if (!fd.ok()) {
+      r.done(fd.status());
+      continue;
+    }
+    claimed.push_back({std::move(r), std::move(fd).value(),
+                       extents[0].stripe_index, extents[0].offset});
+  }
+  if (claimed.empty()) return;
+
+  // Physically adjacent pages (same backing file, contiguous offsets)
+  // coalesce into one vectored request — with the stripe unit equal to
+  // the page size, a striped sequential scan degenerates into per-device
+  // sequential runs, which is the whole point of the RAID-0 layout.
+  std::sort(claimed.begin(), claimed.end(),
+            [](const Claimed& a, const Claimed& b) {
+              if (a.fd.get() != b.fd.get()) return a.fd.get() < b.fd.get();
+              return a.phys_offset < b.phys_offset;
+            });
+
+  std::vector<IoRead> batch;
+  size_t i = 0;
+  while (i < claimed.size()) {
+    size_t j = i + 1;
+    while (j < claimed.size() && j - i < kMaxMergedPages &&
+           claimed[j].fd.get() == claimed[i].fd.get() &&
+           claimed[j].phys_offset ==
+               claimed[j - 1].phys_offset + claimed[j - 1].req.len) {
+      ++j;
+    }
+    if (j - i > 1) merged_reads_.Add(j - i - 1);
+
+    auto group = std::make_shared<AsyncReadGroup>();
+    group->file = file;
+    group->stripe_index = claimed[i].stripe_index;
+    group->start = std::chrono::steady_clock::now();
+    IoRead io;
+    io.file = claimed[i].fd;
+    io.offset = claimed[i].phys_offset;
+    for (size_t k = i; k < j; ++k) {
+      io.segs.push_back({claimed[k].req.data, claimed[k].req.len});
+      group->total_bytes += claimed[k].req.len;
+      group->pages.push_back(std::move(claimed[k].req));
+    }
+    // One fault roll per *merged* request, at submit time. Errors are
+    // resolved at completion; delays become a completion deadline so
+    // overlapping requests overlap their injected latencies.
+    bool transient = false;
+    int64_t delay_ms = 0;
+    group->injected = CheckFault("disk.read", &transient, &delay_ms);
+    group->injected_transient = transient;
+    if (delay_ms > 0) {
+      group->not_before =
+          group->start + std::chrono::milliseconds(delay_ms);
+    }
+    queue_depth_.Add(1);
+    stripe_queue_depth_[static_cast<size_t>(group->stripe_index)].Add(1);
+    io.done = [this, group](Status s) {
+      FinishAsyncReadGroup(group, std::move(s));
+    };
+    batch.push_back(std::move(io));
+    i = j;
+  }
+  backend->Submit(std::move(batch));
+}
+
+void DiskDevice::FinishAsyncReadGroup(
+    const std::shared_ptr<AsyncReadGroup>& group, Status status) {
+  // Serve any injected latency as a deadline: requests submitted
+  // together wait out a single overlapped delay, not a sum of them.
+  if (group->not_before.time_since_epoch().count() != 0) {
+    std::this_thread::sleep_until(group->not_before);
+  }
+  // The merged request itself is over once the backend completed: close
+  // out its latency sample and queue-depth slots before delivering pages
+  // (a waiter woken by a page callback must not observe the device still
+  // busy; the per-page fallback reads below do their own accounting).
+  read_latency_.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - group->start)
+          .count()));
+  stripe_queue_depth_[static_cast<size_t>(group->stripe_index)].Add(-1);
+  queue_depth_.Add(-1);
+  if (!group->injected.ok()) {
+    // The submit-time fault roll failed the merged request as one
+    // attempt. With retries left, each page falls back to a synchronous
+    // Read() that carries the full retry/fault semantics.
+    if (group->injected_transient && retry_policy_.max_attempts > 1) {
+      io_retries_.Add(1);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(retry_policy_.initial_backoff_micros));
+      for (AsyncPageRead& p : group->pages) {
+        p.done(Read(group->file, p.offset, p.data, p.len));
+      }
+    } else {
+      for (AsyncPageRead& p : group->pages) p.done(group->injected);
+    }
+  } else if (!status.ok()) {
+    // The raw vectored read failed (EOF, device error): retry per page
+    // synchronously so partial groups (some pages readable, some past
+    // EOF) resolve each page to its own status.
+    for (AsyncPageRead& p : group->pages) {
+      p.done(Read(group->file, p.offset, p.data, p.len));
+    }
+  } else {
+    bytes_read_.Add(group->total_bytes);
+    for (AsyncPageRead& p : group->pages) p.done(Status::OK());
+  }
 }
 
 void DiskDevice::ResetCounters() {
@@ -254,12 +560,21 @@ void DiskDevice::RegisterMetrics(obs::Registry* registry, int machine,
   obs::TryRegister(registry, out, "disk.retries", machine, &io_retries_);
   obs::TryRegister(registry, out, "disk.injected_faults", machine,
                    &injected_faults_);
+  obs::TryRegister(registry, out, "disk.merged_reads", machine,
+                   &merged_reads_);
   obs::TryRegister(registry, out, "disk.read_latency_ns", machine,
                    &read_latency_);
   obs::TryRegister(registry, out, "disk.write_latency_ns", machine,
                    &write_latency_);
   obs::TryRegister(registry, out, "disk.queue_depth", machine,
                    &queue_depth_);
+  if (stripe_ > 1) {
+    for (int d = 0; d < stripe_; ++d) {
+      obs::TryRegister(registry, out,
+                       "disk.queue_depth.s" + std::to_string(d), machine,
+                       &stripe_queue_depth_[static_cast<size_t>(d)]);
+    }
+  }
 }
 
 }  // namespace tgpp

@@ -5,6 +5,22 @@
 // SSD or HDD RAID, matching the paper's two clusters in §5.1); the
 // decomposed-time figures (9/10) compute disk I/O time as
 // total bytes / aggregate nominal bandwidth, exactly as the paper does.
+//
+// A profile may declare `stripe = N` to spread a logical file across N
+// backing files (RAID-0 style, `name.s0` .. `name.s<N-1>`), one
+// `stripe_unit_bytes` unit at a time — the software analogue of the
+// paper's 4xHDD RAID-0 cluster, and the substrate FlashGraph-style
+// request merging runs on: with the unit equal to the page size, logical
+// pages p and p+N are physically adjacent on stripe p%N, so a striped
+// scan still produces large sequential per-device reads.
+//
+// Asynchronous reads go through SubmitReads(), which maps page requests
+// to physical extents, sorts them, merges physically adjacent ones into
+// single vectored requests (counted in `disk.merged_reads`), and hands
+// them to an IoBackend (io_backend.h). Fault injection on that path is
+// rolled once per *merged* request at submit time; a failed merged read
+// falls back to synchronous per-page Read() — which carries the full
+// retry/fault semantics — on the completion thread.
 
 #ifndef TGPP_STORAGE_DISK_DEVICE_H_
 #define TGPP_STORAGE_DISK_DEVICE_H_
@@ -12,23 +28,37 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "storage/io_backend.h"
 
 namespace tgpp {
 
 struct DiskProfile {
   const char* name;
-  double bandwidth_bytes_per_sec;
+  double bandwidth_bytes_per_sec;  // per backing device
+  // Number of backing files a logical file is striped across (RAID-0).
+  // 1 = no striping (plain file per logical name).
+  int stripe = 1;
+  // Striping granularity. Defaults to the slotted-page size so one page
+  // maps to exactly one stripe unit on one device.
+  uint64_t stripe_unit_bytes = 64 * 1024;
+
+  // Whole-device bandwidth: per-backing-device bandwidth times fan-out.
+  constexpr double aggregate_bandwidth_bytes_per_sec() const {
+    return bandwidth_bytes_per_sec * (stripe < 1 ? 1 : stripe);
+  }
 };
 
-// Paper §5.1: PCIe SSD max 1.5 GB/s; 4xHDD RAID-0 max 300 MB/s.
+// Paper §5.1: PCIe SSD max 1.5 GB/s; 4xHDD RAID-0 max 300 MB/s aggregate
+// (modeled as 4 spindles at 75 MB/s each).
 inline constexpr DiskProfile kPcieSsdProfile{"PCIeSSD", 1.5e9};
-inline constexpr DiskProfile kHddRaidProfile{"HDD-RAID0", 300e6};
+inline constexpr DiskProfile kHddRaidProfile{"HDD-RAID0", 75e6, 4};
 
 // How the device retries *transient* I/O failures (syscall errors and
 // injected `disk.*:io_error` faults). Reading past EOF is permanent and
@@ -38,6 +68,18 @@ struct IoRetryPolicy {
   int64_t initial_backoff_micros = 50;
   double backoff_multiplier = 4.0;     // 50us, 200us, 800us, ...
 };
+
+// One asynchronous page-read request for SubmitReads. `done` is invoked
+// exactly once — possibly inline on the submitting thread (submit-time
+// rejection), usually on a backend completion thread.
+struct AsyncPageRead {
+  uint64_t offset = 0;
+  void* data = nullptr;
+  size_t len = 0;
+  std::function<void(Status)> done;
+};
+
+struct AsyncReadGroup;
 
 class DiskDevice {
  public:
@@ -50,11 +92,15 @@ class DiskDevice {
 
   const std::string& dir() const { return dir_; }
   const DiskProfile& profile() const { return profile_; }
+  int stripe() const { return stripe_; }
 
   // Stable small integer identifying `file` on this device (used as a
   // buffer-pool key component; survives reopening the file).
   uint32_t StableFileId(const std::string& file);
 
+  // Reading a missing file is a clean IOError — the device never
+  // materializes files on read paths (Read/FileSize/Sync). Use Touch()
+  // or any write operation to create one.
   Status Read(const std::string& file, uint64_t offset, void* data,
               size_t n);
   Status Write(const std::string& file, uint64_t offset, const void* data,
@@ -67,6 +113,18 @@ class DiskDevice {
   Status Remove(const std::string& file);
   bool Exists(const std::string& file);
   Status Sync(const std::string& file);
+  // Creates the file (all stripe parts) if missing; no-op otherwise.
+  Status Touch(const std::string& file);
+
+  // Submits a batch of page reads through `backend`, merging physically
+  // adjacent extents into single vectored requests. Each request's
+  // `done` fires exactly once. Injected delays at the `disk.read` site
+  // become per-request completion deadlines (overlapping in-flight
+  // requests overlap their delays, like a real device); injected errors
+  // are resolved on the completion thread (transient + retries left →
+  // per-page synchronous fallback, else the error is delivered).
+  void SubmitReads(const std::string& file, std::vector<AsyncPageRead> reads,
+                   IoBackend* backend);
 
   uint64_t bytes_read() const { return bytes_read_.value(); }
   uint64_t bytes_written() const { return bytes_written_.value(); }
@@ -78,8 +136,16 @@ class DiskDevice {
   const obs::LatencyHistogram& write_latency() const {
     return write_latency_;
   }
-  // Operations currently in flight on this device.
+  // Operations currently in flight on this device (a merged async read
+  // counts once, for the lifetime of the merged request).
   int64_t queue_depth() const { return queue_depth_.value(); }
+  // In-flight operations on one stripe (0 <= d < stripe()).
+  int64_t stripe_queue_depth(int d) const {
+    return stripe_queue_depth_[static_cast<size_t>(d)].value();
+  }
+  // Pages that rode along in a merged request instead of being issued
+  // individually (group of k adjacent pages → k-1 merged).
+  uint64_t merged_reads() const { return merged_reads_.value(); }
 
   // Registers this device's instruments under "disk.*" for `machine`,
   // appending the RAII handles to `out` (names already taken are skipped).
@@ -102,15 +168,31 @@ class DiskDevice {
   uint64_t io_retries() const { return io_retries_.value(); }
   uint64_t injected_faults() const { return injected_faults_.value(); }
 
-  // bytes / nominal bandwidth — the paper's disk I/O time model.
+  // bytes / aggregate nominal bandwidth — the paper's disk I/O time
+  // model. Striping multiplies the aggregate (RAID-0).
   double ModeledIoSeconds() const {
     return static_cast<double>(bytes_read() + bytes_written()) /
-           profile_.bandwidth_bytes_per_sec;
+           (profile_.bandwidth_bytes_per_sec * stripe_);
   }
 
  private:
-  // Returns an open fd for the file, creating it on demand.
-  Result<int> GetFd(const std::string& file);
+  // One physical chunk of a logical [offset, offset+n) range.
+  struct Extent {
+    std::string part;      // physical file name (== logical if stripe 1)
+    int stripe_index;      // which backing device
+    uint64_t offset;       // physical offset within `part`
+    char* data;
+    size_t len;
+  };
+
+  std::string PartName(const std::string& file, int d) const;
+  std::vector<Extent> SplitExtents(const std::string& file, uint64_t offset,
+                                   const void* data, size_t n) const;
+
+  // Returns a refcounted fd for a *physical* file. Never O_CREATs unless
+  // `create`; callers hold the FdRef across the whole operation so a
+  // concurrent Remove() cannot close the fd underneath them.
+  Result<FdRef> GetFdRef(const std::string& part, bool create);
 
   // Runs `attempt` up to retry_policy_.max_attempts times with
   // exponential backoff; `attempt(&transient)` reports whether a failure
@@ -119,26 +201,45 @@ class DiskDevice {
   Status RunWithRetry(Attempt&& attempt);
 
   // Consults the fault injector at `site`. Returns an error to fail the
-  // attempt with (setting *transient), or OK to proceed (delays are
-  // served in place).
-  Status CheckFault(const char* site, bool* transient);
+  // attempt with (setting *transient), or OK to proceed. Injected delays
+  // are served in place, unless `delay_ms_out` is non-null — then they
+  // are accumulated there for the caller to model asynchronously (the
+  // merged-read path turns them into a completion deadline).
+  Status CheckFault(const char* site, bool* transient,
+                    int64_t* delay_ms_out = nullptr);
+
+  // Retry loop shared by Write and Append (no ScopedDiskOp of its own:
+  // the caller decides when the operation is "in the device").
+  Status WriteAttempts(const char* site,
+                       const std::vector<Extent>& extents,
+                       const std::vector<FdRef>& fds, size_t n);
+
+  // Completion of one merged async read, on the backend thread.
+  void FinishAsyncReadGroup(const std::shared_ptr<AsyncReadGroup>& group,
+                            Status status);
+  friend struct AsyncReadGroup;
 
   std::string dir_;
   DiskProfile profile_;
+  int stripe_;  // max(1, profile_.stripe)
   int fault_machine_ = -1;
   IoRetryPolicy retry_policy_;
 
-  std::mutex mu_;
-  std::map<std::string, int> fds_;
+  std::mutex mu_;  // guards fds_ and file_ids_
+  std::map<std::string, FdRef> fds_;
   std::map<std::string, uint32_t> file_ids_;
+  // Serializes appends so (size probe, write) is atomic per device.
+  std::mutex append_mu_;
 
   obs::Counter bytes_read_;
   obs::Counter bytes_written_;
   obs::Counter io_retries_;
   obs::Counter injected_faults_;
+  obs::Counter merged_reads_;
   obs::LatencyHistogram read_latency_;
   obs::LatencyHistogram write_latency_;
   obs::Gauge queue_depth_;
+  std::vector<obs::Gauge> stripe_queue_depth_;  // sized stripe_
 };
 
 }  // namespace tgpp

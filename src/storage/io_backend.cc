@@ -1,0 +1,154 @@
+#include "storage/io_backend.h"
+
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "util/thread_pool.h"
+
+namespace tgpp {
+
+FdHolder::~FdHolder() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+const char* IoBackendKindName(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kAuto:
+      return "auto";
+    case IoBackendKind::kThreads:
+      return "threads";
+    case IoBackendKind::kUring:
+      return "uring";
+  }
+  return "?";
+}
+
+Result<IoBackendKind> ParseIoBackendKind(const std::string& name) {
+  if (name == "auto") return IoBackendKind::kAuto;
+  if (name == "threads") return IoBackendKind::kThreads;
+  if (name == "uring") return IoBackendKind::kUring;
+  return Status::InvalidArgument("unknown io backend \"" + name +
+                                 "\" (want auto|threads|uring)");
+}
+
+IoBackendKind IoBackendKindFromEnv() {
+  const char* env = std::getenv("TGPP_IO_BACKEND");
+  if (env == nullptr || env[0] == '\0') return IoBackendKind::kAuto;
+  Result<IoBackendKind> kind = ParseIoBackendKind(env);
+  TGPP_CHECK(kind.ok()) << "TGPP_IO_BACKEND rejected: "
+                        << kind.status().ToString();
+  return *kind;
+}
+
+namespace io_internal {
+
+// Shared by both backends (and the uring backend's partial-completion
+// path): synchronously reads the request's segments with preadv, looping
+// over short counts. Returns IOError on EOF inside the request.
+Status PreadvFull(const IoRead& read, size_t skip) {
+  std::vector<struct iovec> iov;
+  iov.reserve(read.segs.size());
+  uint64_t offset = read.offset + skip;
+  size_t skipped = skip;
+  for (const IoSeg& seg : read.segs) {
+    if (skipped >= seg.len) {
+      skipped -= seg.len;
+      continue;
+    }
+    iov.push_back({static_cast<char*>(seg.data) + skipped,
+                   seg.len - skipped});
+    skipped = 0;
+  }
+  while (!iov.empty()) {
+    const ssize_t r = ::preadv(read.file->fd(), iov.data(),
+                               static_cast<int>(iov.size()),
+                               static_cast<off_t>(offset));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("preadv: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IOError("short read at offset " +
+                             std::to_string(offset));
+    }
+    offset += static_cast<uint64_t>(r);
+    size_t advanced = static_cast<size_t>(r);
+    while (advanced > 0 && !iov.empty()) {
+      if (advanced >= iov.front().iov_len) {
+        advanced -= iov.front().iov_len;
+        iov.erase(iov.begin());
+      } else {
+        iov.front().iov_base =
+            static_cast<char*>(iov.front().iov_base) + advanced;
+        iov.front().iov_len -= advanced;
+        advanced = 0;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace io_internal
+
+namespace {
+
+// Owns its workers: completion callbacks publish buffer-pool frames that
+// blocking fallback fetches (parked on the AsyncIoService pool) wait on.
+// Running reads on that same FIFO pool deadlocks once every worker is a
+// parked fetch queued ahead of the very reads that would wake it.
+class ThreadPoolIoBackend : public IoBackend {
+ public:
+  ThreadPoolIoBackend(int num_threads, int trace_machine)
+      : pool_(num_threads,
+              trace_machine >= 0
+                  ? "m" + std::to_string(trace_machine) + ".iodev"
+                  : "iodev",
+              trace_machine) {}
+
+  const char* name() const override { return "threads"; }
+
+  void Submit(std::vector<IoRead> reads) override {
+    for (IoRead& read : reads) {
+      auto shared = std::make_shared<IoRead>(std::move(read));
+      pool_.Submit([shared] {
+        shared->done(io_internal::PreadvFull(*shared, 0));
+      });
+    }
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace
+
+std::unique_ptr<IoBackend> MakeThreadPoolIoBackend(int num_threads,
+                                                   int trace_machine) {
+  TGPP_CHECK(num_threads > 0);
+  return std::make_unique<ThreadPoolIoBackend>(num_threads, trace_machine);
+}
+
+std::unique_ptr<IoBackend> MakeIoBackend(IoBackendKind kind,
+                                         ThreadPool* fallback_pool,
+                                         unsigned queue_depth) {
+  if (kind == IoBackendKind::kAuto) kind = IoBackendKindFromEnv();
+  if (kind == IoBackendKind::kUring || kind == IoBackendKind::kAuto) {
+    std::unique_ptr<IoBackend> uring = MakeUringIoBackend(queue_depth);
+    if (uring != nullptr) return uring;
+    if (kind == IoBackendKind::kUring) {
+      TGPP_LOG(Warning) << "io_uring backend unavailable "
+                        << "(kernel/headers missing); "
+                        << "falling back to the thread-pool backend";
+    }
+  }
+  TGPP_CHECK(fallback_pool != nullptr);
+  return MakeThreadPoolIoBackend(fallback_pool->num_threads(),
+                                 fallback_pool->trace_machine());
+}
+
+}  // namespace tgpp

@@ -1,0 +1,143 @@
+// IoBackend: the pluggable submission/completion engine under the async
+// I/O path (ROADMAP item 4, FlashGraph-style).
+//
+// A backend executes *raw vectored reads* — (fd, offset) filling a list of
+// caller-owned buffers — and invokes a completion callback exactly once
+// per request, on a backend thread. Everything device-shaped (byte
+// accounting, nominal bandwidth, fault injection, retry, striping,
+// request merging) stays in DiskDevice, which builds IoRead requests and
+// interprets their completions; everything pool-shaped (frames, pinning,
+// the single-read guarantee) stays in BufferPool. The backends only move
+// bytes, so swapping one for the other cannot change results — the
+// backend-parity tests pin that down bit-for-bit.
+//
+// Two implementations:
+//  - ThreadPoolIoBackend: preadv on a worker thread per request. The
+//    portable fallback; one thread per in-flight request, exactly the
+//    "async as a thread-pool simulation" the io_uring backend replaces.
+//    It owns its worker threads: requests must never share a pool with
+//    tasks that can block on their completions (AsyncIoService parks
+//    blocking fallback fetches on its own pool, and those waits are only
+//    satisfied once a backend read publishes the frame — sharing one FIFO
+//    pool deadlocks when every worker is parked ahead of the reads).
+//  - UringIoBackend: a raw-syscall io_uring (no liburing dependency)
+//    with submit/complete rings, lazily registered fds, and a
+//    configurable queue depth. Built when <linux/io_uring.h> is present
+//    (TGPP_HAVE_IO_URING); MakeUringIoBackend returns null otherwise or
+//    when the running kernel/seccomp profile refuses the setup syscall.
+
+#ifndef TGPP_STORAGE_IO_BACKEND_H_
+#define TGPP_STORAGE_IO_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace tgpp {
+
+class ThreadPool;
+
+// Owns one open file descriptor; closes it when the last reference drops.
+// The device fd table and every in-flight operation hold FdRefs, so
+// DiskDevice::Remove() of a file mid-read revokes the *name* immediately
+// while the pread keeps a valid fd until it completes (no EBADF burned as
+// a spurious retry — see the fd-lifetime tests in tests/storage_test.cc).
+class FdHolder {
+ public:
+  explicit FdHolder(int fd) : fd_(fd) {}
+  ~FdHolder();
+
+  FdHolder(const FdHolder&) = delete;
+  FdHolder& operator=(const FdHolder&) = delete;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+using FdRef = std::shared_ptr<const FdHolder>;
+
+// One destination buffer segment of a vectored read.
+struct IoSeg {
+  void* data;
+  size_t len;
+};
+
+// One vectored read request: fill `segs` (in order) from `file` starting
+// at `offset`. `done` is invoked exactly once, from a backend thread,
+// with OK only if every byte was read (a short read — EOF inside the
+// request — is an IOError, matching DiskDevice::Read semantics). The
+// request owns an FdRef so the fd outlives the operation.
+struct IoRead {
+  FdRef file;
+  uint64_t offset = 0;
+  std::vector<IoSeg> segs;
+  std::function<void(Status)> done;
+
+  size_t total_len() const {
+    size_t n = 0;
+    for (const IoSeg& s : segs) n += s.len;
+    return n;
+  }
+};
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  // "threads" or "uring" — selectable via --io-backend / TGPP_IO_BACKEND.
+  virtual const char* name() const = 0;
+
+  // Enqueues requests; never blocks on the device (the uring backend may
+  // briefly block when the submission queue itself is full).
+  virtual void Submit(std::vector<IoRead> reads) = 0;
+
+  // Backend-specific instruments (the uring backend registers
+  // `disk.uring_submits`); default none.
+  virtual void RegisterMetrics(obs::Registry* registry, int machine,
+                               std::vector<obs::Registration>* out) {}
+};
+
+enum class IoBackendKind { kAuto, kThreads, kUring };
+
+const char* IoBackendKindName(IoBackendKind kind);
+
+// Parses "auto" | "threads" | "uring" (the --io-backend grammar).
+Result<IoBackendKind> ParseIoBackendKind(const std::string& name);
+
+// TGPP_IO_BACKEND environment override; kAuto when unset. An unparsable
+// value is a hard error (CHECK), like a misspelled fault spec — silently
+// running the wrong backend would invalidate a measurement.
+IoBackendKind IoBackendKindFromEnv();
+
+// True if the io_uring backend is compiled in AND the running kernel
+// accepts io_uring_setup (containers often filter it via seccomp).
+bool UringAvailable();
+
+// The fallback backend: one preadv per request on a dedicated pool of
+// `num_threads` owned workers (trace-tagged with `trace_machine`, -1 for
+// untagged — see util/trace.h).
+std::unique_ptr<IoBackend> MakeThreadPoolIoBackend(int num_threads,
+                                                   int trace_machine = -1);
+
+// Null if io_uring is compiled out or unavailable at runtime.
+// `queue_depth` bounds in-flight requests (rounded up to a power of two).
+std::unique_ptr<IoBackend> MakeUringIoBackend(unsigned queue_depth);
+
+// Resolves `kind` (kAuto → env → uring if available, else threads) into a
+// live backend. Never returns null: requests for an unavailable uring
+// fall back to the thread-pool backend, sized and trace-tagged to match
+// `fallback_pool` (which it does NOT run on — see ThreadPoolIoBackend
+// above for why the backend owns separate workers).
+std::unique_ptr<IoBackend> MakeIoBackend(IoBackendKind kind,
+                                         ThreadPool* fallback_pool,
+                                         unsigned queue_depth);
+
+}  // namespace tgpp
+
+#endif  // TGPP_STORAGE_IO_BACKEND_H_

@@ -5,6 +5,12 @@
 namespace tgpp {
 
 Result<PageFile> PageFile::Open(DiskDevice* device, std::string name) {
+  // Opening creates the file explicitly; the device itself never
+  // materializes files on read paths (FileSize of a missing file is an
+  // error, not a silently created zero-byte file).
+  if (!device->Exists(name)) {
+    TGPP_RETURN_IF_ERROR(device->Touch(name));
+  }
   TGPP_ASSIGN_OR_RETURN(uint64_t size, device->FileSize(name));
   if (size % kPageSize != 0) {
     return Status::Corruption("page file " + name +

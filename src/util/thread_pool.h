@@ -42,6 +42,10 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  // The simulated machine this pool's trace events are tagged with
+  // (-1 when untagged).
+  int trace_machine() const { return trace_machine_; }
+
   // Total CPU-seconds consumed by worker threads while running tasks
   // (CLOCK_THREAD_CPUTIME_ID, as the paper measures CPU time).
   double TotalTaskCpuSeconds() const;

@@ -4,6 +4,7 @@
 // full pool. They run under both ASan and TSan in tools/ci.sh.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -23,9 +24,12 @@ namespace tgpp {
 namespace {
 
 std::string TestDir(const std::string& name) {
-  const std::string dir =
-      (std::filesystem::temp_directory_path() / "tgpp_pool_mt" / name)
-          .string();
+  // Per-process root: overlapping runs of this binary (e.g. a plain and a
+  // sanitizer CI stage racing) must not share — and remove_all — scratch.
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("tgpp_pool_mt." + std::to_string(::getpid())) /
+                           name)
+                              .string();
   std::filesystem::remove_all(dir);
   return dir;
 }
@@ -288,6 +292,135 @@ TEST(BufferPoolConcurrency, PrefetchLandsInPoolFramesPinnedOnArrival) {
   // The flag is consumed: a second round of fetches are plain hits.
   for (uint64_t p : pages) ASSERT_TRUE(pool.Fetch(&*file, p).ok());
   EXPECT_EQ(pool.prefetch_hits(), 3u);
+}
+
+// An externally claimed frame (TryStartRead → kClaimed, the async path's
+// claim) participates in the single-read guarantee: blocking fetchers of
+// the same page wait on the in-flight frame and join it the moment
+// FinishRead publishes — nobody issues a second read.
+TEST(BufferPoolConcurrency, ExternalClaimJoinsBlockingFetchers) {
+  DiskDevice disk(TestDir("claim_join"), kPcieSsdProfile);
+  auto file = MakeFile(&disk, 2);
+  ASSERT_TRUE(file.ok());
+  BufferPool pool(4);
+
+  BufferPool::StartRead sr = pool.TryStartRead(&*file, 1, false);
+  ASSERT_EQ(sr.kind, BufferPool::StartRead::kClaimed);
+  ASSERT_NE(sr.data, nullptr);
+  EXPECT_EQ(pool.io_in_flight(), 1);
+
+  constexpr int kThreads = 4;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto h = pool.Fetch(&*file, 1);
+      if (h.ok() && h->data()[0] == 1) ok.fetch_add(1);
+    });
+  }
+  // The fetchers are parked on the in-flight frame, not reading.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(ok.load(), 0);
+  EXPECT_EQ(disk.bytes_read(), 0u);
+
+  // Complete the read ourselves and publish the frame.
+  ASSERT_TRUE(disk.Read("p.pf", 1 * kPageSize, sr.data, kPageSize).ok());
+  auto h = pool.FinishRead(sr.frame, false, Status::OK());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->data()[0], 1);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok.load(), kThreads);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(pool.io_in_flight(), 0);
+  EXPECT_EQ(disk.bytes_read(), static_cast<uint64_t>(kPageSize));
+}
+
+// A withdrawn claim (FinishRead with a failed status) must wake blocked
+// fetchers instead of stranding them: they re-probe, exactly one re-reads
+// the page itself, and all of them succeed (the file is healthy).
+TEST(BufferPoolConcurrency, WithdrawnClaimWakesBlockedFetchers) {
+  DiskDevice disk(TestDir("claim_fail"), kPcieSsdProfile);
+  auto file = MakeFile(&disk, 2);
+  ASSERT_TRUE(file.ok());
+  BufferPool pool(4);
+
+  BufferPool::StartRead sr = pool.TryStartRead(&*file, 1, false);
+  ASSERT_EQ(sr.kind, BufferPool::StartRead::kClaimed);
+
+  constexpr int kThreads = 4;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto h = pool.Fetch(&*file, 1);
+      if (h.ok() && h->data()[0] == 1) ok.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(ok.load(), 0);
+
+  auto failed =
+      pool.FinishRead(sr.frame, false, Status::IOError("injected"));
+  EXPECT_FALSE(failed.ok());
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok.load(), kThreads);
+  // One waiter claimed the withdrawn page and read it; the rest joined.
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(disk.bytes_read(), static_cast<uint64_t>(kPageSize));
+  EXPECT_EQ(pool.io_in_flight(), 0);
+}
+
+// Async batches under eviction pressure, on every available backend: the
+// claim/fallback split, the device's merged vectored reads, and the
+// backend completion threads must deliver correct bytes while the CLOCK
+// hand recycles frames underneath them. (Exercises the uring reaper
+// thread under TSan when the kernel allows io_uring.)
+TEST(BufferPoolConcurrency, AsyncSubmitStressOnEveryBackend) {
+  std::vector<IoBackendKind> kinds = {IoBackendKind::kThreads};
+  if (UringAvailable()) kinds.push_back(IoBackendKind::kUring);
+  for (IoBackendKind kind : kinds) {
+    SCOPED_TRACE(IoBackendKindName(kind));
+    DiskDevice disk(TestDir(std::string("submit_stress_") +
+                            IoBackendKindName(kind)),
+                    kPcieSsdProfile);
+    constexpr int kPages = 32;
+    auto file = MakeFile(&disk, kPages);
+    ASSERT_TRUE(file.ok());
+    BufferPool pool(16);  // fewer frames than pages: fallbacks + eviction
+    AsyncIoService io(2, -1, kind, /*queue_depth=*/8);
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 50;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        uint64_t rng_state = 7u * (t + 1);
+        for (int i = 0; i < kIters; ++i) {
+          const uint64_t base = SplitMix64(rng_state) % (kPages - 4);
+          std::vector<uint64_t> pages = {base, base + 1, base + 2,
+                                         base + 3};
+          auto ticket = io.SubmitReads(
+              &pool, &*file, pages, [&](uint64_t no, PageHandle h) {
+                if (!h.valid() ||
+                    h.data()[0] != static_cast<uint8_t>(no)) {
+                  failures.fetch_add(1);
+                }
+                // handle drops here: unpinned immediately
+              });
+          if (!ticket.Wait().ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(pool.io_in_flight(), 0);
+    EXPECT_LE(pool.resident_pages(), 16);
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 //    job's latest checkpoint, and reports attempts / retries_exhausted.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <filesystem>
@@ -36,10 +37,12 @@ ClusterConfig KillCluster(const std::string& name, int p) {
   ClusterConfig config;
   config.num_machines = p;
   config.memory_budget_bytes = 32ull << 20;  // roomy: keep q=1
-  config.root_dir =
-      (std::filesystem::temp_directory_path() / "tgpp_machine_failure" /
-       name)
-          .string();
+  // Per-process root: overlapping runs of this binary (e.g. a plain and a
+  // sanitizer CI stage racing) must not share — and remove_all — scratch.
+  config.root_dir = (std::filesystem::temp_directory_path() /
+                     ("tgpp_machine_failure." + std::to_string(::getpid())) /
+                     name)
+                        .string();
   std::filesystem::remove_all(config.root_dir);
   return config;
 }

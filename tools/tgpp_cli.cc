@@ -18,6 +18,7 @@
 //                  [--faults=SPEC] [--fault-seed=42]
 //                  [--checkpoint-every=N] [--deterministic]
 //                  [--heartbeat-interval-ms=0] [--heartbeat-timeout-ms=0]
+//                  [--io-backend=auto|uring|threads] [--io-queue-depth=64]
 //   tgpp serve     --graph=graph.bin (--socket=PATH | --port=N)
 //                  [--machines=4] [--budget-mb=32] [--q=0 (auto)]
 //                  [--max-running=2] [--recv-timeout-ms=60000]
@@ -29,6 +30,7 @@
 //                  [--events-out=events.jsonl]
 //                  [--faults=SPEC] [--fault-seed=42]
 //                  [--workdir=/tmp/tgpp_serve]
+//                  [--io-backend=auto|uring|threads] [--io-queue-depth=64]
 //   tgpp submit    (--socket=PATH | --port=N) [--query=pr]
 //                  [--iterations=10] [--source=0] [--priority=0]
 //                  [--deadline-ms=0] [--nondeterministic]
@@ -216,6 +218,12 @@ ClusterConfig MakeClusterConfig(int argc, char** argv) {
   config.memory_budget_bytes =
       static_cast<uint64_t>(FlagInt(argc, argv, "budget-mb", 32)) << 20;
   config.root_dir = FlagStr(argc, argv, "workdir", "/tmp/tgpp_cli");
+  Result<IoBackendKind> backend =
+      ParseIoBackendKind(FlagStr(argc, argv, "io-backend", "auto"));
+  if (!backend.ok()) std::exit(Fail(backend.status()));
+  config.io_backend = *backend;
+  config.io_queue_depth =
+      static_cast<int>(FlagInt(argc, argv, "io-queue-depth", 64));
   std::filesystem::remove_all(config.root_dir);
   return config;
 }
