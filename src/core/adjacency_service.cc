@@ -52,18 +52,21 @@ Status AdjacencyService::MaterializeLocal(std::span<const VertexId> vids,
   const VertexId hi = vids.back();
 
   // Iterate chunks in (src_chunk, dst_chunk, sub) order: destination IDs of
-  // consecutive chunks ascend, so per-source appends stay sorted.
+  // consecutive chunks ascend, so per-source appends stay sorted on a
+  // static graph. Mutation delta pages break that order; they are scanned
+  // after the chunk's base pages and the merged lists are re-sorted below.
   for (const EdgeChunkInfo& chunk : part.chunks) {
-    if (chunk.num_pages == 0) continue;
+    if (chunk.num_pages == 0 && chunk.delta_pages.empty()) continue;
     if (chunk.src_range.end <= lo || chunk.src_range.begin > hi) continue;
-    for (uint64_t page_no = chunk.first_page;
-         page_no < chunk.first_page + chunk.num_pages; ++page_no) {
+    for (const uint64_t page_no : chunk.PageNumbers()) {
       const PageIndexEntry& entry = part.page_index[page_no];
       TGPP_DCHECK(entry.page_no == page_no);
       if (entry.src_max < lo || entry.src_min > hi) continue;
       TGPP_ASSIGN_OR_RETURN(PageHandle handle,
                             machine->buffer_pool()->Fetch(&file, page_no));
       SlottedPageReader reader(handle.data());
+      // Bounds-check the on-disk slot directory before trusting it.
+      TGPP_RETURN_IF_ERROR(reader.Validate());
       const uint32_t num_slots = reader.num_slots();
       for (uint32_t s = 0; s < num_slots; ++s) {
         const VertexId src = reader.SrcAt(s);
@@ -71,6 +74,11 @@ Status AdjacencyService::MaterializeLocal(std::span<const VertexId> vids,
         if (it == vids.end() || *it != src) continue;
         const size_t idx = static_cast<size_t>(it - vids.begin());
         const std::span<const VertexId> record = reader.DstsAt(s);
+        if (cursor[idx] + record.size() > out->offsets[idx + 1]) {
+          return Status::Corruption(
+              "materialized degree overflow for vertex " +
+              std::to_string(vids[idx]));
+        }
         std::copy(record.begin(), record.end(),
                   out->dsts.begin() + cursor[idx]);
         cursor[idx] += record.size();
@@ -84,6 +92,14 @@ Status AdjacencyService::MaterializeLocal(std::span<const VertexId> vids,
           std::to_string(vids[i]) + ": got " +
           std::to_string(cursor[i] - out->offsets[i]) + ", expected " +
           std::to_string(pg_->out_degree[vids[i]]));
+    }
+  }
+  if (pg_->mutated()) {
+    // Restore the sorted-dst invariant that consumers (sorted-list
+    // intersection, NeighborsOf) rely on.
+    for (size_t i = 0; i < vids.size(); ++i) {
+      std::sort(out->dsts.begin() + out->offsets[i],
+                out->dsts.begin() + out->offsets[i + 1]);
     }
   }
   return Status::OK();

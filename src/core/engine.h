@@ -1045,7 +1045,9 @@ class NwsmEngine {
                                 VertexRange vw_range,
                                 const std::vector<V>& vertex_window,
                                 engine_internal::DenseLgb<U>* lgb) {
-    if (chunk.num_pages == 0) return Status::OK();
+    if (chunk.num_pages == 0 && chunk.delta_pages.empty()) {
+      return Status::OK();
+    }
     Machine* machine = cluster_->machine(m);
     MachineState& state = *states_[m];
     const VertexId active_base = pg_->MachineRange(m).begin;
@@ -1082,8 +1084,9 @@ class NwsmEngine {
     // returning: in-flight callbacks capture the local mu/cv/ready below,
     // so an early error return without the drain would be a
     // use-after-scope.
-    const uint64_t first = chunk.first_page;
-    const uint64_t count = chunk.num_pages;
+    // Base pages first, then any mutation delta pages (docs/DYNAMIC.md).
+    const std::vector<uint64_t> pages = chunk.PageNumbers();
+    const uint64_t count = pages.size();
     std::mutex mu;
     std::condition_variable cv;
     std::deque<std::pair<uint64_t, PageHandle>> ready;
@@ -1108,8 +1111,7 @@ class NwsmEngine {
     // adjacent pages into vectored requests; refills stay single-page.
     uint64_t submitted = std::min(count, read_ahead);
     if (submitted > 0) {
-      std::vector<uint64_t> window(submitted);
-      for (uint64_t i = 0; i < submitted; ++i) window[i] = first + i;
+      std::vector<uint64_t> window(pages.begin(), pages.begin() + submitted);
       submit_batch(std::move(window));
     }
     Status scan_status;
@@ -1121,7 +1123,7 @@ class NwsmEngine {
           // Consume pages in page order so the scatter order (and any
           // order-dependent accumulation) is reproducible regardless of
           // I/O completion order.
-          const uint64_t want = first + processed;
+          const uint64_t want = pages[processed];
           auto found = ready.end();
           cv.wait(lock, [&] {
             found = std::find_if(
@@ -1143,17 +1145,27 @@ class NwsmEngine {
         break;
       }
       if (submitted < count) {
-        submit(first + submitted);
+        submit(pages[submitted]);
         ++submitted;
       }
       SlottedPageReader reader(item.second.data());
+      // Never trust on-disk bytes: a corrupt slot directory must surface
+      // as Status::Corruption, not as an out-of-bounds read.
+      scan_status = reader.Validate();
+      if (!scan_status.ok()) break;
       const uint32_t slots = reader.num_slots();
       for (uint32_t s = 0; s < slots; ++s) {
         const VertexId src = reader.SrcAt(s);
+        if (src < vw_range.begin || src >= vw_range.end) {
+          scan_status = Status::Corruption(
+              "record src " + std::to_string(src) + " outside chunk range");
+          break;
+        }
         if (!state.active.Test(src - active_base)) continue;
         const V& attr = vertex_window[src - vw_range.begin];
         app.adj_scatter[1](ctx, src, attr, reader.DstsAt(s));
       }
+      if (!scan_status.ok()) break;
     }
     for (auto& ticket : tickets) {
       Status s = ticket.Wait();
@@ -1388,11 +1400,14 @@ class NwsmEngine {
                        std::vector<uint8_t>* claimed,
                        const std::function<bool(VertexId)>& in_frontier,
                        ScatterContext<V, U>* ctx) {
-    if (chunk.num_pages == 0) return Status::OK();
+    if (chunk.num_pages == 0 && chunk.delta_pages.empty()) {
+      return Status::OK();
+    }
     Machine* machine = cluster_->machine(m);
 
-    const uint64_t first = chunk.first_page;
-    const uint64_t count = chunk.num_pages;
+    // Base pages first, then any mutation delta pages (docs/DYNAMIC.md).
+    const std::vector<uint64_t> pages = chunk.PageNumbers();
+    const uint64_t count = pages.size();
     std::mutex mu;
     std::condition_variable cv;
     std::deque<std::pair<uint64_t, PageHandle>> ready;
@@ -1415,8 +1430,7 @@ class NwsmEngine {
     // refills stay single-page.
     uint64_t submitted = std::min(count, read_ahead);
     if (submitted > 0) {
-      std::vector<uint64_t> window(submitted);
-      for (uint64_t i = 0; i < submitted; ++i) window[i] = first + i;
+      std::vector<uint64_t> window(pages.begin(), pages.begin() + submitted);
       submit_batch(std::move(window));
     }
     Status scan_status;
@@ -1425,7 +1439,7 @@ class NwsmEngine {
       std::pair<uint64_t, PageHandle> item;
       {
         std::unique_lock<std::mutex> lock(mu);
-        const uint64_t want = first + processed;
+        const uint64_t want = pages[processed];
         auto found = ready.end();
         cv.wait(lock, [&] {
           found = std::find_if(ready.begin(), ready.end(), [&](const auto& r) {
@@ -1441,13 +1455,21 @@ class NwsmEngine {
         break;
       }
       if (submitted < count) {
-        submit(first + submitted);
+        submit(pages[submitted]);
         ++submitted;
       }
       SlottedPageReader reader(item.second.data());
+      // Bounds-check the slot directory before indexing with it.
+      scan_status = reader.Validate();
+      if (!scan_status.ok()) break;
       const uint32_t slots = reader.num_slots();
       for (uint32_t s = 0; s < slots; ++s) {
         const VertexId src = reader.SrcAt(s);
+        if (src < vw_range.begin || src >= vw_range.end) {
+          scan_status = Status::Corruption(
+              "record src " + std::to_string(src) + " outside chunk range");
+          break;
+        }
         const uint64_t idx = src - vw_range.begin;
         if ((*claimed)[idx]) {
           ++skipped;
@@ -1460,6 +1482,7 @@ class NwsmEngine {
         }
         app.pull_scatter(*ctx, src, attr, reader.DstsAt(s), in_frontier);
       }
+      if (!scan_status.ok()) break;
     }
     for (auto& ticket : tickets) {
       Status s = ticket.Wait();

@@ -25,6 +25,12 @@ class TurboGraphSystem {
 
   Cluster* cluster() { return cluster_.get(); }
   const PartitionedGraph* partition() const { return &pg_; }
+  // Non-const access for the dynamic-graph subsystem (dyn::DynamicGraph
+  // edits chunk metadata in place). Callers taking this must pin q high
+  // enough up front: once the graph is mutated, RunQuery refuses to
+  // repartition (Repartition rebuilds pages from the original edge list,
+  // which would silently drop every applied batch).
+  PartitionedGraph* mutable_partition() { return &pg_; }
   const EdgeList& graph() const { return graph_; }
 
   // Partitions `graph` onto the cluster (BBP by default). `q` below 1
@@ -51,6 +57,14 @@ class TurboGraphSystem {
     NwsmEngine<V, U> probe(cluster_.get(), &pg_);
     TGPP_ASSIGN_OR_RETURN(const int q_needed, probe.ComputeRequiredQ(app));
     if (q_needed > pg_.q) {
+      if (pg_.mutated()) {
+        return Status::NotSupported(
+            "query needs q=" + std::to_string(q_needed) +
+            " but the graph has applied mutations (epoch " +
+            std::to_string(pg_.mutation_epoch) +
+            "); repartitioning would drop them — load with a larger q "
+            "before mutating");
+      }
       TGPP_LOG(Info) << "query needs q=" << q_needed << " > current q="
                      << pg_.q << "; re-executing BBP";
       TGPP_RETURN_IF_ERROR(Repartition(q_needed));

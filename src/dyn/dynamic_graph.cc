@@ -1,0 +1,467 @@
+#include "dyn/dynamic_graph.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/fault_injector.h"
+#include "common/logging.h"
+#include "obs/events.h"
+#include "storage/page_file.h"
+#include "storage/slotted_page.h"
+
+namespace tgpp::dyn {
+
+namespace {
+
+bool InRange(const VertexRange& r, VertexId v) {
+  return v >= r.begin && v < r.end;
+}
+
+// Widens a page-index entry to cover `src` (entries are pruning hints:
+// wider is always safe, narrower would hide records).
+void WidenEntry(PageIndexEntry* entry, VertexId src) {
+  if (entry->src_min > entry->src_max) {  // dummy "never matches" entry
+    entry->src_min = src;
+    entry->src_max = src;
+    return;
+  }
+  entry->src_min = std::min(entry->src_min, src);
+  entry->src_max = std::max(entry->src_max, src);
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(Cluster* cluster, PartitionedGraph* pg)
+    : cluster_(cluster), pg_(pg) {
+  wals_.reserve(pg_->machines.size());
+  for (size_t m = 0; m < pg_->machines.size(); ++m) {
+    wals_.push_back(
+        std::make_unique<Wal>(cluster_->machine(static_cast<int>(m))->disk()));
+  }
+  obs::Registry& reg = obs::Registry::Global();
+  obs::TryRegister(&reg, &registrations_, "dyn.edges_inserted", -1,
+                   &edges_inserted_);
+  obs::TryRegister(&reg, &registrations_, "dyn.edges_deleted", -1,
+                   &edges_deleted_);
+  obs::TryRegister(&reg, &registrations_, "dyn.wal_bytes", -1, &wal_bytes_);
+  obs::TryRegister(&reg, &registrations_, "dyn.delta_pages", -1,
+                   &delta_pages_);
+  obs::TryRegister(&reg, &registrations_, "dyn.affected_frontier", -1,
+                   &affected_frontier_);
+}
+
+int DynamicGraph::ChunkOrdinalFor(int m, VertexId src, VertexId dst) const {
+  const MachinePartition& part = pg_->machines[m];
+  // The recorded sub-chunk dst_ranges are TIGHT — there are gaps between
+  // them and empty sub-chunks record {b, b} — so containment tests cannot
+  // route an arbitrary (src, dst). Instead recompute the (i, j) grid cell
+  // with the same ceil arithmetic the partitioner used to assign edges
+  // (partition_internal::WriteMachineChunks), then pick a sub-chunk.
+  const auto chunk_index = [](VertexId v, const VertexRange& range,
+                              int parts) {
+    const uint64_t chunk =
+        (range.size() + static_cast<uint64_t>(parts) - 1) / parts;
+    return chunk == 0 ? 0 : static_cast<int>((v - range.begin) / chunk);
+  };
+  if (!InRange(pg_->MachineRange(m), src)) return -1;
+  const int i = chunk_index(src, pg_->MachineRange(m), pg_->q);
+  const int owner = pg_->OwnerOf(dst);
+  if (owner < 0 || owner >= pg_->p) return -1;
+  const int j =
+      owner * pg_->q + chunk_index(dst, pg_->MachineRange(owner), pg_->q);
+  const size_t base =
+      (static_cast<size_t>(i) * (pg_->p * pg_->q) + static_cast<size_t>(j)) *
+      static_cast<size_t>(pg_->r);
+  if (base + static_cast<size_t>(pg_->r) > part.chunks.size()) return -1;
+  // Within the cell the r sub-chunks hold ascending, disjoint dst runs.
+  // Route to the first sub whose run end is still above dst (an existing
+  // (src, dst) record can only live there), else the last sub — whose
+  // range widens when the insert lands (see ApplyOneInsert).
+  for (int sub = 0; sub < pg_->r; ++sub) {
+    if (dst < part.chunks[base + sub].dst_range.end) {
+      return static_cast<int>(base + sub);
+    }
+  }
+  return static_cast<int>(base + pg_->r - 1);
+}
+
+Status DynamicGraph::ApplyOneInsert(int m, PageFile* file, uint64_t epoch,
+                                    VertexId src, VertexId dst,
+                                    bool count_metadata, ApplyStats* stats) {
+  MachinePartition& part = pg_->machines[m];
+  const int ord = ChunkOrdinalFor(m, src, dst);
+  if (ord < 0) {
+    return Status::Internal("no edge chunk covers (" + std::to_string(src) +
+                            ", " + std::to_string(dst) + ")");
+  }
+  EdgeChunkInfo& chunk = part.chunks[ord];
+  // Keep the tight recorded run honest for future routing: once this
+  // insert lands, the sub-chunk really does cover dst. Widening never
+  // reroutes earlier dsts (routing only compares against `end`, and the
+  // end only grows here when dst was already routed to this sub-chunk).
+  chunk.dst_range.begin = std::min(chunk.dst_range.begin, dst);
+  chunk.dst_range.end = std::max(chunk.dst_range.end, dst + 1);
+  Machine* machine = cluster_->machine(m);
+  BufferPool* pool = machine->buffer_pool();
+
+  // Idempotence: scan the pages whose index range covers src for an
+  // existing (src, dst) record.
+  const std::vector<uint64_t> pages = chunk.PageNumbers();
+  for (const uint64_t page_no : pages) {
+    const PageIndexEntry& entry = part.page_index[page_no];
+    if (entry.src_max < src || entry.src_min > src) continue;
+    TGPP_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(file, page_no));
+    SlottedPageReader reader(handle.data());
+    TGPP_RETURN_IF_ERROR(reader.Validate());
+    for (uint32_t s = 0; s < reader.num_slots(); ++s) {
+      if (reader.SrcAt(s) != src) continue;
+      const std::span<const uint64_t> dsts = reader.DstsAt(s);
+      if (std::find(dsts.begin(), dsts.end(), dst) != dsts.end()) {
+        ++stats->skipped;
+        return Status::OK();
+      }
+    }
+  }
+
+  // Heap-file append policy: only the LAST page of the chunk accepts new
+  // records (earlier pages are sealed); when it is full, allocate an
+  // overflow delta page.
+  std::vector<uint8_t> scratch(kPageSize);
+  if (!pages.empty()) {
+    const uint64_t page_no = pages.back();
+    TGPP_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(file, page_no));
+    std::memcpy(scratch.data(), handle.data(), kPageSize);
+    handle.Release();
+    SlottedPageMutator mut(scratch.data());
+    SlottedPageReader reader(scratch.data());
+    bool placed = false;
+    for (uint32_t s = 0; s < mut.num_slots() && !placed; ++s) {
+      if (reader.SrcAt(s) == src) placed = mut.TryExtendRecord(s, dst);
+    }
+    if (!placed) placed = mut.TryAppendRecord(src, dst);
+    if (placed) {
+      TGPP_RETURN_IF_ERROR(pool->Overwrite(file, page_no, scratch.data()));
+      WidenEntry(&part.page_index[page_no], src);
+      if (count_metadata) {
+        ++pg_->out_degree[src];
+        ++chunk.num_edges;
+        ++part.num_edges;
+        ++pg_->num_edges;
+      }
+      ++stats->inserted;
+      return Status::OK();
+    }
+  }
+
+  // Allocate a fresh delta page holding just this record. The page lands
+  // on disk before the WAL references it, so a crash in between leaves
+  // an orphan page (dead bytes, never scanned) — replay re-inserts.
+  SlottedPageBuilder builder(scratch.data());
+  const uint64_t one[1] = {dst};
+  TGPP_CHECK(builder.AddRecord(src, one));
+  TGPP_ASSIGN_OR_RETURN(const uint64_t page_no,
+                        file->AppendPage(scratch.data()));
+  TGPP_RETURN_IF_ERROR(wals_[m]->AppendDeltaPage(
+      epoch, {static_cast<uint32_t>(ord), page_no}, &stats->wal_bytes));
+  chunk.delta_pages.push_back(page_no);
+  while (part.page_index.size() < page_no) {
+    // Dense index repair (src_min > src_max never matches a lookup).
+    part.page_index.push_back(
+        {part.page_index.size(), kInvalidVertex, 0});
+  }
+  part.page_index.push_back({page_no, src, src});
+  ++stats->delta_pages;
+  delta_pages_.Add(1);
+  if (count_metadata) {
+    ++pg_->out_degree[src];
+    ++chunk.num_edges;
+    ++part.num_edges;
+    ++pg_->num_edges;
+  }
+  ++stats->inserted;
+  return Status::OK();
+}
+
+Status DynamicGraph::ApplyOneDelete(int m, PageFile* file, VertexId src,
+                                    VertexId dst, bool count_metadata,
+                                    ApplyStats* stats) {
+  MachinePartition& part = pg_->machines[m];
+  const int ord = ChunkOrdinalFor(m, src, dst);
+  if (ord < 0) {
+    ++stats->skipped;  // nothing stored there, so nothing to delete
+    return Status::OK();
+  }
+  EdgeChunkInfo& chunk = part.chunks[ord];
+  Machine* machine = cluster_->machine(m);
+  BufferPool* pool = machine->buffer_pool();
+
+  std::vector<uint8_t> scratch(kPageSize);
+  for (const uint64_t page_no : chunk.PageNumbers()) {
+    const PageIndexEntry& entry = part.page_index[page_no];
+    if (entry.src_max < src || entry.src_min > src) continue;
+    TGPP_ASSIGN_OR_RETURN(PageHandle handle, pool->Fetch(file, page_no));
+    SlottedPageReader reader(handle.data());
+    TGPP_RETURN_IF_ERROR(reader.Validate());
+    std::memcpy(scratch.data(), handle.data(), kPageSize);
+    handle.Release();
+    SlottedPageMutator mut(scratch.data());
+    if (!mut.RemoveDst(src, dst)) continue;
+    TGPP_RETURN_IF_ERROR(pool->Overwrite(file, page_no, scratch.data()));
+    if (count_metadata) {
+      --pg_->out_degree[src];
+      --chunk.num_edges;
+      --part.num_edges;
+      --pg_->num_edges;
+    }
+    ++stats->deleted;
+    return Status::OK();
+  }
+  ++stats->skipped;  // absent edge: idempotent no-op
+  return Status::OK();
+}
+
+Status DynamicGraph::ApplyMachine(int m, uint64_t epoch,
+                                  std::span<const EdgeMutation> muts,
+                                  bool count_metadata, ApplyStats* stats,
+                                  std::unordered_set<VertexId>* touched_srcs) {
+  Machine* machine = cluster_->machine(m);
+  if (!machine->alive()) return Status::MachineLost(m, -1);
+  TGPP_ASSIGN_OR_RETURN(
+      PageFile file,
+      PageFile::Open(machine->disk(), PartitionedGraph::kEdgeFileName));
+  for (const EdgeMutation& mut : muts) {
+    // Fail-stop fault site: a kill here loses the machine's un-flushed
+    // page writes; the batch survives in the WAL (chaos test, PR 7 site).
+    if (fault::Hit("machine.kill", m)) {
+      cluster_->KillMachine(m);
+      return Status::MachineLost(m, -1);
+    }
+    const VertexId src = pg_->old_to_new[mut.src];
+    const VertexId dst = pg_->old_to_new[mut.dst];
+    TGPP_DCHECK(pg_->OwnerOf(src) == m);
+    const uint64_t before_ins = stats->inserted;
+    const uint64_t before_del = stats->deleted;
+    if (mut.op == EdgeOp::kInsert) {
+      TGPP_RETURN_IF_ERROR(
+          ApplyOneInsert(m, &file, epoch, src, dst, count_metadata, stats));
+    } else {
+      TGPP_RETURN_IF_ERROR(
+          ApplyOneDelete(m, &file, src, dst, count_metadata, stats));
+    }
+    if (stats->inserted != before_ins || stats->deleted != before_del) {
+      stats->affected.push_back(mut.src);  // ORIGINAL ids seed frontiers
+      stats->affected.push_back(mut.dst);
+      stats->applied.push_back(mut);
+      if (touched_srcs != nullptr) touched_srcs->insert(src);
+    }
+  }
+  return Status::OK();
+}
+
+Status DynamicGraph::CommitMachine(int m, uint64_t epoch,
+                                   ApplyStats* stats) {
+  Machine* machine = cluster_->machine(m);
+  if (!machine->alive()) return Status::MachineLost(m, -1);
+  if (fault::Hit("machine.kill", m)) {
+    cluster_->KillMachine(m);
+    return Status::MachineLost(m, -1);
+  }
+  TGPP_ASSIGN_OR_RETURN(
+      PageFile file,
+      PageFile::Open(machine->disk(), PartitionedGraph::kEdgeFileName));
+  TGPP_RETURN_IF_ERROR(
+      machine->buffer_pool()->FlushDirty(&file).status());
+  TGPP_RETURN_IF_ERROR(
+      machine->disk()->Sync(PartitionedGraph::kEdgeFileName));
+  return wals_[m]->AppendCommit(epoch, &stats->wal_bytes);
+}
+
+Status DynamicGraph::ApplyBatch(const UpdateBatch& batch,
+                                ApplyStats* stats) {
+  ApplyStats local;
+  if (stats == nullptr) stats = &local;
+  if (batch.empty()) return Status::OK();
+  const int p = static_cast<int>(pg_->machines.size());
+  const uint64_t epoch = pg_->mutation_epoch + 1;
+  stats->epoch = epoch;
+
+  // Group mutations (ORIGINAL ids) by the machine owning the source.
+  std::vector<std::vector<EdgeMutation>> per_machine(p);
+  for (const EdgeMutation& mut : batch.mutations) {
+    if (mut.src >= pg_->num_vertices || mut.dst >= pg_->num_vertices) {
+      return Status::InvalidArgument(
+          "mutation endpoint out of range: " + FormatEdgeMutation(mut) +
+          " (graph has " + std::to_string(pg_->num_vertices) + " vertices)");
+    }
+    const int owner = pg_->OwnerOf(pg_->old_to_new[mut.src]);
+    per_machine[owner].push_back(mut);
+  }
+
+  // Phase 1 — durability: the whole batch is fsync'd into every involved
+  // machine's WAL before any page changes.
+  for (int m = 0; m < p; ++m) {
+    if (per_machine[m].empty()) continue;
+    if (!cluster_->machine(m)->alive()) return Status::MachineLost(m, -1);
+    TGPP_RETURN_IF_ERROR(
+        wals_[m]->AppendBatch(epoch, per_machine[m], &stats->wal_bytes));
+  }
+
+  // Phase 2 — apply through the buffer pool (deferred writeback).
+  for (int m = 0; m < p; ++m) {
+    if (per_machine[m].empty()) continue;
+    TGPP_RETURN_IF_ERROR(ApplyMachine(m, epoch, per_machine[m],
+                                      /*count_metadata=*/true, stats,
+                                      nullptr));
+  }
+
+  // Phase 3 — commit: flush dirty pages, fsync, log kCommit.
+  for (int m = 0; m < p; ++m) {
+    if (per_machine[m].empty()) continue;
+    TGPP_RETURN_IF_ERROR(CommitMachine(m, epoch, stats));
+  }
+
+  pg_->mutation_epoch = epoch;
+  std::sort(stats->affected.begin(), stats->affected.end());
+  stats->affected.erase(
+      std::unique(stats->affected.begin(), stats->affected.end()),
+      stats->affected.end());
+
+  edges_inserted_.Add(stats->inserted);
+  edges_deleted_.Add(stats->deleted);
+  wal_bytes_.Add(stats->wal_bytes);
+  affected_frontier_.Add(stats->affected.size());
+  obs::EmitEvent(obs::EventType::kUpdateApplied, 0, -1, -1, nullptr,
+                 "epoch", epoch, "inserted", stats->inserted, "deleted",
+                 stats->deleted);
+  return Status::OK();
+}
+
+Status DynamicGraph::RecountDegrees(
+    int m, const std::unordered_set<VertexId>& srcs) {
+  Machine* machine = cluster_->machine(m);
+  MachinePartition& part = pg_->machines[m];
+  TGPP_ASSIGN_OR_RETURN(
+      PageFile file,
+      PageFile::Open(machine->disk(), PartitionedGraph::kEdgeFileName));
+  std::unordered_map<VertexId, uint64_t> counts;
+  for (const VertexId s : srcs) counts[s] = 0;
+
+  for (EdgeChunkInfo& chunk : part.chunks) {
+    bool relevant = false;
+    for (const VertexId s : srcs) {
+      if (InRange(chunk.src_range, s)) {
+        relevant = true;
+        break;
+      }
+    }
+    if (!relevant) continue;
+    uint64_t chunk_edges = 0;
+    for (const uint64_t page_no : chunk.PageNumbers()) {
+      TGPP_ASSIGN_OR_RETURN(PageHandle handle,
+                            machine->buffer_pool()->Fetch(&file, page_no));
+      SlottedPageReader reader(handle.data());
+      TGPP_RETURN_IF_ERROR(reader.Validate());
+      for (uint32_t s = 0; s < reader.num_slots(); ++s) {
+        chunk_edges += reader.DstsAt(s).size();
+        auto it = counts.find(reader.SrcAt(s));
+        if (it != counts.end()) it->second += reader.DstsAt(s).size();
+      }
+    }
+    chunk.num_edges = chunk_edges;
+  }
+  for (const VertexId s : srcs) pg_->out_degree[s] = counts[s];
+  uint64_t part_edges = 0;
+  for (const EdgeChunkInfo& chunk : part.chunks) {
+    part_edges += chunk.num_edges;
+  }
+  part.num_edges = part_edges;
+  uint64_t total = 0;
+  for (const MachinePartition& mp : pg_->machines) total += mp.num_edges;
+  pg_->num_edges = total;
+  return Status::OK();
+}
+
+Status DynamicGraph::Recover(ApplyStats* stats) {
+  ApplyStats local;
+  if (stats == nullptr) stats = &local;
+  const int p = static_cast<int>(pg_->machines.size());
+  uint64_t max_epoch = pg_->mutation_epoch;
+  uint64_t replayed_batches = 0;
+
+  for (int m = 0; m < p; ++m) {
+    Machine* machine = cluster_->machine(m);
+    if (!machine->alive()) return Status::MachineLost(m, -1);
+    // Model the kill's volatile loss: un-flushed dirty frames are gone.
+    machine->buffer_pool()->DropAll();
+
+    TGPP_ASSIGN_OR_RETURN(WalContents wal, wals_[m]->Read());
+    if (wal.max_epoch > max_epoch) max_epoch = wal.max_epoch;
+    if (wal.delta_pages.empty() && wal.uncommitted.empty()) continue;
+
+    MachinePartition& part = pg_->machines[m];
+    TGPP_ASSIGN_OR_RETURN(
+        PageFile file,
+        PageFile::Open(machine->disk(), PartitionedGraph::kEdgeFileName));
+
+    // Rebuild delta-page lists from the log (idempotent union; pages the
+    // file does not actually contain — a crash before AppendPage finished
+    // — are skipped and replay re-allocates them).
+    for (const WalDeltaPage& dp : wal.delta_pages) {
+      if (dp.chunk_ordinal >= part.chunks.size()) continue;
+      if (dp.page_no >= file.num_pages()) continue;
+      std::vector<uint64_t>& list =
+          part.chunks[dp.chunk_ordinal].delta_pages;
+      if (std::find(list.begin(), list.end(), dp.page_no) == list.end()) {
+        list.push_back(dp.page_no);
+      }
+    }
+    // Keep the page index dense (orphan pages get never-matching dummy
+    // entries) and conservative for delta pages.
+    while (part.page_index.size() < file.num_pages()) {
+      part.page_index.push_back(
+          {part.page_index.size(), kInvalidVertex, 0});
+    }
+    for (const EdgeChunkInfo& chunk : part.chunks) {
+      for (const uint64_t page_no : chunk.delta_pages) {
+        PageIndexEntry& entry = part.page_index[page_no];
+        entry.src_min = chunk.src_range.begin;
+        entry.src_max =
+            chunk.src_range.end > 0 ? chunk.src_range.end - 1 : 0;
+      }
+    }
+
+    // Replay uncommitted batches. Metadata increments are NOT trusted
+    // here — the kill may have landed between a page write and its
+    // metadata bump — so degrees are recounted from disk afterwards.
+    std::unordered_set<VertexId> touched;
+    uint64_t machine_epoch = pg_->mutation_epoch;
+    for (const auto& [epoch, muts] : wal.uncommitted) {
+      TGPP_RETURN_IF_ERROR(ApplyMachine(m, epoch, muts,
+                                        /*count_metadata=*/false, stats,
+                                        &touched));
+      if (epoch > machine_epoch) machine_epoch = epoch;
+      ++replayed_batches;
+    }
+    if (!touched.empty()) {
+      TGPP_RETURN_IF_ERROR(RecountDegrees(m, touched));
+    }
+    if (!wal.uncommitted.empty()) {
+      TGPP_RETURN_IF_ERROR(CommitMachine(m, machine_epoch, stats));
+    }
+  }
+
+  pg_->mutation_epoch = max_epoch;
+  stats->epoch = max_epoch;
+  std::sort(stats->affected.begin(), stats->affected.end());
+  stats->affected.erase(
+      std::unique(stats->affected.begin(), stats->affected.end()),
+      stats->affected.end());
+  wal_bytes_.Add(stats->wal_bytes);
+  obs::EmitEvent(obs::EventType::kWalReplayed, 0, -1, -1, nullptr, "epoch",
+                 max_epoch, "batches", replayed_batches, "affected",
+                 stats->affected.size());
+  return Status::OK();
+}
+
+}  // namespace tgpp::dyn

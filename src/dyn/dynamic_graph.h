@@ -1,0 +1,106 @@
+// DynamicGraph: the mutation façade of the dynamic-graph subsystem
+// (docs/DYNAMIC.md). Owns the epoch counter and a per-machine WAL, and
+// applies UpdateBatches to the partitioned on-disk graph through the
+// buffer pool's dirty-page write path.
+//
+// Apply protocol for one batch (epoch E = current + 1):
+//   1. durability — append the batch to the WAL of every machine that
+//      owns mutated sources, fsync (kBatch records).
+//   2. apply — for each mutation, locate the (src, dst) edge chunk and
+//      edit its slotted pages in place via BufferPool::Overwrite:
+//      inserts extend/append records in free space or allocate overflow
+//      delta pages (kDeltaPage records), deletes compact records in
+//      place. Inserting a present edge / deleting an absent one is a
+//      counted no-op, which makes replay idempotent.
+//   3. commit — flush dirty frames, fsync the edge file, append kCommit.
+//
+// A machine killed between (1) and (3) loses its un-flushed page writes
+// (volatile state); Recover() drops the pool, replays uncommitted WAL
+// batches, recounts the out-degrees of touched sources from disk, and
+// commits — converging to the same bytes as a fault-free apply.
+//
+// Consistency: callers serialize ApplyBatch against queries (the job
+// service runs update jobs exclusively), so every query sees the graph
+// at exactly one epoch.
+
+#ifndef TGPP_DYN_DYNAMIC_GRAPH_H_
+#define TGPP_DYN_DYNAMIC_GRAPH_H_
+
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "dyn/update_batch.h"
+#include "dyn/wal.h"
+#include "obs/metrics.h"
+#include "partition/partitioner.h"
+
+namespace tgpp::dyn {
+
+class DynamicGraph {
+ public:
+  // `pg` must outlive this object and stay pinned (no repartition while
+  // mutations exist: Repartition rewrites the pages from the original
+  // edge list and would silently drop applied batches).
+  DynamicGraph(Cluster* cluster, PartitionedGraph* pg);
+
+  DynamicGraph(const DynamicGraph&) = delete;
+  DynamicGraph& operator=(const DynamicGraph&) = delete;
+
+  // Applies one batch as a new epoch. On Status::MachineLost the batch is
+  // durable in the WAL but incompletely applied — call
+  // Cluster::ReviveAllMachines() + Recover() to finish it.
+  Status ApplyBatch(const UpdateBatch& batch, ApplyStats* stats = nullptr);
+
+  // Replays uncommitted WAL batches on every machine after a kill (drops
+  // each pool's un-flushed state first, to model the volatile loss).
+  // Safe to call when there is nothing to do.
+  Status Recover(ApplyStats* stats = nullptr);
+
+  // Epoch of the last committed batch; 0 = pristine graph.
+  uint64_t epoch() const { return pg_->mutation_epoch; }
+
+  PartitionedGraph* pg() { return pg_; }
+
+ private:
+  // Applies one machine's mutations (NEW-id space) to its pages.
+  // `count_metadata` is false during replay, where degrees are recounted
+  // from disk afterwards instead of trusted increments.
+  Status ApplyMachine(int m, uint64_t epoch,
+                      std::span<const EdgeMutation> muts_new_ids,
+                      bool count_metadata, ApplyStats* stats,
+                      std::unordered_set<VertexId>* touched_srcs);
+
+  Status ApplyOneInsert(int m, PageFile* file, uint64_t epoch,
+                        VertexId src, VertexId dst, bool count_metadata,
+                        ApplyStats* stats);
+  Status ApplyOneDelete(int m, PageFile* file, VertexId src, VertexId dst,
+                        bool count_metadata, ApplyStats* stats);
+
+  // Chunk ordinal (index into machines[m].chunks) owning (src, dst).
+  int ChunkOrdinalFor(int m, VertexId src, VertexId dst) const;
+
+  // Rebuilds out_degree for `srcs` and num_edges for the chunks that
+  // contain them by scanning the machine's pages (recovery path).
+  Status RecountDegrees(int m, const std::unordered_set<VertexId>& srcs);
+
+  // Flush + fsync + kCommit on one machine.
+  Status CommitMachine(int m, uint64_t epoch, ApplyStats* stats);
+
+  Cluster* cluster_;
+  PartitionedGraph* pg_;
+  std::vector<std::unique_ptr<Wal>> wals_;  // one per machine
+
+  obs::Counter edges_inserted_;
+  obs::Counter edges_deleted_;
+  obs::Counter wal_bytes_;
+  obs::Counter delta_pages_;
+  obs::Counter affected_frontier_;
+  std::vector<obs::Registration> registrations_;
+};
+
+}  // namespace tgpp::dyn
+
+#endif  // TGPP_DYN_DYNAMIC_GRAPH_H_

@@ -1,0 +1,313 @@
+// Incremental recompute kernels for mutated graphs (docs/DYNAMIC.md,
+// docs/ALGORITHMS.md).
+//
+// Each kernel comes as ONE k-walk program with two init modes:
+//
+//   cold — from-scratch state; running it on the mutated graph IS the
+//          full recompute baseline.
+//   warm — state of a previous converged run plus per-batch corrections;
+//          only vertices whose local invariant broke start active, so the
+//          first frontier is the sparse set of affected vertices and work
+//          is proportional to the mutation's blast radius.
+//
+// Every gather here is an order-independent combine (integer add, min),
+// so a single run's result never depends on schedule or partitioning.
+// Whether warm equals cold BIT-FOR-BIT depends on whether the kernel's
+// fixed point is unique:
+//
+//   wcc-inc  — exact (bit-identical) for insert-only batches: labels
+//              move monotonically down to the unique min-label fixed
+//              point. Deletes can split a component, which
+//              min-propagation cannot undo: callers must cold-run when
+//              the batch HasDeletes().
+//   sssp-inc — exact (bit-identical) for insert-only batches: distances
+//              move monotonically down to the unique shortest-distance
+//              fixed point. Same cold fallback on deletes.
+//   pr-inc   — invariant-exact but quantization-bounded, for inserts
+//              AND deletes: the warm run converges to a true quiescent
+//              state of the same integer equations, but floor division
+//              makes that fixed point non-unique (see the kernel), so
+//              warm can settle a few truncation units away from the
+//              cold result rather than on the same bytes (tests bound
+//              the rank gap at kPrIncScale/1000, i.e. 0.1% of a unit
+//              rank; observed gaps are ~1e-5 relative). Callers needing
+//              a bit-exact PR digest must cold-run.
+
+#ifndef TGPP_DYN_INCREMENTAL_H_
+#define TGPP_DYN_INCREMENTAL_H_
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/app.h"
+#include "dyn/update_batch.h"
+#include "partition/partitioner.h"
+
+namespace tgpp::dyn {
+
+// Affected ORIGINAL ids → the NEW-id seed set for warm inits.
+inline std::unordered_set<VertexId> SeedsFromAffected(
+    const PartitionedGraph* pg, std::span<const VertexId> affected_old) {
+  std::unordered_set<VertexId> seeds;
+  seeds.reserve(affected_old.size());
+  for (const VertexId old_id : affected_old) {
+    seeds.insert(pg->old_to_new[old_id]);
+  }
+  return seeds;
+}
+
+// --- incremental PageRank (integer delta formulation) ---------------------
+//
+// Fixed-point integer PageRank: rank ≈ kPrIncScale * pagerank. Instead of
+// recomputing rank from all in-contributions each round (the classic
+// power iteration), every vertex accumulates a running sum of
+// contribution DELTAS and broadcasts only when its own contribution
+// changes:
+//
+//   contrib(v) = (rank[v] * 85 / 100) / deg[v]      (integer division)
+//   rank[v]    = kPrIncBase + sum[v]
+//   invariant  : sum[v] == Σ announced[u] over current in-edges (u, v)
+//   quiescence : contrib(v) == announced[v] for all v
+//
+// Deltas are integers and gather is +, so the converged state does not
+// depend on arrival order or schedule. A mutated edge (u, v) breaks the
+// invariant at v by exactly ±announced[u] (v has accumulated a
+// contribution it should not have, or is missing one) and changes
+// deg[u] so u's contribution re-divides; the warm init injects the
+// ±announced[u] correction at v and activates any vertex whose
+// contribution no longer matches what it announced.
+//
+// Why warm is quantization-bounded rather than bit-identical: the
+// quiescent states are the fixed points of the monotone integer map
+// F(announced)[v] = contrib(base + Σ_in announced[u]), and floor
+// division makes that fixed point NON-unique — adjacent lattice points
+// one truncation unit apart can both be self-consistent (hysteresis).
+// The cold run ascends from ⊥ and reaches the LEAST fixed point. ANY
+// mutation can leave the corrected warm state above the new least fixed
+// point — a delete removes a contribution downstream ranks had already
+// compounded, and even a pure insert raises deg[u], LOWERING u's
+// per-edge share — and a descent from above may stall on a higher fixed
+// point (observed: announced off by 1-2, ranks by the in-degree's
+// worth of truncation units). The warm result is still a genuine fixed
+// point of the same equations with the sum invariant holding exactly;
+// only the low-order truncation bits are path-dependent, and tests
+// bound the rank gap at kPrIncScale/1000.
+
+inline constexpr int64_t kPrIncScale = 1'000'000;
+inline constexpr int64_t kPrIncBase = kPrIncScale * 15 / 100;
+
+struct PrIncAttr {
+  int64_t rank;       // kPrIncBase + sum
+  int64_t sum;        // accumulated in-contributions
+  int64_t announced;  // contribution out-neighbors have accumulated
+  uint64_t deg;       // out-degree at init time
+  uint64_t active;    // scattered this superstep (mirrors the frontier)
+};
+
+inline int64_t PrIncContrib(int64_t rank, uint64_t deg) {
+  if (deg == 0) return 0;
+  return (rank * 85 / 100) / static_cast<int64_t>(deg);
+}
+
+// Per-vertex correction terms (NEW ids) for a warm start, from the
+// batch's actually-applied mutations (ApplyStats::applied — skipped
+// no-ops must not inject) and the previous converged state.
+inline std::unordered_map<VertexId, int64_t> BuildPrInjections(
+    const PartitionedGraph* pg, std::span<const EdgeMutation> applied,
+    const std::vector<PrIncAttr>& warm_by_old_id) {
+  std::unordered_map<VertexId, int64_t> inject;
+  for (const EdgeMutation& m : applied) {
+    const int64_t a = warm_by_old_id[m.src].announced;
+    if (a == 0) continue;
+    inject[pg->old_to_new[m.dst]] += m.op == EdgeOp::kInsert ? a : -a;
+  }
+  return inject;
+}
+
+// `warm_by_old_id` null → cold init (the full-recompute baseline);
+// non-null → warm init with `inject` corrections (BuildPrInjections).
+inline KWalkApp<PrIncAttr, int64_t> MakePageRankIncApp(
+    const PartitionedGraph* pg,
+    const std::vector<PrIncAttr>* warm_by_old_id = nullptr,
+    std::unordered_map<VertexId, int64_t> inject = {}) {
+  KWalkApp<PrIncAttr, int64_t> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kAllVertices;  // sums accumulate everywhere
+  app.max_supersteps = 1000;  // damping converges in ~90 integer rounds
+
+  if (warm_by_old_id == nullptr) {
+    TGPP_CHECK(inject.empty()) << "injections require a warm state";
+    app.init = [pg](VertexId vid, PrIncAttr& attr) {
+      attr.rank = kPrIncBase;  // sum starts empty
+      attr.sum = 0;
+      attr.announced = 0;
+      attr.deg = pg->out_degree[vid];
+      attr.active = PrIncContrib(attr.rank, attr.deg) != attr.announced;
+      return attr.active != 0;
+    };
+  } else {
+    app.init = [pg, warm_by_old_id,
+                inject = std::move(inject)](VertexId vid, PrIncAttr& attr) {
+      attr = (*warm_by_old_id)[pg->new_to_old[vid]];
+      attr.deg = pg->out_degree[vid];  // mutations changed degrees
+      auto it = inject.find(vid);
+      if (it != inject.end()) {
+        attr.sum += it->second;
+        attr.rank = kPrIncBase + attr.sum;
+      }
+      attr.active = PrIncContrib(attr.rank, attr.deg) != attr.announced;
+      return attr.active != 0;
+    };
+  }
+
+  app.adj_scatter[1] = [](ScatterContext<PrIncAttr, int64_t>& ctx, VertexId,
+                          const PrIncAttr& attr,
+                          std::span<const VertexId> adj) {
+    const int64_t delta =
+        PrIncContrib(attr.rank, attr.deg) - attr.announced;
+    if (delta == 0) return;
+    for (VertexId v : adj) ctx.Update(v, delta);
+  };
+  app.vertex_gather = [](int64_t& acc, const int64_t& in) { acc += in; };
+  app.vertex_apply = [](VertexId, PrIncAttr& attr, const int64_t* update) {
+    if (attr.active != 0) {
+      // This vertex scattered with the pre-apply rank: its neighbors now
+      // hold exactly this contribution.
+      attr.announced = PrIncContrib(attr.rank, attr.deg);
+    }
+    if (update != nullptr) attr.sum += *update;
+    attr.rank = kPrIncBase + attr.sum;
+    attr.active = PrIncContrib(attr.rank, attr.deg) != attr.announced;
+    return attr.active != 0;
+  };
+  return app;
+}
+
+// --- incremental WCC (warm min-label propagation) -------------------------
+//
+// Same update rule as MakeWccApp (algos/wcc.h): labels are ORIGINAL ids,
+// each component converges to its minimum. After an insert-only batch an
+// old component is a subset of its new component, so the new minimum is
+// already present among the warm labels; seeding the inserted edges'
+// endpoints lets it propagate across the new edges. Exact for inserts;
+// callers MUST cold-run on batches with deletes (splits are invisible to
+// min-propagation).
+
+struct WccIncAttr {
+  uint64_t label;
+};
+
+// `warm_labels_by_old_id` empty → cold init (equivalent to MakeWccApp).
+inline KWalkApp<WccIncAttr, uint64_t> MakeWccIncApp(
+    const PartitionedGraph* pg,
+    std::vector<uint64_t> warm_labels_by_old_id = {},
+    std::unordered_set<VertexId> seeds_new = {}) {
+  KWalkApp<WccIncAttr, uint64_t> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kUpdatedOnly;
+  app.max_supersteps = static_cast<int>(pg->num_vertices) + 1;
+
+  if (warm_labels_by_old_id.empty()) {
+    app.init = [pg](VertexId vid, WccIncAttr& attr) {
+      attr.label = pg->new_to_old[vid];
+      return true;
+    };
+  } else {
+    app.init = [pg, warm = std::move(warm_labels_by_old_id),
+                seeds = std::move(seeds_new)](VertexId vid,
+                                              WccIncAttr& attr) {
+      attr.label = warm[pg->new_to_old[vid]];
+      return seeds.count(vid) > 0;
+    };
+  }
+
+  app.adj_scatter[1] = [](ScatterContext<WccIncAttr, uint64_t>& ctx,
+                          VertexId, const WccIncAttr& attr,
+                          std::span<const VertexId> adj) {
+    for (VertexId v : adj) ctx.Update(v, attr.label);
+  };
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) {
+    if (in < acc) acc = in;
+  };
+  app.vertex_apply = [](VertexId, WccIncAttr& attr,
+                        const uint64_t* update) {
+    if (update != nullptr && *update < attr.label) {
+      attr.label = *update;
+      return true;
+    }
+    return false;
+  };
+  return app;
+}
+
+// --- incremental SSSP (warm relaxation) -----------------------------------
+//
+// Same unit-weight relaxation as MakeSsspApp (algos/sssp.h). Warm
+// distances are valid path lengths in the mutated graph (inserts keep
+// every old path), i.e. upper bounds on the new distances; seeding the
+// inserted edges' endpoints restores the relaxation invariant ("any edge
+// that can relax has an active tail") and cascading improvements do the
+// rest. The fixed point is the true distance — unique — so warm and cold
+// runs are bit-identical. Exact for inserts; cold-run on deletes.
+
+struct SsspIncAttr {
+  uint64_t dist;
+};
+
+inline constexpr uint64_t kSsspIncInfinite = ~0ull;
+
+// `warm_dists_by_old_id` empty → cold init (equivalent to MakeSsspApp).
+inline KWalkApp<SsspIncAttr, uint64_t> MakeSsspIncApp(
+    const PartitionedGraph* pg, VertexId source_old_id,
+    std::vector<uint64_t> warm_dists_by_old_id = {},
+    std::unordered_set<VertexId> seeds_new = {}) {
+  const VertexId source = pg->old_to_new[source_old_id];
+  KWalkApp<SsspIncAttr, uint64_t> app;
+  app.k = 1;
+  app.mode = AdjMode::kPartial;
+  app.apply_mode = ApplyMode::kUpdatedOnly;
+  app.max_supersteps = static_cast<int>(pg->num_vertices) + 1;
+
+  if (warm_dists_by_old_id.empty()) {
+    app.init = [source](VertexId vid, SsspIncAttr& attr) {
+      attr.dist = (vid == source) ? 0 : kSsspIncInfinite;
+      return vid == source;
+    };
+  } else {
+    app.init = [pg, warm = std::move(warm_dists_by_old_id),
+                seeds = std::move(seeds_new)](VertexId vid,
+                                              SsspIncAttr& attr) {
+      attr.dist = warm[pg->new_to_old[vid]];
+      return seeds.count(vid) > 0 && attr.dist != kSsspIncInfinite;
+    };
+  }
+
+  app.adj_scatter[1] = [](ScatterContext<SsspIncAttr, uint64_t>& ctx,
+                          VertexId, const SsspIncAttr& attr,
+                          std::span<const VertexId> adj) {
+    if (attr.dist == kSsspIncInfinite) return;
+    const uint64_t candidate = attr.dist + 1;
+    for (VertexId v : adj) ctx.Update(v, candidate);
+  };
+  app.vertex_gather = [](uint64_t& acc, const uint64_t& in) {
+    if (in < acc) acc = in;
+  };
+  app.vertex_apply = [](VertexId, SsspIncAttr& attr,
+                        const uint64_t* update) {
+    if (update != nullptr && *update < attr.dist) {
+      attr.dist = *update;
+      return true;
+    }
+    return false;
+  };
+  return app;
+}
+
+}  // namespace tgpp::dyn
+
+#endif  // TGPP_DYN_INCREMENTAL_H_

@@ -1,0 +1,105 @@
+// UpdateBatch: a batch of edge mutations in ORIGINAL vertex-id space —
+// the unit of change of the dynamic-graph subsystem (docs/DYNAMIC.md).
+//
+// Batches are applied atomically with respect to queries: the job service
+// runs update jobs exclusively, so every query observes the graph at a
+// single epoch boundary. Mutations are idempotent by construction —
+// inserting an existing edge or deleting an absent one is a counted no-op
+// — which is what makes WAL replay after a mid-batch crash safe.
+
+#ifndef TGPP_DYN_UPDATE_BATCH_H_
+#define TGPP_DYN_UPDATE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace tgpp::dyn {
+
+enum class EdgeOp : uint8_t {
+  kInsert = 0,
+  kDelete = 1,
+};
+
+struct EdgeMutation {
+  EdgeOp op = EdgeOp::kInsert;
+  VertexId src = 0;  // ORIGINAL (pre-renumbering) vertex id
+  VertexId dst = 0;  // ORIGINAL vertex id
+
+  bool operator==(const EdgeMutation& o) const {
+    return op == o.op && src == o.src && dst == o.dst;
+  }
+};
+
+struct UpdateBatch {
+  std::vector<EdgeMutation> mutations;
+
+  bool empty() const { return mutations.empty(); }
+  size_t size() const { return mutations.size(); }
+  bool HasDeletes() const {
+    for (const EdgeMutation& m : mutations) {
+      if (m.op == EdgeOp::kDelete) return true;
+    }
+    return false;
+  }
+
+  void Insert(VertexId src, VertexId dst) {
+    mutations.push_back({EdgeOp::kInsert, src, dst});
+  }
+  void Delete(VertexId src, VertexId dst) {
+    mutations.push_back({EdgeOp::kDelete, src, dst});
+  }
+};
+
+// Per-batch apply outcome; counters feed the dyn.* metrics and the
+// `update.applied` event, `affected` seeds the incremental kernels'
+// sparse frontier (ORIGINAL ids, sorted, deduplicated).
+struct ApplyStats {
+  uint64_t inserted = 0;     // edges actually added
+  uint64_t deleted = 0;      // edges actually removed
+  uint64_t skipped = 0;      // idempotent no-ops (dup insert/absent delete)
+  uint64_t delta_pages = 0;  // overflow pages allocated by this batch
+  uint64_t wal_bytes = 0;    // WAL bytes appended by this batch
+  uint64_t epoch = 0;        // epoch this batch committed as
+  std::vector<VertexId> affected;  // endpoints of applied mutations
+  // Mutations that actually changed the graph (no-ops excluded), in apply
+  // order — the incremental kernels' correction input (dyn/incremental.h).
+  std::vector<EdgeMutation> applied;
+};
+
+// Wire/CLI text form: "+src:dst" inserts, "-src:dst" deletes; a missing
+// sign means insert. Returns kInvalidArgument on malformed input.
+inline Result<EdgeMutation> ParseEdgeMutation(const std::string& text) {
+  EdgeMutation m;
+  size_t pos = 0;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+    m.op = text[pos] == '-' ? EdgeOp::kDelete : EdgeOp::kInsert;
+    ++pos;
+  }
+  const size_t colon = text.find(':', pos);
+  if (colon == std::string::npos || colon == pos ||
+      colon + 1 >= text.size()) {
+    return Status::InvalidArgument("bad mutation '" + text +
+                                   "' (want [+|-]src:dst)");
+  }
+  try {
+    m.src = std::stoull(text.substr(pos, colon - pos));
+    m.dst = std::stoull(text.substr(colon + 1));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad mutation '" + text +
+                                   "' (non-numeric vertex id)");
+  }
+  return m;
+}
+
+inline std::string FormatEdgeMutation(const EdgeMutation& m) {
+  return std::string(m.op == EdgeOp::kDelete ? "-" : "+") +
+         std::to_string(m.src) + ":" + std::to_string(m.dst);
+}
+
+}  // namespace tgpp::dyn
+
+#endif  // TGPP_DYN_UPDATE_BATCH_H_

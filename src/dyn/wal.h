@@ -1,0 +1,98 @@
+// Per-machine write-ahead log for graph mutations (docs/DYNAMIC.md).
+//
+// The WAL generalizes the checkpoint machinery to log-replay recovery:
+// a batch is durable (appended + fsync'd) on every machine BEFORE any
+// page is mutated, so a machine killed mid-apply replays the batch from
+// its log on recovery and converges to the same bytes as a fault-free
+// run. Log format, one record after another:
+//
+//   [magic u32][kind u32][epoch u64][payload_bytes u32][crc u32][payload]
+//
+// The CRC covers the header fields (with the crc slot zeroed) plus the
+// payload, so both torn tails and bit rot are detected; scanning stops
+// at the first bad record — everything before it is trusted, everything
+// after is discarded (the standard ARIES-style torn-tail rule).
+//
+// Record kinds:
+//   kBatch     — the batch's mutations, ORIGINAL vertex ids.
+//   kDeltaPage — an overflow delta page was allocated for a chunk
+//                (logged right after the page exists on disk, before any
+//                record lands in it) so recovery can rebuild the chunk's
+//                delta-page list even if the in-memory metadata died.
+//   kCommit    — the epoch's pages were flushed; the batch is complete.
+
+#ifndef TGPP_DYN_WAL_H_
+#define TGPP_DYN_WAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "dyn/update_batch.h"
+#include "storage/disk_device.h"
+
+namespace tgpp::dyn {
+
+inline constexpr const char* kWalFileName = "dyn_wal.log";
+inline constexpr uint32_t kWalMagic = 0x57414c31;  // "WAL1"
+
+enum class WalRecordKind : uint32_t {
+  kBatch = 1,
+  kCommit = 2,
+  kDeltaPage = 3,
+};
+
+struct WalDeltaPage {
+  uint32_t chunk_ordinal = 0;  // index into MachinePartition::chunks
+  uint64_t page_no = 0;        // absolute page in the machine's edge file
+};
+
+// Everything a recovery pass needs, reconstructed from one machine's log.
+struct WalContents {
+  uint64_t committed_epoch = 0;  // highest epoch with a kCommit record
+  uint64_t max_epoch = 0;        // highest epoch seen at all
+  // Batch records newer than committed_epoch, in log order — the replay
+  // work list.
+  std::vector<std::pair<uint64_t, std::vector<EdgeMutation>>> uncommitted;
+  // Every delta-page allocation in log order (committed ones included:
+  // the chunk metadata must list them regardless of the batch outcome).
+  std::vector<WalDeltaPage> delta_pages;
+  uint64_t bytes_scanned = 0;
+  bool torn_tail = false;  // a partial/bad record ended the scan
+};
+
+// One machine's mutation log. Appends fsync before returning, so a
+// record that Append reported success for survives a kill.
+class Wal {
+ public:
+  Wal(DiskDevice* disk, std::string file_name = kWalFileName)
+      : disk_(disk), file_name_(std::move(file_name)) {}
+
+  Status AppendBatch(uint64_t epoch, std::span<const EdgeMutation> muts,
+                     uint64_t* bytes_out);
+  Status AppendDeltaPage(uint64_t epoch, const WalDeltaPage& page,
+                         uint64_t* bytes_out);
+  Status AppendCommit(uint64_t epoch, uint64_t* bytes_out);
+
+  // Scans the whole log. Missing file = empty contents (not an error).
+  Result<WalContents> Read() const;
+
+  // Drops the log (after a full re-checkpoint makes it redundant).
+  Status Truncate();
+
+  const std::string& file_name() const { return file_name_; }
+
+ private:
+  Status AppendRecord(WalRecordKind kind, uint64_t epoch,
+                      std::span<const uint8_t> payload, uint64_t* bytes_out);
+
+  DiskDevice* disk_;
+  std::string file_name_;
+};
+
+}  // namespace tgpp::dyn
+
+#endif  // TGPP_DYN_WAL_H_

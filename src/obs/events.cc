@@ -125,6 +125,10 @@ const char* EventTypeName(EventType type) {
       return "machine.lost";
     case EventType::kPoolReadFailed:
       return "pool.read_failed";
+    case EventType::kUpdateApplied:
+      return "update.applied";
+    case EventType::kWalReplayed:
+      return "wal.replayed";
       // EVENT-TYPES-END
   }
   return "unknown";

@@ -71,6 +71,10 @@ enum class EventType : uint8_t {
   // Buffer pool (src/storage/buffer_pool.cc): a page read that failed and
   // withdrew its in-flight entry (rare; job-attributed via ambient id).
   kPoolReadFailed,
+  // Dynamic graphs (src/dyn/dynamic_graph.cc): an update batch committed
+  // as a new epoch / a recovery pass replayed uncommitted WAL batches.
+  kUpdateApplied,
+  kWalReplayed,
 };
 
 const char* EventTypeName(EventType type);

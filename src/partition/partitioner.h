@@ -57,6 +57,21 @@ struct EdgeChunkInfo {
   uint64_t num_edges = 0;
   uint64_t first_page = 0;
   uint64_t num_pages = 0;
+  // Overflow delta pages appended by the dynamic-graph mutator when an
+  // insert no longer fits in the chunk's base pages (docs/DYNAMIC.md).
+  // Scans visit base pages first, then delta pages in this order.
+  std::vector<uint64_t> delta_pages;
+
+  // All pages of this chunk, base then delta, in scan order.
+  std::vector<uint64_t> PageNumbers() const {
+    std::vector<uint64_t> pages;
+    pages.reserve(num_pages + delta_pages.size());
+    for (uint64_t p = first_page; p < first_page + num_pages; ++p) {
+      pages.push_back(p);
+    }
+    pages.insert(pages.end(), delta_pages.begin(), delta_pages.end());
+    return pages;
+  }
 };
 
 struct MachinePartition {
@@ -83,6 +98,12 @@ struct PartitionedGraph {
   std::vector<uint64_t> out_degree;  // indexed by NEW id
 
   std::vector<MachinePartition> machines;
+
+  // Bumped by dyn::DynamicGraph once per applied update batch. A mutated
+  // graph (epoch > 0) loses the within-chunk dst ordering guarantee, so
+  // full-list materialization sorts each merged adjacency list.
+  uint64_t mutation_epoch = 0;
+  bool mutated() const { return mutation_epoch > 0; }
 
   // Owner machine of a new-ID vertex.
   int OwnerOf(VertexId new_id) const;

@@ -56,7 +56,10 @@ inline bool IsTerminal(JobState state) {
 
 // What a client submits. `query` is one of pr|bfs|sssp|sssp-delta|wcc|
 // wcc-sampled|kcore|lp|mis|tc|lcc|clique4 (the same names
-// `tgpp run --query` accepts; catalog in docs/ALGORITHMS.md).
+// `tgpp run --query` accepts; catalog in docs/ALGORITHMS.md), or
+// "update" — a graph mutation batch (docs/DYNAMIC.md) that runs
+// EXCLUSIVELY: it reserves the whole admission ledger, so it shares the
+// cluster with no query and every query sees a single mutation epoch.
 struct JobSpec {
   std::string query = "pr";
   int iterations = 10;        // pr iterations / lp rounds
@@ -65,6 +68,9 @@ struct JobSpec {
   int64_t deadline_ms = 0;    // relative to submit; 0 = no deadline
   bool deterministic = true;  // bit-reproducible results (the default so
                               // concurrent == serial is checkable)
+  // query == "update" only: edge mutations in "[+|-]src:dst" text form
+  // (ORIGINAL ids; dyn::ParseEdgeMutation), validated at Submit.
+  std::vector<std::string> mutations;
 };
 
 // Snapshot of one job, returned by status/jobs queries. Plain data — safe
@@ -83,6 +89,12 @@ struct JobRecord {
   double run_seconds = 0;        // admitted -> terminal
   int attempts = 0;              // runs of the job (1 + retries taken)
   bool retries_exhausted = false;  // failed retryable after max_retries
+  // Update jobs only (docs/DYNAMIC.md): epoch the batch committed as and
+  // the final attempt's applied counts (after a retried apply, earlier
+  // partial progress shows up as idempotent skips, not here).
+  uint64_t epoch = 0;
+  uint64_t edges_inserted = 0;
+  uint64_t edges_deleted = 0;
 };
 
 // Profile rows are capped so a long-running iterative job can't grow the

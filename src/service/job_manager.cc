@@ -161,8 +161,10 @@ Result<int> RequiredQForService(Cluster& cluster, uint64_t num_vertices,
 }
 
 JobManager::JobManager(Cluster* cluster, const PartitionedGraph* pg,
-                       JobServiceOptions options)
-    : cluster_(cluster), pg_(pg), options_(options) {
+                       JobServiceOptions options, dyn::DynamicGraph* dynamic)
+    : cluster_(cluster), pg_(pg), options_(options), dynamic_(dynamic) {
+  TGPP_CHECK(dynamic_ == nullptr || dynamic_->pg() == pg_)
+      << "DynamicGraph must wrap the manager's partitioned graph";
   TGPP_CHECK(options_.max_running >= 1);
   const uint64_t capacity =
       options_.ledger_capacity_override != 0
@@ -199,6 +201,9 @@ JobManager::JobManager(Cluster* cluster, const PartitionedGraph* pg,
 JobManager::~JobManager() { Shutdown(); }
 
 uint64_t JobManager::EstimateReservation(const JobSpec& spec) const {
+  // Update jobs take the whole ledger: exclusivity is their correctness
+  // property (snapshot-consistent reads), not a sizing estimate.
+  if (spec.query == "update") return ledger_->capacity();
   auto shape = ShapeOf(spec.query);
   if (!shape.ok()) return 0;
   MemoryModelInput in;
@@ -212,13 +217,33 @@ uint64_t JobManager::EstimateReservation(const JobSpec& spec) const {
 }
 
 Result<uint64_t> JobManager::Submit(const JobSpec& spec) {
-  TGPP_RETURN_IF_ERROR(ShapeOf(spec.query).status());
+  std::vector<dyn::EdgeMutation> parsed;
+  if (spec.query == "update") {
+    if (dynamic_ == nullptr) {
+      return Status::InvalidArgument(
+          "service has no dynamic-graph subsystem attached; "
+          "update jobs are not accepted");
+    }
+    parsed.reserve(spec.mutations.size());
+    for (const std::string& text : spec.mutations) {
+      TGPP_ASSIGN_OR_RETURN(dyn::EdgeMutation m,
+                            dyn::ParseEdgeMutation(text));
+      if (m.src >= pg_->num_vertices || m.dst >= pg_->num_vertices) {
+        return Status::InvalidArgument("mutation endpoint out of range: " +
+                                       text);
+      }
+      parsed.push_back(m);
+    }
+  } else {
+    TGPP_RETURN_IF_ERROR(ShapeOf(spec.query).status());
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) return Status::Aborted("job service is shut down");
 
   auto job = std::make_unique<Job>();
   job->id = next_id_++;
   job->spec = spec;
+  job->parsed_mutations = std::move(parsed);
   job->submit_time = std::chrono::steady_clock::now();
   if (spec.deadline_ms > 0) {
     job->cancel.SetTimeout(std::chrono::milliseconds(spec.deadline_ms));
@@ -266,9 +291,14 @@ void JobManager::PumpLocked() {
       continue;
     }
 
-    const uint64_t reservation = options_.reservation_override != 0
-                                     ? options_.reservation_override
-                                     : EstimateReservation(job->spec);
+    // The override never shrinks an update job's reservation: exclusivity
+    // is load-bearing (snapshot consistency), not a tunable.
+    const uint64_t reservation =
+        job->spec.query == "update"
+            ? ledger_->capacity()
+            : (options_.reservation_override != 0
+                   ? options_.reservation_override
+                   : EstimateReservation(job->spec));
     Status reserved =
         ledger_->Reserve(reservation, "job" + std::to_string(job->id));
     if (!reserved.ok()) {
@@ -319,6 +349,10 @@ void JobManager::RunJob(Job* job) {
   if (trace::Enabled()) {
     trace::SetCurrentThreadName("job" + std::to_string(job->id) + "." +
                                 job->spec.query);
+  }
+  if (job->spec.query == "update") {
+    RunUpdateJob(job);
+    return;
   }
   EngineOptions options;
   options.deterministic = job->spec.deterministic;
@@ -480,6 +514,91 @@ void JobManager::RunJob(Job* job) {
   cv_.notify_all();
 }
 
+// Runner body for update jobs: no engine, no fabric traffic — the batch
+// goes straight through the DynamicGraph's WAL + page-edit path while
+// the job holds the entire ledger (nothing else runs). Machine loss is
+// retryable the dyn way: revive, WAL-replay recovery, then a full
+// idempotent re-apply (mutations that already landed become counted
+// skips), converging to the same bytes as a fault-free apply.
+void JobManager::RunUpdateJob(Job* job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->state = JobState::kRunning;
+    job->profile.job_id = job->id;
+    cv_.notify_all();
+  }
+  obs::EmitEvent(obs::EventType::kJobStart, job->id);
+  obs::SetCurrentJob(job->id);  // attribute update.applied/wal.replayed
+
+  dyn::UpdateBatch batch;
+  batch.mutations = job->parsed_mutations;
+  dyn::ApplyStats stats;
+  Status status;
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    Status token = job->cancel.Check();
+    if (!token.ok()) {
+      status = token;
+      break;
+    }
+    stats = dyn::ApplyStats{};
+    {
+      trace::TraceSpan run_span("service.update", "service");
+      run_span.AddArg("job", job->id);
+      run_span.AddArg("attempt", static_cast<uint64_t>(attempt));
+      status = dynamic_->ApplyBatch(batch, &stats);
+    }
+    if (!status.ok() && status.IsMachineLost()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->profile.lost_machine = status.machine_id();
+    }
+    if (status.ok() || !status.IsRetryable()) break;
+    if (attempt > options_.max_retries) break;
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++job->profile.recoveries;
+    }
+    cluster_->ReviveAllMachines();
+    Status recovered = dynamic_->Recover();
+    if (!recovered.ok()) {
+      status = recovered;
+      break;
+    }
+    job_retries_.Add(1);
+    obs::EmitEvent(obs::EventType::kJobRetry, job->id, -1, -1,
+                   StatusCodeToString(status.code()), "attempt",
+                   static_cast<uint64_t>(attempt));
+    TGPP_LOG(Warning) << "update job " << job->id << " attempt " << attempt
+                      << " failed (" << StatusCodeToString(status.code())
+                      << ": " << status.message()
+                      << "); recovered, retrying";
+    if (!WaitBackoff(job, attempt)) {
+      Status token2 = job->cancel.Check();
+      if (!token2.ok()) status = token2;
+      break;
+    }
+  }
+  obs::SetCurrentJob(0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  job->attempts = attempt;
+  job->retries_exhausted = !status.ok() && status.IsRetryable();
+  job->epoch = stats.epoch;
+  job->edges_inserted = stats.inserted;
+  job->edges_deleted = stats.deleted;
+  JobState terminal = JobState::kDone;
+  if (status.IsCancelled()) {
+    terminal = JobState::kCancelled;
+  } else if (!status.ok()) {
+    terminal = JobState::kFailed;
+  }
+  FinishLocked(job, terminal, status);
+  PumpLocked();
+  cv_.notify_all();
+}
+
 // Backoff before retry `attempt` (1-based): retry_backoff_ms * 2^(N-1)
 // plus a deterministic jitter in [0, retry_backoff_ms) keyed on
 // (seed, job id, attempt) — reproducible for tests, decorrelated across
@@ -592,6 +711,9 @@ JobRecord JobManager::SnapshotLocked(const Job& job) const {
   record.run_seconds = job.run_seconds;
   record.attempts = job.attempts;
   record.retries_exhausted = job.retries_exhausted;
+  record.epoch = job.epoch;
+  record.edges_inserted = job.edges_inserted;
+  record.edges_deleted = job.edges_deleted;
   return record;
 }
 

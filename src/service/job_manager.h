@@ -46,6 +46,7 @@
 #include "cluster/cluster.h"
 #include "common/cancel_token.h"
 #include "core/memory_model.h"
+#include "dyn/dynamic_graph.h"
 #include "obs/metrics.h"
 #include "partition/partitioner.h"
 #include "service/job.h"
@@ -92,9 +93,16 @@ class JobManager {
   // `cluster` and `pg` must outlive the manager. The graph must already
   // be partitioned with a q sufficient for the submitted queries (see
   // RequiredQForService); the manager never repartitions — that would
-  // drop the shared buffer pools under running jobs.
+  // drop the shared buffer pools under running jobs (and, with a
+  // DynamicGraph attached, silently rebuild pages without its applied
+  // mutations). `dynamic` (optional, must outlive the manager, must wrap
+  // the same `pg`) enables "update" jobs; without it they are rejected
+  // at Submit. Update jobs reserve the ENTIRE ledger, so admission runs
+  // them exclusively — that is what makes query reads snapshot-consistent
+  // (one epoch per query) without a read lock on the graph.
   JobManager(Cluster* cluster, const PartitionedGraph* pg,
-             JobServiceOptions options = {});
+             JobServiceOptions options = {},
+             dyn::DynamicGraph* dynamic = nullptr);
   ~JobManager();
 
   JobManager(const JobManager&) = delete;
@@ -157,6 +165,11 @@ class JobManager {
     // was retryable but ran out of attempts (exit code 6 in `tgpp jobs`).
     int attempts = 0;
     bool retries_exhausted = false;
+    // Update jobs: parsed batch + outcome (mirrors JobRecord).
+    std::vector<dyn::EdgeMutation> parsed_mutations;
+    uint64_t epoch = 0;
+    uint64_t edges_inserted = 0;
+    uint64_t edges_deleted = 0;
     // Accumulated under mu_ by the runner's superstep observer; snapshot
     // with GetProfile. Lives in the Job (not the engine) so it survives
     // retries and is queryable after the runner exits.
@@ -169,6 +182,9 @@ class JobManager {
   void PumpLocked();
   void FinishLocked(Job* job, JobState state, const Status& status);
   void RunJob(Job* job);
+  // Runner body for query == "update": ApplyBatch with job-level retry
+  // (revive + WAL recovery + idempotent re-apply on machine loss).
+  void RunUpdateJob(Job* job);
   JobRecord SnapshotLocked(const Job& job) const;
   Job* FindLocked(uint64_t id) const;
 
@@ -185,6 +201,7 @@ class JobManager {
   Cluster* cluster_;
   const PartitionedGraph* pg_;
   JobServiceOptions options_;
+  dyn::DynamicGraph* dynamic_;  // null = update jobs rejected
   std::unique_ptr<ReservationLedger> ledger_;
 
   mutable std::mutex mu_;

@@ -188,6 +188,30 @@ std::string JobServer::HandleLine(const std::string& line,
     return JsonWriter().Bool("ok", true).UInt("id", *id).Close();
   }
 
+  if (*cmd == "update") {
+    // Sugar for submit with query="update" (docs/DYNAMIC.md). With
+    // "wait":true the reply is the terminal record (epoch, counts)
+    // instead of just the id — the common closed-loop client shape.
+    auto spec = ParseJobSpec(*request);
+    if (!spec.ok()) return ErrorLine(spec.status());
+    spec->query = "update";
+    auto id = manager_->Submit(*spec);
+    if (!id.ok()) return ErrorLine(id.status());
+    auto wait = request->BoolOr("wait", false);
+    if (!wait.ok()) return ErrorLine(wait.status());
+    if (*wait) {
+      auto timeout = request->IntOr("timeout_ms", -1);
+      if (!timeout.ok()) return ErrorLine(timeout.status());
+      auto record = manager_->Wait(*id, *timeout);
+      if (!record.ok()) return ErrorLine(record.status());
+      return JsonWriter()
+          .Bool("ok", true)
+          .Raw("job", JobRecordToJson(*record))
+          .Close();
+    }
+    return JsonWriter().Bool("ok", true).UInt("id", *id).Close();
+  }
+
   if (*cmd == "profile") {
     auto id = request->GetInt("id");
     if (!id.ok()) return ErrorLine(id.status());

@@ -370,6 +370,11 @@ Result<JobSpec> ParseJobSpec(const JsonObject& request) {
   TGPP_ASSIGN_OR_RETURN(spec.deadline_ms, request.IntOr("deadline_ms", 0));
   TGPP_ASSIGN_OR_RETURN(spec.deterministic,
                         request.BoolOr("deterministic", true));
+  // Update jobs: "mutations":["+1:2","-3:4",...] (docs/DYNAMIC.md). The
+  // strings are validated against the graph at Submit, not here.
+  if (request.Has("mutations")) {
+    TGPP_ASSIGN_OR_RETURN(spec.mutations, request.GetArray("mutations"));
+  }
   return spec;
 }
 
@@ -387,6 +392,11 @@ std::string JobRecordToJson(const JobRecord& record) {
       .Double("queue_wait_s", record.queue_wait_seconds)
       .Double("run_s", record.run_seconds)
       .Int("attempts", record.attempts);
+  if (record.spec.query == "update") {
+    w.UInt("epoch", record.epoch)
+        .UInt("inserted", record.edges_inserted)
+        .UInt("deleted", record.edges_deleted);
+  }
   if (record.retries_exhausted) w.Bool("retries_exhausted", true);
   if (!record.error.empty()) {
     w.Str("error", record.error).Str("code", record.status_code);

@@ -150,9 +150,23 @@ Result<PageHandle> BufferPool::FetchImpl(const PageFile* file,
     }
 
     // We own the frame exclusively (pin_count == -1). Evict its old
-    // contents, then publish the new key as in-flight.
+    // contents (writing them back first if dirty), then publish the new
+    // key as in-flight.
     Frame& f = frames_[victim];
     if (f.state.load(std::memory_order_relaxed) == kValid) {
+      if (f.dirty.load(std::memory_order_acquire)) {
+        const Status wb = WriteBackFrame(&f);
+        if (!wb.ok()) {
+          // The frame's bytes are the only copy of the mutation; keep it
+          // resident and dirty, un-claim, and surface the error (a later
+          // flush or WAL replay can redo the write).
+          f.pin_count.store(0, std::memory_order_release);
+          if (stall_waiters_.load(std::memory_order_relaxed) > 0) {
+            unpin_cv_.notify_all();
+          }
+          return wb;
+        }
+      }
       Shard& old_shard = ShardFor(f.key);
       std::lock_guard<std::mutex> old_lock(old_shard.mu);
       trace::Instant("bufferpool.evict", "storage", "page", f.key.page_no);
@@ -162,6 +176,8 @@ Result<PageHandle> BufferPool::FetchImpl(const PageFile* file,
       f.state.store(kFree, std::memory_order_relaxed);
     }
     f.key = key;
+    f.wb_device = file->device();
+    f.wb_name = file->name();
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       if (shard.table.count(key) > 0) {
@@ -248,6 +264,16 @@ BufferPool::StartRead BufferPool::TryStartRead(const PageFile* file,
   // sequence as FetchImpl's miss path.
   Frame& f = frames_[victim];
   if (f.state.load(std::memory_order_relaxed) == kValid) {
+    if (f.dirty.load(std::memory_order_acquire) &&
+        !WriteBackFrame(&f).ok()) {
+      // Cannot persist the victim here; keep it resident and dirty and
+      // fall back to the blocking path, which surfaces the error.
+      f.pin_count.store(0, std::memory_order_release);
+      if (stall_waiters_.load(std::memory_order_relaxed) > 0) {
+        unpin_cv_.notify_all();
+      }
+      return out;
+    }
     Shard& old_shard = ShardFor(f.key);
     std::lock_guard<std::mutex> old_lock(old_shard.mu);
     trace::Instant("bufferpool.evict", "storage", "page", f.key.page_no);
@@ -257,6 +283,8 @@ BufferPool::StartRead BufferPool::TryStartRead(const PageFile* file,
     f.state.store(kFree, std::memory_order_relaxed);
   }
   f.key = key;
+  f.wb_device = file->device();
+  f.wb_name = file->name();
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.table.count(key) > 0) {
@@ -340,9 +368,63 @@ void BufferPool::DropAll() {
       shard.table.erase(f.key);
       resident_pages_.Add(-1);
     }
+    // Un-flushed mutations are deliberately DISCARDED, not written back:
+    // DropAll models losing volatile state (kill/recovery, cache drops
+    // between bench runs). Durability comes from the WAL, not the pool.
+    f.dirty.store(false, std::memory_order_relaxed);
     f.ref.store(false, std::memory_order_relaxed);
     ReleaseFrame(&f);
   }
+}
+
+Status BufferPool::Overwrite(const PageFile* file, uint64_t page_no,
+                             const uint8_t* page) {
+  // Route through Fetch so residency, single-read, and eviction races are
+  // handled by the existing machinery; the shared pin plus the mutation
+  // path's external serialization (update jobs run exclusively) make the
+  // copy race-free.
+  auto handle = Fetch(file, page_no);
+  if (!handle.ok()) return handle.status();
+  Frame& f = frames_[handle->frame_];
+  std::memcpy(f.data.get(), page, kPageSize);
+  f.dirty.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<uint64_t> BufferPool::FlushDirty(PageFile* file) {
+  uint64_t flushed = 0;
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    if (!f.dirty.load(std::memory_order_acquire)) continue;
+    // Pin the frame so it cannot be evicted or re-claimed mid-write.
+    if (!TryPinShared(&f)) continue;  // exclusively owned: evictor flushes
+    if (f.state.load(std::memory_order_relaxed) == kValid &&
+        f.dirty.load(std::memory_order_relaxed) &&
+        f.key.device == file->device() && f.key.file_id == file->file_id()) {
+      const Status wb = file->WritePage(f.key.page_no, f.data.get());
+      if (!wb.ok()) {
+        Unpin(static_cast<uint32_t>(i));
+        return wb;
+      }
+      f.dirty.store(false, std::memory_order_release);
+      dirty_writebacks_.Add(1);
+      ++flushed;
+    }
+    Unpin(static_cast<uint32_t>(i));
+  }
+  return flushed;
+}
+
+Status BufferPool::WriteBackFrame(Frame* f) {
+  TGPP_DCHECK(f->wb_device != nullptr);
+  const Status wb =
+      f->wb_device->Write(f->wb_name, f->key.page_no * kPageSize,
+                          f->data.get(), kPageSize);
+  if (wb.ok()) {
+    f->dirty.store(false, std::memory_order_release);
+    dirty_writebacks_.Add(1);
+  }
+  return wb;
 }
 
 void BufferPool::ResetCounters() {
@@ -350,6 +432,7 @@ void BufferPool::ResetCounters() {
   misses_.Reset();
   evictions_.Reset();
   prefetch_hits_.Reset();
+  dirty_writebacks_.Reset();
   // resident_pages_ and io_in_flight_ are levels, not counts: they still
   // reflect the frames actually cached / reads actually in flight, so
   // resets leave them alone (DropAll and completions adjust them).
@@ -363,6 +446,8 @@ void BufferPool::RegisterMetrics(obs::Registry* registry, int machine,
                    &evictions_);
   obs::TryRegister(registry, out, "bufferpool.prefetch_hits", machine,
                    &prefetch_hits_);
+  obs::TryRegister(registry, out, "bufferpool.dirty_writebacks", machine,
+                   &dirty_writebacks_);
   obs::TryRegister(registry, out, "bufferpool.resident_pages", machine,
                    &resident_pages_);
   obs::TryRegister(registry, out, "bufferpool.io_in_flight", machine,

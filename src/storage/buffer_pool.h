@@ -79,6 +79,7 @@ class PageHandle {
   void Release();
 
  private:
+  friend class BufferPool;  // Overwrite reaches the pinned frame index
   BufferPool* pool_ = nullptr;
   uint32_t frame_ = 0;
   const uint8_t* data_ = nullptr;
@@ -143,8 +144,24 @@ class BufferPool {
   std::vector<uint64_t> ResidentSubset(const PageFile* file,
                                        std::span<const uint64_t> pages);
 
+  // Copies `page` (kPageSize bytes) over the cached contents of
+  // (file, page_no) and marks the frame dirty — the write path of the
+  // dynamic-graph mutator (docs/DYNAMIC.md). The page is fetched into the
+  // pool first if absent. Writeback is deferred: dirty frames reach disk
+  // on FlushDirty (the mutation epoch's commit point) or when evicted.
+  // Callers serialize mutations against readers of the same pages — the
+  // job service runs update jobs exclusively.
+  Status Overwrite(const PageFile* file, uint64_t page_no,
+                   const uint8_t* page);
+
+  // Writes every dirty frame belonging to `file` back via WritePage and
+  // clears its dirty bit. Returns the number of pages written.
+  Result<uint64_t> FlushDirty(PageFile* file);
+
   // Drops all unpinned frames (used between benchmark runs to emulate the
-  // paper's page-cache drop). In-flight frames are left alone.
+  // paper's page-cache drop, and by WAL recovery to model the loss of
+  // volatile state on a kill: un-flushed dirty frames are DISCARDED, not
+  // written back). In-flight frames are left alone.
   void DropAll();
 
   size_t num_frames() const { return num_frames_; }
@@ -152,6 +169,7 @@ class BufferPool {
   uint64_t misses() const { return misses_.value(); }
   uint64_t evictions() const { return evictions_.value(); }
   uint64_t prefetch_hits() const { return prefetch_hits_.value(); }
+  uint64_t dirty_writebacks() const { return dirty_writebacks_.value(); }
   int64_t resident_pages() const { return resident_pages_.value(); }
   int64_t io_in_flight() const { return io_in_flight_.value(); }
   // Cumulative hit rate in [0, 1]; 0 before any Fetch.
@@ -213,6 +231,13 @@ class BufferPool {
     std::atomic<bool> ref{false};
     std::atomic<uint8_t> state{kFree};
     bool prefetched = false;
+    // Deferred-writeback state: `dirty` is set by Overwrite and cleared by
+    // FlushDirty / eviction writeback / DropAll (which discards).
+    // `wb_device`/`wb_name` identify the backing file for an eviction
+    // writeback; they are written at claim time by the exclusive owner.
+    std::atomic<bool> dirty{false};
+    DiskDevice* wb_device = nullptr;
+    std::string wb_name;
     std::unique_ptr<uint8_t[]> data;
   };
 
@@ -247,6 +272,11 @@ class BufferPool {
   // fetchers stalled on a full pool.
   void ReleaseFrame(Frame* f);
 
+  // Writes an exclusively owned dirty frame back to its backing file and
+  // clears the dirty bit (eviction path; FlushDirty goes through
+  // PageFile::WritePage instead).
+  Status WriteBackFrame(Frame* f);
+
   void Unpin(uint32_t frame);
 
   size_t num_frames_;
@@ -267,6 +297,7 @@ class BufferPool {
   obs::Counter misses_;
   obs::Counter evictions_;
   obs::Counter prefetch_hits_;
+  obs::Counter dirty_writebacks_;
   obs::Gauge resident_pages_;
   obs::Gauge io_in_flight_;
 };

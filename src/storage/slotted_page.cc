@@ -47,10 +47,17 @@ uint32_t SlottedPageBuilder::num_slots() const { return header()->num_slots; }
 
 Status SlottedPageReader::Validate() const {
   const PageHeader* h = reinterpret_cast<const PageHeader*>(buffer_);
-  if (h->free_offset > kPageSize ||
+  if (h->free_offset < sizeof(PageHeader) || h->free_offset > kPageSize ||
       static_cast<size_t>(h->num_slots) * sizeof(PageSlot) >
           kPageSize - sizeof(PageHeader)) {
     return Status::Corruption("slotted page header out of bounds");
+  }
+  // The record area and the slot directory must not overlap; a header
+  // claiming otherwise would make SlotAt read record bytes as slots.
+  if (static_cast<uint64_t>(h->free_offset) +
+          static_cast<uint64_t>(h->num_slots) * sizeof(PageSlot) >
+      kPageSize) {
+    return Status::Corruption("slotted page records overlap slot directory");
   }
   for (uint32_t i = 0; i < h->num_slots; ++i) {
     const PageSlot* slot = SlotAt(i);
@@ -62,6 +69,72 @@ Status SlottedPageReader::Validate() const {
     }
   }
   return Status::OK();
+}
+
+size_t SlottedPageMutator::FreeBytes() const {
+  const size_t slots_bytes =
+      static_cast<size_t>(header()->num_slots) * sizeof(PageSlot);
+  const size_t used = header()->free_offset + slots_bytes;
+  return used >= kPageSize ? 0 : kPageSize - used;
+}
+
+bool SlottedPageMutator::Contains(uint64_t src, uint64_t dst) const {
+  for (uint32_t i = 0; i < header()->num_slots; ++i) {
+    const PageSlot* slot = SlotAt(i);
+    if (slot->src != src) continue;
+    const uint64_t* dsts =
+        reinterpret_cast<const uint64_t*>(buffer_ + slot->offset);
+    for (uint32_t j = 0; j < slot->count; ++j) {
+      if (dsts[j] == dst) return true;
+    }
+  }
+  return false;
+}
+
+bool SlottedPageMutator::TryExtendRecord(uint32_t i, uint64_t dst) {
+  PageSlot* slot = SlotAt(i);
+  const uint32_t end =
+      slot->offset + slot->count * static_cast<uint32_t>(sizeof(uint64_t));
+  if (end != header()->free_offset) return false;  // not the tail record
+  if (FreeBytes() < sizeof(uint64_t)) return false;
+  std::memcpy(buffer_ + end, &dst, sizeof(uint64_t));
+  ++slot->count;
+  header()->free_offset = end + sizeof(uint64_t);
+  return true;
+}
+
+bool SlottedPageMutator::TryAppendRecord(uint64_t src, uint64_t dst) {
+  if (FreeBytes() < sizeof(uint64_t) + sizeof(PageSlot)) return false;
+  const uint32_t offset = header()->free_offset;
+  std::memcpy(buffer_ + offset, &dst, sizeof(uint64_t));
+  PageSlot* slot = SlotAt(header()->num_slots);
+  slot->src = src;
+  slot->offset = offset;
+  slot->count = 1;
+  header()->free_offset = offset + sizeof(uint64_t);
+  ++header()->num_slots;
+  return true;
+}
+
+bool SlottedPageMutator::RemoveDst(uint64_t src, uint64_t dst) {
+  for (uint32_t i = 0; i < header()->num_slots; ++i) {
+    PageSlot* slot = SlotAt(i);
+    if (slot->src != src) continue;
+    uint64_t* dsts = reinterpret_cast<uint64_t*>(buffer_ + slot->offset);
+    for (uint32_t j = 0; j < slot->count; ++j) {
+      if (dsts[j] != dst) continue;
+      std::memmove(dsts + j, dsts + j + 1,
+                   (slot->count - j - 1) * sizeof(uint64_t));
+      --slot->count;
+      const uint32_t end =
+          slot->offset + (slot->count + 1) * sizeof(uint64_t);
+      if (end == header()->free_offset) {
+        header()->free_offset -= sizeof(uint64_t);  // reclaim tail bytes
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace tgpp

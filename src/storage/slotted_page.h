@@ -83,7 +83,11 @@ class SlottedPageReader {
             slot->count};
   }
 
-  // Sanity-checks offsets and counts against page bounds.
+  // Sanity-checks offsets and counts against page bounds: the header must
+  // describe a page whose record area and slot directory stay disjoint and
+  // inside kPageSize, and every slot's record must lie inside the record
+  // area. Read paths call this before trusting on-disk bytes and surface
+  // the Status::Corruption instead of indexing with them.
   Status Validate() const;
 
  private:
@@ -93,6 +97,55 @@ class SlottedPageReader {
         buffer_ + kPageSize - (static_cast<size_t>(i) + 1) * sizeof(PageSlot));
   }
   const uint8_t* buffer_;
+};
+
+// In-place mutation of an existing slotted page (dynamic-graph path,
+// docs/DYNAMIC.md). All operations keep the page layout invariants that
+// SlottedPageReader::Validate checks; deletes compact the record in place
+// (no sentinel values), so every existing reader keeps working unchanged.
+// Freed bytes in the middle of the record area stay dead ("tombstoned"
+// space); bytes at the tail are reclaimed.
+class SlottedPageMutator {
+ public:
+  explicit SlottedPageMutator(uint8_t* buffer) : buffer_(buffer) {}
+
+  uint32_t num_slots() const { return header()->num_slots; }
+
+  // Bytes between the end of the record area and the slot directory.
+  size_t FreeBytes() const;
+
+  // True if some slot with source `src` contains `dst`.
+  bool Contains(uint64_t src, uint64_t dst) const;
+
+  // Appends `dst` to slot i's record. Only possible when that record is
+  // the last one in the record area (it abuts free space) and one more
+  // destination fits; returns false otherwise.
+  bool TryExtendRecord(uint32_t i, uint64_t dst);
+
+  // Appends a new single-destination record (src, [dst]). Returns false
+  // if record + slot do not fit in the free space.
+  bool TryAppendRecord(uint64_t src, uint64_t dst);
+
+  // Removes one occurrence of `dst` from any record with source `src`,
+  // compacting the record in place (count decreases by one; a tail record
+  // also gives its freed bytes back to the page). Returns false if no
+  // record with (src, dst) exists — deletes of absent edges are no-ops.
+  bool RemoveDst(uint64_t src, uint64_t dst);
+
+ private:
+  PageHeader* header() { return reinterpret_cast<PageHeader*>(buffer_); }
+  const PageHeader* header() const {
+    return reinterpret_cast<const PageHeader*>(buffer_);
+  }
+  PageSlot* SlotAt(uint32_t i) {
+    return reinterpret_cast<PageSlot*>(
+        buffer_ + kPageSize - (static_cast<size_t>(i) + 1) * sizeof(PageSlot));
+  }
+  const PageSlot* SlotAt(uint32_t i) const {
+    return reinterpret_cast<const PageSlot*>(
+        buffer_ + kPageSize - (static_cast<size_t>(i) + 1) * sizeof(PageSlot));
+  }
+  uint8_t* buffer_;
 };
 
 }  // namespace tgpp

@@ -28,9 +28,10 @@ if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
                  fabric_cluster_test storage_test status_logging_test \
                  metrics_registry_test buffer_pool_concurrency_test \
                  job_service_test frontier_test kernels_direction_test \
-                 machine_failure_test events_test
+                 machine_failure_test events_test dynamic_graph_test \
+                 incremental_test
   ctest --test-dir "$root/$asan" --output-on-failure \
-        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos|JobService|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis|MachineFailure|FabricHeartbeat|EventsTest'
+        -R 'FaultInjector|Chaos|Fabric|DiskDevice|DiskFault|Result|Status|AsyncIo|BufferPool|PageHandle|SlottedPage|PageFile|Cluster|Logging|Instruments|Registry|Export|EndToEnd|MetricsChaos|JobService|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis|MachineFailure|FabricHeartbeat|EventsTest|DynamicGraph|Incremental'
 
   # Job-service smoke under ASan: serve a small graph on loopback TCP
   # with the event log and metrics export on, submit two PageRank jobs,
@@ -115,13 +116,17 @@ if [ "${TGPP_CI_SKIP_SANITIZE:-0}" != "1" ]; then
   # The kill-recovery chaos matrix joins the TSan pass too: the heartbeat
   # monitor thread, FailableBarrier, and recovery replay are exactly the
   # cross-thread paths TSan is good at breaking.
+  # dynamic_graph_test joins TSan for the update-vs-query isolation test
+  # (ConcurrentQueriesSeeExactlyOneEpoch): concurrent readers over a
+  # mutating shared buffer pool is exactly the race surface of the
+  # dynamic-graph subsystem (docs/DYNAMIC.md).
   cmake --build "$root/$tsan" -j"$(nproc)" \
         --target storage_test buffer_pool_concurrency_test \
                  fabric_cluster_test metrics_registry_test \
                  frontier_test kernels_direction_test \
-                 machine_failure_test
+                 machine_failure_test dynamic_graph_test
   ctest --test-dir "$root/$tsan" --output-on-failure \
-        -R 'BufferPool|AsyncIo|PageHandle|DiskDevice|DiskFault|SlottedPage|PageFile|Fabric|Cluster|Instruments|Registry|Export|EndToEnd|MetricsChaos|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis|MachineFailure|FabricHeartbeat'
+        -R 'BufferPool|AsyncIo|PageHandle|DiskDevice|DiskFault|SlottedPage|PageFile|Fabric|Cluster|Instruments|Registry|Export|EndToEnd|MetricsChaos|Frontier|ChooseWindowModeTest|ChooseDirectionTest|BfsDirection|DeltaSssp|SampledWcc|KCore|LabelProp|Mis|MachineFailure|FabricHeartbeat|ConcurrentQueriesSeeExactlyOneEpoch'
 fi
 
 # Direction-optimization bench smoke: verifies push/pull/auto/sparse
@@ -143,4 +148,12 @@ cmake --build "$root/$build" -j"$(nproc)" --target bench_recovery
 # are skipped and the parity check degenerates to the threads run).
 cmake --build "$root/$build" -j"$(nproc)" --target bench_io_backend
 "$root/$build/bench/bench_io_backend" --smoke
+
+# Interactive-workload bench smoke: closed-loop 90/10 read/write mix over
+# the job service with update jobs, asserting (1) the final mutated graph
+# digests identically to an offline rebuild, (2) warm incremental
+# PageRank is bit-identical to the full recompute, and (3) WAL replay
+# after a mid-batch kill converges (see bench/bench_snb_interactive.cc).
+cmake --build "$root/$build" -j"$(nproc)" --target bench_snb_interactive
+"$root/$build/bench/bench_snb_interactive" --smoke
 echo "ci: OK"

@@ -35,6 +35,9 @@
 //                  [--iterations=10] [--source=0] [--priority=0]
 //                  [--deadline-ms=0] [--nondeterministic]
 //                  [--wait] [--timeout-ms=-1]
+//   tgpp update    (--socket=PATH | --port=N) [--add=SRC:DST]...
+//                  [--del=SRC:DST]... [--file=PATH]
+//                  [--async] [--timeout-ms=-1]
 //   tgpp jobs      (--socket=PATH | --port=N) [--json]
 //   tgpp profile   (--socket=PATH | --port=N) --id=N [--json]
 //   tgpp cancel    (--socket=PATH | --port=N) --id=N
@@ -83,6 +86,14 @@
 // JSON over the socket; `tgpp submit`/`tgpp jobs`/`tgpp cancel`/
 // `tgpp shutdown` are its clients. Protocol and lifecycle: docs/SERVICE.md.
 //
+// `tgpp update` submits an edge-mutation batch to a running server
+// (--add/--del are repeatable; --file reads one "[+|-]src:dst" per line,
+// '#' comments and blank lines skipped). Update jobs run exclusively —
+// queued behind running queries and vice versa — so every query reads the
+// graph at exactly one epoch. By default the command waits for the batch
+// to commit and prints the new epoch; --async just enqueues. Mutation
+// model, WAL durability, and epoch semantics: docs/DYNAMIC.md.
+//
 // --events-out streams the structured event log (one JSON object per
 // line, job-correlated: submit/admit/start, supersteps, checkpoints,
 // retries, recoveries, lost machines, terminal states). `tgpp profile`
@@ -101,10 +112,12 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <thread>
 #include <type_traits>
+#include <vector>
 
 #include "algos/bfs.h"
 #include "algos/clique4.h"
@@ -118,6 +131,7 @@
 #include "algos/wcc.h"
 #include "common/fault_injector.h"
 #include "core/system.h"
+#include "dyn/dynamic_graph.h"
 #include "graph/degree.h"
 #include "graph/rmat.h"
 #include "obs/events.h"
@@ -144,6 +158,20 @@ std::string FlagStr(int argc, char** argv, const std::string& key,
   return def;
 }
 
+// All occurrences of a repeatable flag, in command-line order
+// (`tgpp update --add=1:2 --add=3:4`).
+std::vector<std::string> FlagStrAll(int argc, char** argv,
+                                    const std::string& key) {
+  const std::string prefix = "--" + key + "=";
+  std::vector<std::string> values;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      values.push_back(std::string(argv[i]).substr(prefix.size()));
+    }
+  }
+  return values;
+}
+
 int64_t FlagInt(int argc, char** argv, const std::string& key,
                 int64_t def) {
   const std::string v = FlagStr(argc, argv, key, "");
@@ -166,7 +194,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tgpp <generate|stats|partition|run|serve|submit|"
-               "jobs|profile|cancel|shutdown> [--flags]\n"
+               "update|jobs|profile|cancel|shutdown> [--flags]\n"
                "see the header of tools/tgpp_cli.cc for details\n"
                "exit codes: 0 ok, 2 usage, 3 timeout, 4 cancelled, "
                "6 machine lost / retries exhausted, 5 internal\n");
@@ -590,7 +618,11 @@ int CmdServe(int argc, char** argv) {
   if (!s.ok()) return Fail(s);
   system.cluster()->ResetCountersAndCaches();
 
-  service::JobManager manager(system.cluster(), system.partition(), svc);
+  // The dynamic-graph subsystem enables `update` jobs. q was pinned above
+  // (auto-sizing or --q), so RunQuery never repartitions under mutations.
+  dyn::DynamicGraph dynamic(system.cluster(), system.mutable_partition());
+  service::JobManager manager(system.cluster(), system.partition(), svc,
+                              &dynamic);
   service::ServerOptions server_options;
   server_options.unix_path = socket_path;
   server_options.tcp_port = tcp_port < 0 ? 0 : tcp_port;
@@ -751,6 +783,82 @@ int CmdSubmit(int argc, char** argv) {
                : Result<service::JsonObject>(raw.status());
   if (!job.ok()) return Fail(job.status());
   PrintJobLine(*job);
+  return ExitCodeForJob(*job);
+}
+
+int CmdUpdate(int argc, char** argv) {
+  std::vector<std::string> mutations;
+  for (const std::string& spec : FlagStrAll(argc, argv, "add")) {
+    mutations.push_back("+" + spec);
+  }
+  for (const std::string& spec : FlagStrAll(argc, argv, "del")) {
+    mutations.push_back("-" + spec);
+  }
+  const std::string file = FlagStr(argc, argv, "file", "");
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      return Fail(Status::IOError("update: cannot open " + file));
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      mutations.push_back(line);
+    }
+  }
+  if (mutations.empty()) {
+    std::fprintf(stderr,
+                 "update: need --add=SRC:DST, --del=SRC:DST or --file=PATH\n");
+    return Usage();
+  }
+
+  auto client = ConnectFromFlags(argc, argv);
+  if (!client.ok()) return Fail(client.status());
+
+  std::string array = "[";
+  for (size_t i = 0; i < mutations.size(); ++i) {
+    if (i > 0) array += ",";
+    array += "\"" + service::EscapeJson(mutations[i]) + "\"";
+  }
+  array += "]";
+  const bool wait = !FlagBool(argc, argv, "async");
+  service::JsonWriter request;
+  request.Str("cmd", "update").Raw("mutations", array).Bool("wait", wait);
+  if (wait) {
+    request.Int("timeout_ms", FlagInt(argc, argv, "timeout-ms", -1));
+  }
+  auto response = client->Call(request.Close());
+  if (!response.ok()) return Fail(response.status());
+
+  if (!wait) {
+    auto id = response->GetInt("id");
+    if (!id.ok()) return Fail(id.status());
+    std::printf("submitted update job %lld (%zu mutations)\n",
+                static_cast<long long>(*id), mutations.size());
+    return 0;
+  }
+  auto raw = response->GetRaw("job");
+  Result<service::JsonObject> job =
+      raw.ok() ? service::JsonObject::Parse(*raw)
+               : Result<service::JsonObject>(raw.status());
+  if (!job.ok()) return Fail(job.status());
+  auto num = [&](const char* key) {
+    auto v = job->IntOr(key, 0);
+    return v.ok() ? *v : int64_t{0};
+  };
+  auto state = job->StringOr("state", "-");
+  std::printf("update job %lld %s epoch=%lld inserted=%lld deleted=%lld\n",
+              static_cast<long long>(num("id")),
+              state.ok() ? state->c_str() : "-",
+              static_cast<long long>(num("epoch")),
+              static_cast<long long>(num("inserted")),
+              static_cast<long long>(num("deleted")));
+  if (job->Has("error")) {
+    auto err = job->StringOr("error", "-");
+    auto code = job->StringOr("code", "-");
+    std::printf("  error=%s (%s)\n", err.ok() ? err->c_str() : "-",
+                code.ok() ? code->c_str() : "-");
+  }
   return ExitCodeForJob(*job);
 }
 
@@ -924,6 +1032,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return CmdRun(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "submit") return CmdSubmit(argc, argv);
+  if (cmd == "update") return CmdUpdate(argc, argv);
   if (cmd == "jobs") return CmdJobs(argc, argv);
   if (cmd == "profile") return CmdProfile(argc, argv);
   if (cmd == "cancel") return CmdCancel(argc, argv);
